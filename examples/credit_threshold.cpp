@@ -1,0 +1,104 @@
+// §4.2.2 delegation thresholds: a bank accepts a customer's credit if
+// (a) at least 3 of its credit bureaus concur (unweighted, wd0-wd2), or
+// (b) the reliability-weighted vote reaches a bar (weighted variant).
+#include <cstdio>
+
+#include "meta/codegen.h"
+#include "trust/delegation.h"
+#include "trust/trust_runtime.h"
+
+using lbtrust::datalog::Value;
+using lbtrust::trust::TrustRuntime;
+
+namespace {
+
+void Check(const lbtrust::util::Status& st, const char* what) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, st.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+void SayCreditOK(TrustRuntime* bank, const char* bureau,
+                 const char* statement) {
+  auto code = lbtrust::meta::QuoteRuleText(statement);
+  Check(bank->workspace()->AddFact(
+            "says", {Value::Sym(bureau), Value::Sym("bank"), *code}),
+        "says");
+}
+
+}  // namespace
+
+int main() {
+  TrustRuntime::Options opts;
+  opts.principal = "bank";
+  opts.rsa_bits = 512;
+  opts.trusting_activation = false;  // only thresholds grant authority
+  auto bank_or = TrustRuntime::Create(opts);
+  if (!bank_or.ok()) return 1;
+  TrustRuntime& bank = **bank_or;
+
+  // Five bureaus with reliability weights.
+  struct Bureau {
+    const char* name;
+    double weight;
+  } bureaus[] = {{"equifax", 0.5},
+                 {"experian", 0.4},
+                 {"transunion", 0.4},
+                 {"innovis", 0.2},
+                 {"clarity", 0.1}};
+  for (const auto& b : bureaus) {
+    TrustRuntime::Options bo;
+    bo.principal = b.name;
+    bo.rsa_bits = 512;
+    auto bureau = TrustRuntime::Create(bo);
+    Check(bank.AddPeer(b.name, (*bureau)->keypair().public_key), "peer");
+    Check(bank.workspace()->AddFact(
+              "pringroup", {Value::Sym(b.name), Value::Sym("creditBureau")}),
+          "group");
+    Check(bank.workspace()->AddFact(
+              "prinweight", {Value::Sym(b.name), Value::Sym("creditBureau"),
+                             Value::Double(b.weight)}),
+          "weight");
+  }
+
+  // wd1/wd2: 3-of-n unweighted threshold, plus a 0.8 weighted bar.
+  Check(bank.Load(lbtrust::trust::ThresholdRules("creditOK", "creditBureau",
+                                                 3)),
+        "threshold");
+  Check(bank.Load(lbtrust::trust::WeightedThresholdRules(
+            "loanOK", "creditBureau", 0.8)),
+        "weighted threshold");
+
+  std::printf("-- customer 'carol': equifax + experian say creditOK --\n");
+  SayCreditOK(&bank, "equifax", "creditOK(carol).");
+  SayCreditOK(&bank, "experian", "creditOK(carol).");
+  Check(bank.Fixpoint(), "fixpoint");
+  std::printf("creditOK(carol): %zu (needs 3 bureaus)\n",
+              *bank.workspace()->Count("creditOK(carol)"));
+
+  std::printf("\n-- transunion joins --\n");
+  SayCreditOK(&bank, "transunion", "creditOK(carol).");
+  Check(bank.Fixpoint(), "fixpoint");
+  std::printf("creditOK(carol): %zu\n",
+              *bank.workspace()->Count("creditOK(carol)"));
+
+  std::printf("\n-- weighted vote for a loan: equifax(0.5) says loanOK --\n");
+  SayCreditOK(&bank, "equifax", "loanOK(carol).");
+  Check(bank.Fixpoint(), "fixpoint");
+  std::printf("loanOK(carol): %zu (weight 0.5 < 0.8)\n",
+              *bank.workspace()->Count("loanOK(carol)"));
+
+  std::printf("\n-- experian(0.4) joins: 0.9 >= 0.8 --\n");
+  SayCreditOK(&bank, "experian", "loanOK(carol).");
+  Check(bank.Fixpoint(), "fixpoint");
+  std::printf("loanOK(carol): %zu\n",
+              *bank.workspace()->Count("loanOK(carol)"));
+
+  auto scores = bank.workspace()->Query("loanOKScore(C,N)");
+  for (const auto& row : *scores) {
+    std::printf("\nweighted score for %s: %s\n", row[0].AsText().c_str(),
+                row[1].ToString().c_str());
+  }
+  return 0;
+}

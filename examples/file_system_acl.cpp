@@ -1,0 +1,177 @@
+// §9 demonstration: a multi-principal file system with access control,
+// delegation to an access manager (depth-limited), and threshold approval.
+//
+// As in the paper's demo, all principals share a single workspace on one
+// machine; per-principal rules are installed with `me` bound to that
+// principal (LoadAs), and communication is the shared says relation.
+//
+// Workflow (Figure 3): requester -> fileStore -> fileOwner (-> managers).
+#include <cstdio>
+
+#include "datalog/workspace.h"
+#include "trust/delegation.h"
+#include "util/strings.h"
+
+using lbtrust::datalog::Value;
+using lbtrust::datalog::Workspace;
+
+namespace {
+
+void Check(const lbtrust::util::Status& st, const char* what) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, st.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+size_t Count(Workspace* ws, const std::string& query) {
+  auto n = ws->Count(query);
+  return n.ok() ? *n : 0;
+}
+
+}  // namespace
+
+int main() {
+  Workspace ws;
+  // Principals and the file/message schema (f1-f6 of §9, trimmed to the
+  // used attributes).
+  Check(ws.Load("prin(alice). prin(bob). prin(store1). prin(owner1). "
+                "prin(mgr1). prin(mgr2). prin(mgr3).\n"
+                "file(F) ->.\n"
+                "filename(F,S) -> file(F), string(S).\n"
+                "filedata(F,S) -> file(F), string(S).\n"
+                "fileowner(F,O) -> file(F), prin(O).\n"
+                "filestore(F,P) -> file(F), prin(P).\n"
+                "permission(P,X,F,M) -> prin(P), prin(X), file(F), mode(M).\n"
+                "mode(read). mode(write)."),
+        "schema");
+
+  // The file base: two files stored at store1, owned by owner1.
+  Check(ws.Load("file(f1). filename(f1,\"plan.txt\"). "
+                "filedata(f1,\"Q3 plan\"). fileowner(f1,owner1). "
+                "filestore(f1,store1).\n"
+                "file(f2). filename(f2,\"budget.txt\"). "
+                "filedata(f2,\"$42\"). fileowner(f2,owner1). "
+                "filestore(f2,store1)."),
+        "files");
+
+  // Every principal activates what is said to them (shared-workspace says).
+  for (const char* p :
+       {"alice", "store1", "owner1", "mgr1", "mgr2", "mgr3"}) {
+    Check(ws.LoadAs(p, "active(R) <- says(_,me,R)."), "says activation");
+  }
+
+  // Requesters: ask the store for the file. (bob joins in scenario 3.)
+  for (const char* requester : {"alice", "bob"}) {
+    Check(ws.LoadAs(requester,
+                    "r1: says(me,S,[| readreq(me,F). |]) <- want(me,F), "
+                    "filestore(F,S)."),
+          "requester");
+  }
+
+  // FileStore: consult the owner, serve once granted (dfs2's enforcement:
+  // respond only to authorized requests).
+  Check(ws.LoadAs(
+            "store1",
+            "fs1: says(me,O,[| permq(R,F). |]) <- readreq(R,F), "
+            "filestore(F,me), fileowner(F,O).\n"
+            "fs2: granted(R,F) <- says(O,me,[| permok(R,F). |]), "
+            "fileowner(F,O).\n"
+            "fs3: says(me,R,[| filecontent(F,D). |]) <- readreq(R,F), "
+            "granted(R,F), filestore(F,me), filedata(F,D).\n"
+            // dfs2-style constraint: no content leaves without permission.
+            "dfs2: says(me,R,[| filecontent(F,D). |]) -> granted(R,F)."),
+        "file store");
+
+  // FileOwner: answer permission queries from the permission table.
+  Check(ws.LoadAs("owner1",
+                  "fo1: says(me,S,[| permok(R,F). |]) <- "
+                  "says(S,me,[| permq(R,F). |]), permission(me,R,F,read)."),
+        "file owner");
+
+  // --- Scenario 1: direct permission ------------------------------------
+  Check(ws.AddFactTextAs("owner1", "permission(me,alice,f1,read)."),
+        "permission");
+  Check(ws.AddFactTextAs("alice", "want(me,f1)."), "want");
+  Check(ws.Fixpoint(), "fixpoint 1");
+  std::printf("[1] direct permission: alice received f1 content: %zu\n",
+              Count(&ws, "says(store1,alice,[| filecontent(f1,\"Q3 plan\"). "
+                         "|])"));
+
+  // --- Scenario 2: delegation to the access managers ---------------------
+  // owner1 delegates the permission predicate to mgr1 with depth 0 (mgr1
+  // may decide but not re-delegate), per §4.2.1.
+  Check(ws.LoadAs("owner1", lbtrust::trust::DelegationRules()), "del rules");
+  for (const char* p : {"owner1", "mgr1"}) {
+    Check(ws.LoadAs(p, lbtrust::trust::DelegationDepthRules()), "dd rules");
+  }
+  Check(ws.AddFactTextAs("owner1",
+                         "delegates(me,mgr1,permission). "
+                         "delDepth(me,mgr1,permission,0)."),
+        "delegate");
+  // mgr1 grants alice read on f2 on owner1's behalf.
+  Check(ws.AddFactTextAs(
+            "mgr1",
+            "says(me,owner1,[| permission(owner1,alice,f2,read). |])."),
+        "mgr grant");
+  Check(ws.AddFactTextAs("alice", "want(me,f2)."), "want f2");
+  Check(ws.Fixpoint(), "fixpoint 2");
+  std::printf("[2] delegated permission: alice received f2 content: %zu\n",
+              Count(&ws, "says(store1,alice,[| filecontent(f2,\"$42\"). |])"));
+
+  // Depth enforcement: mgr1 re-delegating violates dd4.
+  Check(ws.AddFactTextAs("mgr1", "delegates(me,mgr2,permission)."),
+        "redelegate");
+  auto st = ws.Fixpoint();
+  std::printf("[3] re-delegation under depth 0 rejected: %s\n",
+              st.code() == lbtrust::util::StatusCode::kConstraintViolation
+                  ? "yes"
+                  : "NO (unexpected)");
+  if (!ws.violations().empty()) {
+    std::printf("    %s\n", ws.violations()[0].c_str());
+  }
+  Check(ws.RemoveFact("delegates", {Value::Sym("mgr1"), Value::Sym("mgr2"),
+                                    Value::Sym("permission")}),
+        "retract");
+
+  // --- Scenario 3: threshold approval ------------------------------------
+  // owner1 requires 2-of-3 managers to confirm before granting f1 to bob.
+  Check(ws.Load("pringroup(mgr1,managers). pringroup(mgr2,managers). "
+                "pringroup(mgr3,managers)."),
+        "managers");
+  Check(ws.LoadAs("bob", "active(R) <- says(_,me,R)."), "bob says");
+  // Managers say identity-carrying permit facts; activation lands them in
+  // the permit relation, and the owner aggregates that relation. (The
+  // paper's wd2 aggregates says directly, which is stratifiable only when
+  // says is not itself derived — here the owner's replies derive says, so
+  // the count runs over the activated facts instead; see DESIGN.md.)
+  Check(ws.LoadAs(
+            "owner1",
+            "tc1: permitCount(R,F,N) <- agg<<N = count(U)>> "
+            "pringroup(U,managers), permit(U,R,F).\n"
+            "tc2: permission(me,R,F,read) <- permitCount(R,F,N), N >= 2."),
+        "threshold");
+  Check(ws.AddFactTextAs("bob", "want(me,f1)."), "bob wants");
+  Check(ws.AddFactTextAs("mgr1",
+                         "says(me,owner1,[| permit(me,bob,f1). |])."),
+        "mgr1 permit");
+  Check(ws.Fixpoint(), "fixpoint 3");
+  std::printf("[4] one confirmation (need 2): bob has content: %zu\n",
+              Count(&ws, "says(store1,bob,[| filecontent(f1,\"Q3 plan\"). "
+                         "|])"));
+  Check(ws.AddFactTextAs("mgr3",
+                         "says(me,owner1,[| permit(me,bob,f1). |])."),
+        "mgr3 permit");
+  Check(ws.Fixpoint(), "fixpoint 4");
+  std::printf("[5] two confirmations: bob has content: %zu\n",
+              Count(&ws, "says(store1,bob,[| filecontent(f1,\"Q3 plan\"). "
+                         "|])"));
+
+  std::printf("\npermission table:\n");
+  auto rows = ws.Query("permission(O,P,F,M)");
+  for (const auto& row : *rows) {
+    std::printf("  permission%s\n",
+                lbtrust::datalog::TupleToString(row).c_str());
+  }
+  return 0;
+}

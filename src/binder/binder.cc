@@ -1,0 +1,57 @@
+#include "binder/binder.h"
+
+#include "datalog/parser.h"
+#include "datalog/pretty.h"
+#include "util/strings.h"
+
+namespace lbtrust::binder {
+
+using datalog::Rule;
+using datalog::SurfaceUnit;
+using util::Result;
+using util::Status;
+
+Result<std::string> CompileBinder(std::string_view binder_program) {
+  LB_ASSIGN_OR_RETURN(std::vector<SurfaceUnit> units,
+                      datalog::ParseSurfaceProgram(binder_program));
+  std::string out;
+  for (const SurfaceUnit& unit : units) {
+    if (!unit.context.empty()) {
+      return util::InvalidArgument(
+          "Binder programs have no 'At' headers; each principal loads its "
+          "own program (use the SeNDlog front-end for contexts)");
+    }
+    for (const Rule& rule : unit.rules) {
+      out += datalog::PrintRule(rule);
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+Status LoadBinder(trust::TrustRuntime* runtime,
+                  std::string_view binder_program) {
+  LB_ASSIGN_OR_RETURN(std::string core, CompileBinder(binder_program));
+  return runtime->Load(core);
+}
+
+Status InstallPullRequester(datalog::Workspace* workspace) {
+  return workspace->Load(
+      "pull0: says(me,X,[| request(R). |]) <- "
+      "active([| A <- says(X,me,R), A*. |]), X != me.");
+}
+
+Status InstallPullResponder(datalog::Workspace* workspace,
+                            const std::string& predicate, size_t arity) {
+  std::vector<std::string> vars;
+  for (size_t i = 0; i < arity; ++i) {
+    vars.push_back(util::StrCat("V", i + 1));
+  }
+  std::string args = util::Join(vars, ",");
+  std::string atom = util::StrCat(predicate, "(", args, ")");
+  return workspace->Load(util::StrCat(
+      "says(me,X,[| ", atom, ". |]) <- "
+      "says(X,me,[| request([| ", atom, ". |]). |]), ", atom, ", X != me."));
+}
+
+}  // namespace lbtrust::binder

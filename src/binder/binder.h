@@ -1,0 +1,46 @@
+#ifndef LBTRUST_BINDER_BINDER_H_
+#define LBTRUST_BINDER_BINDER_H_
+
+#include <string>
+#include <string_view>
+
+#include "datalog/workspace.h"
+#include "trust/trust_runtime.h"
+#include "util/status.h"
+
+namespace lbtrust::binder {
+
+/// Binder front-end (§5.1): Binder's surface syntax —
+///
+///   access(P,O,read) :- good(P).
+///   access(P,O,read) :- bob says access(P,O,read).
+///
+/// — compiles onto the LBTrust core: `X says a(...)` body literals become
+/// `says(X,me,[| a(...). |])` pattern matches, rules keep their shape
+/// otherwise. Certificates are the signed export tuples of the configured
+/// authentication scheme (Binder specifies RSA; any scheme works — that is
+/// the paper's reconfigurability point).
+util::Result<std::string> CompileBinder(std::string_view binder_program);
+
+/// Loads a Binder program into a principal's runtime.
+util::Status LoadBinder(trust::TrustRuntime* runtime,
+                        std::string_view binder_program);
+
+/// Installs the §5.1 top-down-to-bottom-up rewrite:
+///
+///   pull0 (verbatim): any active rule importing `says(X,me,R)` dispatches
+///          says(me,X,[| request(R). |]) to X;
+///   a per-predicate responder answers a request pattern with the matching
+///          local facts:
+///          says(me,X,[| p(V1..Vn). |]) <-
+///              says(X,me,[| request([| p(V1..Vn) |]). |]), p(V1..Vn).
+///
+/// Call InstallPullResponder at the data owner for each predicate it is
+/// willing to answer queries about.
+util::Status InstallPullRequester(datalog::Workspace* workspace);
+util::Status InstallPullResponder(datalog::Workspace* workspace,
+                                  const std::string& predicate, size_t arity);
+
+}  // namespace lbtrust::binder
+
+#endif  // LBTRUST_BINDER_BINDER_H_

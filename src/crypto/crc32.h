@@ -1,0 +1,16 @@
+#ifndef LBTRUST_CRYPTO_CRC32_H_
+#define LBTRUST_CRYPTO_CRC32_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace lbtrust::crypto {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320). Backs the paper's
+/// lightweight integrity checksum built-in (§4.1.3) — not a cryptographic
+/// primitive, an error-detection code.
+uint32_t Crc32(std::string_view data);
+
+}  // namespace lbtrust::crypto
+
+#endif  // LBTRUST_CRYPTO_CRC32_H_

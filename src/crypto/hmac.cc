@@ -1,0 +1,58 @@
+#include "crypto/hmac.h"
+
+#include <cstdint>
+
+#include "crypto/sha1.h"
+#include "crypto/sha256.h"
+
+namespace lbtrust::crypto {
+
+namespace {
+
+template <typename Hash>
+std::string HmacImpl(std::string_view key, std::string_view message) {
+  std::string k(key);
+  if (k.size() > Hash::kBlockSize) k = Hash::Digest(k);
+  k.resize(Hash::kBlockSize, '\0');
+
+  std::string inner(Hash::kBlockSize, '\0');
+  std::string outer(Hash::kBlockSize, '\0');
+  for (size_t i = 0; i < Hash::kBlockSize; ++i) {
+    inner[i] = static_cast<char>(k[i] ^ 0x36);
+    outer[i] = static_cast<char>(k[i] ^ 0x5c);
+  }
+
+  Hash h;
+  h.Update(inner);
+  h.Update(message);
+  uint8_t inner_digest[Hash::kDigestSize];
+  h.Final(inner_digest);
+
+  Hash h2;
+  h2.Update(outer);
+  h2.Update(inner_digest, Hash::kDigestSize);
+  uint8_t out[Hash::kDigestSize];
+  h2.Final(out);
+  return std::string(reinterpret_cast<char*>(out), Hash::kDigestSize);
+}
+
+}  // namespace
+
+std::string HmacSha1(std::string_view key, std::string_view message) {
+  return HmacImpl<Sha1>(key, message);
+}
+
+std::string HmacSha256(std::string_view key, std::string_view message) {
+  return HmacImpl<Sha256>(key, message);
+}
+
+bool ConstantTimeEquals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  unsigned char diff = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    diff |= static_cast<unsigned char>(a[i]) ^ static_cast<unsigned char>(b[i]);
+  }
+  return diff == 0;
+}
+
+}  // namespace lbtrust::crypto

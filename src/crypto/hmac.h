@@ -1,0 +1,22 @@
+#ifndef LBTRUST_CRYPTO_HMAC_H_
+#define LBTRUST_CRYPTO_HMAC_H_
+
+#include <string>
+#include <string_view>
+
+namespace lbtrust::crypto {
+
+/// HMAC (RFC 2104) instantiated with SHA-1 and SHA-256. HMAC-SHA1 is the
+/// paper's MAC-based `says` authentication scheme (§4.1.2): a 160-bit tag
+/// over the message and a shared secret.
+///
+/// Returns the raw tag bytes (20 for SHA-1, 32 for SHA-256).
+std::string HmacSha1(std::string_view key, std::string_view message);
+std::string HmacSha256(std::string_view key, std::string_view message);
+
+/// Constant-time comparison of two byte strings (length leaks only).
+bool ConstantTimeEquals(std::string_view a, std::string_view b);
+
+}  // namespace lbtrust::crypto
+
+#endif  // LBTRUST_CRYPTO_HMAC_H_

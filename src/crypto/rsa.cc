@@ -1,0 +1,190 @@
+#include "crypto/rsa.h"
+
+#include "crypto/sha1.h"
+#include "util/strings.h"
+
+namespace lbtrust::crypto {
+
+using util::CryptoError;
+using util::InvalidArgument;
+using util::Result;
+
+namespace {
+
+// DER DigestInfo prefix for SHA-1 (RFC 3447 §9.2).
+const uint8_t kSha1DigestInfo[] = {0x30, 0x21, 0x30, 0x09, 0x06,
+                                   0x05, 0x2b, 0x0e, 0x03, 0x02,
+                                   0x1a, 0x05, 0x00, 0x04, 0x14};
+
+// Builds the EMSA-PKCS1-v1_5 encoding of SHA-1(message) at width k.
+Result<std::string> EmsaEncode(std::string_view message, size_t k) {
+  std::string digest = Sha1::Digest(message);
+  size_t t_len = sizeof(kSha1DigestInfo) + digest.size();
+  if (k < t_len + 11) return InvalidArgument("modulus too small for EMSA");
+  std::string em;
+  em.reserve(k);
+  em.push_back('\0');
+  em.push_back('\x01');
+  em.append(k - t_len - 3, '\xff');
+  em.push_back('\0');
+  em.append(reinterpret_cast<const char*>(kSha1DigestInfo),
+            sizeof(kSha1DigestInfo));
+  em.append(digest);
+  return em;
+}
+
+// CRT exponentiation m = c^d mod n.
+Result<BigInt> PrivateOp(const RsaPrivateKey& key, const BigInt& c) {
+  if (c >= key.n) return InvalidArgument("input out of range");
+  if (key.p.is_zero() || key.q.is_zero()) {
+    // No CRT components (deserialized minimal key): fall back to plain d.
+    return BigInt::ModExp(c, key.d, key.n);
+  }
+  LB_ASSIGN_OR_RETURN(BigInt m1, BigInt::ModExp(c, key.dp, key.p));
+  LB_ASSIGN_OR_RETURN(BigInt m2, BigInt::ModExp(c, key.dq, key.q));
+  // h = qinv * (m1 - m2) mod p ; m = m2 + h * q
+  BigInt diff = m1 - m2;
+  LB_ASSIGN_OR_RETURN(BigInt h, BigInt::Mod(key.qinv * diff, key.p));
+  return m2 + h * key.q;
+}
+
+}  // namespace
+
+std::string RsaPublicKey::Serialize() const {
+  return util::StrCat(n.ToHex(), ":", e.ToHex());
+}
+
+Result<RsaPublicKey> RsaPublicKey::Deserialize(std::string_view text) {
+  std::vector<std::string> parts = util::Split(text, ':');
+  if (parts.size() != 2) return InvalidArgument("expected n:e");
+  RsaPublicKey key;
+  LB_ASSIGN_OR_RETURN(key.n, BigInt::FromHex(parts[0]));
+  LB_ASSIGN_OR_RETURN(key.e, BigInt::FromHex(parts[1]));
+  return key;
+}
+
+std::string RsaPrivateKey::Serialize() const {
+  return util::StrCat(n.ToHex(), ":", e.ToHex(), ":", d.ToHex(), ":",
+                      p.ToHex(), ":", q.ToHex(), ":", dp.ToHex(), ":",
+                      dq.ToHex(), ":", qinv.ToHex());
+}
+
+Result<RsaPrivateKey> RsaPrivateKey::Deserialize(std::string_view text) {
+  std::vector<std::string> parts = util::Split(text, ':');
+  if (parts.size() != 8) return InvalidArgument("expected 8 fields");
+  RsaPrivateKey key;
+  LB_ASSIGN_OR_RETURN(key.n, BigInt::FromHex(parts[0]));
+  LB_ASSIGN_OR_RETURN(key.e, BigInt::FromHex(parts[1]));
+  LB_ASSIGN_OR_RETURN(key.d, BigInt::FromHex(parts[2]));
+  LB_ASSIGN_OR_RETURN(key.p, BigInt::FromHex(parts[3]));
+  LB_ASSIGN_OR_RETURN(key.q, BigInt::FromHex(parts[4]));
+  LB_ASSIGN_OR_RETURN(key.dp, BigInt::FromHex(parts[5]));
+  LB_ASSIGN_OR_RETURN(key.dq, BigInt::FromHex(parts[6]));
+  LB_ASSIGN_OR_RETURN(key.qinv, BigInt::FromHex(parts[7]));
+  return key;
+}
+
+Result<RsaKeyPair> RsaGenerateKeyPair(size_t bits, SecureRandom* rng) {
+  if (bits < 128 || bits % 2 != 0) {
+    return InvalidArgument("modulus bits must be even and >= 128");
+  }
+  auto rng_bytes = [rng](uint8_t* out, size_t len) { rng->Bytes(out, len); };
+  const BigInt e(65537);
+  size_t half = bits / 2;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    BigInt p, q;
+    do {
+      p = rng->RandomPrimeCandidate(half);
+    } while (!IsProbablePrime(p, 24, rng_bytes));
+    do {
+      q = rng->RandomPrimeCandidate(half);
+    } while (q == p || !IsProbablePrime(q, 24, rng_bytes));
+
+    BigInt n = p * q;
+    if (n.BitLength() != bits) continue;  // rare with top-2-bits forced
+    BigInt phi = (p - BigInt(1)) * (q - BigInt(1));
+    if (!(BigInt::Gcd(e, phi) == BigInt(1))) continue;
+
+    RsaPrivateKey priv;
+    priv.n = n;
+    priv.e = e;
+    LB_ASSIGN_OR_RETURN(priv.d, BigInt::ModInverse(e, phi));
+    priv.p = p;
+    priv.q = q;
+    {
+      BigInt qd, rem;
+      LB_RETURN_IF_ERROR(BigInt::DivMod(priv.d, p - BigInt(1), &qd, &rem));
+      priv.dp = rem;
+      LB_RETURN_IF_ERROR(BigInt::DivMod(priv.d, q - BigInt(1), &qd, &rem));
+      priv.dq = rem;
+    }
+    LB_ASSIGN_OR_RETURN(priv.qinv, BigInt::ModInverse(q, p));
+    return RsaKeyPair{priv, priv.PublicKey()};
+  }
+  return CryptoError("key generation did not converge");
+}
+
+Result<std::string> RsaSign(const RsaPrivateKey& key,
+                            std::string_view message) {
+  size_t k = (key.n.BitLength() + 7) / 8;
+  LB_ASSIGN_OR_RETURN(std::string em, EmsaEncode(message, k));
+  BigInt m = BigInt::FromBytes(em);
+  LB_ASSIGN_OR_RETURN(BigInt s, PrivateOp(key, m));
+  return s.ToBytes(k);
+}
+
+bool RsaVerify(const RsaPublicKey& key, std::string_view message,
+               std::string_view signature) {
+  size_t k = (key.n.BitLength() + 7) / 8;
+  if (signature.size() != k) return false;
+  BigInt s = BigInt::FromBytes(
+      reinterpret_cast<const uint8_t*>(signature.data()), signature.size());
+  if (s >= key.n) return false;
+  util::Result<BigInt> m = BigInt::ModExp(s, key.e, key.n);
+  if (!m.ok()) return false;
+  util::Result<std::string> em = EmsaEncode(message, k);
+  if (!em.ok()) return false;
+  return m->ToBytes(k) == *em;
+}
+
+Result<std::string> RsaEncrypt(const RsaPublicKey& key,
+                               std::string_view plaintext,
+                               SecureRandom* rng) {
+  size_t k = key.ModulusBytes();
+  if (plaintext.size() + 11 > k) return InvalidArgument("plaintext too long");
+  // EME-PKCS1-v1_5: 0x00 0x02 PS 0x00 M with PS nonzero random bytes.
+  std::string em;
+  em.reserve(k);
+  em.push_back('\0');
+  em.push_back('\x02');
+  size_t ps_len = k - plaintext.size() - 3;
+  for (size_t i = 0; i < ps_len; ++i) {
+    uint8_t b = 0;
+    while (b == 0) rng->Bytes(&b, 1);
+    em.push_back(static_cast<char>(b));
+  }
+  em.push_back('\0');
+  em.append(plaintext);
+  BigInt m = BigInt::FromBytes(em);
+  LB_ASSIGN_OR_RETURN(BigInt c, BigInt::ModExp(m, key.e, key.n));
+  return c.ToBytes(k);
+}
+
+Result<std::string> RsaDecrypt(const RsaPrivateKey& key,
+                               std::string_view ciphertext) {
+  size_t k = (key.n.BitLength() + 7) / 8;
+  if (ciphertext.size() != k) return CryptoError("bad ciphertext length");
+  BigInt c = BigInt::FromBytes(
+      reinterpret_cast<const uint8_t*>(ciphertext.data()), ciphertext.size());
+  LB_ASSIGN_OR_RETURN(BigInt m, PrivateOp(key, c));
+  std::string em = m.ToBytes(k);
+  if (em.size() < 11 || em[0] != '\0' || em[1] != '\x02') {
+    return CryptoError("bad padding");
+  }
+  size_t i = 2;
+  while (i < em.size() && em[i] != '\0') ++i;
+  if (i == em.size() || i < 10) return CryptoError("bad padding");
+  return em.substr(i + 1);
+}
+
+}  // namespace lbtrust::crypto

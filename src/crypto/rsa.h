@@ -1,0 +1,71 @@
+#ifndef LBTRUST_CRYPTO_RSA_H_
+#define LBTRUST_CRYPTO_RSA_H_
+
+#include <string>
+#include <string_view>
+
+#include "crypto/bigint.h"
+#include "crypto/secure_random.h"
+#include "util/status.h"
+
+namespace lbtrust::crypto {
+
+/// RSA public key (n, e).
+struct RsaPublicKey {
+  BigInt n;
+  BigInt e;
+
+  /// Modulus size in bytes (signature length).
+  size_t ModulusBytes() const { return (n.BitLength() + 7) / 8; }
+
+  /// Compact serialization "n_hex:e_hex" for key distribution in policies.
+  std::string Serialize() const;
+  static util::Result<RsaPublicKey> Deserialize(std::string_view text);
+};
+
+/// RSA private key with CRT components for fast signing.
+struct RsaPrivateKey {
+  BigInt n;
+  BigInt e;
+  BigInt d;
+  BigInt p;
+  BigInt q;
+  BigInt dp;    // d mod (p-1)
+  BigInt dq;    // d mod (q-1)
+  BigInt qinv;  // q^{-1} mod p
+
+  RsaPublicKey PublicKey() const { return RsaPublicKey{n, e}; }
+
+  std::string Serialize() const;
+  static util::Result<RsaPrivateKey> Deserialize(std::string_view text);
+};
+
+struct RsaKeyPair {
+  RsaPrivateKey private_key;
+  RsaPublicKey public_key;
+};
+
+/// Generates an RSA key pair with an exactly `bits`-wide modulus
+/// (paper: 1024) and e = 65537. Deterministic given the RNG state.
+util::Result<RsaKeyPair> RsaGenerateKeyPair(size_t bits, SecureRandom* rng);
+
+/// EMSA-PKCS1-v1_5 signature over SHA-1(message); returns raw signature
+/// bytes of modulus width. This is the paper's `rsasign` built-in.
+util::Result<std::string> RsaSign(const RsaPrivateKey& key,
+                                  std::string_view message);
+
+/// Verifies an RsaSign signature; `rsaverify` built-in.
+bool RsaVerify(const RsaPublicKey& key, std::string_view message,
+               std::string_view signature);
+
+/// Raw RSA encryption of a short message (for the confidentiality
+/// primitives): PKCS#1 v1.5 type-2 padding with the given RNG.
+util::Result<std::string> RsaEncrypt(const RsaPublicKey& key,
+                                     std::string_view plaintext,
+                                     SecureRandom* rng);
+util::Result<std::string> RsaDecrypt(const RsaPrivateKey& key,
+                                     std::string_view ciphertext);
+
+}  // namespace lbtrust::crypto
+
+#endif  // LBTRUST_CRYPTO_RSA_H_

@@ -1,0 +1,91 @@
+#include "crypto/secure_random.h"
+
+#include <cstring>
+#include <random>
+
+#include "crypto/sha256.h"
+
+namespace lbtrust::crypto {
+
+SecureRandom::SecureRandom(uint64_t seed) {
+  seed_.assign(reinterpret_cast<const char*>(&seed), sizeof(seed));
+}
+
+SecureRandom::SecureRandom(std::string_view seed) : seed_(seed) {}
+
+SecureRandom SecureRandom::FromSystem() {
+  std::random_device rd;
+  std::string seed;
+  for (int i = 0; i < 8; ++i) {
+    uint32_t word = rd();
+    seed.append(reinterpret_cast<const char*>(&word), sizeof(word));
+  }
+  return SecureRandom(seed);
+}
+
+void SecureRandom::Refill() {
+  Sha256 h;
+  h.Update(seed_);
+  h.Update(&counter_, sizeof(counter_));
+  h.Final(block_);
+  ++counter_;
+  pos_ = 0;
+}
+
+void SecureRandom::Bytes(uint8_t* out, size_t len) {
+  while (len > 0) {
+    if (pos_ == sizeof(block_)) Refill();
+    size_t take = std::min(len, sizeof(block_) - pos_);
+    std::memcpy(out, block_ + pos_, take);
+    pos_ += take;
+    out += take;
+    len -= take;
+  }
+}
+
+std::string SecureRandom::Bytes(size_t len) {
+  std::string out(len, '\0');
+  Bytes(reinterpret_cast<uint8_t*>(out.data()), len);
+  return out;
+}
+
+uint64_t SecureRandom::NextUint64() {
+  uint8_t buf[8];
+  Bytes(buf, sizeof(buf));
+  uint64_t v = 0;
+  std::memcpy(&v, buf, sizeof(v));
+  return v;
+}
+
+uint64_t SecureRandom::Uniform(uint64_t bound) {
+  if (bound == 0) return 0;
+  // Rejection sampling to avoid modulo bias.
+  uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+  uint64_t v;
+  do {
+    v = NextUint64();
+  } while (v >= limit);
+  return v % bound;
+}
+
+BigInt SecureRandom::RandomBits(size_t bits) {
+  if (bits == 0) return BigInt();
+  size_t nbytes = (bits + 7) / 8;
+  std::string buf = Bytes(nbytes);
+  // Mask excess high bits, then force the top bit.
+  size_t excess = nbytes * 8 - bits;
+  buf[0] = static_cast<char>(static_cast<uint8_t>(buf[0]) & (0xFF >> excess));
+  buf[0] = static_cast<char>(static_cast<uint8_t>(buf[0]) |
+                             (0x80 >> excess));
+  return BigInt::FromBytes(buf);
+}
+
+BigInt SecureRandom::RandomPrimeCandidate(size_t bits) {
+  BigInt n = RandomBits(bits);
+  // Set the second-highest bit and force odd.
+  if (bits >= 2 && !n.Bit(bits - 2)) n = n + (BigInt(1) << (bits - 2));
+  if (!n.is_odd()) n = n + BigInt(1);
+  return n;
+}
+
+}  // namespace lbtrust::crypto

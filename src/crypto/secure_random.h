@@ -1,0 +1,50 @@
+#ifndef LBTRUST_CRYPTO_SECURE_RANDOM_H_
+#define LBTRUST_CRYPTO_SECURE_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "crypto/bigint.h"
+
+namespace lbtrust::crypto {
+
+/// Deterministic hash-based DRBG (SHA-256 in counter mode over a seed).
+///
+/// Seedable so key generation and the benchmark harness are reproducible
+/// run-to-run; seed from OS entropy for non-test use via SeedFromSystem().
+class SecureRandom {
+ public:
+  /// Deterministic stream from a fixed seed.
+  explicit SecureRandom(uint64_t seed);
+  explicit SecureRandom(std::string_view seed);
+
+  /// Mixes in std::random_device entropy.
+  static SecureRandom FromSystem();
+
+  /// Fills `out` with the next `len` pseudorandom bytes.
+  void Bytes(uint8_t* out, size_t len);
+  std::string Bytes(size_t len);
+
+  uint64_t NextUint64();
+  /// Uniform in [0, bound) for bound > 0 (rejection sampling).
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer with exactly `bits` significant bits (top bit set).
+  BigInt RandomBits(size_t bits);
+  /// Random odd integer with exactly `bits` bits and the two top bits set
+  /// (standard trick so that p*q reaches the full modulus width).
+  BigInt RandomPrimeCandidate(size_t bits);
+
+ private:
+  void Refill();
+
+  std::string seed_;
+  uint64_t counter_ = 0;
+  uint8_t block_[32];
+  size_t pos_ = 32;  // forces refill on first use
+};
+
+}  // namespace lbtrust::crypto
+
+#endif  // LBTRUST_CRYPTO_SECURE_RANDOM_H_

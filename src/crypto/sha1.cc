@@ -1,0 +1,112 @@
+#include "crypto/sha1.h"
+
+#include <cstring>
+
+#include "util/strings.h"
+
+namespace lbtrust::crypto {
+
+namespace {
+inline uint32_t Rotl(uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+}  // namespace
+
+void Sha1::Reset() {
+  state_[0] = 0x67452301;
+  state_[1] = 0xEFCDAB89;
+  state_[2] = 0x98BADCFE;
+  state_[3] = 0x10325476;
+  state_[4] = 0xC3D2E1F0;
+  length_ = 0;
+  buffered_ = 0;
+}
+
+void Sha1::ProcessBlock(const uint8_t block[kBlockSize]) {
+  uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<uint32_t>(block[i * 4]) << 24) |
+           (static_cast<uint32_t>(block[i * 4 + 1]) << 16) |
+           (static_cast<uint32_t>(block[i * 4 + 2]) << 8) |
+           static_cast<uint32_t>(block[i * 4 + 3]);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = Rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+  uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3],
+           e = state_[4];
+  for (int i = 0; i < 80; ++i) {
+    uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | ((~b) & d);
+      k = 0x5A827999;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDC;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6;
+    }
+    uint32_t tmp = Rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = Rotl(b, 30);
+    b = a;
+    a = tmp;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+void Sha1::Update(const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  length_ += len;
+  while (len > 0) {
+    size_t take = std::min(len, kBlockSize - buffered_);
+    std::memcpy(buffer_ + buffered_, p, take);
+    buffered_ += take;
+    p += take;
+    len -= take;
+    if (buffered_ == kBlockSize) {
+      ProcessBlock(buffer_);
+      buffered_ = 0;
+    }
+  }
+}
+
+void Sha1::Final(uint8_t out[kDigestSize]) {
+  uint64_t bit_len = length_ * 8;
+  uint8_t pad = 0x80;
+  Update(&pad, 1);
+  uint8_t zero = 0;
+  while (buffered_ != 56) Update(&zero, 1);
+  uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[i] = static_cast<uint8_t>(bit_len >> (56 - i * 8));
+  }
+  Update(len_bytes, 8);
+  for (int i = 0; i < 5; ++i) {
+    out[i * 4] = static_cast<uint8_t>(state_[i] >> 24);
+    out[i * 4 + 1] = static_cast<uint8_t>(state_[i] >> 16);
+    out[i * 4 + 2] = static_cast<uint8_t>(state_[i] >> 8);
+    out[i * 4 + 3] = static_cast<uint8_t>(state_[i]);
+  }
+}
+
+std::string Sha1::Digest(std::string_view data) {
+  Sha1 h;
+  h.Update(data);
+  uint8_t out[kDigestSize];
+  h.Final(out);
+  return std::string(reinterpret_cast<char*>(out), kDigestSize);
+}
+
+std::string Sha1::HexDigest(std::string_view data) {
+  return util::HexEncode(Digest(data));
+}
+
+}  // namespace lbtrust::crypto

@@ -1,0 +1,42 @@
+#ifndef LBTRUST_CRYPTO_SHA1_H_
+#define LBTRUST_CRYPTO_SHA1_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace lbtrust::crypto {
+
+/// Incremental SHA-1 (FIPS 180-1). The paper's HMAC scheme is HMAC-SHA1
+/// ("a 160-bit SHA-1 cryptographic hash of the message data and a secret
+/// key") and its RSA scheme signs a SHA-1 digest.
+class Sha1 {
+ public:
+  static constexpr size_t kDigestSize = 20;
+  static constexpr size_t kBlockSize = 64;
+
+  Sha1() { Reset(); }
+
+  void Reset();
+  void Update(const void* data, size_t len);
+  void Update(std::string_view data) { Update(data.data(), data.size()); }
+  /// Finalizes and writes 20 bytes; the object must be Reset() to reuse.
+  void Final(uint8_t out[kDigestSize]);
+
+  /// One-shot convenience: raw 20-byte digest.
+  static std::string Digest(std::string_view data);
+  /// One-shot convenience: lowercase hex digest.
+  static std::string HexDigest(std::string_view data);
+
+ private:
+  void ProcessBlock(const uint8_t block[kBlockSize]);
+
+  uint32_t state_[5];
+  uint64_t length_ = 0;  // bytes processed
+  uint8_t buffer_[kBlockSize];
+  size_t buffered_ = 0;
+};
+
+}  // namespace lbtrust::crypto
+
+#endif  // LBTRUST_CRYPTO_SHA1_H_

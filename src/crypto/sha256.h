@@ -1,0 +1,38 @@
+#ifndef LBTRUST_CRYPTO_SHA256_H_
+#define LBTRUST_CRYPTO_SHA256_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace lbtrust::crypto {
+
+/// Incremental SHA-256 (FIPS 180-4). Used for the integrity built-ins and as
+/// the block function of the deterministic DRBG and the stream cipher.
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  static constexpr size_t kBlockSize = 64;
+
+  Sha256() { Reset(); }
+
+  void Reset();
+  void Update(const void* data, size_t len);
+  void Update(std::string_view data) { Update(data.data(), data.size()); }
+  void Final(uint8_t out[kDigestSize]);
+
+  static std::string Digest(std::string_view data);
+  static std::string HexDigest(std::string_view data);
+
+ private:
+  void ProcessBlock(const uint8_t block[kBlockSize]);
+
+  uint32_t state_[8];
+  uint64_t length_ = 0;
+  uint8_t buffer_[kBlockSize];
+  size_t buffered_ = 0;
+};
+
+}  // namespace lbtrust::crypto
+
+#endif  // LBTRUST_CRYPTO_SHA256_H_

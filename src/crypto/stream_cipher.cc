@@ -1,0 +1,59 @@
+#include "crypto/stream_cipher.h"
+
+#include <cstdint>
+#include <cstring>
+
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace lbtrust::crypto {
+
+namespace {
+constexpr size_t kNonceSize = 16;
+constexpr size_t kTagSize = 32;
+}  // namespace
+
+std::string StreamXor(std::string_view key, std::string_view nonce,
+                      std::string_view data) {
+  std::string out(data);
+  uint64_t counter = 0;
+  size_t pos = 0;
+  while (pos < out.size()) {
+    Sha256 h;
+    h.Update(key);
+    h.Update(nonce);
+    h.Update(&counter, sizeof(counter));
+    uint8_t block[Sha256::kDigestSize];
+    h.Final(block);
+    size_t take = std::min(out.size() - pos, sizeof(block));
+    for (size_t i = 0; i < take; ++i) {
+      out[pos + i] = static_cast<char>(out[pos + i] ^ block[i]);
+    }
+    pos += take;
+    ++counter;
+  }
+  return out;
+}
+
+std::string SealedBox(std::string_view key, std::string_view nonce,
+                      std::string_view plaintext) {
+  std::string n(nonce);
+  n.resize(kNonceSize, '\0');
+  std::string body = n + StreamXor(key, n, plaintext);
+  std::string tag = HmacSha256(key, body);
+  return body + tag;
+}
+
+bool SealedOpen(std::string_view key, std::string_view sealed,
+                std::string* plaintext) {
+  if (sealed.size() < kNonceSize + kTagSize) return false;
+  std::string_view body = sealed.substr(0, sealed.size() - kTagSize);
+  std::string_view tag = sealed.substr(sealed.size() - kTagSize);
+  if (!ConstantTimeEquals(HmacSha256(key, body), tag)) return false;
+  std::string_view nonce = body.substr(0, kNonceSize);
+  std::string_view ct = body.substr(kNonceSize);
+  *plaintext = StreamXor(key, nonce, ct);
+  return true;
+}
+
+}  // namespace lbtrust::crypto

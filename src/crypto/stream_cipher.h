@@ -1,0 +1,28 @@
+#ifndef LBTRUST_CRYPTO_STREAM_CIPHER_H_
+#define LBTRUST_CRYPTO_STREAM_CIPHER_H_
+
+#include <string>
+#include <string_view>
+
+namespace lbtrust::crypto {
+
+/// Symmetric stream cipher: SHA-256 in counter mode keyed by
+/// (key, nonce). Backs the confidentiality built-ins (`encrypt`/`decrypt`
+/// of facts exchanged between principals, §4.1.3). Encryption and
+/// decryption are the same XOR transform.
+std::string StreamXor(std::string_view key, std::string_view nonce,
+                      std::string_view data);
+
+/// Authenticated wrapper: nonce || ciphertext || HMAC-SHA256 tag over
+/// (nonce || ciphertext). Returns empty optional-style "" on failure in
+/// Open (tag mismatch) — see SealedOpen.
+std::string SealedBox(std::string_view key, std::string_view nonce,
+                      std::string_view plaintext);
+
+/// Opens a SealedBox; returns false on tag mismatch or truncation.
+bool SealedOpen(std::string_view key, std::string_view sealed,
+                std::string* plaintext);
+
+}  // namespace lbtrust::crypto
+
+#endif  // LBTRUST_CRYPTO_STREAM_CIPHER_H_

@@ -1,0 +1,242 @@
+#include "d1lp/d1lp.h"
+
+#include <set>
+
+#include "datalog/lexer.h"
+#include "datalog/parser.h"
+#include "datalog/pretty.h"
+#include "meta/codegen.h"
+#include "trust/delegation.h"
+#include "util/strings.h"
+
+namespace lbtrust::d1lp {
+
+using datalog::Token;
+using datalog::TokenKind;
+using util::ParseError;
+using util::Result;
+using util::Status;
+
+namespace {
+
+class D1lpParser {
+ public:
+  D1lpParser(std::string local, std::vector<Token> tokens)
+      : local_(std::move(local)), tokens_(std::move(tokens)) {}
+
+  Result<CompiledD1lp> Run() {
+    while (!At(TokenKind::kEnd)) {
+      LB_RETURN_IF_ERROR(ParseStatement());
+    }
+    CompiledD1lp compiled;
+    if (need_delegation_lib_) {
+      compiled.core_rules += trust::DelegationRules();
+      compiled.core_rules += trust::DelegationDepthRules();
+    }
+    compiled.core_rules += rules_;
+    compiled.assertions = std::move(assertions_);
+    return compiled;
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  bool At(TokenKind kind) const { return Cur().kind == kind; }
+  bool AtIdent(const char* text) const {
+    return At(TokenKind::kIdent) && Cur().text == text;
+  }
+  void Next() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+  Status Error(const std::string& msg) const {
+    return ParseError(util::StrCat("D1LP: ", msg, " at line ", Cur().line));
+  }
+  Status Expect(TokenKind kind) {
+    if (!At(kind)) {
+      return Error(util::StrCat("expected ", datalog::TokenKindName(kind)));
+    }
+    Next();
+    return util::OkStatus();
+  }
+  Result<std::string> ExpectIdent() {
+    if (!At(TokenKind::kIdent)) return Error("expected a name");
+    std::string out = Cur().text;
+    Next();
+    return out;
+  }
+
+  void AddPrin(const std::string& name) {
+    if (prins_.insert(name).second) {
+      rules_ += util::StrCat("prin(", name, ").\n");
+    }
+  }
+
+  Status ParseStatement() {
+    LB_ASSIGN_OR_RETURN(std::string subject, ExpectIdent());
+    if (AtIdent("says")) return ParseSays(subject);
+    if (AtIdent("delegates")) return ParseDelegates(subject);
+    if (AtIdent("speaks")) return ParseSpeaksFor(subject);
+    if (AtIdent("trusts")) return ParseThreshold(subject);
+    return Error(util::StrCat("unknown statement after '", subject, "'"));
+  }
+
+  // X says fact(...).
+  Status ParseSays(const std::string& speaker) {
+    Next();  // says
+    // Capture the atom by re-printing the parsed form.
+    if (!At(TokenKind::kIdent)) return Error("expected a fact after says");
+    std::string pred = Cur().text;
+    Next();
+    LB_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+    std::vector<std::string> args;
+    if (!At(TokenKind::kRParen)) {
+      while (true) {
+        if (At(TokenKind::kIdent)) {
+          args.push_back(Cur().text);
+          Next();
+        } else if (At(TokenKind::kInt)) {
+          args.push_back(std::to_string(Cur().int_value));
+          Next();
+        } else if (At(TokenKind::kString)) {
+          args.push_back(util::StrCat("\"", util::EscapeQuoted(Cur().text),
+                                      "\""));
+          Next();
+        } else {
+          return Error("D1LP facts take constant arguments");
+        }
+        if (!At(TokenKind::kComma)) break;
+        Next();
+      }
+    }
+    LB_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    LB_RETURN_IF_ERROR(Expect(TokenKind::kDot));
+    AddPrin(speaker);
+    assertions_.emplace_back(
+        speaker,
+        util::StrCat(pred, "(", util::Join(args, ","), ")."));
+    return util::OkStatus();
+  }
+
+  // U1 delegates pred[^depth] to U2.
+  Status ParseDelegates(const std::string& delegator) {
+    Next();  // delegates
+    if (delegator != local_) {
+      return Error(util::StrCat(
+          "delegations execute in their issuer's context; load this "
+          "statement into '", delegator, "' (local principal is '", local_,
+          "')"));
+    }
+    LB_ASSIGN_OR_RETURN(std::string pred, ExpectIdent());
+    bool bounded = false;
+    int64_t depth = 0;
+    if (At(TokenKind::kCaret)) {
+      Next();
+      if (At(TokenKind::kStar)) {
+        Next();  // unbounded
+      } else if (At(TokenKind::kInt)) {
+        bounded = true;
+        depth = Cur().int_value;
+        if (depth < 0) return Error("delegation depth must be >= 0");
+        Next();
+      } else {
+        return Error("expected a depth or '*' after '^'");
+      }
+    }
+    if (!AtIdent("to")) return Error("expected 'to'");
+    Next();
+    LB_ASSIGN_OR_RETURN(std::string delegatee, ExpectIdent());
+    LB_RETURN_IF_ERROR(Expect(TokenKind::kDot));
+    need_delegation_lib_ = true;
+    AddPrin(delegator);
+    AddPrin(delegatee);
+    rules_ += util::StrCat("delegates(me,", delegatee, ",", pred, ").\n");
+    if (bounded) {
+      rules_ += util::StrCat("delDepth(me,", delegatee, ",", pred, ",",
+                             depth, ").\n");
+    }
+    return util::OkStatus();
+  }
+
+  // X speaks-for Y.
+  Status ParseSpeaksFor(const std::string& speaker) {
+    Next();  // speaks
+    LB_RETURN_IF_ERROR(Expect(TokenKind::kMinus));
+    if (!AtIdent("for")) return Error("expected 'for' after 'speaks-'");
+    Next();
+    LB_ASSIGN_OR_RETURN(std::string principal, ExpectIdent());
+    LB_RETURN_IF_ERROR(Expect(TokenKind::kDot));
+    if (principal != local_) {
+      return Error(util::StrCat("'speaks-for ", principal,
+                                "' must be loaded into '", principal, "'"));
+    }
+    AddPrin(speaker);
+    rules_ += trust::SpeaksForRule(speaker);
+    return util::OkStatus();
+  }
+
+  // L trusts threshold(k, p1, p2, ...) on pred.
+  Status ParseThreshold(const std::string& subject) {
+    Next();  // trusts
+    if (subject != local_) {
+      return Error(util::StrCat("threshold policies must be loaded into '",
+                                subject, "'"));
+    }
+    if (!AtIdent("threshold")) return Error("expected 'threshold'");
+    Next();
+    LB_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+    if (!At(TokenKind::kInt)) return Error("expected the threshold k");
+    int64_t k = Cur().int_value;
+    Next();
+    std::vector<std::string> members;
+    while (At(TokenKind::kComma)) {
+      Next();
+      LB_ASSIGN_OR_RETURN(std::string member, ExpectIdent());
+      members.push_back(std::move(member));
+    }
+    LB_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    if (!AtIdent("on")) return Error("expected 'on'");
+    Next();
+    LB_ASSIGN_OR_RETURN(std::string pred, ExpectIdent());
+    LB_RETURN_IF_ERROR(Expect(TokenKind::kDot));
+    if (k <= 0 || static_cast<size_t>(k) > members.size()) {
+      return Error("threshold k must be within 1..n");
+    }
+    std::string group = util::StrCat("thrgrp_", pred);
+    for (const std::string& member : members) {
+      AddPrin(member);
+      rules_ += util::StrCat("pringroup(", member, ",", group, ").\n");
+    }
+    rules_ += trust::ThresholdRules(pred, group, static_cast<int>(k));
+    return util::OkStatus();
+  }
+
+  std::string local_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  std::string rules_;
+  std::vector<std::pair<std::string, std::string>> assertions_;
+  std::set<std::string> prins_;
+  bool need_delegation_lib_ = false;
+};
+
+}  // namespace
+
+Result<CompiledD1lp> CompileD1lp(const std::string& local_principal,
+                                 std::string_view program) {
+  LB_ASSIGN_OR_RETURN(std::vector<Token> tokens, datalog::Tokenize(program));
+  return D1lpParser(local_principal, std::move(tokens)).Run();
+}
+
+Status LoadD1lp(trust::TrustRuntime* runtime, std::string_view program) {
+  LB_ASSIGN_OR_RETURN(CompiledD1lp compiled,
+                      CompileD1lp(runtime->principal(), program));
+  LB_RETURN_IF_ERROR(runtime->Load(compiled.core_rules));
+  for (const auto& [speaker, fact] : compiled.assertions) {
+    LB_ASSIGN_OR_RETURN(datalog::Value code, meta::QuoteRuleText(fact));
+    LB_RETURN_IF_ERROR(runtime->workspace()->AddFact(
+        "says", {datalog::Value::Sym(speaker),
+                 datalog::Value::Sym(runtime->principal()), code}));
+  }
+  return util::OkStatus();
+}
+
+}  // namespace lbtrust::d1lp

@@ -1,0 +1,54 @@
+#ifndef LBTRUST_D1LP_D1LP_H_
+#define LBTRUST_D1LP_D1LP_H_
+
+#include <string>
+#include <string_view>
+
+#include "trust/trust_runtime.h"
+#include "util/status.h"
+
+namespace lbtrust::d1lp {
+
+/// D1LP front-end (the paper's third case study, per its abstract): Li,
+/// Grosof & Feigenbaum's Delegation Logic restricted to the constructs the
+/// paper exercises — direct statements, restricted delegation with integer
+/// depth, speaks-for, and k-of-n threshold structures. Statements compile
+/// onto the §4.2 delegation library (delegates/delDepth/thresholds).
+///
+/// Surface syntax (one statement per line, '.' terminated):
+///
+///   alice says access(carol,f1).
+///       principal alice supports the fact (compiles to a says assertion).
+///
+///   alice delegates access^2 to bob.
+///       bob may derive `access` on alice's behalf; the delegation chain
+///       may extend at most 2 further hops (depth, §4.2.1). `^*` means
+///       unbounded depth.
+///
+///   bob speaks-for alice.
+///       unrestricted speaks-for (§4.2): alice activates everything bob
+///       says.
+///
+///   alice trusts threshold(2, b1, b2, b3) on credit.
+///       k-of-n structure (§4.2.2): alice derives credit(...) facts when
+///       at least 2 of {b1,b2,b3} say them.
+///
+/// All statements execute in the context of `runtime`'s principal where
+/// the paper's semantics require a local context (delegations and
+/// thresholds are the local principal's policy; `X says` statements are
+/// incoming assertions from X).
+util::Status LoadD1lp(trust::TrustRuntime* runtime, std::string_view program);
+
+/// Compiles without installing: returns the core program text plus the
+/// says-assertion list, for inspection/tests.
+struct CompiledD1lp {
+  std::string core_rules;  ///< rules/constraints to Load()
+  /// (speaker, quoted fact text) pairs to assert as says facts.
+  std::vector<std::pair<std::string, std::string>> assertions;
+};
+util::Result<CompiledD1lp> CompileD1lp(const std::string& local_principal,
+                                       std::string_view program);
+
+}  // namespace lbtrust::d1lp
+
+#endif  // LBTRUST_D1LP_D1LP_H_

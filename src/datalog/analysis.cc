@@ -1,0 +1,177 @@
+#include "datalog/analysis.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "datalog/pretty.h"
+#include "util/strings.h"
+
+namespace lbtrust::datalog {
+
+using util::Result;
+using util::Status;
+
+Status ValidateInstallableRule(const Rule& rule) {
+  if (rule.heads.size() != 1) {
+    return util::Internal("installable rules must have exactly one head");
+  }
+  auto bad = [&](const std::string& what) {
+    return util::UnsafeProgram(util::StrCat(
+        what, " outside quoted code in rule: ", PrintRule(rule)));
+  };
+  auto check_atom = [&](const Atom& a) -> Status {
+    if (a.meta_atom || a.star) return bad("meta-atom pattern");
+    if (a.meta_functor) return bad("meta-variable functor");
+    for (const Term& t : a.args) {
+      if (t.kind == Term::Kind::kStarVar) return bad("star variable");
+    }
+    if (a.partition && a.partition->kind == Term::Kind::kStarVar) {
+      return bad("star variable");
+    }
+    return util::OkStatus();
+  };
+  LB_RETURN_IF_ERROR(check_atom(rule.heads[0]));
+  for (const Literal& l : rule.body) {
+    LB_RETURN_IF_ERROR(check_atom(l.atom));
+  }
+  if (rule.aggregate.has_value() && rule.body.empty()) {
+    return util::UnsafeProgram("aggregate rule with empty body");
+  }
+  return util::OkStatus();
+}
+
+namespace {
+
+struct Graph {
+  // Adjacency: pred -> (pred, negative?) successors, deduped.
+  std::map<std::string, std::set<std::pair<std::string, bool>>> edges;
+  std::set<std::string> nodes;
+};
+
+// Tarjan SCC over the predicate graph.
+class SccFinder {
+ public:
+  explicit SccFinder(const Graph& g) : g_(g) {}
+
+  std::vector<std::vector<std::string>> Run() {
+    for (const std::string& n : g_.nodes) {
+      if (index_.find(n) == index_.end()) Strongconnect(n);
+    }
+    return sccs_;
+  }
+
+  int SccOf(const std::string& n) const { return scc_of_.at(n); }
+
+ private:
+  void Strongconnect(const std::string& v) {
+    index_[v] = next_index_;
+    lowlink_[v] = next_index_;
+    ++next_index_;
+    stack_.push_back(v);
+    on_stack_.insert(v);
+    auto it = g_.edges.find(v);
+    if (it != g_.edges.end()) {
+      for (const auto& [w, neg] : it->second) {
+        if (index_.find(w) == index_.end()) {
+          Strongconnect(w);
+          lowlink_[v] = std::min(lowlink_[v], lowlink_[w]);
+        } else if (on_stack_.count(w)) {
+          lowlink_[v] = std::min(lowlink_[v], index_[w]);
+        }
+      }
+    }
+    if (lowlink_[v] == index_[v]) {
+      std::vector<std::string> scc;
+      while (true) {
+        std::string w = stack_.back();
+        stack_.pop_back();
+        on_stack_.erase(w);
+        scc_of_[w] = static_cast<int>(sccs_.size());
+        scc.push_back(w);
+        if (w == v) break;
+      }
+      sccs_.push_back(std::move(scc));
+    }
+  }
+
+  const Graph& g_;
+  std::map<std::string, int> index_;
+  std::map<std::string, int> lowlink_;
+  std::vector<std::string> stack_;
+  std::set<std::string> on_stack_;
+  std::map<std::string, int> scc_of_;
+  std::vector<std::vector<std::string>> sccs_;
+  int next_index_ = 0;
+};
+
+}  // namespace
+
+Result<Stratification> Stratify(const std::vector<const Rule*>& rules,
+                                const BuiltinRegistry& builtins) {
+  Graph g;
+  for (const Rule* rule : rules) {
+    const std::string& head = rule->heads[0].predicate;
+    g.nodes.insert(head);
+    for (const Literal& lit : rule->body) {
+      const std::string& pred = lit.atom.predicate;
+      if (builtins.Find(pred) != nullptr) continue;
+      bool negative = lit.negated || rule->aggregate.has_value();
+      g.nodes.insert(pred);
+      g.edges[pred].insert({head, negative});
+    }
+  }
+
+  SccFinder finder(g);
+  std::vector<std::vector<std::string>> sccs = finder.Run();
+
+  // Reject negative edges inside an SCC (negation/aggregation through
+  // recursion).
+  for (const auto& [src, succs] : g.edges) {
+    for (const auto& [dst, neg] : succs) {
+      if (neg && finder.SccOf(src) == finder.SccOf(dst)) {
+        return util::NotStratifiable(util::StrCat(
+            "negation or aggregation through recursion between '", src,
+            "' and '", dst, "'"));
+      }
+    }
+  }
+
+  // level(P) = max over incoming edges of level(Q) (+1 if negative),
+  // computed by a small fixpoint over the edges (the graph has one node
+  // per predicate; convergence is immediate in practice).
+  std::vector<int> scc_level(sccs.size(), 0);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [src, succs] : g.edges) {
+      int src_scc = finder.SccOf(src);
+      for (const auto& [dst, neg] : succs) {
+        int dst_scc = finder.SccOf(dst);
+        if (src_scc == dst_scc) continue;
+        int want = scc_level[src_scc] + (neg ? 1 : 0);
+        if (scc_level[dst_scc] < want) {
+          scc_level[dst_scc] = want;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  Stratification out;
+  int max_level = 0;
+  for (size_t i = 0; i < sccs.size(); ++i) {
+    max_level = std::max(max_level, scc_level[i]);
+  }
+  out.strata.resize(static_cast<size_t>(max_level) + 1);
+  // Deterministic order: reverse Tarjan emission = topological order.
+  for (size_t i = sccs.size(); i-- > 0;) {
+    for (const std::string& pred : sccs[i]) {
+      out.level[pred] = scc_level[i];
+      out.strata[static_cast<size_t>(scc_level[i])].push_back(pred);
+    }
+  }
+  return out;
+}
+
+}  // namespace lbtrust::datalog

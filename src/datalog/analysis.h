@@ -1,0 +1,36 @@
+#ifndef LBTRUST_DATALOG_ANALYSIS_H_
+#define LBTRUST_DATALOG_ANALYSIS_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "datalog/builtins.h"
+#include "util/status.h"
+
+namespace lbtrust::datalog {
+
+/// Predicate stratification of a rule set. Negation and aggregation induce
+/// "must be strictly lower" edges; a cycle through such an edge makes the
+/// program non-stratifiable (kNotStratifiable).
+struct Stratification {
+  /// Stratum index per derived predicate.
+  std::unordered_map<std::string, int> level;
+  /// Predicates grouped by stratum, bottom-up.
+  std::vector<std::vector<std::string>> strata;
+};
+
+/// Computes a stratification over the given (single-head, installed) rules.
+/// `builtins` lets the analysis skip builtin predicates (they never carry
+/// derived tuples).
+util::Result<Stratification> Stratify(const std::vector<const Rule*>& rules,
+                                      const BuiltinRegistry& builtins);
+
+/// Install-time structural validation: no meta-atoms / meta-functors /
+/// star patterns outside quoted code, exactly one head, no negated heads.
+util::Status ValidateInstallableRule(const Rule& rule);
+
+}  // namespace lbtrust::datalog
+
+#endif  // LBTRUST_DATALOG_ANALYSIS_H_

@@ -1,0 +1,143 @@
+#include "datalog/builtins.h"
+
+#include "datalog/ast.h"
+#include "util/strings.h"
+
+namespace lbtrust::datalog {
+
+using util::Status;
+
+void BuiltinRegistry::Register(std::string name, size_t arity,
+                               std::vector<std::string> modes, BuiltinFn fn) {
+  BuiltinDef def;
+  def.name = name;
+  def.arity = arity;
+  def.modes = std::move(modes);
+  def.fn = std::move(fn);
+  defs_[std::move(name)] = std::move(def);
+}
+
+const BuiltinDef* BuiltinRegistry::Find(const std::string& name) const {
+  auto it = defs_.find(name);
+  return it == defs_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+Tuple BoundTuple(const std::vector<std::optional<Value>>& args) {
+  Tuple t;
+  t.reserve(args.size());
+  for (const auto& a : args) t.push_back(*a);
+  return t;
+}
+
+// Comparison over two bound values. Numeric kinds compare numerically;
+// string/symbol compare lexicographically within their kind. Mixed,
+// incomparable kinds simply do not match (no error: constraints routinely
+// probe heterogeneous relations).
+int CompareValues(const Value& a, const Value& b, bool* comparable) {
+  *comparable = true;
+  if (a.IsNumeric() && b.IsNumeric()) {
+    double x = a.NumericValue(), y = b.NumericValue();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  if (a.kind() == b.kind() && (a.kind() == ValueKind::kString ||
+                               a.kind() == ValueKind::kSymbol)) {
+    return a.AsText().compare(b.AsText());
+  }
+  *comparable = false;
+  return 0;
+}
+
+BuiltinFn MakeComparison(int lo, int hi) {
+  return [lo, hi](const std::vector<std::optional<Value>>& args,
+                  const EmitFn& emit) -> Status {
+    bool comparable = false;
+    int cmp = CompareValues(*args[0], *args[1], &comparable);
+    if (comparable && cmp >= lo && cmp <= hi) emit(BoundTuple(args));
+    return util::OkStatus();
+  };
+}
+
+BuiltinFn MakeKindCheck(std::function<bool(const Value&)> pred) {
+  return [pred = std::move(pred)](const std::vector<std::optional<Value>>& args,
+                                  const EmitFn& emit) -> Status {
+    if (pred(*args[0])) emit(BoundTuple(args));
+    return util::OkStatus();
+  };
+}
+
+bool IsCodeWhat(const Value& v, CodeValue::What what) {
+  return v.kind() == ValueKind::kCode && v.AsCode().what == what;
+}
+
+}  // namespace
+
+void RegisterStandardBuiltins(BuiltinRegistry* registry) {
+  registry->Register("<", 2, {"bb"}, MakeComparison(-1, -1));
+  registry->Register("<=", 2, {"bb"}, MakeComparison(-1, 0));
+  registry->Register(">", 2, {"bb"}, MakeComparison(1, 1));
+  registry->Register(">=", 2, {"bb"}, MakeComparison(0, 1));
+  registry->Register(
+      "!=", 2, {"bb"},
+      [](const std::vector<std::optional<Value>>& args,
+         const EmitFn& emit) -> Status {
+        if (!(*args[0] == *args[1])) emit(BoundTuple(args));
+        return util::OkStatus();
+      });
+  // "=" is handled specially by the evaluator (unification); the registry
+  // entry only reserves the name so programs cannot redefine it.
+  registry->Register("=", 2, {"bb"},
+                     [](const std::vector<std::optional<Value>>& args,
+                        const EmitFn& emit) -> Status {
+                       if (*args[0] == *args[1]) emit(BoundTuple(args));
+                       return util::OkStatus();
+                     });
+
+  // Value-kind type checks.
+  registry->Register("int", 1, {"b"}, MakeKindCheck([](const Value& v) {
+                       return v.kind() == ValueKind::kInt;
+                     }));
+  registry->Register("int64", 1, {"b"}, MakeKindCheck([](const Value& v) {
+                       return v.kind() == ValueKind::kInt;
+                     }));
+  registry->Register("string", 1, {"b"}, MakeKindCheck([](const Value& v) {
+                       return v.kind() == ValueKind::kString ||
+                              v.kind() == ValueKind::kSymbol;
+                     }));
+  registry->Register("float", 1, {"b"}, MakeKindCheck([](const Value& v) {
+                       return v.kind() == ValueKind::kDouble;
+                     }));
+  registry->Register("bool", 1, {"b"}, MakeKindCheck([](const Value& v) {
+                       return v.kind() == ValueKind::kBool;
+                     }));
+
+  // Meta-model kind checks (Figure 1 entity types).
+  registry->Register("rule", 1, {"b"}, MakeKindCheck([](const Value& v) {
+                       return IsCodeWhat(v, CodeValue::What::kRule);
+                     }));
+  registry->Register("atom", 1, {"b"}, MakeKindCheck([](const Value& v) {
+                       return IsCodeWhat(v, CodeValue::What::kAtom) ||
+                              IsCodeWhat(v, CodeValue::What::kRule);
+                     }));
+  registry->Register("term", 1, {"b"}, MakeKindCheck([](const Value& v) {
+                       return IsCodeWhat(v, CodeValue::What::kTerm) ||
+                              !v.is_nil();
+                     }));
+  registry->Register("variable", 1, {"b"}, MakeKindCheck([](const Value& v) {
+                       return IsCodeWhat(v, CodeValue::What::kTerm) &&
+                              v.AsCode().term->kind == Term::Kind::kVariable;
+                     }));
+  registry->Register("constant", 1, {"b"}, MakeKindCheck([](const Value& v) {
+                       return v.kind() != ValueKind::kNil &&
+                              !IsCodeWhat(v, CodeValue::What::kRule) &&
+                              !(IsCodeWhat(v, CodeValue::What::kTerm) &&
+                                v.AsCode().term->kind ==
+                                    Term::Kind::kVariable);
+                     }));
+  registry->Register("predicate", 1, {"b"}, MakeKindCheck([](const Value& v) {
+                       return v.kind() == ValueKind::kSymbol;
+                     }));
+}
+
+}  // namespace lbtrust::datalog

@@ -1,0 +1,61 @@
+#ifndef LBTRUST_DATALOG_BUILTINS_H_
+#define LBTRUST_DATALOG_BUILTINS_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "datalog/value.h"
+#include "util/status.h"
+
+namespace lbtrust::datalog {
+
+/// Emits one solution tuple (all argument positions filled).
+using EmitFn = std::function<void(const Tuple&)>;
+
+/// A builtin receives the argument vector with bound positions engaged and
+/// produces zero or more complete solutions via `emit`. Pure tests emit
+/// their (fully bound) input once on success; functional builtins (e.g.
+/// `rsasign`) fill output positions.
+using BuiltinFn = std::function<util::Status(
+    const std::vector<std::optional<Value>>& args, const EmitFn& emit)>;
+
+/// Mode strings describe acceptable instantiation patterns, one character
+/// per argument: 'b' = must be bound, 'f' = free (filled by the builtin).
+/// Example: rsasign(R,S,K) has modes {"bfb", "bbb"}.
+struct BuiltinDef {
+  std::string name;
+  size_t arity = 0;
+  std::vector<std::string> modes;
+  BuiltinFn fn;
+};
+
+/// Name-indexed registry; the trust layer registers the cryptographic
+/// built-ins on top of the standard set.
+class BuiltinRegistry {
+ public:
+  void Register(std::string name, size_t arity, std::vector<std::string> modes,
+                BuiltinFn fn);
+  const BuiltinDef* Find(const std::string& name) const;
+
+ private:
+  std::unordered_map<std::string, BuiltinDef> defs_;
+};
+
+/// Registers comparisons (<, <=, >, >=, !=) and the type-check predicates
+/// the paper's declarations use:
+///
+///   int(X), int64(X), string(X), float(X), bool(X)   value-kind checks
+///   rule(X), atom(X), term(X), variable(X),
+///   constant(X), predicate(X)                        meta-model kind checks
+///
+/// The meta-model "types" are kind checks rather than enumerable relations
+/// (the enumerable meta-model facts — head, body, functor, arg, pname, ... —
+/// are real relations maintained by the reflector; see meta/meta_model.h).
+void RegisterStandardBuiltins(BuiltinRegistry* registry);
+
+}  // namespace lbtrust::datalog
+
+#endif  // LBTRUST_DATALOG_BUILTINS_H_

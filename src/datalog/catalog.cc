@@ -1,0 +1,80 @@
+#include "datalog/catalog.h"
+
+#include "util/strings.h"
+
+namespace lbtrust::datalog {
+
+using util::Status;
+
+Status Catalog::Declare(const std::string& name, size_t arity,
+                        bool partitioned) {
+  auto it = preds_.find(name);
+  if (it == preds_.end()) {
+    PredicateInfo info;
+    info.name = name;
+    info.arity = arity;
+    info.partitioned = partitioned;
+    info.arg_types.assign(arity, "");
+    preds_.emplace(name, std::move(info));
+    return util::OkStatus();
+  }
+  PredicateInfo& info = it->second;
+  if (info.arity != arity) {
+    return util::TypeError(util::StrCat("predicate '", name,
+                                        "' redeclared with arity ", arity,
+                                        " (was ", info.arity, ")"));
+  }
+  // A predicate first seen unpartitioned may later be declared partitioned
+  // (the declaration usually follows first use in loaded programs).
+  info.partitioned = info.partitioned || partitioned;
+  return util::OkStatus();
+}
+
+Status Catalog::DeclareEntityType(const std::string& name) {
+  LB_RETURN_IF_ERROR(Declare(name, 1));
+  preds_[name].is_entity_type = true;
+  return util::OkStatus();
+}
+
+Status Catalog::SetArgTypes(const std::string& name,
+                            std::vector<std::string> types) {
+  auto it = preds_.find(name);
+  if (it == preds_.end()) {
+    LB_RETURN_IF_ERROR(Declare(name, types.size()));
+    it = preds_.find(name);
+  }
+  if (it->second.arity != types.size()) {
+    return util::TypeError(util::StrCat("type declaration for '", name,
+                                        "' has ", types.size(),
+                                        " columns, predicate has ",
+                                        it->second.arity));
+  }
+  it->second.arg_types = std::move(types);
+  return util::OkStatus();
+}
+
+void Catalog::MarkDerived(const std::string& name) {
+  auto it = preds_.find(name);
+  if (it != preds_.end()) it->second.derived = true;
+}
+
+void Catalog::MarkBuiltin(const std::string& name, size_t arity) {
+  auto [it, inserted] = preds_.try_emplace(name);
+  if (inserted) {
+    it->second.name = name;
+    it->second.arity = arity;
+    it->second.arg_types.assign(arity, "");
+  }
+  it->second.builtin = true;
+}
+
+bool Catalog::Exists(const std::string& name) const {
+  return preds_.count(name) > 0;
+}
+
+const PredicateInfo* Catalog::Find(const std::string& name) const {
+  auto it = preds_.find(name);
+  return it == preds_.end() ? nullptr : &it->second;
+}
+
+}  // namespace lbtrust::datalog

@@ -1,0 +1,57 @@
+#ifndef LBTRUST_DATALOG_CATALOG_H_
+#define LBTRUST_DATALOG_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace lbtrust::datalog {
+
+/// Predicate metadata: logical attributes (name, arity, declared argument
+/// types) plus engine attributes (partitioned storage, builtin, whether any
+/// rule derives it). Mirrors the footnote-1 "predicate definition" of §3.1.
+struct PredicateInfo {
+  std::string name;
+  size_t arity = 0;
+  bool partitioned = false;   ///< declared via p[X](...) syntax
+  bool is_entity_type = false;  ///< declared via `p(X) ->.`
+  bool builtin = false;
+  bool derived = false;       ///< appears in some rule head
+  /// Declared column types (empty string = unconstrained). Index 0 is the
+  /// partition column for partitioned predicates.
+  std::vector<std::string> arg_types;
+};
+
+/// Name -> PredicateInfo map with consistency checking.
+class Catalog {
+ public:
+  /// Declares (or re-checks) a predicate. Arity/partitioning mismatches
+  /// with a previous declaration are errors.
+  util::Status Declare(const std::string& name, size_t arity,
+                       bool partitioned = false);
+  /// Marks `name` as an entity type (unary).
+  util::Status DeclareEntityType(const std::string& name);
+  /// Records declared column types from a constraint of declaration shape.
+  util::Status SetArgTypes(const std::string& name,
+                           std::vector<std::string> types);
+  void MarkDerived(const std::string& name);
+  void MarkBuiltin(const std::string& name, size_t arity);
+
+  bool Exists(const std::string& name) const;
+  const PredicateInfo* Find(const std::string& name) const;
+
+  /// Deterministic iteration (sorted by name).
+  const std::map<std::string, PredicateInfo>& predicates() const {
+    return preds_;
+  }
+
+ private:
+  std::map<std::string, PredicateInfo> preds_;
+};
+
+}  // namespace lbtrust::datalog
+
+#endif  // LBTRUST_DATALOG_CATALOG_H_

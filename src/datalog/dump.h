@@ -1,0 +1,23 @@
+#ifndef LBTRUST_DATALOG_DUMP_H_
+#define LBTRUST_DATALOG_DUMP_H_
+
+#include <string>
+
+#include "datalog/workspace.h"
+
+namespace lbtrust::datalog {
+
+/// Textual stand-in for the demo proposal's visualization tool (§9:
+/// "display a table of the values of various predicates and rules stored
+/// at each principal"). Renders the workspace after a Fixpoint():
+/// installed rules (with owners), then every non-engine relation as a
+/// sorted table. `max_rows` truncates large relations (0 = no limit).
+std::string DumpWorkspace(const Workspace& workspace, size_t max_rows = 20);
+
+/// Renders a single relation as a table.
+std::string DumpRelation(const Workspace& workspace, const std::string& name,
+                         size_t max_rows = 0);
+
+}  // namespace lbtrust::datalog
+
+#endif  // LBTRUST_DATALOG_DUMP_H_

@@ -1,0 +1,943 @@
+#include "datalog/eval.h"
+
+#include <algorithm>
+#include <set>
+
+#include "datalog/pretty.h"
+#include "util/strings.h"
+
+namespace lbtrust::datalog {
+
+using util::Result;
+using util::Status;
+
+Relation* RelationStore::GetOrCreate(const std::string& name, size_t arity) {
+  auto it = rels_.find(name);
+  if (it == rels_.end()) {
+    it = rels_.emplace(name, Relation(arity)).first;
+  }
+  return &it->second;
+}
+
+Relation* RelationStore::Get(const std::string& name) {
+  auto it = rels_.find(name);
+  return it == rels_.end() ? nullptr : &it->second;
+}
+
+const Relation* RelationStore::Get(const std::string& name) const {
+  auto it = rels_.find(name);
+  return it == rels_.end() ? nullptr : &it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Compilation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Collects every variable name in a term, descending into quoted code
+// (pattern variables share the enclosing rule's scope, §3.3).
+void CollectDeep(const Term& t, std::vector<std::string>* out);
+
+void CollectDeepAtom(const Atom& a, std::vector<std::string>* out) {
+  if (a.meta_atom) {
+    out->push_back(a.star ? StarKey(a.predicate) : a.predicate);
+    return;
+  }
+  if (a.meta_functor) out->push_back(a.predicate);
+  if (a.partition) CollectDeep(*a.partition, out);
+  for (const Term& t : a.args) CollectDeep(t, out);
+}
+
+void CollectDeepRule(const Rule& r, std::vector<std::string>* out) {
+  for (const Atom& h : r.heads) CollectDeepAtom(h, out);
+  for (const Literal& l : r.body) CollectDeepAtom(l.atom, out);
+  if (r.aggregate.has_value()) {
+    out->push_back(r.aggregate->result_var);
+    out->push_back(r.aggregate->input_var);
+  }
+}
+
+void CollectDeep(const Term& t, std::vector<std::string>* out) {
+  switch (t.kind) {
+    case Term::Kind::kVariable:
+      out->push_back(t.var);
+      return;
+    case Term::Kind::kStarVar:
+      out->push_back(StarKey(t.var));
+      return;
+    case Term::Kind::kExpr:
+      CollectDeep(*t.lhs, out);
+      CollectDeep(*t.rhs, out);
+      return;
+    case Term::Kind::kPartRef:
+      CollectDeep(*t.part_key, out);
+      return;
+    case Term::Kind::kConstant:
+      if (t.value.kind() == ValueKind::kCode) {
+        const CodeValue& code = t.value.AsCode();
+        switch (code.what) {
+          case CodeValue::What::kRule:
+            CollectDeepRule(*code.rule, out);
+            break;
+          case CodeValue::What::kAtom:
+            CollectDeepAtom(*code.atom, out);
+            break;
+          case CodeValue::What::kTerm:
+            CollectDeep(*code.term, out);
+            break;
+          default:
+            break;
+        }
+      }
+      return;
+    case Term::Kind::kMe:
+      return;
+  }
+}
+
+// Variables that occur *outside* quoted code (must be bound for heads).
+void CollectShallow(const Term& t, std::vector<std::string>* out) {
+  switch (t.kind) {
+    case Term::Kind::kVariable:
+    case Term::Kind::kStarVar:
+      out->push_back(t.var);
+      return;
+    case Term::Kind::kExpr:
+      CollectShallow(*t.lhs, out);
+      CollectShallow(*t.rhs, out);
+      return;
+    case Term::Kind::kPartRef:
+      CollectShallow(*t.part_key, out);
+      return;
+    default:
+      return;
+  }
+}
+
+bool TermIsGroundDeep(const Term& t) {
+  std::vector<std::string> vars;
+  CollectDeep(t, &vars);
+  return vars.empty();
+}
+
+CompiledArg CompileArg(const Term& t, VarTable* vars) {
+  CompiledArg arg;
+  arg.term = CloneTerm(t);
+  std::vector<std::string> deep;
+  CollectDeep(t, &deep);
+  for (const std::string& name : deep) {
+    arg.term_slots.push_back(vars->Intern(name));
+  }
+  if (deep.empty()) {
+    arg.kind = CompiledArg::Kind::kConst;
+    Bindings empty;
+    VarTable no_vars;
+    Result<Value> v = EvalGroundTerm(t, no_vars, empty);
+    // Ground terms always evaluate (code stays code; arithmetic folds).
+    arg.constant = v.ok() ? *v : Value();
+    return arg;
+  }
+  if (t.is_variable()) {
+    arg.kind = CompiledArg::Kind::kVar;
+    arg.slot = vars->Intern(t.var);
+    return arg;
+  }
+  // Arithmetic can only check; patterns (quoted code, partition refs,
+  // star vars) bind their variables on match.
+  arg.kind = (t.kind == Term::Kind::kExpr) ? CompiledArg::Kind::kExpr
+                                           : CompiledArg::Kind::kPattern;
+  return arg;
+}
+
+std::vector<CompiledArg> CompileAtomCols(const Atom& atom, VarTable* vars) {
+  std::vector<CompiledArg> cols;
+  cols.reserve(atom.Arity());
+  if (atom.partition) cols.push_back(CompileArg(*atom.partition, vars));
+  for (const Term& t : atom.args) cols.push_back(CompileArg(t, vars));
+  return cols;
+}
+
+// Greedy scheduling -------------------------------------------------------
+
+struct SchedState {
+  std::vector<bool> bound;  // per slot
+  bool IsBound(int slot) const {
+    return slot >= 0 && slot < static_cast<int>(bound.size()) && bound[slot];
+  }
+  void Bind(int slot) {
+    if (slot >= static_cast<int>(bound.size())) bound.resize(slot + 1, false);
+    bound[slot] = true;
+  }
+};
+
+bool ArgGround(const CompiledArg& arg, const SchedState& st) {
+  if (arg.kind == CompiledArg::Kind::kConst) return true;
+  for (int slot : arg.term_slots) {
+    if (!st.IsBound(slot)) return false;
+  }
+  return true;
+}
+
+// Slots a literal guarantees to bind when it succeeds.
+void BindLiteralOutputs(const CompiledLiteral& lit, SchedState* st) {
+  switch (lit.kind) {
+    case CompiledLiteral::Kind::kRelation:
+      for (const CompiledArg& c : lit.cols) {
+        if (c.kind == CompiledArg::Kind::kVar ||
+            c.kind == CompiledArg::Kind::kPattern) {
+          for (int slot : c.term_slots) st->Bind(slot);
+        }
+      }
+      return;
+    case CompiledLiteral::Kind::kEquality:
+    case CompiledLiteral::Kind::kBuiltin:
+      for (const CompiledArg& c : lit.cols) {
+        for (int slot : c.term_slots) st->Bind(slot);
+      }
+      return;
+    case CompiledLiteral::Kind::kNegation:
+      return;
+  }
+}
+
+// Variables occurring in literals other than `skip` or in the head.
+std::set<int> SlotsUsedElsewhere(const CompiledRule& cr, size_t skip) {
+  std::set<int> used;
+  for (size_t i = 0; i < cr.body.size(); ++i) {
+    if (i == skip) continue;
+    for (const CompiledArg& c : cr.body[i].cols) {
+      used.insert(c.term_slots.begin(), c.term_slots.end());
+    }
+  }
+  for (const CompiledArg& c : cr.head_cols) {
+    used.insert(c.term_slots.begin(), c.term_slots.end());
+  }
+  return used;
+}
+
+// Returns a negative score when not schedulable.
+int ScheduleScore(const CompiledRule& cr, size_t idx, const SchedState& st) {
+  const CompiledLiteral& lit = cr.body[idx];
+  switch (lit.kind) {
+    case CompiledLiteral::Kind::kEquality: {
+      bool g0 = ArgGround(lit.cols[0], st);
+      bool g1 = ArgGround(lit.cols[1], st);
+      // Pattern sides can consume a ground other side; expressions cannot
+      // be inverted.
+      if (g0 && g1) return 3000;
+      if (g0 && lit.cols[1].kind != CompiledArg::Kind::kExpr) return 2900;
+      if (g1 && lit.cols[0].kind != CompiledArg::Kind::kExpr) return 2900;
+      return -1;
+    }
+    case CompiledLiteral::Kind::kBuiltin: {
+      if (lit.negated) {
+        for (const CompiledArg& c : lit.cols) {
+          if (!ArgGround(c, st)) return -1;
+        }
+        return 2500;
+      }
+      for (const std::string& mode : lit.builtin->modes) {
+        bool ok = true;
+        for (size_t i = 0; i < mode.size(); ++i) {
+          if (mode[i] == 'b' && !ArgGround(lit.cols[i], st)) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) return 2500;
+      }
+      return -1;
+    }
+    case CompiledLiteral::Kind::kNegation: {
+      // Schedulable when every variable shared with the rest of the rule
+      // is bound; purely local variables act as wildcards.
+      std::set<int> elsewhere = SlotsUsedElsewhere(cr, idx);
+      for (const CompiledArg& c : lit.cols) {
+        for (int slot : c.term_slots) {
+          if (!st.IsBound(slot) && elsewhere.count(slot)) return -1;
+        }
+      }
+      return 2400;
+    }
+    case CompiledLiteral::Kind::kRelation: {
+      int bound_cols = 0;
+      for (const CompiledArg& c : lit.cols) {
+        if (c.kind == CompiledArg::Kind::kExpr && !ArgGround(c, st)) {
+          return -1;  // cannot match through arithmetic
+        }
+        if (ArgGround(c, st)) ++bound_cols;
+      }
+      return 1000 + 50 * bound_cols;
+    }
+  }
+  return -1;
+}
+
+Result<std::vector<int>> ScheduleOrder(const CompiledRule& cr,
+                                       int forced_first) {
+  std::vector<int> order;
+  std::vector<bool> done(cr.body.size(), false);
+  SchedState st;
+  st.bound.resize(cr.vars.size(), false);
+  if (forced_first >= 0) {
+    order.push_back(forced_first);
+    done[static_cast<size_t>(forced_first)] = true;
+    BindLiteralOutputs(cr.body[static_cast<size_t>(forced_first)], &st);
+  }
+  while (order.size() < cr.body.size()) {
+    int best = -1;
+    int best_score = -1;
+    for (size_t i = 0; i < cr.body.size(); ++i) {
+      if (done[i]) continue;
+      int score = ScheduleScore(cr, i, st);
+      if (score > best_score) {
+        best_score = score;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0 || best_score < 0) {
+      return util::UnsafeProgram(util::StrCat(
+          "no safe evaluation order for rule: ", PrintRule(cr.source)));
+    }
+    order.push_back(best);
+    done[static_cast<size_t>(best)] = true;
+    BindLiteralOutputs(cr.body[static_cast<size_t>(best)], &st);
+  }
+  return order;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<CompiledRule>> CompileRule(
+    const Rule& rule, const BuiltinRegistry& builtins) {
+  LB_RETURN_IF_ERROR(ValidateInstallableRule(rule));
+  auto cr = std::make_unique<CompiledRule>();
+  cr->source = CloneRule(rule);
+  cr->agg = rule.aggregate;
+
+  const Atom& head = rule.heads[0];
+  cr->head_pred = head.predicate;
+  cr->head_cols = CompileAtomCols(head, &cr->vars);
+
+  for (const Literal& lit : rule.body) {
+    CompiledLiteral cl;
+    cl.pred = lit.atom.predicate;
+    cl.negated = lit.negated;
+    cl.cols = CompileAtomCols(lit.atom, &cr->vars);
+    if (cl.pred == "=" && !lit.negated) {
+      cl.kind = CompiledLiteral::Kind::kEquality;
+    } else if (const BuiltinDef* def = builtins.Find(cl.pred)) {
+      if (cl.pred == "=") {
+        // Negated equality behaves as '!='.
+        cl.kind = CompiledLiteral::Kind::kBuiltin;
+        cl.builtin = builtins.Find("!=");
+        cl.negated = false;
+      } else {
+        cl.kind = CompiledLiteral::Kind::kBuiltin;
+        cl.builtin = def;
+      }
+      if (cl.cols.size() != cl.builtin->arity) {
+        return util::TypeError(util::StrCat("builtin '", cl.pred,
+                                            "' expects ", cl.builtin->arity,
+                                            " arguments"));
+      }
+    } else if (lit.negated) {
+      cl.kind = CompiledLiteral::Kind::kNegation;
+    } else {
+      cl.kind = CompiledLiteral::Kind::kRelation;
+    }
+    if (cl.kind == CompiledLiteral::Kind::kRelation) {
+      cr->relation_positions.push_back(static_cast<int>(cr->body.size()));
+    }
+    cr->body.push_back(std::move(cl));
+  }
+
+  LB_ASSIGN_OR_RETURN(cr->order_full, ScheduleOrder(*cr, -1));
+  for (int pos : cr->relation_positions) {
+    LB_ASSIGN_OR_RETURN(std::vector<int> order, ScheduleOrder(*cr, pos));
+    cr->order_delta[pos] = std::move(order);
+  }
+
+  // Safety: head variables outside quoted code must be bound by the body.
+  SchedState st;
+  st.bound.resize(cr->vars.size(), false);
+  for (int idx : cr->order_full) {
+    BindLiteralOutputs(cr->body[static_cast<size_t>(idx)], &st);
+  }
+  if (cr->agg.has_value()) {
+    cr->agg_input_slot = cr->vars.Find(cr->agg->input_var);
+    if (cr->agg_input_slot < 0 || !st.IsBound(cr->agg_input_slot)) {
+      return util::UnsafeProgram(util::StrCat(
+          "aggregate input variable '", cr->agg->input_var,
+          "' is not bound by the body: ", PrintRule(rule)));
+    }
+    cr->agg_result_slot = cr->vars.Find(cr->agg->result_var);
+    if (cr->agg_result_slot >= 0 && st.IsBound(cr->agg_result_slot)) {
+      return util::UnsafeProgram(util::StrCat(
+          "aggregate result variable '", cr->agg->result_var,
+          "' must not be bound by the body: ", PrintRule(rule)));
+    }
+    if (cr->agg_result_slot < 0) cr->agg_result_slot = cr->vars.Intern(cr->agg->result_var);
+  }
+  std::vector<std::string> head_vars;
+  if (head.partition) CollectShallow(*head.partition, &head_vars);
+  for (const Term& t : head.args) CollectShallow(t, &head_vars);
+  for (const std::string& name : head_vars) {
+    int slot = cr->vars.Find(name);
+    bool is_agg_result =
+        cr->agg.has_value() && name == cr->agg->result_var;
+    if (!is_agg_result && (slot < 0 || !st.IsBound(slot))) {
+      return util::UnsafeProgram(util::StrCat(
+          "head variable '", name, "' is not bound by the body: ",
+          PrintRule(rule)));
+    }
+  }
+  return cr;
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Grounds a *head* column. Quoted-code constants are always constructible:
+// bound meta-variables substitute in, unbound variables legitimately remain
+// variables of the constructed code (e.g. del1's generated rule).
+bool TryGroundHeadArg(const CompiledArg& arg, const VarTable& vars,
+                      const Bindings& b, Value* out) {
+  if (arg.kind == CompiledArg::Kind::kPattern &&
+      arg.term.kind == Term::Kind::kConstant) {
+    Result<Value> v = EvalGroundTerm(arg.term, vars, b);
+    if (!v.ok()) return false;
+    *out = std::move(*v);
+    return true;
+  }
+  if (arg.kind == CompiledArg::Kind::kConst) {
+    *out = arg.constant;
+    return true;
+  }
+  if (arg.kind == CompiledArg::Kind::kVar) {
+    if (!b.IsBound(arg.slot)) return false;
+    *out = b.slots[arg.slot];
+    return true;
+  }
+  for (int slot : arg.term_slots) {
+    if (!b.IsBound(slot)) return false;
+  }
+  Result<Value> v = EvalGroundTerm(arg.term, vars, b);
+  if (!v.ok()) return false;
+  *out = std::move(*v);
+  return true;
+}
+
+// Tries to evaluate a column to a ground value under current bindings.
+bool TryGroundArg(const CompiledArg& arg, const VarTable& vars,
+                  const Bindings& b, Value* out) {
+  switch (arg.kind) {
+    case CompiledArg::Kind::kConst:
+      *out = arg.constant;
+      return true;
+    case CompiledArg::Kind::kVar:
+      if (b.IsBound(arg.slot)) {
+        *out = b.slots[arg.slot];
+        return true;
+      }
+      return false;
+    case CompiledArg::Kind::kPattern:
+    case CompiledArg::Kind::kExpr: {
+      for (int slot : arg.term_slots) {
+        if (!b.IsBound(slot)) return false;
+      }
+      Result<Value> v = EvalGroundTerm(arg.term, vars, b);
+      if (!v.ok()) return false;
+      *out = std::move(*v);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Status Evaluator::Step(ExecContext* ctx, size_t oi) {
+  if (oi == ctx->order->size()) return ctx->on_solution();
+  const CompiledLiteral& lit =
+      ctx->rule->body[static_cast<size_t>((*ctx->order)[oi])];
+  bool is_delta = (*ctx->order)[oi] == ctx->delta_pos;
+  switch (lit.kind) {
+    case CompiledLiteral::Kind::kRelation:
+      return EvalRelation(ctx, oi, lit);
+    case CompiledLiteral::Kind::kNegation:
+      return EvalNegation(ctx, oi, lit);
+    case CompiledLiteral::Kind::kEquality:
+      return EvalEquality(ctx, oi, lit);
+    case CompiledLiteral::Kind::kBuiltin:
+      return EvalBuiltin(ctx, oi, lit);
+  }
+  (void)is_delta;
+  return util::Internal("unknown literal kind");
+}
+
+Status Evaluator::EvalRelation(ExecContext* ctx, size_t oi,
+                               const CompiledLiteral& lit) {
+  int body_idx = (*ctx->order)[oi];
+  Relation* rel = (body_idx == ctx->delta_pos)
+                      ? ctx->delta_rel
+                      : store_->GetOrCreate(lit.pred, lit.cols.size());
+  if (rel->arity() != lit.cols.size()) {
+    return util::TypeError(util::StrCat("predicate '", lit.pred, "' used with ",
+                                        lit.cols.size(), " columns, stored as ",
+                                        rel->arity()));
+  }
+  Bindings& b = ctx->bindings;
+  const VarTable& vars = ctx->rule->vars;
+
+  uint64_t mask = 0;
+  Tuple key;
+  std::vector<size_t> open;  // unbound column indices
+  for (size_t i = 0; i < lit.cols.size(); ++i) {
+    Value v;
+    if (TryGroundArg(lit.cols[i], vars, b, &v)) {
+      mask |= uint64_t{1} << i;
+      key.push_back(std::move(v));
+    } else {
+      open.push_back(i);
+    }
+  }
+
+  auto try_row = [&](const Tuple& row) -> Status {
+    Trail trail;
+    bool ok = true;
+    for (size_t i : open) {
+      if (!UnifyTermValue(lit.cols[i].term, row[i], &ctx->rule->vars, &b,
+                          &trail)) {
+        ok = false;
+        break;
+      }
+    }
+    Status st = util::OkStatus();
+    if (ok) {
+      if (ctx->premises != nullptr) ctx->premises->emplace_back(lit.pred, row);
+      st = Step(ctx, oi + 1);
+      if (ctx->premises != nullptr) ctx->premises->pop_back();
+    }
+    UndoTrail(trail, &b);
+    return st;
+  };
+
+  if (mask != 0) {
+    // Lookup returns row ids valid for the relation's current rows; the
+    // callee may insert into *other* relations but never into `rel` while
+    // we iterate (head predicates are never read in the same traversal
+    // thanks to delta separation) — except self-recursive rules hitting the
+    // head relation. Snapshot ids defensively.
+    std::vector<uint32_t> ids = rel->Lookup(mask, key);
+    for (uint32_t id : ids) {
+      Tuple row = rel->rows()[id];  // copy: insertions may reallocate
+      LB_RETURN_IF_ERROR(try_row(row));
+    }
+  } else {
+    size_t n = rel->size();  // snapshot: rows appended during recursion are
+                             // handled by later semi-naive rounds
+    for (size_t i = 0; i < n; ++i) {
+      Tuple row = rel->rows()[i];
+      LB_RETURN_IF_ERROR(try_row(row));
+    }
+  }
+  return util::OkStatus();
+}
+
+Status Evaluator::EvalNegation(ExecContext* ctx, size_t oi,
+                               const CompiledLiteral& lit) {
+  Relation* rel = store_->GetOrCreate(lit.pred, lit.cols.size());
+  Bindings& b = ctx->bindings;
+  const VarTable& vars = ctx->rule->vars;
+
+  uint64_t mask = 0;
+  Tuple key;
+  std::vector<size_t> open_patterns;
+  for (size_t i = 0; i < lit.cols.size(); ++i) {
+    Value v;
+    if (TryGroundArg(lit.cols[i], vars, b, &v)) {
+      mask |= uint64_t{1} << i;
+      key.push_back(std::move(v));
+    } else if (lit.cols[i].kind == CompiledArg::Kind::kPattern) {
+      open_patterns.push_back(i);
+    }
+    // Unbound kVar columns are wildcards (∄ semantics, e.g. dd4's
+    // `!delegates(me,_,P)` before P's delegation exists).
+  }
+
+  bool found = false;
+  if (open_patterns.empty()) {
+    found = (mask == 0) ? !rel->rows().empty() : rel->Matches(mask, key);
+  } else {
+    const std::vector<uint32_t>* ids = nullptr;
+    std::vector<uint32_t> all;
+    if (mask != 0) {
+      ids = &rel->Lookup(mask, key);
+    } else {
+      all.resize(rel->size());
+      for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<uint32_t>(i);
+      ids = &all;
+    }
+    for (uint32_t id : *ids) {
+      const Tuple& row = rel->rows()[id];
+      Trail trail;
+      bool ok = true;
+      for (size_t i : open_patterns) {
+        if (!UnifyTermValue(lit.cols[i].term, row[i], &ctx->rule->vars, &b,
+                            &trail)) {
+          ok = false;
+          break;
+        }
+      }
+      UndoTrail(trail, &b);
+      if (ok) {
+        found = true;
+        break;
+      }
+    }
+  }
+  if (found) return util::OkStatus();  // negation fails: no solutions here
+  return Step(ctx, oi + 1);
+}
+
+Status Evaluator::EvalEquality(ExecContext* ctx, size_t oi,
+                               const CompiledLiteral& lit) {
+  Bindings& b = ctx->bindings;
+  const VarTable& vars = ctx->rule->vars;
+  Value v0, v1;
+  bool g0 = TryGroundArg(lit.cols[0], vars, b, &v0);
+  bool g1 = TryGroundArg(lit.cols[1], vars, b, &v1);
+  if (g0 && g1) {
+    if (v0 == v1) return Step(ctx, oi + 1);
+    return util::OkStatus();
+  }
+  const CompiledArg* pattern = nullptr;
+  const Value* value = nullptr;
+  if (g0) {
+    pattern = &lit.cols[1];
+    value = &v0;
+  } else if (g1) {
+    pattern = &lit.cols[0];
+    value = &v1;
+  } else {
+    // Both sides open (possible only via deferred pattern bindings): no
+    // match rather than an error — mirrors EvalBuiltin.
+    return util::OkStatus();
+  }
+  Trail trail;
+  Status st = util::OkStatus();
+  if (UnifyTermValue(pattern->term, *value, &ctx->rule->vars, &b, &trail)) {
+    st = Step(ctx, oi + 1);
+  }
+  UndoTrail(trail, &b);
+  return st;
+}
+
+Status Evaluator::EvalBuiltin(ExecContext* ctx, size_t oi,
+                              const CompiledLiteral& lit) {
+  Bindings& b = ctx->bindings;
+  const VarTable& vars = ctx->rule->vars;
+  std::vector<std::optional<Value>> args(lit.cols.size());
+  for (size_t i = 0; i < lit.cols.size(); ++i) {
+    Value v;
+    if (TryGroundArg(lit.cols[i], vars, b, &v)) args[i] = std::move(v);
+  }
+  // Mode check (compile guaranteed one exists given schedule, but builtins
+  // may also be reached through EvalQuery with user-chosen bindings).
+  bool mode_ok = false;
+  for (const std::string& mode : lit.builtin->modes) {
+    bool ok = true;
+    for (size_t i = 0; i < mode.size() && i < args.size(); ++i) {
+      if (mode[i] == 'b' && !args[i].has_value()) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      mode_ok = true;
+      break;
+    }
+  }
+  if (!mode_ok && !lit.negated) {
+    // The schedule guarantees bindability in the common case, but deferred
+    // pattern-variable bindings (pattern var matched against a target
+    // variable) can leave arguments unbound at runtime; the builtin then
+    // simply does not match.
+    return util::OkStatus();
+  }
+
+  if (lit.negated) {
+    bool any = false;
+    LB_RETURN_IF_ERROR(lit.builtin->fn(args, [&](const Tuple&) { any = true; }));
+    if (any) return util::OkStatus();
+    return Step(ctx, oi + 1);
+  }
+
+  Status inner = util::OkStatus();
+  LB_RETURN_IF_ERROR(lit.builtin->fn(args, [&](const Tuple& solution) {
+    if (!inner.ok()) return;
+    if (solution.size() != lit.cols.size()) {
+      inner = util::Internal(util::StrCat("builtin '", lit.pred,
+                                          "' emitted wrong arity"));
+      return;
+    }
+    Trail trail;
+    bool ok = true;
+    for (size_t i = 0; i < lit.cols.size(); ++i) {
+      if (!UnifyTermValue(lit.cols[i].term, solution[i], &ctx->rule->vars, &b,
+                          &trail)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) inner = Step(ctx, oi + 1);
+    UndoTrail(trail, &b);
+  }));
+  return inner;
+}
+
+Status Evaluator::EvalRuleOnce(CompiledRule* rule, int delta_pos,
+                               Relation* delta_rel,
+                               const std::function<Status(Tuple)>& emit) {
+  ExecContext ctx;
+  ctx.rule = rule;
+  ctx.delta_pos = delta_pos;
+  ctx.delta_rel = delta_rel;
+  ctx.order = (delta_pos >= 0) ? &rule->order_delta.at(delta_pos)
+                               : &rule->order_full;
+  ctx.bindings.EnsureSize(rule->vars.size());
+  std::vector<std::pair<std::string, Tuple>> premises;
+  if (provenance_ != nullptr && !rule->agg.has_value()) {
+    ctx.premises = &premises;
+  }
+  emitting_rule_ = rule;
+  emitting_premises_ = ctx.premises;
+
+  if (rule->agg.has_value()) {
+    // Aggregate over the *set* of body solutions (deduplicated on the full
+    // variable assignment — standard bag-of-distinct-substitutions
+    // semantics): count folds distinct input values; total/min/max fold the
+    // input of every distinct solution, so two bureaus with equal weight
+    // both contribute to a weighted threshold (§4.2.2).
+    std::set<Tuple> seen_solutions;
+    std::map<Tuple, std::vector<Value>> by_group;
+    ctx.on_solution = [&]() -> Status {
+      Tuple group;
+      group.reserve(rule->head_cols.size());
+      for (const CompiledArg& col : rule->head_cols) {
+        if (col.kind == CompiledArg::Kind::kVar &&
+            col.slot == rule->agg_result_slot) {
+          continue;  // computed below
+        }
+        Value v;
+        if (!TryGroundHeadArg(col, rule->vars, ctx.bindings, &v)) {
+          return util::UnsafeProgram("unbound aggregate group column");
+        }
+        group.push_back(std::move(v));
+      }
+      if (!ctx.bindings.IsBound(rule->agg_input_slot)) {
+        return util::UnsafeProgram("unbound aggregate input");
+      }
+      if (!seen_solutions.insert(ctx.bindings.slots).second) {
+        return util::OkStatus();
+      }
+      by_group[std::move(group)].push_back(
+          ctx.bindings.slots[rule->agg_input_slot]);
+      return util::OkStatus();
+    };
+    LB_RETURN_IF_ERROR(Step(&ctx, 0));
+
+    for (const auto& [group, inputs] : by_group) {
+      Value result;
+      switch (rule->agg->fn) {
+        case Aggregate::Fn::kCount: {
+          std::set<Value> distinct(inputs.begin(), inputs.end());
+          result = Value::Int(static_cast<int64_t>(distinct.size()));
+          break;
+        }
+        case Aggregate::Fn::kTotal: {
+          bool all_int = true;
+          double sum = 0;
+          int64_t isum = 0;
+          for (const Value& v : inputs) {
+            if (!v.IsNumeric()) {
+              return util::TypeError("total() over non-numeric values");
+            }
+            if (v.kind() == ValueKind::kInt) {
+              isum += v.AsInt();
+            } else {
+              all_int = false;
+            }
+            sum += v.NumericValue();
+          }
+          result = all_int ? Value::Int(isum) : Value::Double(sum);
+          break;
+        }
+        case Aggregate::Fn::kMin:
+        case Aggregate::Fn::kMax: {
+          result = inputs[0];
+          for (const Value& v : inputs) {
+            bool take = rule->agg->fn == Aggregate::Fn::kMin ? (v < result)
+                                                             : (result < v);
+            if (take) result = v;
+          }
+          break;
+        }
+      }
+      // Rebuild the head tuple: group columns in order, result in place.
+      Tuple out;
+      size_t gi = 0;
+      for (const CompiledArg& col : rule->head_cols) {
+        if (col.kind == CompiledArg::Kind::kVar &&
+            col.slot == rule->agg_result_slot) {
+          out.push_back(result);
+        } else {
+          out.push_back(group[gi++]);
+        }
+      }
+      LB_RETURN_IF_ERROR(emit(std::move(out)));
+    }
+    return util::OkStatus();
+  }
+
+  ctx.on_solution = [&]() -> Status {
+    Tuple out;
+    out.reserve(rule->head_cols.size());
+    for (const CompiledArg& col : rule->head_cols) {
+      Value v;
+      if (!TryGroundHeadArg(col, rule->vars, ctx.bindings, &v)) {
+        return util::UnsafeProgram(
+            util::StrCat("unbound head column in rule: ",
+                         PrintRule(rule->source)));
+      }
+      out.push_back(std::move(v));
+    }
+    return emit(std::move(out));
+  };
+  return Step(&ctx, 0);
+}
+
+Status Evaluator::Run(const std::vector<CompiledRule*>& rules,
+                      const Stratification& strat, const Limits& limits,
+                      bool naive) {
+  size_t total_tuples = 0;
+
+  for (size_t level = 0; level < strat.strata.size(); ++level) {
+    std::vector<CompiledRule*> stratum_rules;
+    for (CompiledRule* r : rules) {
+      auto it = strat.level.find(r->head_pred);
+      if (it != strat.level.end() &&
+          it->second == static_cast<int>(level)) {
+        stratum_rules.push_back(r);
+      }
+    }
+    if (stratum_rules.empty()) continue;
+
+    // Delta per in-stratum predicate.
+    std::map<std::string, Relation> delta;
+    auto in_stratum = [&](const std::string& pred) {
+      auto it = strat.level.find(pred);
+      return it != strat.level.end() &&
+             it->second == static_cast<int>(level);
+    };
+
+    auto emit_into = [&](const std::string& pred, size_t arity, Tuple t,
+                         std::map<std::string, Relation>* next_delta)
+        -> Status {
+      Relation* full = store_->GetOrCreate(pred, arity);
+      if (full->arity() != t.size()) {
+        return util::TypeError(util::StrCat("arity mismatch inserting into '",
+                                            pred, "'"));
+      }
+      if (provenance_ != nullptr && emitting_rule_ != nullptr) {
+        Derivation d;
+        d.kind = emitting_rule_->agg.has_value()
+                     ? Derivation::Kind::kAggregate
+                     : Derivation::Kind::kRule;
+        d.rule_canon = PrintRule(emitting_rule_->source);
+        if (emitting_premises_ != nullptr) d.premises = *emitting_premises_;
+        provenance_->Record(pred, t, std::move(d));
+      }
+      if (full->Insert(t)) {
+        ++total_tuples;
+        if (total_tuples > limits.max_tuples) {
+          return util::Internal(
+              "fixpoint exceeded tuple budget (diverging program?)");
+        }
+        auto [it, inserted] = next_delta->try_emplace(pred, Relation(t.size()));
+        it->second.Insert(std::move(t));
+      }
+      return util::OkStatus();
+    };
+
+    // Round 0: naive evaluation of every rule in the stratum.
+    for (CompiledRule* r : stratum_rules) {
+      LB_RETURN_IF_ERROR(EvalRuleOnce(r, -1, nullptr, [&](Tuple t) {
+        return emit_into(r->head_pred, r->head_cols.size(), std::move(t),
+                         &delta);
+      }));
+    }
+
+    // Recursive rounds.
+    size_t rounds = 0;
+    while (!delta.empty()) {
+      if (++rounds > limits.max_rounds) {
+        return util::Internal("fixpoint exceeded round budget");
+      }
+      std::map<std::string, Relation> next_delta;
+      for (CompiledRule* r : stratum_rules) {
+        if (r->agg.has_value()) continue;  // agg bodies are lower strata
+        if (naive) {
+          bool recursive = false;
+          for (int pos : r->relation_positions) {
+            if (in_stratum(r->body[static_cast<size_t>(pos)].pred)) {
+              recursive = true;
+              break;
+            }
+          }
+          if (!recursive) continue;
+          LB_RETURN_IF_ERROR(EvalRuleOnce(r, -1, nullptr, [&](Tuple t) {
+            return emit_into(r->head_pred, r->head_cols.size(), std::move(t),
+                             &next_delta);
+          }));
+          continue;
+        }
+        for (int pos : r->relation_positions) {
+          const std::string& pred = r->body[static_cast<size_t>(pos)].pred;
+          if (!in_stratum(pred)) continue;
+          auto dit = delta.find(pred);
+          if (dit == delta.end() || dit->second.empty()) continue;
+          LB_RETURN_IF_ERROR(
+              EvalRuleOnce(r, pos, &dit->second, [&](Tuple t) {
+                return emit_into(r->head_pred, r->head_cols.size(),
+                                 std::move(t), &next_delta);
+              }));
+        }
+      }
+      delta = std::move(next_delta);
+    }
+  }
+  return util::OkStatus();
+}
+
+Status Evaluator::EvalQuery(CompiledRule* rule,
+                            const std::function<void(const Bindings&)>& cb) {
+  ExecContext ctx;
+  ctx.rule = rule;
+  ctx.delta_pos = -1;
+  ctx.delta_rel = nullptr;
+  ctx.order = &rule->order_full;
+  ctx.bindings.EnsureSize(rule->vars.size());
+  ctx.on_solution = [&]() -> Status {
+    cb(ctx.bindings);
+    return util::OkStatus();
+  };
+  return Step(&ctx, 0);
+}
+
+}  // namespace lbtrust::datalog

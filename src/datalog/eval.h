@@ -1,0 +1,146 @@
+#ifndef LBTRUST_DATALOG_EVAL_H_
+#define LBTRUST_DATALOG_EVAL_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "datalog/analysis.h"
+#include "datalog/ast.h"
+#include "datalog/builtins.h"
+#include "datalog/provenance.h"
+#include "datalog/relation.h"
+#include "datalog/unify.h"
+#include "util/status.h"
+
+namespace lbtrust::datalog {
+
+/// Name -> Relation map holding the visible database state.
+class RelationStore {
+ public:
+  Relation* GetOrCreate(const std::string& name, size_t arity);
+  Relation* Get(const std::string& name);
+  const Relation* Get(const std::string& name) const;
+  std::map<std::string, Relation>& relations() { return rels_; }
+  const std::map<std::string, Relation>& relations() const { return rels_; }
+
+ private:
+  std::map<std::string, Relation> rels_;
+};
+
+/// One column of a compiled literal or head.
+struct CompiledArg {
+  enum class Kind {
+    kConst,    ///< fully ground at compile time (precomputed value)
+    kVar,      ///< a single plain variable
+    kPattern,  ///< term containing variables that *bind* on match
+               ///< (quoted-code patterns, partition refs with variables)
+    kExpr,     ///< arithmetic term: check-only, requires operands bound
+  };
+  Kind kind = Kind::kConst;
+  Value constant;               ///< kConst
+  int slot = -1;                ///< kVar
+  Term term;                    ///< kPattern / kExpr (also kVar, for unify)
+  std::vector<int> term_slots;  ///< slots of variables inside `term`
+};
+
+struct CompiledLiteral {
+  enum class Kind { kRelation, kNegation, kBuiltin, kEquality };
+  Kind kind = Kind::kRelation;
+  std::string pred;
+  bool negated = false;         ///< for kBuiltin: negated builtin
+  std::vector<CompiledArg> cols;
+  const BuiltinDef* builtin = nullptr;
+};
+
+/// A rule compiled against a builtin registry: variables interned to slots,
+/// terms classified, body literal evaluation orders chosen greedily by
+/// boundness (the engine's stand-in for LogicBlox's cost-based optimizer;
+/// ablated in bench_engine).
+struct CompiledRule {
+  Rule source;                  ///< single-head, me-resolved
+  int id = -1;
+  VarTable vars;
+  std::vector<CompiledLiteral> body;
+  std::vector<CompiledArg> head_cols;
+  std::string head_pred;
+  std::optional<Aggregate> agg;
+  int agg_input_slot = -1;
+  int agg_result_slot = -1;
+
+  std::vector<int> order_full;               ///< literal visit order
+  std::map<int, std::vector<int>> order_delta;  ///< per delta position
+  std::vector<int> relation_positions;       ///< body idx of kRelation lits
+};
+
+/// Compiles and safety-checks a rule. Fails with kUnsafeProgram when no
+/// evaluation order can bind every head variable / negation / builtin input.
+util::Result<std::unique_ptr<CompiledRule>> CompileRule(
+    const Rule& rule, const BuiltinRegistry& builtins);
+
+/// Bottom-up semi-naive stratified evaluator over a RelationStore.
+class Evaluator {
+ public:
+  struct Limits {
+    size_t max_rounds = 100000;
+    size_t max_tuples = 10000000;
+  };
+
+  /// `provenance` may be null; when set, Run() records one derivation
+  /// witness per newly derived tuple (relational premises only).
+  Evaluator(const BuiltinRegistry* builtins, RelationStore* store,
+            ProvenanceStore* provenance = nullptr)
+      : builtins_(builtins), store_(store), provenance_(provenance) {}
+
+  /// Runs all rules to fixpoint. The store must already be seeded with EDB
+  /// facts (including facts of derived predicates). `naive` disables the
+  /// semi-naive delta optimization (for the ablation benchmark).
+  util::Status Run(const std::vector<CompiledRule*>& rules,
+                   const Stratification& strat, const Limits& limits,
+                   bool naive = false);
+
+  /// Evaluates a body-only query (constraint checks, Workspace::Query),
+  /// invoking `cb` once per solution with the rule's bindings.
+  util::Status EvalQuery(CompiledRule* rule,
+                         const std::function<void(const Bindings&)>& cb);
+
+ private:
+  struct ExecContext {
+    CompiledRule* rule = nullptr;
+    const std::vector<int>* order = nullptr;
+    int delta_pos = -1;
+    Relation* delta_rel = nullptr;
+    Bindings bindings;
+    std::function<util::Status()> on_solution;
+    /// When provenance is tracked: the relational rows matched so far.
+    std::vector<std::pair<std::string, Tuple>>* premises = nullptr;
+  };
+
+  util::Status Step(ExecContext* ctx, size_t oi);
+  util::Status EvalRelation(ExecContext* ctx, size_t oi,
+                            const CompiledLiteral& lit);
+  util::Status EvalNegation(ExecContext* ctx, size_t oi,
+                            const CompiledLiteral& lit);
+  util::Status EvalEquality(ExecContext* ctx, size_t oi,
+                            const CompiledLiteral& lit);
+  util::Status EvalBuiltin(ExecContext* ctx, size_t oi,
+                           const CompiledLiteral& lit);
+
+  util::Status EvalRuleOnce(CompiledRule* rule, int delta_pos,
+                            Relation* delta_rel,
+                            const std::function<util::Status(Tuple)>& emit);
+
+  const BuiltinRegistry* builtins_;
+  RelationStore* store_;
+  ProvenanceStore* provenance_;
+  /// Set while a rule is emitting (read by Run's insertion callback).
+  const CompiledRule* emitting_rule_ = nullptr;
+  const std::vector<std::pair<std::string, Tuple>>* emitting_premises_ =
+      nullptr;
+};
+
+}  // namespace lbtrust::datalog
+
+#endif  // LBTRUST_DATALOG_EVAL_H_

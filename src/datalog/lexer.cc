@@ -1,0 +1,335 @@
+#include "datalog/lexer.h"
+
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace lbtrust::datalog {
+
+using util::ParseError;
+using util::Result;
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kVar: return "variable";
+    case TokenKind::kUnderscore: return "'_'";
+    case TokenKind::kInt: return "integer";
+    case TokenKind::kFloat: return "float";
+    case TokenKind::kString: return "string";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kQuoteOpen: return "'[|'";
+    case TokenKind::kQuoteClose: return "'|]'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kSemi: return "';'";
+    case TokenKind::kBang: return "'!'";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kArrowLeft: return "'<-'";
+    case TokenKind::kArrowRight: return "'->'";
+    case TokenKind::kColonDash: return "':-'";
+    case TokenKind::kAggOpen: return "'<<'";
+    case TokenKind::kAggClose: return "'>>'";
+    case TokenKind::kEq: return "'='";
+    case TokenKind::kNeq: return "'!='";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kAt: return "'@'";
+    case TokenKind::kCaret: return "'^'";
+    case TokenKind::kEnd: return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsIdentStart(char c) { return std::islower(static_cast<unsigned char>(c)); }
+bool IsVarStart(char c) { return std::isupper(static_cast<unsigned char>(c)); }
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    while (true) {
+      LB_RETURN_IF_ERROR(SkipWhitespaceAndComments());
+      Token tok;
+      tok.line = line_;
+      tok.column = column_;
+      if (pos_ >= src_.size()) {
+        tok.kind = TokenKind::kEnd;
+        out.push_back(tok);
+        return out;
+      }
+      char c = src_[pos_];
+      if (IsIdentStart(c)) {
+        tok.kind = TokenKind::kIdent;
+        tok.text = LexIdent();
+      } else if (IsVarStart(c)) {
+        tok.kind = TokenKind::kVar;
+        tok.text = LexWord();
+      } else if (c == '_') {
+        // '_' alone is anonymous; '_x' is a named variable.
+        size_t start = pos_;
+        Advance();
+        if (pos_ < src_.size() && IsIdentChar(src_[pos_])) {
+          while (pos_ < src_.size() && IsIdentChar(src_[pos_])) Advance();
+          tok.kind = TokenKind::kVar;
+          tok.text = std::string(src_.substr(start, pos_ - start));
+        } else {
+          tok.kind = TokenKind::kUnderscore;
+        }
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        LB_RETURN_IF_ERROR(LexNumber(&tok));
+      } else if (c == '"') {
+        LB_RETURN_IF_ERROR(LexString(&tok));
+      } else {
+        LB_RETURN_IF_ERROR(LexPunct(&tok));
+      }
+      out.push_back(std::move(tok));
+    }
+  }
+
+ private:
+  void Advance() {
+    if (src_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    ++pos_;
+  }
+
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  util::Status SkipWhitespaceAndComments() {
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '/' && Peek(1) == '/') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') Advance();
+      } else if (c == '/' && Peek(1) == '*') {
+        int start_line = line_;
+        Advance();
+        Advance();
+        while (pos_ < src_.size() && !(src_[pos_] == '*' && Peek(1) == '/')) {
+          Advance();
+        }
+        if (pos_ >= src_.size()) {
+          return ParseError(util::StrCat("unterminated comment at line ",
+                                         start_line));
+        }
+        Advance();
+        Advance();
+      } else {
+        break;
+      }
+    }
+    return util::OkStatus();
+  }
+
+  std::string LexWord() {
+    size_t start = pos_;
+    while (pos_ < src_.size() && IsIdentChar(src_[pos_])) Advance();
+    return std::string(src_.substr(start, pos_ - start));
+  }
+
+  // Identifier with ':'-continuation (message:id, rsa:3:c1ebab5d).
+  std::string LexIdent() {
+    size_t start = pos_;
+    while (pos_ < src_.size()) {
+      if (IsIdentChar(src_[pos_])) {
+        Advance();
+      } else if (src_[pos_] == ':' && pos_ + 1 < src_.size() &&
+                 IsIdentChar(src_[pos_ + 1]) && src_[pos_ + 1] != '-') {
+        Advance();  // consume ':'
+      } else {
+        break;
+      }
+    }
+    return std::string(src_.substr(start, pos_ - start));
+  }
+
+  util::Status LexNumber(Token* tok) {
+    size_t start = pos_;
+    while (pos_ < src_.size() &&
+           std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+      Advance();
+    }
+    // Float only when '.' is followed by a digit ('p(3).' keeps the dot).
+    bool is_float = false;
+    if (Peek() == '.' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+      is_float = true;
+      Advance();
+      while (pos_ < src_.size() &&
+             std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+        Advance();
+      }
+    }
+    std::string text(src_.substr(start, pos_ - start));
+    if (is_float) {
+      tok->kind = TokenKind::kFloat;
+      tok->float_value = std::stod(text);
+    } else {
+      tok->kind = TokenKind::kInt;
+      errno = 0;
+      tok->int_value = std::strtoll(text.c_str(), nullptr, 10);
+      if (errno != 0) {
+        return ParseError(util::StrCat("integer overflow at line ", tok->line,
+                                       ": ", text));
+      }
+    }
+    return util::OkStatus();
+  }
+
+  util::Status LexString(Token* tok) {
+    int start_line = line_;
+    Advance();  // opening quote
+    std::string out;
+    while (pos_ < src_.size() && src_[pos_] != '"') {
+      char c = src_[pos_];
+      if (c == '\\') {
+        Advance();
+        if (pos_ >= src_.size()) break;
+        char esc = src_[pos_];
+        switch (esc) {
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case '\\': out.push_back('\\'); break;
+          case '"': out.push_back('"'); break;
+          default:
+            return ParseError(util::StrCat("bad escape '\\", esc,
+                                           "' at line ", line_));
+        }
+        Advance();
+      } else {
+        out.push_back(c);
+        Advance();
+      }
+    }
+    if (pos_ >= src_.size()) {
+      return ParseError(util::StrCat("unterminated string at line ",
+                                     start_line));
+    }
+    Advance();  // closing quote
+    tok->kind = TokenKind::kString;
+    tok->text = std::move(out);
+    return util::OkStatus();
+  }
+
+  util::Status LexPunct(Token* tok) {
+    char c = src_[pos_];
+    char n = Peek(1);
+    auto two = [&](TokenKind kind) {
+      tok->kind = kind;
+      Advance();
+      Advance();
+    };
+    auto one = [&](TokenKind kind) {
+      tok->kind = kind;
+      Advance();
+    };
+    switch (c) {
+      case '(': one(TokenKind::kLParen); return util::OkStatus();
+      case ')': one(TokenKind::kRParen); return util::OkStatus();
+      case '[':
+        if (n == '|') {
+          two(TokenKind::kQuoteOpen);
+        } else {
+          one(TokenKind::kLBracket);
+        }
+        return util::OkStatus();
+      case ']': one(TokenKind::kRBracket); return util::OkStatus();
+      case '|':
+        if (n == ']') {
+          two(TokenKind::kQuoteClose);
+          return util::OkStatus();
+        }
+        return ParseError(util::StrCat("stray '|' at line ", line_));
+      case ',': one(TokenKind::kComma); return util::OkStatus();
+      case ';': one(TokenKind::kSemi); return util::OkStatus();
+      case '!':
+        if (n == '=') {
+          two(TokenKind::kNeq);
+        } else {
+          one(TokenKind::kBang);
+        }
+        return util::OkStatus();
+      case '.': one(TokenKind::kDot); return util::OkStatus();
+      case '<':
+        if (n == '-') {
+          two(TokenKind::kArrowLeft);
+        } else if (n == '=') {
+          two(TokenKind::kLe);
+        } else if (n == '<') {
+          two(TokenKind::kAggOpen);
+        } else {
+          one(TokenKind::kLt);
+        }
+        return util::OkStatus();
+      case '>':
+        if (n == '=') {
+          two(TokenKind::kGe);
+        } else if (n == '>') {
+          two(TokenKind::kAggClose);
+        } else {
+          one(TokenKind::kGt);
+        }
+        return util::OkStatus();
+      case '-':
+        if (n == '>') {
+          two(TokenKind::kArrowRight);
+        } else {
+          one(TokenKind::kMinus);
+        }
+        return util::OkStatus();
+      case ':':
+        if (n == '-') {
+          two(TokenKind::kColonDash);
+        } else {
+          one(TokenKind::kColon);
+        }
+        return util::OkStatus();
+      case '=': one(TokenKind::kEq); return util::OkStatus();
+      case '+': one(TokenKind::kPlus); return util::OkStatus();
+      case '*': one(TokenKind::kStar); return util::OkStatus();
+      case '/': one(TokenKind::kSlash); return util::OkStatus();
+      case '@': one(TokenKind::kAt); return util::OkStatus();
+      case '^': one(TokenKind::kCaret); return util::OkStatus();
+      default:
+        return ParseError(util::StrCat("unexpected character '", c,
+                                       "' at line ", line_, " column ",
+                                       column_));
+    }
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view source) {
+  return Lexer(source).Run();
+}
+
+}  // namespace lbtrust::datalog

@@ -1,0 +1,71 @@
+#ifndef LBTRUST_DATALOG_LEXER_H_
+#define LBTRUST_DATALOG_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace lbtrust::datalog {
+
+enum class TokenKind {
+  kIdent,       ///< lowercase-initial identifier; may contain ':' segments
+  kVar,         ///< uppercase-initial identifier or '_'-prefixed variable
+  kUnderscore,  ///< solitary '_' (anonymous variable)
+  kInt,
+  kFloat,
+  kString,
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kQuoteOpen,   ///< [|
+  kQuoteClose,  ///< |]
+  kComma,
+  kSemi,
+  kBang,
+  kDot,
+  kArrowLeft,   ///< <-
+  kArrowRight,  ///< ->
+  kColonDash,   ///< :- (SeNDlog surface syntax)
+  kAggOpen,     ///< <<
+  kAggClose,    ///< >>
+  kEq,
+  kNeq,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kColon,
+  kAt,          ///< @ (SeNDlog export heads)
+  kCaret,       ///< ^ (D1LP delegation depth)
+  kEnd,
+};
+
+const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;      ///< identifier / variable / string payload
+  int64_t int_value = 0;
+  double float_value = 0;
+  int line = 1;
+  int column = 1;
+};
+
+/// Tokenizes a whole program. `//`-to-EOL and `/* */` comments are skipped.
+/// Identifier tokens absorb ':' when immediately followed by an identifier
+/// character, so `message:id` and `rsa:3:c1ebab5d` lex as single symbols
+/// while a clause label `exp1: ...` (colon then space) lexes as
+/// kIdent kColon.
+util::Result<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace lbtrust::datalog
+
+#endif  // LBTRUST_DATALOG_LEXER_H_

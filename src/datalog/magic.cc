@@ -1,0 +1,206 @@
+#include "datalog/magic.h"
+
+#include <map>
+#include <set>
+
+#include "datalog/pretty.h"
+#include "datalog/unify.h"
+#include "util/strings.h"
+
+namespace lbtrust::datalog {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+// Variables of a term that must be bound for the argument to count as
+// bound (deep: pattern variables inside quoted code included).
+void TermVars(const Term& t, std::set<std::string>* out) {
+  std::vector<std::string> vars;
+  CollectTermVars(t, &vars);
+  out->insert(vars.begin(), vars.end());
+}
+
+bool ArgBound(const Term& t, const std::set<std::string>& bound) {
+  std::set<std::string> vars;
+  TermVars(t, &vars);
+  for (const std::string& v : vars) {
+    if (bound.count(v) == 0) return false;
+  }
+  return true;
+}
+
+void BindAtomVars(const Atom& a, std::set<std::string>* bound) {
+  std::vector<std::string> vars;
+  CollectAtomVars(a, &vars);
+  bound->insert(vars.begin(), vars.end());
+}
+
+std::string AdornedName(const std::string& pred, const std::string& adorn) {
+  return util::StrCat(pred, "__", adorn);
+}
+
+std::string MagicName(const std::string& pred, const std::string& adorn) {
+  return util::StrCat("m_", pred, "__", adorn);
+}
+
+// Atom m_p__a(args at bound positions).
+Atom MagicAtom(const Atom& original, const std::string& adorn) {
+  Atom magic;
+  magic.predicate = MagicName(original.predicate, adorn);
+  std::vector<Term> cols;
+  if (original.partition) cols.push_back(CloneTerm(*original.partition));
+  for (const Term& t : original.args) cols.push_back(CloneTerm(t));
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (adorn[i] == 'b') magic.args.push_back(std::move(cols[i]));
+  }
+  return magic;
+}
+
+class Transformer {
+ public:
+  Transformer(const std::vector<const Rule*>& rules) {
+    for (const Rule* r : rules) {
+      by_head_[r->heads[0].predicate].push_back(r);
+    }
+  }
+
+  Result<MagicProgram> Run(const Atom& query) {
+    if (query.meta_atom || query.meta_functor) {
+      return util::InvalidArgument("query must be a plain atom");
+    }
+    auto it = by_head_.find(query.predicate);
+    if (it == by_head_.end()) {
+      return util::InvalidArgument(util::StrCat(
+          "query predicate '", query.predicate, "' has no rules"));
+    }
+    // Query adornment: constants (and ground code) are bound.
+    std::string adorn;
+    std::vector<Term> cols;
+    if (query.partition) cols.push_back(CloneTerm(*query.partition));
+    for (const Term& t : query.args) cols.push_back(CloneTerm(t));
+    std::set<std::string> no_bound;
+    Tuple seed;
+    for (const Term& t : cols) {
+      if (ArgBound(t, no_bound)) {
+        adorn.push_back('b');
+        VarTable no_vars;
+        Bindings none;
+        LB_ASSIGN_OR_RETURN(Value v, EvalGroundTerm(t, no_vars, none));
+        seed.push_back(std::move(v));
+      } else {
+        adorn.push_back('f');
+      }
+    }
+
+    LB_RETURN_IF_ERROR(Demand(query.predicate, adorn));
+
+    MagicProgram out;
+    out.rules = std::move(rules_);
+    out.seed_pred = MagicName(query.predicate, adorn);
+    out.seed_args = std::move(seed);
+    out.answer_pred = AdornedName(query.predicate, adorn);
+    return out;
+  }
+
+ private:
+  bool IsDerived(const std::string& pred) const {
+    return by_head_.count(pred) > 0;
+  }
+
+  // Emits the adorned + magic rules for (pred, adorn) and recursively for
+  // every derived predicate demand reaches.
+  Status Demand(const std::string& pred, const std::string& adorn) {
+    if (!done_.insert(pred + "/" + adorn).second) return util::OkStatus();
+    for (const Rule* rule : by_head_.at(pred)) {
+      if (rule->aggregate.has_value()) {
+        return util::InvalidArgument(
+            "magic-sets transform does not support aggregate rules");
+      }
+      LB_RETURN_IF_ERROR(TransformRule(*rule, adorn));
+    }
+    return util::OkStatus();
+  }
+
+  Status TransformRule(const Rule& rule, const std::string& adorn) {
+    const Atom& head = rule.heads[0];
+    std::vector<Term> head_cols;
+    if (head.partition) head_cols.push_back(CloneTerm(*head.partition));
+    for (const Term& t : head.args) head_cols.push_back(CloneTerm(t));
+    if (head_cols.size() != adorn.size()) {
+      return util::InvalidArgument(util::StrCat(
+          "adornment arity mismatch for '", head.predicate, "'"));
+    }
+
+    // Bound head variables feed sideways information passing.
+    std::set<std::string> bound;
+    for (size_t i = 0; i < head_cols.size(); ++i) {
+      if (adorn[i] == 'b') TermVars(head_cols[i], &bound);
+    }
+
+    Atom guard = MagicAtom(head, adorn);
+    std::vector<Literal> processed;
+    processed.push_back(Literal{guard, false});
+
+    for (const Literal& lit : rule.body) {
+      if (lit.negated || lit.atom.predicate == "=" ||
+          !IsDerived(lit.atom.predicate)) {
+        // EDB / builtin / negation: pass through, then extend bindings
+        // (negation binds nothing).
+        processed.push_back(Literal{CloneAtom(lit.atom), lit.negated});
+        if (!lit.negated) BindAtomVars(lit.atom, &bound);
+        continue;
+      }
+      // Derived literal: compute its adornment under current bindings.
+      std::vector<Term> cols;
+      if (lit.atom.partition) cols.push_back(CloneTerm(*lit.atom.partition));
+      for (const Term& t : lit.atom.args) cols.push_back(CloneTerm(t));
+      std::string sub_adorn;
+      for (const Term& t : cols) {
+        sub_adorn.push_back(ArgBound(t, bound) ? 'b' : 'f');
+      }
+      // Magic rule: demand on q flows from the guard plus what has been
+      // established so far.
+      Rule magic_rule;
+      magic_rule.heads = {MagicAtom(lit.atom, sub_adorn)};
+      for (const Literal& p : processed) {
+        magic_rule.body.push_back(Literal{CloneAtom(p.atom), p.negated});
+      }
+      rules_.push_back(std::move(magic_rule));
+      LB_RETURN_IF_ERROR(Demand(lit.atom.predicate, sub_adorn));
+      // Replace the literal with its adorned copy.
+      Atom adorned = CloneAtom(lit.atom);
+      adorned.predicate = AdornedName(lit.atom.predicate, sub_adorn);
+      processed.push_back(Literal{adorned, false});
+      BindAtomVars(lit.atom, &bound);
+    }
+
+    Rule guarded;
+    guarded.label = rule.label;
+    Atom new_head = CloneAtom(head);
+    new_head.predicate = AdornedName(head.predicate, adorn);
+    guarded.heads = {new_head};
+    guarded.body = std::move(processed);
+    rules_.push_back(std::move(guarded));
+    return util::OkStatus();
+  }
+
+  std::map<std::string, std::vector<const Rule*>> by_head_;
+  std::set<std::string> done_;
+  std::vector<Rule> rules_;
+};
+
+}  // namespace
+
+Result<MagicProgram> MagicSetTransform(const std::vector<const Rule*>& rules,
+                                       const Atom& query) {
+  for (const Rule* r : rules) {
+    if (r->heads.size() != 1) {
+      return util::InvalidArgument("rules must be single-headed");
+    }
+  }
+  return Transformer(rules).Run(query);
+}
+
+}  // namespace lbtrust::datalog

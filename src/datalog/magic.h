@@ -1,0 +1,41 @@
+#ifndef LBTRUST_DATALOG_MAGIC_H_
+#define LBTRUST_DATALOG_MAGIC_H_
+
+#include <string>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "util/status.h"
+
+namespace lbtrust::datalog {
+
+/// Magic-sets transformation (Bancilhon/Maier/Sagiv/Ullman — the paper's
+/// [6], named in §7 as the planned bridge between the top-down evaluation
+/// access-control languages use and the engine's bottom-up fixpoint).
+///
+/// Given a rule set and a query atom whose constant arguments define the
+/// demand, produces a demand-driven program: adorned copies of the reached
+/// rules (`p__bf` for p queried with first argument bound), magic
+/// predicates that seed and propagate demand, and guards so bottom-up
+/// evaluation derives only tuples relevant to the query.
+struct MagicProgram {
+  /// Transformed rules (magic + guarded adorned rules), ready to install
+  /// into a workspace holding the original EDB.
+  std::vector<Rule> rules;
+  /// The demand seed: assert `seed_pred(seed_args...)` before Fixpoint().
+  std::string seed_pred;
+  Tuple seed_args;
+  /// Read answers from this adorned predicate (same arity as the query).
+  std::string answer_pred;
+};
+
+/// Restrictions (documented subset): aggregates are not transformed, and
+/// negated / builtin literals pass through untransformed (they never carry
+/// demand). Rules must be installable (single head, no loose meta
+/// patterns).
+util::Result<MagicProgram> MagicSetTransform(
+    const std::vector<const Rule*>& rules, const Atom& query);
+
+}  // namespace lbtrust::datalog
+
+#endif  // LBTRUST_DATALOG_MAGIC_H_

@@ -1,0 +1,115 @@
+#include "datalog/pretty.h"
+
+#include "util/strings.h"
+
+namespace lbtrust::datalog {
+
+std::string PrintTerm(const Term& t) {
+  switch (t.kind) {
+    case Term::Kind::kVariable:
+      return t.var;
+    case Term::Kind::kConstant:
+      return t.value.ToString();
+    case Term::Kind::kMe:
+      return "me";
+    case Term::Kind::kExpr:
+      return util::StrCat("(", PrintTerm(*t.lhs), t.op, PrintTerm(*t.rhs),
+                          ")");
+    case Term::Kind::kPartRef:
+      return util::StrCat(t.part_pred, "[", PrintTerm(*t.part_key), "]");
+    case Term::Kind::kStarVar:
+      return util::StrCat(t.var, "*");
+  }
+  return "?";
+}
+
+namespace {
+bool IsComparisonName(const std::string& name) {
+  return name == "=" || name == "!=" || name == "<" || name == "<=" ||
+         name == ">" || name == ">=";
+}
+}  // namespace
+
+std::string PrintAtom(const Atom& a) {
+  if (a.meta_atom) {
+    return a.star ? util::StrCat(a.predicate, "*") : a.predicate;
+  }
+  // Comparisons print infix so canonical forms re-parse.
+  if (IsComparisonName(a.predicate) && a.args.size() == 2 && !a.partition) {
+    return util::StrCat(PrintTerm(a.args[0]), " ", a.predicate, " ",
+                        PrintTerm(a.args[1]));
+  }
+  std::string out = a.predicate;
+  if (a.partition) {
+    out += util::StrCat("[", PrintTerm(*a.partition), "]");
+  }
+  out.push_back('(');
+  for (size_t i = 0; i < a.args.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += PrintTerm(a.args[i]);
+  }
+  out.push_back(')');
+  return out;
+}
+
+std::string PrintLiteral(const Literal& l) {
+  return l.negated ? util::StrCat("!", PrintAtom(l.atom)) : PrintAtom(l.atom);
+}
+
+namespace {
+const char* AggName(Aggregate::Fn fn) {
+  switch (fn) {
+    case Aggregate::Fn::kCount:
+      return "count";
+    case Aggregate::Fn::kTotal:
+      return "total";
+    case Aggregate::Fn::kMin:
+      return "min";
+    case Aggregate::Fn::kMax:
+      return "max";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string PrintRule(const Rule& r) {
+  std::string out;
+  for (size_t i = 0; i < r.heads.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += PrintAtom(r.heads[i]);
+  }
+  if (!r.body.empty() || r.aggregate.has_value()) {
+    out += " <- ";
+    if (r.aggregate.has_value()) {
+      out += util::StrCat("agg<<", r.aggregate->result_var, " = ",
+                          AggName(r.aggregate->fn), "(", r.aggregate->input_var,
+                          ")>> ");
+    }
+    for (size_t i = 0; i < r.body.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += PrintLiteral(r.body[i]);
+    }
+  }
+  out.push_back('.');
+  return out;
+}
+
+std::string PrintConstraint(const Constraint& c) {
+  std::string out;
+  for (size_t i = 0; i < c.lhs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += PrintLiteral(c.lhs[i]);
+  }
+  out += " -> ";
+  for (size_t alt = 0; alt < c.rhs_dnf.size(); ++alt) {
+    if (alt > 0) out += "; ";
+    for (size_t i = 0; i < c.rhs_dnf[alt].size(); ++i) {
+      if (i > 0) out += ", ";
+      out += PrintLiteral(c.rhs_dnf[alt][i]);
+    }
+  }
+  out.push_back('.');
+  return out;
+}
+
+}  // namespace lbtrust::datalog

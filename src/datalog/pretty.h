@@ -1,0 +1,24 @@
+#ifndef LBTRUST_DATALOG_PRETTY_H_
+#define LBTRUST_DATALOG_PRETTY_H_
+
+#include <string>
+
+#include "datalog/ast.h"
+
+namespace lbtrust::datalog {
+
+/// Canonical, re-parseable printing of AST nodes. Canonical forms are the
+/// identity of quoted-code values, the byte string fed to the signature /
+/// MAC built-ins, and the wire format between simulated nodes — so they are
+/// deterministic: fixed spacing, no labels, no trailing whitespace.
+std::string PrintTerm(const Term& t);
+std::string PrintAtom(const Atom& a);
+std::string PrintLiteral(const Literal& l);
+/// "h1, h2 <- b1, !b2." — facts print as "h1." and aggregates as
+/// "h <- agg<<N = count(U)>> b1, b2."
+std::string PrintRule(const Rule& r);
+std::string PrintConstraint(const Constraint& c);
+
+}  // namespace lbtrust::datalog
+
+#endif  // LBTRUST_DATALOG_PRETTY_H_

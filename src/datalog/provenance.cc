@@ -1,0 +1,74 @@
+#include "datalog/provenance.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace lbtrust::datalog {
+
+size_t ProvenanceStore::KeyHash::operator()(
+    const std::pair<std::string, Tuple>& key) const {
+  return util::HashCombine(util::Fnv1a(key.first),
+                           TupleHash()(key.second));
+}
+
+void ProvenanceStore::Record(const std::string& predicate, const Tuple& tuple,
+                             Derivation derivation) {
+  table_.try_emplace({predicate, tuple}, std::move(derivation));
+}
+
+const Derivation* ProvenanceStore::Find(const std::string& predicate,
+                                        const Tuple& tuple) const {
+  auto it = table_.find({predicate, tuple});
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+void ProvenanceStore::ExplainInto(
+    const std::string& predicate, const Tuple& tuple,
+    const std::string& indent,
+    std::vector<std::pair<std::string, Tuple>>* path,
+    std::string* out) const {
+  *out += util::StrCat(predicate, TupleToString(tuple));
+  const Derivation* d = Find(predicate, tuple);
+  if (d == nullptr) {
+    *out += "   [unknown]\n";
+    return;
+  }
+  switch (d->kind) {
+    case Derivation::Kind::kBase:
+      *out += "   [base]\n";
+      return;
+    case Derivation::Kind::kAggregate:
+      *out += util::StrCat("\n", indent, "`- aggregate: ", d->rule_canon,
+                           "\n");
+      return;
+    case Derivation::Kind::kActivated:
+      *out += util::StrCat("\n", indent, "`- activated: ", d->rule_canon,
+                           "\n");
+      break;
+    case Derivation::Kind::kRule:
+      *out += util::StrCat("\n", indent, "`- rule: ", d->rule_canon, "\n");
+      break;
+  }
+  auto key = std::make_pair(predicate, tuple);
+  if (std::find(path->begin(), path->end(), key) != path->end()) {
+    *out += util::StrCat(indent, "   ...\n");
+    return;
+  }
+  path->push_back(key);
+  for (const auto& [pred, premise] : d->premises) {
+    *out += util::StrCat(indent, "   `- ");
+    ExplainInto(pred, premise, indent + "   ", path, out);
+  }
+  path->pop_back();
+}
+
+std::string ProvenanceStore::Explain(const std::string& predicate,
+                                     const Tuple& tuple) const {
+  std::string out;
+  std::vector<std::pair<std::string, Tuple>> path;
+  ExplainInto(predicate, tuple, "", &path, &out);
+  return out;
+}
+
+}  // namespace lbtrust::datalog

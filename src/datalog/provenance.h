@@ -1,0 +1,72 @@
+#ifndef LBTRUST_DATALOG_PROVENANCE_H_
+#define LBTRUST_DATALOG_PROVENANCE_H_
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "datalog/value.h"
+
+namespace lbtrust::datalog {
+
+/// Why a tuple holds: one derivation witness (the first found) per derived
+/// tuple. The paper lists provenance as LBTrust's in-progress extension
+/// (§7) — "useful for analyzing derivations of security policies, runtime
+/// verification, and dynamic type checking"; for trust management it makes
+/// chains of trust inspectable (who said what, verified how).
+struct Derivation {
+  enum class Kind {
+    kBase,       ///< asserted EDB fact
+    kRule,       ///< derived by a rule from the listed premises
+    kAggregate,  ///< derived by an aggregation rule (premises omitted)
+    kActivated,  ///< installed by the codegen loop from an active(R) fact
+  };
+  Kind kind = Kind::kBase;
+  std::string rule_canon;  ///< deriving rule (kRule/kAggregate/kActivated)
+  /// Relational body facts this tuple was derived from (kRule only).
+  std::vector<std::pair<std::string, Tuple>> premises;
+};
+
+/// Per-workspace provenance table, rebuilt on every fixpoint.
+class ProvenanceStore {
+ public:
+  void Clear() { table_.clear(); }
+
+  /// Records a witness if the tuple has none yet (first derivation wins).
+  void Record(const std::string& predicate, const Tuple& tuple,
+              Derivation derivation);
+
+  const Derivation* Find(const std::string& predicate,
+                         const Tuple& tuple) const;
+
+  /// Renders the full derivation tree (premises recursively), e.g.:
+  ///
+  ///   access(dave,f1,read)
+  ///   `- rule: access(P,O,read) <- says(bob,me,[| ... |]).
+  ///      `- says(bob,alice,[| access(dave,f1,read). |])
+  ///         `- rule: says(U,me,R) <- export[me](U,R,S).
+  ///            `- export(alice,bob,[| ... |],"...")   [base]
+  ///
+  /// Cycles (possible through recursive rules) are cut with "...".
+  std::string Explain(const std::string& predicate, const Tuple& tuple) const;
+
+  size_t size() const { return table_.size(); }
+
+ private:
+  struct KeyHash {
+    size_t operator()(const std::pair<std::string, Tuple>& key) const;
+  };
+
+  void ExplainInto(const std::string& predicate, const Tuple& tuple,
+                   const std::string& indent,
+                   std::vector<std::pair<std::string, Tuple>>* path,
+                   std::string* out) const;
+
+  std::unordered_map<std::pair<std::string, Tuple>, Derivation, KeyHash>
+      table_;
+};
+
+}  // namespace lbtrust::datalog
+
+#endif  // LBTRUST_DATALOG_PROVENANCE_H_

@@ -1,0 +1,67 @@
+#include "datalog/relation.h"
+
+namespace lbtrust::datalog {
+
+bool Relation::Insert(Tuple t) {
+  auto [it, inserted] =
+      primary_.try_emplace(std::move(t), static_cast<uint32_t>(rows_.size()));
+  if (!inserted) return false;
+  rows_.push_back(it->first);
+  // Existing indexes are extended lazily at next lookup (built_upto).
+  return true;
+}
+
+bool Relation::Contains(const Tuple& t) const { return primary_.count(t) > 0; }
+
+bool Relation::Erase(const Tuple& t) {
+  auto it = primary_.find(t);
+  if (it == primary_.end()) return false;
+  primary_.erase(it);
+  // Rare path (retraction): rebuild rows and drop indexes.
+  rows_.clear();
+  rows_.reserve(primary_.size());
+  for (auto& [tuple, idx] : primary_) {
+    idx = static_cast<uint32_t>(rows_.size());
+    rows_.push_back(tuple);
+  }
+  indexes_.clear();
+  return true;
+}
+
+void Relation::Clear() {
+  rows_.clear();
+  primary_.clear();
+  indexes_.clear();
+}
+
+Tuple Relation::Project(const Tuple& row, uint64_t mask) {
+  Tuple key;
+  key.reserve(static_cast<size_t>(__builtin_popcountll(mask)));
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (mask & (uint64_t{1} << i)) key.push_back(row[i]);
+  }
+  return key;
+}
+
+void Relation::ExtendIndex(uint64_t mask, Index* index) const {
+  for (size_t i = index->built_upto; i < rows_.size(); ++i) {
+    index->map[Project(rows_[i], mask)].push_back(static_cast<uint32_t>(i));
+  }
+  index->built_upto = rows_.size();
+}
+
+const std::vector<uint32_t>& Relation::Lookup(uint64_t mask,
+                                              const Tuple& key) const {
+  static const std::vector<uint32_t> kEmpty;
+  Index& index = indexes_[mask];
+  ExtendIndex(mask, &index);
+  auto it = index.map.find(key);
+  return it == index.map.end() ? kEmpty : it->second;
+}
+
+bool Relation::Matches(uint64_t mask, const Tuple& key) const {
+  if (mask == 0) return !rows_.empty();
+  return !Lookup(mask, key).empty();
+}
+
+}  // namespace lbtrust::datalog

@@ -1,0 +1,58 @@
+#ifndef LBTRUST_DATALOG_RELATION_H_
+#define LBTRUST_DATALOG_RELATION_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "datalog/value.h"
+
+namespace lbtrust::datalog {
+
+/// Set-semantics tuple store with lazily built, incrementally extended hash
+/// indexes keyed by bound-column masks. The evaluator asks for "all rows
+/// whose columns {i: mask bit i set} equal this key"; the first such query
+/// builds the index, later inserts extend it on demand.
+class Relation {
+ public:
+  explicit Relation(size_t arity) : arity_(arity) {}
+
+  size_t arity() const { return arity_; }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  /// Returns true if the tuple was new.
+  bool Insert(Tuple t);
+  bool Contains(const Tuple& t) const;
+  /// Removes a tuple; rebuilds indexes. Returns true if present.
+  bool Erase(const Tuple& t);
+  void Clear();
+
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+  /// Row indexes matching `key` on the columns set in `mask` (LSB =
+  /// column 0). `key` holds only the bound columns, in column order.
+  /// mask == 0 is invalid (iterate rows() instead).
+  const std::vector<uint32_t>& Lookup(uint64_t mask, const Tuple& key) const;
+
+  /// True if at least one row matches (wildcard semantics for negation).
+  bool Matches(uint64_t mask, const Tuple& key) const;
+
+ private:
+  struct Index {
+    std::unordered_map<Tuple, std::vector<uint32_t>, TupleHash> map;
+    size_t built_upto = 0;
+  };
+
+  void ExtendIndex(uint64_t mask, Index* index) const;
+  static Tuple Project(const Tuple& row, uint64_t mask);
+
+  size_t arity_;
+  std::vector<Tuple> rows_;
+  std::unordered_map<Tuple, uint32_t, TupleHash> primary_;
+  mutable std::unordered_map<uint64_t, Index> indexes_;
+};
+
+}  // namespace lbtrust::datalog
+
+#endif  // LBTRUST_DATALOG_RELATION_H_

@@ -1,0 +1,239 @@
+#include "datalog/value.h"
+
+#include <cstdio>
+
+#include "datalog/ast.h"
+#include "datalog/pretty.h"
+#include "util/strings.h"
+
+namespace lbtrust::datalog {
+
+Value Value::Bool(bool v) {
+  Value out;
+  out.kind_ = ValueKind::kBool;
+  out.scalar_.b = v;
+  return out;
+}
+
+Value Value::Int(int64_t v) {
+  Value out;
+  out.kind_ = ValueKind::kInt;
+  out.scalar_.i = v;
+  return out;
+}
+
+Value Value::Double(double v) {
+  Value out;
+  out.kind_ = ValueKind::kDouble;
+  out.scalar_.d = v;
+  return out;
+}
+
+Value Value::Str(std::string v) {
+  Value out;
+  out.kind_ = ValueKind::kString;
+  out.text_ = std::make_shared<const std::string>(std::move(v));
+  return out;
+}
+
+Value Value::Sym(std::string v) {
+  Value out;
+  out.kind_ = ValueKind::kSymbol;
+  out.text_ = std::make_shared<const std::string>(std::move(v));
+  return out;
+}
+
+Value Value::CodeRule(std::shared_ptr<const Rule> rule) {
+  auto code = std::make_shared<CodeValue>();
+  code->what = CodeValue::What::kRule;
+  code->canon = PrintRule(*rule);
+  code->rule = std::move(rule);
+  Value out;
+  out.kind_ = ValueKind::kCode;
+  out.code_ = std::move(code);
+  return out;
+}
+
+Value Value::CodeAtom(std::shared_ptr<const Atom> atom) {
+  auto code = std::make_shared<CodeValue>();
+  code->what = CodeValue::What::kAtom;
+  code->canon = PrintAtom(*atom);
+  code->atom = std::move(atom);
+  Value out;
+  out.kind_ = ValueKind::kCode;
+  out.code_ = std::move(code);
+  return out;
+}
+
+Value Value::CodeTerm(std::shared_ptr<const Term> term) {
+  auto code = std::make_shared<CodeValue>();
+  code->what = CodeValue::What::kTerm;
+  code->canon = PrintTerm(*term);
+  code->term = std::move(term);
+  Value out;
+  out.kind_ = ValueKind::kCode;
+  out.code_ = std::move(code);
+  return out;
+}
+
+Value Value::CodeLiteralList(std::vector<Literal> literals) {
+  auto code = std::make_shared<CodeValue>();
+  code->what = CodeValue::What::kLiteralList;
+  std::string canon;
+  for (size_t i = 0; i < literals.size(); ++i) {
+    if (i > 0) canon += ", ";
+    canon += PrintLiteral(literals[i]);
+  }
+  code->canon = std::move(canon);
+  code->literals =
+      std::make_shared<const std::vector<Literal>>(std::move(literals));
+  Value out;
+  out.kind_ = ValueKind::kCode;
+  out.code_ = std::move(code);
+  return out;
+}
+
+Value Value::CodeTermList(std::vector<Term> terms) {
+  auto code = std::make_shared<CodeValue>();
+  code->what = CodeValue::What::kTermList;
+  std::string canon;
+  for (size_t i = 0; i < terms.size(); ++i) {
+    if (i > 0) canon += ", ";
+    canon += PrintTerm(terms[i]);
+  }
+  code->canon = std::move(canon);
+  code->terms = std::make_shared<const std::vector<Term>>(std::move(terms));
+  Value out;
+  out.kind_ = ValueKind::kCode;
+  out.code_ = std::move(code);
+  return out;
+}
+
+Value Value::Part(std::string predicate, Value key) {
+  auto part = std::make_shared<PartValue>();
+  part->canon = util::StrCat(predicate, "[", key.ToString(), "]");
+  part->predicate = std::move(predicate);
+  part->key = std::make_shared<const Value>(std::move(key));
+  Value out;
+  out.kind_ = ValueKind::kPart;
+  out.part_ = std::move(part);
+  return out;
+}
+
+uint64_t Value::Hash() const {
+  uint64_t seed = static_cast<uint64_t>(kind_) * 0x9E3779B97F4A7C15ULL;
+  switch (kind_) {
+    case ValueKind::kNil:
+      return seed;
+    case ValueKind::kBool:
+      return util::HashCombine(seed, scalar_.b ? 1 : 0);
+    case ValueKind::kInt:
+      return util::HashCombine(seed, static_cast<uint64_t>(scalar_.i));
+    case ValueKind::kDouble: {
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(scalar_.d));
+      __builtin_memcpy(&bits, &scalar_.d, sizeof(bits));
+      return util::HashCombine(seed, bits);
+    }
+    case ValueKind::kString:
+    case ValueKind::kSymbol:
+      return util::HashCombine(seed, util::Fnv1a(*text_));
+    case ValueKind::kCode:
+      return util::HashCombine(seed, util::Fnv1a(code_->canon));
+    case ValueKind::kPart:
+      return util::HashCombine(seed, util::Fnv1a(part_->canon));
+  }
+  return seed;
+}
+
+std::string Value::ToString() const {
+  switch (kind_) {
+    case ValueKind::kNil:
+      return "nil";
+    case ValueKind::kBool:
+      return scalar_.b ? "true" : "false";
+    case ValueKind::kInt:
+      return std::to_string(scalar_.i);
+    case ValueKind::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%g", scalar_.d);
+      // Make sure a double prints distinguishably from an int.
+      std::string s(buf);
+      if (s.find_first_of(".einf") == std::string::npos) s += ".0";
+      return s;
+    }
+    case ValueKind::kString:
+      return util::StrCat("\"", util::EscapeQuoted(*text_), "\"");
+    case ValueKind::kSymbol:
+      return *text_;
+    case ValueKind::kCode:
+      return util::StrCat("[| ", code_->canon, " |]");
+    case ValueKind::kPart:
+      return part_->canon;
+  }
+  return "?";
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.kind_ != b.kind_) return false;
+  switch (a.kind_) {
+    case ValueKind::kNil:
+      return true;
+    case ValueKind::kBool:
+      return a.scalar_.b == b.scalar_.b;
+    case ValueKind::kInt:
+      return a.scalar_.i == b.scalar_.i;
+    case ValueKind::kDouble:
+      return a.scalar_.d == b.scalar_.d;
+    case ValueKind::kString:
+    case ValueKind::kSymbol:
+      return *a.text_ == *b.text_;
+    case ValueKind::kCode:
+      return a.code_->canon == b.code_->canon;
+    case ValueKind::kPart:
+      return a.part_->canon == b.part_->canon;
+  }
+  return false;
+}
+
+bool operator<(const Value& a, const Value& b) {
+  if (a.kind_ != b.kind_) {
+    return static_cast<int>(a.kind_) < static_cast<int>(b.kind_);
+  }
+  switch (a.kind_) {
+    case ValueKind::kNil:
+      return false;
+    case ValueKind::kBool:
+      return a.scalar_.b < b.scalar_.b;
+    case ValueKind::kInt:
+      return a.scalar_.i < b.scalar_.i;
+    case ValueKind::kDouble:
+      return a.scalar_.d < b.scalar_.d;
+    case ValueKind::kString:
+    case ValueKind::kSymbol:
+      return *a.text_ < *b.text_;
+    case ValueKind::kCode:
+      return a.code_->canon < b.code_->canon;
+    case ValueKind::kPart:
+      return a.part_->canon < b.part_->canon;
+  }
+  return false;
+}
+
+size_t TupleHash::operator()(const Tuple& t) const {
+  uint64_t h = 0x811C9DC5ULL;
+  for (const Value& v : t) h = util::HashCombine(h, v.Hash());
+  return static_cast<size_t>(h);
+}
+
+std::string TupleToString(const Tuple& t) {
+  std::string out = "(";
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) out += ",";
+    out += t[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace lbtrust::datalog

@@ -1,0 +1,134 @@
+#ifndef LBTRUST_DATALOG_VALUE_H_
+#define LBTRUST_DATALOG_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lbtrust::datalog {
+
+class Rule;
+struct Atom;
+struct Term;
+struct Literal;
+
+/// Runtime value kinds stored in relations.
+///
+/// `kCode` is the distinguishing feature of the engine: a quoted AST
+/// fragment (rule, atom or term) is a first-class value, which is how the
+/// paper's `says(U1,U2,R)` communicates whole rules between principals and
+/// how the meta-model exposes program structure to programs (§3.3).
+/// `kPart` is a partition reference like `export[alice]`, the higher-order
+/// predicate handle used by `predNode` placement rules (§3.4-3.5).
+enum class ValueKind {
+  kNil = 0,
+  kBool,
+  kInt,
+  kDouble,
+  kString,
+  kSymbol,
+  kCode,
+  kPart,
+};
+
+/// A quoted code fragment. Equality and hashing go through the canonical
+/// printed form so that structurally identical fragments (e.g. a rule that
+/// travelled through the network and back) compare equal.
+struct CodeValue {
+  enum class What { kRule, kAtom, kTerm, kLiteralList, kTermList };
+  What what = What::kRule;
+  std::shared_ptr<const Rule> rule;
+  std::shared_ptr<const Atom> atom;
+  std::shared_ptr<const Term> term;
+  /// kLiteralList: what a starred atom pattern (`A*`) binds to.
+  std::shared_ptr<const std::vector<Literal>> literals;
+  /// kTermList: what a starred term pattern (`T*`) binds to.
+  std::shared_ptr<const std::vector<Term>> terms;
+  std::string canon;  ///< canonical printed form (identity)
+};
+
+class Value;
+
+/// A partition reference `pred[key]`.
+struct PartValue {
+  std::string predicate;
+  std::shared_ptr<const Value> key;
+  std::string canon;
+};
+
+/// Immutable tagged value. Cheap to copy: strings and code bodies are
+/// shared.
+class Value {
+ public:
+  /// Nil (used only as "unbound" sentinel inside the evaluator).
+  Value() = default;
+
+  static Value Bool(bool v);
+  static Value Int(int64_t v);
+  static Value Double(double v);
+  static Value Str(std::string v);
+  static Value Sym(std::string v);
+  /// Wraps an AST fragment; canonical form computed internally.
+  static Value CodeRule(std::shared_ptr<const Rule> rule);
+  static Value CodeAtom(std::shared_ptr<const Atom> atom);
+  static Value CodeTerm(std::shared_ptr<const Term> term);
+  static Value CodeLiteralList(std::vector<Literal> literals);
+  static Value CodeTermList(std::vector<Term> terms);
+  static Value Part(std::string predicate, Value key);
+
+  ValueKind kind() const { return kind_; }
+  bool is_nil() const { return kind_ == ValueKind::kNil; }
+
+  bool AsBool() const { return scalar_.b; }
+  int64_t AsInt() const { return scalar_.i; }
+  double AsDouble() const { return scalar_.d; }
+  /// Text payload of kString / kSymbol.
+  const std::string& AsText() const { return *text_; }
+  const CodeValue& AsCode() const { return *code_; }
+  const PartValue& AsPart() const { return *part_; }
+
+  /// Numeric view: kInt/kDouble as double (for `total` aggregation and
+  /// arithmetic); others are not numeric.
+  bool IsNumeric() const {
+    return kind_ == ValueKind::kInt || kind_ == ValueKind::kDouble;
+  }
+  double NumericValue() const {
+    return kind_ == ValueKind::kInt ? static_cast<double>(scalar_.i)
+                                    : scalar_.d;
+  }
+
+  uint64_t Hash() const;
+  /// Display form: symbols bare, strings quoted, code in [| ... |].
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b);
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+  /// Total order across kinds (kind index first), used for deterministic
+  /// output ordering.
+  friend bool operator<(const Value& a, const Value& b);
+
+ private:
+  ValueKind kind_ = ValueKind::kNil;
+  union Scalar {
+    bool b;
+    int64_t i;
+    double d;
+  } scalar_{};
+  std::shared_ptr<const std::string> text_;
+  std::shared_ptr<const CodeValue> code_;
+  std::shared_ptr<const PartValue> part_;
+};
+
+/// A row in a relation.
+using Tuple = std::vector<Value>;
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const;
+};
+
+std::string TupleToString(const Tuple& t);
+
+}  // namespace lbtrust::datalog
+
+#endif  // LBTRUST_DATALOG_VALUE_H_

@@ -1,0 +1,784 @@
+#include "datalog/workspace.h"
+
+#include <algorithm>
+
+#include "datalog/parser.h"
+#include "datalog/pretty.h"
+#include "util/strings.h"
+
+namespace lbtrust::datalog {
+
+using util::Result;
+using util::Status;
+
+Workspace::Workspace(Options options) : options_(std::move(options)) {
+  RegisterStandardBuiltins(&builtins_);
+  // Meta relations maintained by the workspace itself.
+  (void)EnsurePredicate("active", 1);
+  (void)EnsurePredicate("owner", 2);
+  (void)EnsurePredicate("pname", 2);
+}
+
+Status Workspace::EnsurePredicate(const std::string& name, size_t arity,
+                                  bool partitioned) {
+  bool existed = catalog_.Exists(name);
+  LB_RETURN_IF_ERROR(catalog_.Declare(name, arity, partitioned));
+  edb_.GetOrCreate(name, arity);
+  if (!existed && !util::StartsWith(name, "$")) {
+    Relation* pname = edb_.GetOrCreate("pname", 2);
+    pname->Insert({Value::Sym(name), Value::Str(name)});
+  }
+  return util::OkStatus();
+}
+
+Status Workspace::DeclareAtomPredicate(const Atom& atom) {
+  if (atom.meta_atom || atom.meta_functor) {
+    return util::UnsafeProgram(
+        util::StrCat("meta pattern cannot be installed directly: ",
+                     PrintAtom(atom)));
+  }
+  const BuiltinDef* builtin = builtins_.Find(atom.predicate);
+  if (builtin != nullptr) {
+    if (builtin->arity != atom.Arity()) {
+      return util::TypeError(util::StrCat("builtin '", atom.predicate,
+                                          "' expects ", builtin->arity,
+                                          " arguments"));
+    }
+    return util::OkStatus();
+  }
+  return EnsurePredicate(atom.predicate, atom.Arity(),
+                         atom.partition != nullptr);
+}
+
+void Workspace::RegisterBuiltin(const std::string& name, size_t arity,
+                                std::vector<std::string> modes, BuiltinFn fn) {
+  builtins_.Register(name, arity, std::move(modes), std::move(fn));
+  catalog_.MarkBuiltin(name, arity);
+}
+
+Status Workspace::Load(std::string_view program) {
+  return LoadClauses(options_.principal, program);
+}
+
+Status Workspace::LoadAs(const std::string& principal,
+                         std::string_view program) {
+  return LoadClauses(principal, program);
+}
+
+Status Workspace::LoadClauses(const std::string& principal,
+                              std::string_view program) {
+  LB_ASSIGN_OR_RETURN(std::vector<ParsedClause> clauses,
+                      ParseProgram(program));
+  for (ParsedClause& clause : clauses) {
+    if (clause.kind == ParsedClause::Kind::kRule) {
+      for (Rule& rule : clause.rules) {
+        Rule resolved = ResolveMeRule(rule, principal);
+        // `fail() <- body.` is the raw constraint form (§3.2).
+        if (resolved.heads.size() == 1 &&
+            resolved.heads[0].predicate == "fail" &&
+            resolved.heads[0].args.empty() && !resolved.body.empty()) {
+          Constraint c;
+          c.label = resolved.label;
+          c.lhs = resolved.body;
+          c.display = PrintRule(resolved);
+          LB_RETURN_IF_ERROR(CompileConstraint(std::move(c)));
+          continue;
+        }
+        // Split multi-head rules.
+        for (const Atom& head : resolved.heads) {
+          Rule single;
+          single.label = resolved.label;
+          single.heads = {CloneAtom(head)};
+          single.body = resolved.body;
+          single.aggregate = resolved.aggregate;
+          LB_RETURN_IF_ERROR(InstallResolved(std::move(single), principal,
+                                             /*hidden=*/false));
+        }
+      }
+    } else {
+      for (Constraint& c : clause.constraints) {
+        Constraint resolved;
+        resolved.label = c.label;
+        resolved.display = c.display;
+        for (const Literal& l : c.lhs) {
+          resolved.lhs.push_back(
+              Literal{ResolveMeAtom(l.atom, principal), l.negated});
+        }
+        for (const auto& alt : c.rhs_dnf) {
+          std::vector<Literal> out;
+          for (const Literal& l : alt) {
+            out.push_back(Literal{ResolveMeAtom(l.atom, principal), l.negated});
+          }
+          resolved.rhs_dnf.push_back(std::move(out));
+        }
+        LB_RETURN_IF_ERROR(AddConstraint(resolved));
+      }
+    }
+  }
+  return util::OkStatus();
+}
+
+Status Workspace::AddRule(const Rule& rule) {
+  return AddRuleAs(options_.principal, rule);
+}
+
+Status Workspace::AddRuleAs(const std::string& principal, const Rule& rule) {
+  Rule resolved = ResolveMeRule(rule, principal);
+  for (const Atom& head : resolved.heads) {
+    Rule single;
+    single.label = resolved.label;
+    single.heads = {CloneAtom(head)};
+    single.body = resolved.body;
+    single.aggregate = resolved.aggregate;
+    LB_RETURN_IF_ERROR(
+        InstallResolved(std::move(single), principal, /*hidden=*/false));
+  }
+  return util::OkStatus();
+}
+
+Status Workspace::AddRuleText(std::string_view text) {
+  LB_ASSIGN_OR_RETURN(Rule rule, ParseRuleText(text));
+  return AddRule(rule);
+}
+
+Status Workspace::InstallFactRule(const Rule& rule, const std::string& owner,
+                                  bool from_activation) {
+  // Facts with fully ground heads go straight to the EDB; facts whose heads
+  // contain quoted code keep inner variables as values.
+  for (const Atom& head : rule.heads) {
+    LB_RETURN_IF_ERROR(DeclareAtomPredicate(head));
+    VarTable no_vars;
+    Bindings no_bindings;
+    Tuple tuple;
+    if (head.partition) {
+      LB_ASSIGN_OR_RETURN(Value v,
+                          EvalGroundTerm(*head.partition, no_vars,
+                                         no_bindings));
+      tuple.push_back(std::move(v));
+    }
+    for (const Term& t : head.args) {
+      LB_ASSIGN_OR_RETURN(Value v, EvalGroundTerm(t, no_vars, no_bindings));
+      tuple.push_back(std::move(v));
+    }
+    if (from_activation && options_.track_provenance) {
+      // Chain the activated fact to its active(R) witness, which in turn
+      // chains to the says/export derivation that produced it.
+      Derivation d;
+      d.kind = Derivation::Kind::kActivated;
+      d.rule_canon = PrintRule(rule);
+      d.premises.emplace_back(
+          "active",
+          Tuple{Value::CodeRule(
+              std::make_shared<const Rule>(CloneRule(rule)))});
+      provenance_.Record(head.predicate, tuple, std::move(d));
+    }
+    LB_RETURN_IF_ERROR(AddFact(head.predicate, std::move(tuple)));
+  }
+  (void)owner;
+  return util::OkStatus();
+}
+
+Status Workspace::InstallResolved(Rule rule, const std::string& owner,
+                                  bool hidden, bool from_activation) {
+  // Pure ground facts are EDB inserts, not rules.
+  if (rule.IsFact()) {
+    bool ground = true;
+    for (const Atom& h : rule.heads) {
+      std::vector<std::string> vars;
+      CollectAtomVars(h, &vars);
+      if (!vars.empty() || h.meta_atom || h.meta_functor) {
+        ground = false;
+        break;
+      }
+    }
+    if (ground) return InstallFactRule(rule, owner, from_activation);
+  }
+
+  std::string canon = PrintRule(rule);
+  if (rules_by_canon_.count(canon) > 0) return util::OkStatus();
+
+  auto installed = std::make_unique<InstalledRule>();
+  LB_ASSIGN_OR_RETURN(installed->compiled, CompileRule(rule, builtins_));
+  installed->rule = std::move(rule);
+  installed->canon = canon;
+  installed->owner = owner;
+  installed->hidden = hidden;
+  installed->id = hidden ? -(next_hidden_id_++) : next_rule_id_++;
+
+  // Declare predicates.
+  LB_RETURN_IF_ERROR(DeclareAtomPredicate(installed->rule.heads[0]));
+  if (builtins_.Find(installed->rule.heads[0].predicate) != nullptr) {
+    return util::UnsafeProgram(
+        util::StrCat("cannot derive builtin predicate '",
+                     installed->rule.heads[0].predicate, "'"));
+  }
+  catalog_.MarkDerived(installed->rule.heads[0].predicate);
+  for (const Literal& l : installed->rule.body) {
+    if (l.atom.meta_atom || l.atom.meta_functor) continue;  // caught below
+    LB_RETURN_IF_ERROR(DeclareAtomPredicate(l.atom));
+  }
+
+  if (!hidden) {
+    // Meta bookkeeping: active(R), owner(R,U).
+    Value code = Value::CodeRule(
+        std::make_shared<const Rule>(CloneRule(installed->rule)));
+    LB_RETURN_IF_ERROR(AddFact("active", {code}));
+    LB_RETURN_IF_ERROR(AddFact("owner", {code, Value::Sym(owner)}));
+    if (install_hook_) install_hook_(installed->rule, installed->id);
+  }
+
+  rules_by_canon_[canon] = installed.get();
+  rules_.push_back(std::move(installed));
+  return util::OkStatus();
+}
+
+Status Workspace::RemoveRule(const Rule& rule) {
+  Rule resolved = ResolveMeRule(rule, options_.principal);
+  std::string canon = PrintRule(resolved);
+  auto it = rules_by_canon_.find(canon);
+  if (it == rules_by_canon_.end()) {
+    return util::NotFound(util::StrCat("no such rule: ", canon));
+  }
+  InstalledRule* target = it->second;
+  Value code =
+      Value::CodeRule(std::make_shared<const Rule>(CloneRule(target->rule)));
+  (void)RemoveFact("active", {code});
+  (void)RemoveFact("owner", {code, Value::Sym(target->owner)});
+  if (remove_hook_ && !target->hidden) remove_hook_(target->rule);
+  rules_by_canon_.erase(it);
+  rules_.erase(std::remove_if(rules_.begin(), rules_.end(),
+                              [&](const std::unique_ptr<InstalledRule>& r) {
+                                return r.get() == target;
+                              }),
+               rules_.end());
+  return util::OkStatus();
+}
+
+Status Workspace::AddFact(const std::string& pred, Tuple tuple) {
+  if (builtins_.Find(pred) != nullptr) {
+    return util::InvalidArgument(
+        util::StrCat("cannot assert builtin predicate '", pred, "'"));
+  }
+  LB_RETURN_IF_ERROR(EnsurePredicate(pred, tuple.size()));
+  Relation* rel = edb_.GetOrCreate(pred, tuple.size());
+  if (rel->arity() != tuple.size()) {
+    return util::TypeError(util::StrCat("fact arity mismatch for '", pred,
+                                        "': got ", tuple.size(), ", expected ",
+                                        rel->arity()));
+  }
+  rel->Insert(std::move(tuple));
+  return util::OkStatus();
+}
+
+Status Workspace::RemoveFact(const std::string& pred, const Tuple& tuple) {
+  Relation* rel = edb_.Get(pred);
+  if (rel == nullptr || !rel->Erase(tuple)) {
+    return util::NotFound(util::StrCat("no such fact in '", pred, "'"));
+  }
+  return util::OkStatus();
+}
+
+Status Workspace::AddFactText(std::string_view text) {
+  return AddFactTextAs(options_.principal, text);
+}
+
+Status Workspace::AddFactTextAs(const std::string& principal,
+                                std::string_view text) {
+  LB_ASSIGN_OR_RETURN(std::vector<ParsedClause> clauses, ParseProgram(text));
+  for (const ParsedClause& clause : clauses) {
+    if (clause.kind != ParsedClause::Kind::kRule) {
+      return util::InvalidArgument("expected facts, found a constraint");
+    }
+    for (const Rule& rule : clause.rules) {
+      if (!rule.IsFact()) {
+        return util::InvalidArgument("expected facts, found a rule");
+      }
+      LB_RETURN_IF_ERROR(
+          InstallFactRule(ResolveMeRule(rule, principal), principal));
+    }
+  }
+  return util::OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Constraints
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void CollectLiteralVarsDeep(const Literal& lit, std::vector<std::string>* out);
+
+void CollectTermVarsDeepLocal(const Term& t, std::vector<std::string>* out) {
+  switch (t.kind) {
+    case Term::Kind::kVariable:
+      out->push_back(t.var);
+      return;
+    case Term::Kind::kStarVar:
+      out->push_back(StarKey(t.var));
+      return;
+    case Term::Kind::kExpr:
+      CollectTermVarsDeepLocal(*t.lhs, out);
+      CollectTermVarsDeepLocal(*t.rhs, out);
+      return;
+    case Term::Kind::kPartRef:
+      CollectTermVarsDeepLocal(*t.part_key, out);
+      return;
+    case Term::Kind::kConstant:
+      if (t.value.kind() == ValueKind::kCode) {
+        const CodeValue& code = t.value.AsCode();
+        if (code.what == CodeValue::What::kRule) {
+          for (const Atom& h : code.rule->heads) {
+            CollectLiteralVarsDeep(Literal{h, false}, out);
+          }
+          for (const Literal& l : code.rule->body) {
+            CollectLiteralVarsDeep(l, out);
+          }
+        } else if (code.what == CodeValue::What::kAtom) {
+          CollectLiteralVarsDeep(Literal{*code.atom, false}, out);
+        } else if (code.what == CodeValue::What::kTerm) {
+          CollectTermVarsDeepLocal(*code.term, out);
+        }
+      }
+      return;
+    default:
+      return;
+  }
+}
+
+void CollectLiteralVarsDeep(const Literal& lit, std::vector<std::string>* out) {
+  const Atom& a = lit.atom;
+  if (a.meta_atom) {
+    out->push_back(a.star ? StarKey(a.predicate) : a.predicate);
+    return;
+  }
+  if (a.meta_functor) out->push_back(a.predicate);
+  if (a.partition) CollectTermVarsDeepLocal(*a.partition, out);
+  for (const Term& t : a.args) CollectTermVarsDeepLocal(t, out);
+}
+
+std::set<std::string> VarSet(const std::vector<Literal>& lits) {
+  std::vector<std::string> vars;
+  for (const Literal& l : lits) CollectLiteralVarsDeep(l, &vars);
+  return {vars.begin(), vars.end()};
+}
+
+}  // namespace
+
+Status Workspace::AddConstraint(const Constraint& constraint) {
+  // Declaration forms.
+  if (constraint.rhs_dnf.empty()) {
+    if (constraint.lhs.size() == 1 && !constraint.lhs[0].negated) {
+      const Atom& atom = constraint.lhs[0].atom;
+      if (atom.Arity() == 1 && builtins_.Find(atom.predicate) == nullptr) {
+        LB_RETURN_IF_ERROR(catalog_.DeclareEntityType(atom.predicate));
+        return EnsurePredicate(atom.predicate, 1);
+      }
+      return DeclareAtomPredicate(atom);
+    }
+    return util::InvalidArgument(
+        util::StrCat("declaration must be a single atom: ",
+                     constraint.display));
+  }
+
+  // Record column types for declaration-shaped constraints:
+  //   p(X,Y,...) -> t1(X), t2(Y), ... (single alternative, unary RHS).
+  if (constraint.lhs.size() == 1 && !constraint.lhs[0].negated &&
+      constraint.rhs_dnf.size() == 1) {
+    const Atom& atom = constraint.lhs[0].atom;
+    std::vector<Term> cols;
+    if (atom.partition) cols.push_back(*atom.partition);
+    cols.insert(cols.end(), atom.args.begin(), atom.args.end());
+    bool all_vars = !cols.empty();
+    for (const Term& t : cols) {
+      if (!t.is_variable()) all_vars = false;
+    }
+    if (all_vars) {
+      LB_RETURN_IF_ERROR(DeclareAtomPredicate(atom));
+      std::vector<std::string> types(cols.size(), "");
+      bool shape_ok = true;
+      for (const Literal& l : constraint.rhs_dnf[0]) {
+        if (l.negated || l.atom.Arity() != 1 || l.atom.args.size() != 1 ||
+            !l.atom.args[0].is_variable()) {
+          shape_ok = false;
+          break;
+        }
+        for (size_t i = 0; i < cols.size(); ++i) {
+          if (cols[i].var == l.atom.args[0].var) {
+            types[i] = l.atom.predicate;
+          }
+        }
+      }
+      if (shape_ok) {
+        LB_RETURN_IF_ERROR(catalog_.SetArgTypes(atom.predicate, types));
+      }
+    }
+  }
+
+  return CompileConstraint(constraint);
+}
+
+Status Workspace::CompileConstraint(Constraint constraint) {
+  auto cc = std::make_unique<CompiledConstraint>();
+  cc->display = constraint.display.empty() ? PrintConstraint(constraint)
+                                           : constraint.display;
+
+  // Declare LHS predicates so queries do not fail on unknown relations.
+  for (const Literal& l : constraint.lhs) {
+    if (!l.atom.meta_atom && !l.atom.meta_functor) {
+      LB_RETURN_IF_ERROR(DeclareAtomPredicate(l.atom));
+    }
+  }
+
+  std::set<std::string> lhs_vars = VarSet(constraint.lhs);
+
+  // For each RHS alternative, build a "check" formula whose satisfaction
+  // given LHS bindings certifies the constraint; the violation query is
+  // LHS ∧ ¬check_1 ∧ ... ∧ ¬check_n. Single-literal alternatives negate
+  // in place (wildcard negation handles existentials); multi-literal
+  // alternatives with cross-literal existential variables compile to a
+  // hidden auxiliary predicate.
+  //
+  // A "check" contributes either one literal (possibly negated) or a
+  // disjunction of negated literals (per-literal split); the latter forces
+  // a DNF expansion into multiple violation queries.
+  std::vector<std::vector<Literal>> fail_bodies;
+  fail_bodies.push_back(constraint.lhs);
+
+  for (size_t alt_idx = 0; alt_idx < constraint.rhs_dnf.size(); ++alt_idx) {
+    const std::vector<Literal>& alt = constraint.rhs_dnf[alt_idx];
+    for (const Literal& l : alt) {
+      if (!l.atom.meta_atom && !l.atom.meta_functor) {
+        LB_RETURN_IF_ERROR(DeclareAtomPredicate(l.atom));
+      }
+    }
+    if (alt.size() == 1) {
+      Literal negated = alt[0];
+      negated.negated = !negated.negated;
+      for (auto& body : fail_bodies) body.push_back(negated);
+      continue;
+    }
+    // Does an existential variable span multiple literals?
+    std::map<std::string, int> occurrence;
+    for (const Literal& l : alt) {
+      std::set<std::string> vars = VarSet({l});
+      for (const std::string& v : vars) {
+        if (lhs_vars.count(v) == 0) occurrence[v] += 1;
+      }
+    }
+    bool cross_literal = false;
+    for (const auto& [var, count] : occurrence) {
+      if (count > 1) cross_literal = true;
+    }
+    if (!cross_literal) {
+      // ¬(a ∧ b) = ¬a ∨ ¬b: split into one violation query per literal.
+      std::vector<std::vector<Literal>> expanded;
+      for (const Literal& l : alt) {
+        Literal negated = l;
+        negated.negated = !negated.negated;
+        for (const auto& body : fail_bodies) {
+          std::vector<Literal> next = body;
+          next.push_back(negated);
+          expanded.push_back(std::move(next));
+        }
+      }
+      fail_bodies = std::move(expanded);
+      continue;
+    }
+    // Auxiliary predicate over the variables shared with the LHS.
+    std::set<std::string> alt_vars = VarSet(alt);
+    std::vector<std::string> shared;
+    for (const std::string& v : alt_vars) {
+      if (lhs_vars.count(v)) shared.push_back(v);
+    }
+    std::string aux_name =
+        util::StrCat("$chk", next_constraint_id_, "_", alt_idx);
+    Rule aux;
+    Atom head;
+    head.predicate = aux_name;
+    for (const std::string& v : shared) {
+      head.args.push_back(Term::Variable(v));
+    }
+    aux.heads = {head};
+    aux.body = alt;
+    cc->aux_canons.push_back(PrintRule(aux));
+    LB_RETURN_IF_ERROR(
+        InstallResolved(std::move(aux), options_.principal, /*hidden=*/true));
+    Literal check;
+    check.atom = head;
+    check.negated = true;
+    for (auto& body : fail_bodies) body.push_back(check);
+  }
+
+  // Compile each violation query.
+  for (auto& body : fail_bodies) {
+    Rule fail_rule;
+    Atom head;
+    head.predicate = util::StrCat("$fail", next_constraint_id_);
+    // Head carries the LHS variables for the diagnostic message.
+    for (const std::string& v : lhs_vars) {
+      head.args.push_back(Term::Variable(v));
+    }
+    fail_rule.heads = {head};
+    fail_rule.body = body;
+    auto compiled = CompileRule(fail_rule, builtins_);
+    if (!compiled.ok()) {
+      return util::UnsafeProgram(
+          util::StrCat("constraint not enforceable (", cc->display,
+                       "): ", compiled.status().message()));
+    }
+    cc->fail_rules.push_back(std::move(*compiled));
+  }
+  cc->label = constraint.label;
+  cc->source = std::move(constraint);
+  constraints_.push_back(std::move(cc));
+  ++next_constraint_id_;
+  return util::OkStatus();
+}
+
+Status Workspace::RemoveConstraintsByLabel(const std::string& label) {
+  if (label.empty()) return util::InvalidArgument("empty constraint label");
+  bool found = false;
+  for (auto it = constraints_.begin(); it != constraints_.end();) {
+    if ((*it)->label != label) {
+      ++it;
+      continue;
+    }
+    found = true;
+    for (const std::string& canon : (*it)->aux_canons) {
+      auto rit = rules_by_canon_.find(canon);
+      if (rit != rules_by_canon_.end()) {
+        InstalledRule* target = rit->second;
+        rules_by_canon_.erase(rit);
+        rules_.erase(std::remove_if(rules_.begin(), rules_.end(),
+                                    [&](const std::unique_ptr<InstalledRule>&
+                                            r) { return r.get() == target; }),
+                     rules_.end());
+      }
+    }
+    it = constraints_.erase(it);
+  }
+  if (!found) {
+    return util::NotFound(util::StrCat("no constraint labeled '", label,
+                                       "'"));
+  }
+  return util::OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Fixpoint
+// ---------------------------------------------------------------------------
+
+Status Workspace::PrepareStore() {
+  store_.relations().clear();
+  for (const auto& [name, rel] : edb_.relations()) {
+    Relation* dst = store_.GetOrCreate(name, rel.arity());
+    for (const Tuple& t : rel.rows()) {
+      if (options_.track_provenance) {
+        provenance_.Record(name, t, Derivation{});  // kBase; first wins
+      }
+      dst->Insert(t);
+    }
+  }
+  return util::OkStatus();
+}
+
+Status Workspace::RunRules() {
+  std::vector<const Rule*> plain;
+  std::vector<CompiledRule*> compiled;
+  for (const auto& r : rules_) {
+    plain.push_back(&r->rule);
+    compiled.push_back(r->compiled.get());
+  }
+  LB_ASSIGN_OR_RETURN(Stratification strat, Stratify(plain, builtins_));
+  Evaluator evaluator(&builtins_, &store_,
+                      options_.track_provenance ? &provenance_ : nullptr);
+  return evaluator.Run(compiled, strat, options_.limits,
+                       options_.naive_eval);
+}
+
+Result<int> Workspace::ScanAndInstallActive() {
+  const Relation* active = store_.Get("active");
+  if (active == nullptr) return 0;
+  std::vector<Rule> pending;
+  for (const Tuple& t : active->rows()) {
+    if (t.size() != 1 || t[0].kind() != ValueKind::kCode) continue;
+    const CodeValue& code = t[0].AsCode();
+    if (code.what != CodeValue::What::kRule) continue;
+    if (rules_by_canon_.count(code.canon) > 0) continue;
+    // Ground facts activated via `active` land in the EDB; skip if present.
+    pending.push_back(CloneRule(*code.rule));
+  }
+  int installed = 0;
+  for (Rule& rule : pending) {
+    Rule resolved = ResolveMeRule(rule, options_.principal);
+    if (resolved.IsFact()) {
+      // Check EDB membership to avoid infinite re-activation.
+      bool all_present = true;
+      for (const Atom& h : resolved.heads) {
+        VarTable no_vars;
+        Bindings no_bindings;
+        Tuple tuple;
+        bool ground = true;
+        if (h.partition) {
+          Result<Value> v = EvalGroundTerm(*h.partition, no_vars, no_bindings);
+          if (!v.ok()) { ground = false; } else { tuple.push_back(*v); }
+        }
+        for (const Term& t : h.args) {
+          Result<Value> v = EvalGroundTerm(t, no_vars, no_bindings);
+          if (!v.ok()) { ground = false; break; }
+          tuple.push_back(*v);
+        }
+        const Relation* rel = ground ? edb_.Get(h.predicate) : nullptr;
+        if (!ground || rel == nullptr || !rel->Contains(tuple)) {
+          all_present = false;
+        }
+      }
+      if (all_present) continue;
+    }
+    for (const Atom& head : resolved.heads) {
+      Rule single;
+      single.label = resolved.label;
+      single.heads = {CloneAtom(head)};
+      single.body = resolved.body;
+      single.aggregate = resolved.aggregate;
+      LB_RETURN_IF_ERROR(InstallResolved(std::move(single),
+                                         options_.principal,
+                                         /*hidden=*/false,
+                                         /*from_activation=*/true));
+    }
+    ++installed;
+  }
+  return installed;
+}
+
+void Workspace::CheckConstraints() {
+  Evaluator evaluator(&builtins_, &store_);
+  for (const auto& cc : constraints_) {
+    for (const auto& fail_rule : cc->fail_rules) {
+      int hits = 0;
+      Status st = evaluator.EvalQuery(fail_rule.get(), [&](const Bindings& b) {
+        if (hits >= 3) return;  // cap diagnostics per constraint
+        std::string detail;
+        for (size_t i = 0; i < fail_rule->head_cols.size(); ++i) {
+          const CompiledArg& col = fail_rule->head_cols[i];
+          if (col.kind != CompiledArg::Kind::kVar) continue;
+          if (!b.IsBound(col.slot)) continue;
+          if (!detail.empty()) detail += ", ";
+          detail += util::StrCat(fail_rule->vars.name(col.slot), "=",
+                                 b.slots[col.slot].ToString());
+        }
+        violations_.push_back(util::StrCat("constraint violated: ",
+                                           cc->display,
+                                           detail.empty() ? "" : " [",
+                                           detail,
+                                           detail.empty() ? "" : "]"));
+        ++hits;
+      });
+      if (!st.ok()) {
+        violations_.push_back(util::StrCat("constraint check failed: ",
+                                           cc->display, ": ",
+                                           st.ToString()));
+      }
+    }
+  }
+}
+
+Status Workspace::Fixpoint() {
+  violations_.clear();
+  last_codegen_rounds_ = 0;
+  if (options_.track_provenance) provenance_.Clear();
+  for (int round = 0; round < options_.max_codegen_rounds; ++round) {
+    ++last_codegen_rounds_;
+    LB_RETURN_IF_ERROR(PrepareStore());
+    LB_RETURN_IF_ERROR(RunRules());
+    LB_ASSIGN_OR_RETURN(int installed, ScanAndInstallActive());
+    if (installed == 0) {
+      if (options_.check_constraints) {
+        CheckConstraints();
+        if (!violations_.empty()) {
+          return util::ConstraintViolation(util::StrCat(
+              violations_.size(), " violation(s); first: ", violations_[0]));
+        }
+      }
+      return util::OkStatus();
+    }
+  }
+  return util::Internal("codegen did not reach quiescence (cycle in "
+                        "meta-rules?)");
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------------
+
+Result<std::vector<Tuple>> Workspace::Query(std::string_view atom_text) {
+  LB_ASSIGN_OR_RETURN(Atom atom, ParseAtomText(atom_text));
+  Atom resolved = ResolveMeAtom(atom, options_.principal);
+  if (builtins_.Find(resolved.predicate) != nullptr) {
+    return util::InvalidArgument("cannot query a builtin predicate");
+  }
+  Rule query;
+  query.heads = {resolved};
+  query.body = {Literal{resolved, false}};
+  LB_ASSIGN_OR_RETURN(std::unique_ptr<CompiledRule> compiled,
+                      CompileRule(query, builtins_));
+  std::vector<Tuple> out;
+  Evaluator evaluator(&builtins_, &store_);
+  LB_RETURN_IF_ERROR(
+      evaluator.EvalQuery(compiled.get(), [&](const Bindings& b) {
+        Tuple t;
+        bool ok = true;
+        for (const CompiledArg& col : compiled->head_cols) {
+          Value v;
+          Result<Value> gv = EvalGroundTerm(col.term, compiled->vars, b);
+          if (!gv.ok()) {
+            ok = false;
+            break;
+          }
+          t.push_back(std::move(*gv));
+        }
+        if (ok) out.push_back(std::move(t));
+      }));
+  return out;
+}
+
+Result<size_t> Workspace::Count(std::string_view atom_text) {
+  LB_ASSIGN_OR_RETURN(std::vector<Tuple> rows, Query(atom_text));
+  return rows.size();
+}
+
+Result<std::string> Workspace::Explain(std::string_view atom_text) {
+  if (!options_.track_provenance) {
+    return util::FailedPrecondition(
+        "provenance tracking is disabled (Options::track_provenance)");
+  }
+  LB_ASSIGN_OR_RETURN(Atom atom, ParseAtomText(atom_text));
+  Atom resolved = ResolveMeAtom(atom, options_.principal);
+  LB_ASSIGN_OR_RETURN(std::vector<Tuple> rows, Query(atom_text));
+  if (rows.empty()) {
+    return util::NotFound(util::StrCat("no tuples match ", atom_text));
+  }
+  std::string out;
+  for (const Tuple& t : rows) {
+    out += provenance_.Explain(resolved.predicate, t);
+  }
+  return out;
+}
+
+const Relation* Workspace::GetRelation(const std::string& name) const {
+  return store_.Get(name);
+}
+
+std::vector<const Rule*> Workspace::rules() const {
+  std::vector<const Rule*> out;
+  for (const auto& r : rules_) {
+    if (!r->hidden) out.push_back(&r->rule);
+  }
+  return out;
+}
+
+bool Workspace::HasRule(const std::string& canon) const {
+  return rules_by_canon_.count(canon) > 0;
+}
+
+}  // namespace lbtrust::datalog

@@ -1,0 +1,192 @@
+#ifndef LBTRUST_DATALOG_WORKSPACE_H_
+#define LBTRUST_DATALOG_WORKSPACE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "datalog/builtins.h"
+#include "datalog/catalog.h"
+#include "datalog/eval.h"
+#include "util/status.h"
+
+namespace lbtrust::datalog {
+
+/// A workspace is a database instance: predicate definitions, EDB facts and
+/// a set of active rules (§3.1). Fixpoint() recomputes the derived state
+/// bottom-up (semi-naive, stratified), then runs the meta-programming loop —
+/// code values derived into `active` are installed as new rules and the
+/// fixpoint repeats — and finally checks schema constraints, failing with
+/// kConstraintViolation like LogicBlox's fail() (§3.2).
+///
+/// The `me` keyword in loaded programs resolves to the workspace principal
+/// (or to an explicit principal via the *As APIs, which is how the §9 demo
+/// emulates multiple principals inside one shared workspace). Each installed
+/// rule R is recorded in the meta relations `active(R)` and `owner(R,U)`.
+class Workspace {
+ public:
+  struct Options {
+    /// The principal that `me` denotes.
+    std::string principal = "local";
+    /// Codegen (active-rule installation) iterations per Fixpoint().
+    int max_codegen_rounds = 64;
+    /// Evaluator budgets (diverging-program guards).
+    Evaluator::Limits limits;
+    /// Disable semi-naive deltas (naive fixpoint) — ablation only.
+    bool naive_eval = false;
+    /// If false, constraints are compiled but not checked (ablation).
+    bool check_constraints = true;
+    /// Record a derivation witness per derived tuple (§7's provenance
+    /// extension); query via Explain(). Off by default (memory cost).
+    bool track_provenance = false;
+  };
+
+  Workspace() : Workspace(Options()) {}
+  explicit Workspace(Options options);
+
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  const Options& options() const { return options_; }
+  const std::string& principal() const { return options_.principal; }
+
+  /// Parses and installs a program (rules, facts, constraints).
+  util::Status Load(std::string_view program);
+  /// Same, with `me` resolved to `principal` (shared-workspace emulation).
+  util::Status LoadAs(const std::string& principal, std::string_view program);
+
+  /// Installs one rule (multi-head rules are split). Duplicate rules
+  /// (by canonical form) are no-ops.
+  util::Status AddRule(const Rule& rule);
+  util::Status AddRuleAs(const std::string& principal, const Rule& rule);
+  util::Status AddRuleText(std::string_view text);
+
+  /// Retracts a rule by canonical form; derived consequences disappear at
+  /// the next Fixpoint(). Returns kNotFound if absent.
+  util::Status RemoveRule(const Rule& rule);
+
+  /// EDB fact manipulation. Unknown predicates are declared with the
+  /// tuple's arity.
+  util::Status AddFact(const std::string& pred, Tuple tuple);
+  util::Status RemoveFact(const std::string& pred, const Tuple& tuple);
+  /// Parses "p(a,b). q(1)." style fact text (me-resolved).
+  util::Status AddFactText(std::string_view text);
+  util::Status AddFactTextAs(const std::string& principal,
+                             std::string_view text);
+
+  util::Status AddConstraint(const Constraint& constraint);
+
+  /// Removes all constraints carrying this label (e.g. "exp3"), including
+  /// their hidden auxiliary rules. Used when reconfiguring authentication
+  /// schemes at runtime. Returns kNotFound if no constraint matched.
+  util::Status RemoveConstraintsByLabel(const std::string& label);
+
+  /// Registers a builtin predicate (see BuiltinDef for mode strings).
+  void RegisterBuiltin(const std::string& name, size_t arity,
+                       std::vector<std::string> modes, BuiltinFn fn);
+
+  /// Ensures a predicate exists (declared relations appear in pname).
+  util::Status EnsurePredicate(const std::string& name, size_t arity,
+                               bool partitioned = false);
+
+  /// Recomputes derived state; runs codegen to quiescence; checks
+  /// constraints. On violation returns kConstraintViolation and records
+  /// details in violations().
+  util::Status Fixpoint();
+
+  /// Matches an atom pattern ("access(P,O,read)") against the current
+  /// (post-Fixpoint) state; returns the matching stored tuples.
+  util::Result<std::vector<Tuple>> Query(std::string_view atom_text);
+  /// Convenience: number of matches.
+  util::Result<size_t> Count(std::string_view atom_text);
+
+  /// Renders derivation trees for every tuple matching the atom pattern
+  /// (requires Options::track_provenance and a prior Fixpoint()). This is
+  /// the §7 provenance extension: chains of trust become inspectable.
+  util::Result<std::string> Explain(std::string_view atom_text);
+  const ProvenanceStore& provenance() const { return provenance_; }
+
+  const Relation* GetRelation(const std::string& name) const;
+  const Catalog& catalog() const { return catalog_; }
+  BuiltinRegistry* builtins() { return &builtins_; }
+
+  /// Installed rules in install order.
+  std::vector<const Rule*> rules() const;
+  /// True if a rule with this canonical form is installed.
+  bool HasRule(const std::string& canon) const;
+
+  /// Constraint-violation report from the last Fixpoint().
+  const std::vector<std::string>& violations() const { return violations_; }
+
+  /// Hook invoked for every installed rule (used by meta::Reflector).
+  /// Hidden engine predicates (aux constraint rules) do not trigger it.
+  using InstallHook = std::function<void(const Rule& rule, int rule_id)>;
+  void SetInstallHook(InstallHook hook) { install_hook_ = std::move(hook); }
+
+  /// Hook invoked when a rule is retracted via RemoveRule.
+  using RemoveHook = std::function<void(const Rule& rule)>;
+  void SetRemoveHook(RemoveHook hook) { remove_hook_ = std::move(hook); }
+
+  /// Number of fixpoint iterations the last Fixpoint() used (codegen
+  /// rounds); exposed for tests and benchmarks.
+  int last_codegen_rounds() const { return last_codegen_rounds_; }
+
+ private:
+  struct InstalledRule {
+    Rule rule;
+    std::string canon;
+    int id = 0;
+    std::string owner;
+    bool hidden = false;  // constraint aux rules
+    std::unique_ptr<CompiledRule> compiled;
+  };
+
+  struct CompiledConstraint {
+    Constraint source;
+    std::string label;
+    std::string display;
+    /// Violation queries: constraint violated iff any has a solution.
+    std::vector<std::unique_ptr<CompiledRule>> fail_rules;
+    /// Canonical forms of the hidden aux rules this constraint installed.
+    std::vector<std::string> aux_canons;
+  };
+
+  util::Status LoadClauses(const std::string& principal,
+                           std::string_view program);
+  util::Status InstallResolved(Rule rule, const std::string& owner,
+                               bool hidden, bool from_activation = false);
+  util::Status InstallFactRule(const Rule& rule, const std::string& owner,
+                               bool from_activation = false);
+  util::Status CompileConstraint(Constraint constraint);
+  util::Status DeclareAtomPredicate(const Atom& atom);
+  util::Status PrepareStore();
+  util::Status RunRules();
+  util::Result<int> ScanAndInstallActive();
+  void CheckConstraints();
+
+  Options options_;
+  Catalog catalog_;
+  BuiltinRegistry builtins_;
+  RelationStore edb_;    // explicit facts
+  RelationStore store_;  // visible state (EDB + derived), rebuilt by Fixpoint
+  std::vector<std::unique_ptr<InstalledRule>> rules_;
+  std::map<std::string, InstalledRule*> rules_by_canon_;
+  std::vector<std::unique_ptr<CompiledConstraint>> constraints_;
+  ProvenanceStore provenance_;
+  std::vector<std::string> violations_;
+  InstallHook install_hook_;
+  RemoveHook remove_hook_;
+  int next_rule_id_ = 1;
+  int next_hidden_id_ = 1;
+  int next_constraint_id_ = 0;
+  int last_codegen_rounds_ = 0;
+};
+
+}  // namespace lbtrust::datalog
+
+#endif  // LBTRUST_DATALOG_WORKSPACE_H_

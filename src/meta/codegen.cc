@@ -1,0 +1,115 @@
+#include "meta/codegen.h"
+
+#include <memory>
+
+#include "datalog/parser.h"
+#include "datalog/pretty.h"
+#include "util/strings.h"
+
+namespace lbtrust::meta {
+
+using datalog::Atom;
+using datalog::CodeValue;
+using datalog::Constraint;
+using datalog::Literal;
+using datalog::ParsedClause;
+using datalog::Rule;
+using datalog::Term;
+using datalog::Value;
+using datalog::ValueKind;
+using datalog::Workspace;
+using util::Result;
+using util::Status;
+
+Status ActivateRuleText(Workspace* ws, std::string_view rule_text) {
+  LB_ASSIGN_OR_RETURN(Value code, QuoteRuleText(rule_text));
+  return ws->AddFact("active", {code});
+}
+
+Result<Value> QuoteRuleText(std::string_view rule_text) {
+  LB_ASSIGN_OR_RETURN(Rule rule, datalog::ParseRuleText(rule_text));
+  return Value::CodeRule(std::make_shared<const Rule>(std::move(rule)));
+}
+
+namespace {
+
+// True if `quoted` is the §3.3 shape: head is a bare meta-atom, body is a
+// meta-functor atom with a trailing star followed by a starred meta-atom.
+bool IsSection33Pattern(const Rule& quoted, std::string* functor_var) {
+  if (quoted.heads.size() != 1 || !quoted.heads[0].meta_atom) return false;
+  if (quoted.body.size() != 2) return false;
+  const Atom& first = quoted.body[0].atom;
+  if (!first.meta_functor || first.args.size() != 1 ||
+      first.args[0].kind != Term::Kind::kStarVar) {
+    return false;
+  }
+  if (!quoted.body[1].atom.star) return false;
+  *functor_var = first.predicate;
+  return true;
+}
+
+}  // namespace
+
+Result<std::string> TranslatePatternConstraint(
+    std::string_view constraint_text) {
+  LB_ASSIGN_OR_RETURN(std::vector<ParsedClause> clauses,
+                      datalog::ParseProgram(constraint_text));
+  if (clauses.size() != 1 ||
+      clauses[0].kind != ParsedClause::Kind::kConstraint ||
+      clauses[0].constraints.size() != 1) {
+    return util::InvalidArgument("expected a single constraint");
+  }
+  const Constraint& c = clauses[0].constraints[0];
+
+  std::vector<std::string> lhs_parts;
+  int fresh = 1;
+  bool translated_any = false;
+  for (const Literal& lit : c.lhs) {
+    bool handled = false;
+    if (!lit.negated && !lit.atom.meta_atom && !lit.atom.meta_functor) {
+      // Look for a quoted §3.3 pattern among the arguments.
+      for (size_t i = 0; i < lit.atom.args.size(); ++i) {
+        const Term& t = lit.atom.args[i];
+        if (!t.is_constant() || t.value.kind() != ValueKind::kCode) continue;
+        const CodeValue& code = t.value.AsCode();
+        if (code.what != CodeValue::What::kRule) continue;
+        std::string functor_var;
+        if (!IsSection33Pattern(*code.rule, &functor_var)) continue;
+        // Replace the pattern argument with a fresh rule variable R<n> and
+        // emit the meta-model join of the paper's worked example.
+        std::string rule_var = util::StrCat("R", fresh);
+        std::string atom_var = util::StrCat("A", fresh);
+        ++fresh;
+        Atom rewritten = datalog::CloneAtom(lit.atom);
+        rewritten.args[i] = Term::Variable(rule_var);
+        lhs_parts.push_back(datalog::PrintAtom(rewritten));
+        lhs_parts.push_back(util::StrCat("rule(", rule_var, ")"));
+        lhs_parts.push_back(
+            util::StrCat("body(", rule_var, ",", atom_var, ")"));
+        lhs_parts.push_back(util::StrCat("atom(", atom_var, ")"));
+        lhs_parts.push_back(
+            util::StrCat("functor(", atom_var, ",", functor_var, ")"));
+        handled = true;
+        translated_any = true;
+        break;
+      }
+    }
+    if (!handled) lhs_parts.push_back(datalog::PrintLiteral(lit));
+  }
+  if (!translated_any) {
+    return util::InvalidArgument(
+        "no §3.3-shaped quoted pattern found in constraint LHS");
+  }
+
+  std::string rhs;
+  for (size_t alt = 0; alt < c.rhs_dnf.size(); ++alt) {
+    if (alt > 0) rhs += "; ";
+    for (size_t i = 0; i < c.rhs_dnf[alt].size(); ++i) {
+      if (i > 0) rhs += ", ";
+      rhs += datalog::PrintLiteral(c.rhs_dnf[alt][i]);
+    }
+  }
+  return util::StrCat(util::Join(lhs_parts, ", "), " -> ", rhs, ".");
+}
+
+}  // namespace lbtrust::meta

@@ -1,0 +1,35 @@
+#ifndef LBTRUST_META_CODEGEN_H_
+#define LBTRUST_META_CODEGEN_H_
+
+#include <string>
+#include <string_view>
+
+#include "datalog/ast.h"
+#include "datalog/workspace.h"
+#include "util/status.h"
+
+namespace lbtrust::meta {
+
+/// Programmatic counterpart of deriving into `active`: parses `rule_text`
+/// and asserts `active(R)` so the next Fixpoint() installs it. This is how
+/// host applications inject generated rules without going through a
+/// meta-rule.
+util::Status ActivateRuleText(datalog::Workspace* workspace,
+                              std::string_view rule_text);
+
+/// Builds the quoted-code value for a rule ("[| ... |]" term), convenient
+/// for asserting says/export facts from C++.
+util::Result<datalog::Value> QuoteRuleText(std::string_view rule_text);
+
+/// Translates a quoted-pattern constraint LHS into the meta-model join the
+/// paper shows in §3.3 (owner + rule/body/atom/functor), demonstrating that
+/// the two formulations are interchangeable. Only the shapes used in the
+/// paper are supported: a pattern of the form `[| A <- P(T*), A*. |]`
+/// appearing as an argument of an LHS literal. Returns the rewritten
+/// constraint text.
+util::Result<std::string> TranslatePatternConstraint(
+    std::string_view constraint_text);
+
+}  // namespace lbtrust::meta
+
+#endif  // LBTRUST_META_CODEGEN_H_

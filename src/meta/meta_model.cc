@@ -1,0 +1,34 @@
+#include "meta/meta_model.h"
+
+#include "meta/reflect.h"
+
+namespace lbtrust::meta {
+
+using datalog::Rule;
+using datalog::Workspace;
+using util::Status;
+
+Status EnableMetaModel(Workspace* ws) {
+  LB_RETURN_IF_ERROR(ws->EnsurePredicate("head", 2));
+  LB_RETURN_IF_ERROR(ws->EnsurePredicate("body", 2));
+  LB_RETURN_IF_ERROR(ws->EnsurePredicate("functor", 2));
+  LB_RETURN_IF_ERROR(ws->EnsurePredicate("arg", 3));
+  LB_RETURN_IF_ERROR(ws->EnsurePredicate("negated", 1));
+  LB_RETURN_IF_ERROR(ws->EnsurePredicate("vname", 2));
+  LB_RETURN_IF_ERROR(ws->EnsurePredicate("value", 2));
+
+  // Reflect rules installed before the meta-model was enabled.
+  for (const Rule* rule : ws->rules()) {
+    LB_RETURN_IF_ERROR(ReflectRule(ws, *rule));
+  }
+
+  ws->SetInstallHook([ws](const Rule& rule, int /*rule_id*/) {
+    (void)ReflectRule(ws, rule);
+  });
+  ws->SetRemoveHook([ws](const Rule& rule) {
+    (void)UnreflectRule(ws, rule);
+  });
+  return util::OkStatus();
+}
+
+}  // namespace lbtrust::meta

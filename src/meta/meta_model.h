@@ -1,0 +1,28 @@
+#ifndef LBTRUST_META_META_MODEL_H_
+#define LBTRUST_META_META_MODEL_H_
+
+#include "datalog/workspace.h"
+#include "util/status.h"
+
+namespace lbtrust::meta {
+
+/// Enables the paper's meta-model (Figure 1) on a workspace:
+///
+///  * declares the enumerable meta relations — `head(R,A)`, `body(R,A)`,
+///    `functor(A,P)`, `arg(A,I,T)`, `negated(A)`, `vname(X,N)`,
+///    `value(C,V)` — alongside the workspace-maintained `active(R)`,
+///    `owner(R,U)` and `pname(P,N)`;
+///  * installs a reflection hook so every rule installed from now on is
+///    translated into meta-model facts (see reflect.h for the entity
+///    scheme);
+///  * the entity *types* of Figure 1 (`rule`, `atom`, `term`, `variable`,
+///    `constant`, `predicate`) are kind-check builtins registered by the
+///    engine (see datalog/builtins.h).
+///
+/// Call before loading programs; rules already installed are reflected
+/// retroactively.
+util::Status EnableMetaModel(datalog::Workspace* workspace);
+
+}  // namespace lbtrust::meta
+
+#endif  // LBTRUST_META_META_MODEL_H_

@@ -1,0 +1,109 @@
+#include "meta/reflect.h"
+
+#include <memory>
+
+#include "datalog/pretty.h"
+
+namespace lbtrust::meta {
+
+using datalog::Atom;
+using datalog::CloneAtom;
+using datalog::CloneRule;
+using datalog::CloneTerm;
+using datalog::Literal;
+using datalog::Rule;
+using datalog::Term;
+using datalog::Tuple;
+using datalog::Value;
+using datalog::ValueKind;
+using datalog::Workspace;
+using util::Status;
+
+Value RuleEntity(const Rule& rule) {
+  return Value::CodeRule(std::make_shared<const Rule>(CloneRule(rule)));
+}
+
+Value AtomEntity(const Atom& atom) {
+  return Value::CodeAtom(std::make_shared<const Atom>(CloneAtom(atom)));
+}
+
+Value TermEntity(const Term& term) {
+  if (term.is_constant()) return term.value;
+  return Value::CodeTerm(std::make_shared<const Term>(CloneTerm(term)));
+}
+
+Value PredicateEntity(const std::string& name) { return Value::Sym(name); }
+
+namespace {
+
+enum class Mode { kAssert, kRetract };
+
+Status Apply(Workspace* ws, Mode mode, const std::string& pred, Tuple t) {
+  if (mode == Mode::kAssert) return ws->AddFact(pred, std::move(t));
+  Status st = ws->RemoveFact(pred, t);
+  // Attribute facts may be shared with other (structurally equal) rules;
+  // missing facts on retract are not an error.
+  if (st.code() == util::StatusCode::kNotFound) return util::OkStatus();
+  return st;
+}
+
+Status ReflectAtom(Workspace* ws, Mode mode, const Value& rule_entity,
+                   const std::string& link, const Literal& lit) {
+  const Atom& atom = lit.atom;
+  Value atom_entity = AtomEntity(atom);
+  LB_RETURN_IF_ERROR(Apply(ws, mode, link, {rule_entity, atom_entity}));
+  if (lit.negated) {
+    LB_RETURN_IF_ERROR(Apply(ws, mode, "negated", {atom_entity}));
+  }
+  if (mode == Mode::kRetract) return util::OkStatus();
+  // Attribute facts (assert only; see UnreflectRule).
+  if (!atom.meta_atom) {
+    LB_RETURN_IF_ERROR(Apply(ws, mode, "functor",
+                             {atom_entity, PredicateEntity(atom.predicate)}));
+    int64_t index = 1;
+    auto reflect_term = [&](const Term& t) -> Status {
+      Value term_entity = TermEntity(t);
+      LB_RETURN_IF_ERROR(Apply(ws, mode, "arg",
+                               {atom_entity, Value::Int(index), term_entity}));
+      ++index;
+      if (t.is_variable()) {
+        LB_RETURN_IF_ERROR(
+            Apply(ws, mode, "vname", {term_entity, Value::Str(t.var)}));
+      } else if (t.is_constant()) {
+        LB_RETURN_IF_ERROR(Apply(
+            ws, mode, "value",
+            {term_entity, Value::Str(t.value.ToString())}));
+      }
+      return util::OkStatus();
+    };
+    if (atom.partition) LB_RETURN_IF_ERROR(reflect_term(*atom.partition));
+    for (const Term& t : atom.args) LB_RETURN_IF_ERROR(reflect_term(t));
+  }
+  return util::OkStatus();
+}
+
+Status ReflectImpl(Workspace* ws, Mode mode, const Rule& rule) {
+  Value rule_entity = RuleEntity(rule);
+  for (const Atom& head : rule.heads) {
+    LB_RETURN_IF_ERROR(
+        ReflectAtom(ws, mode, rule_entity, "head", Literal{head, false}));
+  }
+  for (const Literal& lit : rule.body) {
+    LB_RETURN_IF_ERROR(ReflectAtom(ws, mode, rule_entity, "body", lit));
+  }
+  return util::OkStatus();
+}
+
+}  // namespace
+
+Status ReflectRule(Workspace* ws, const Rule& rule) {
+  return ReflectImpl(ws, Mode::kAssert, rule);
+}
+
+Status UnreflectRule(Workspace* ws, const Rule& rule) {
+  // Only the rule-level links are retracted; atom/term attribute facts may
+  // be shared with structurally equal atoms of other rules and stay.
+  return ReflectImpl(ws, Mode::kRetract, rule);
+}
+
+}  // namespace lbtrust::meta

@@ -1,0 +1,38 @@
+#ifndef LBTRUST_META_REFLECT_H_
+#define LBTRUST_META_REFLECT_H_
+
+#include "datalog/ast.h"
+#include "datalog/value.h"
+#include "datalog/workspace.h"
+#include "util/status.h"
+
+namespace lbtrust::meta {
+
+/// Entity scheme for reflection (§3.3, Figure 1):
+///
+///  * a rule's entity is its kCode rule value (canonical-form identity, so
+///    a rule that travelled through the network maps to the same entity);
+///  * an atom's entity is its kCode atom value;
+///  * a term's entity is the constant's value itself for constants (so
+///    meta joins meet ordinary joins) and a kCode term value for
+///    variables/expressions;
+///  * a predicate's entity is its name symbol.
+///
+/// Structurally identical fragments therefore share entities — a deliberate
+/// deviation from LogicBlox's occurrence-unique ids, recorded in DESIGN.md.
+datalog::Value RuleEntity(const datalog::Rule& rule);
+datalog::Value AtomEntity(const datalog::Atom& atom);
+datalog::Value TermEntity(const datalog::Term& term);
+datalog::Value PredicateEntity(const std::string& name);
+
+/// Asserts the meta-model facts describing `rule` into the workspace EDB.
+util::Status ReflectRule(datalog::Workspace* workspace,
+                         const datalog::Rule& rule);
+
+/// Retracts them (used when a rule is removed).
+util::Status UnreflectRule(datalog::Workspace* workspace,
+                           const datalog::Rule& rule);
+
+}  // namespace lbtrust::meta
+
+#endif  // LBTRUST_META_REFLECT_H_

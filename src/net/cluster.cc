@@ -1,0 +1,179 @@
+#include "net/cluster.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace lbtrust::net {
+
+using datalog::Relation;
+using datalog::Tuple;
+using datalog::Value;
+using datalog::ValueKind;
+using trust::TrustRuntime;
+using util::Result;
+using util::Status;
+
+Result<TrustRuntime*> Cluster::AddNode(
+    const std::string& name, trust::TrustRuntime::Options runtime_options) {
+  if (nodes_.count(name) > 0) {
+    return util::AlreadyExists(util::StrCat("node '", name, "' exists"));
+  }
+  runtime_options.principal = name;
+  LB_ASSIGN_OR_RETURN(std::unique_ptr<TrustRuntime> runtime,
+                      TrustRuntime::Create(runtime_options));
+  NodeState state;
+  state.runtime = std::move(runtime);
+  auto [it, inserted] = nodes_.emplace(name, std::move(state));
+  return it->second.runtime.get();
+}
+
+TrustRuntime* Cluster::node(const std::string& name) {
+  auto it = nodes_.find(name);
+  return it == nodes_.end() ? nullptr : it->second.runtime.get();
+}
+
+std::vector<std::string> Cluster::node_names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, state] : nodes_) out.push_back(name);
+  return out;
+}
+
+Status Cluster::Connect() {
+  for (auto& [name, state] : nodes_) {
+    TrustRuntime* rt = state.runtime.get();
+    datalog::Workspace* ws = rt->workspace();
+    LB_RETURN_IF_ERROR(ws->EnsurePredicate("node", 1));
+    LB_RETURN_IF_ERROR(ws->EnsurePredicate("loc", 2));
+    LB_RETURN_IF_ERROR(ws->EnsurePredicate("predNode", 2));
+    for (auto& [peer, peer_state] : nodes_) {
+      if (peer != name) {
+        LB_RETURN_IF_ERROR(
+            rt->AddPeer(peer, peer_state.runtime->keypair().public_key));
+        // Pairwise HMAC secret, identical on both endpoints.
+        const std::string& lo = std::min(name, peer);
+        const std::string& hi = std::max(name, peer);
+        LB_RETURN_IF_ERROR(rt->AddSharedSecret(
+            peer, util::StrCat("secret:", lo, ":", hi)));
+      }
+      if (options_.default_placement) {
+        LB_RETURN_IF_ERROR(ws->AddFact("node", {Value::Sym(peer)}));
+        LB_RETURN_IF_ERROR(
+            ws->AddFact("loc", {Value::Sym(peer), Value::Sym(peer)}));
+      }
+    }
+    if (options_.default_placement) {
+      LB_RETURN_IF_ERROR(
+          ws->Load("ld2: predNode(export[P],N) <- loc(P,N)."));
+    }
+    if (!options_.scheme.empty()) {
+      std::unique_ptr<trust::AuthScheme> scheme =
+          trust::MakeScheme(options_.scheme);
+      if (scheme == nullptr) {
+        return util::InvalidArgument(
+            util::StrCat("unknown scheme '", options_.scheme, "'"));
+      }
+      LB_RETURN_IF_ERROR(rt->UseScheme(*scheme).status());
+    }
+  }
+  return util::OkStatus();
+}
+
+void Cluster::InjectTamper(const std::string& relation,
+                           std::function<void(std::string*)> mutate) {
+  tamper_relation_ = relation;
+  tamper_ = std::move(mutate);
+}
+
+Status Cluster::ShipFrom(const std::string& name, NodeState* state,
+                         std::vector<Message>* outbox) {
+  datalog::Workspace* ws = state->runtime->workspace();
+  // Placement map computed by the node's own rules: predNode(part, node).
+  const Relation* pred_node = ws->GetRelation("predNode");
+  std::map<std::pair<std::string, std::string>, std::string> placement;
+  if (pred_node != nullptr) {
+    for (const Tuple& t : pred_node->rows()) {
+      if (t.size() != 2 || t[0].kind() != ValueKind::kPart ||
+          t[1].kind() != ValueKind::kSymbol) {
+        continue;
+      }
+      const datalog::PartValue& part = t[0].AsPart();
+      placement[{part.predicate, part.key->ToString()}] = t[1].AsText();
+    }
+  }
+  if (placement.empty()) return util::OkStatus();
+
+  for (const auto& [pred_name, info] : ws->catalog().predicates()) {
+    if (!info.partitioned) continue;
+    const Relation* rel = ws->GetRelation(pred_name);
+    if (rel == nullptr) continue;
+    for (const Tuple& row : rel->rows()) {
+      if (row.empty()) continue;
+      auto it = placement.find({pred_name, row[0].ToString()});
+      if (it == placement.end() || it->second == name) continue;
+      Message msg;
+      msg.from_node = name;
+      msg.to_node = it->second;
+      msg.relation = pred_name;
+      msg.payload = SerializeTuple(row);
+      std::string dedup_key = util::StrCat(pred_name, "|", msg.to_node, "|",
+                                           msg.payload);
+      if (!state->sent.insert(dedup_key).second) continue;
+      outbox->push_back(std::move(msg));
+    }
+  }
+  return util::OkStatus();
+}
+
+Status Cluster::Deliver(const Message& message) {
+  auto it = nodes_.find(message.to_node);
+  if (it == nodes_.end()) {
+    return util::NotFound(
+        util::StrCat("message for unknown node '", message.to_node, "'"));
+  }
+  std::string payload = message.payload;
+  if (tamper_ && message.relation == tamper_relation_) {
+    tamper_(&payload);
+    tamper_ = nullptr;  // one-shot
+  }
+  LB_ASSIGN_OR_RETURN(Tuple tuple, DeserializeTuple(payload));
+  datalog::Workspace* ws = it->second.runtime->workspace();
+  LB_RETURN_IF_ERROR(
+      ws->EnsurePredicate(message.relation, tuple.size(), true));
+  LB_RETURN_IF_ERROR(ws->AddFact(message.relation, std::move(tuple)));
+  it->second.dirty = true;
+  return util::OkStatus();
+}
+
+Result<Cluster::RunStats> Cluster::Run() {
+  RunStats stats;
+  // Every Run() starts from local changes possibly made since the last one.
+  for (auto& [name, state] : nodes_) state.dirty = true;
+  for (stats.rounds = 0; stats.rounds < options_.max_rounds; ++stats.rounds) {
+    bool any_dirty = false;
+    std::vector<Message> outbox;
+    for (auto& [name, state] : nodes_) {
+      if (!state.dirty) continue;
+      any_dirty = true;
+      state.dirty = false;
+      Status st = state.runtime->Fixpoint();
+      ++stats.fixpoints;
+      if (!st.ok()) {
+        return Status(st.code(),
+                      util::StrCat("node '", name, "': ", st.message()));
+      }
+      LB_RETURN_IF_ERROR(ShipFrom(name, &state, &outbox));
+    }
+    if (!any_dirty && outbox.empty()) break;
+    for (const Message& msg : outbox) {
+      ++stats.messages;
+      stats.bytes += msg.ByteSize();
+      LB_RETURN_IF_ERROR(Deliver(msg));
+    }
+    if (outbox.empty() && !any_dirty) break;
+  }
+  last_stats_ = stats;
+  return stats;
+}
+
+}  // namespace lbtrust::net

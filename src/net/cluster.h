@@ -1,0 +1,90 @@
+#ifndef LBTRUST_NET_CLUSTER_H_
+#define LBTRUST_NET_CLUSTER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/wire.h"
+#include "trust/trust_runtime.h"
+#include "util/status.h"
+
+namespace lbtrust::net {
+
+/// A simulated multi-node deployment (§3.5): each node hosts one
+/// TrustRuntime (a principal's context); partitioned relations are shipped
+/// between nodes according to the `predNode` placement relation computed by
+/// each node's own placement rules (ld2-style: predNode(export[P],N) <-
+/// loc(P,N)). Delivery is reliable and in-order; rounds of local fixpoints
+/// alternate with message exchange until global quiescence.
+class Cluster {
+ public:
+  struct Options {
+    /// Safety cap on fixpoint/exchange rounds.
+    size_t max_rounds = 64;
+    /// Authentication scheme installed on every node by Connect()
+    /// ("plaintext", "rsa", "hmac", or "" to skip).
+    std::string scheme = "rsa";
+    /// Have Connect() install default placement: node(N) and loc(P,N)
+    /// facts for every node plus the ld2 placement rule.
+    bool default_placement = true;
+  };
+
+  Cluster() : Cluster(Options()) {}
+  explicit Cluster(Options options) : options_(std::move(options)) {}
+
+  /// Creates a node hosting a principal of the same name.
+  util::Result<trust::TrustRuntime*> AddNode(
+      const std::string& name,
+      trust::TrustRuntime::Options runtime_options = {});
+
+  trust::TrustRuntime* node(const std::string& name);
+  std::vector<std::string> node_names() const;
+
+  /// Full-mesh peering: every node learns every other node's public key,
+  /// pairwise HMAC secrets, placement facts (if default_placement), and
+  /// the configured authentication scheme.
+  util::Status Connect();
+
+  struct RunStats {
+    size_t rounds = 0;
+    size_t messages = 0;
+    size_t bytes = 0;
+    size_t fixpoints = 0;
+  };
+
+  /// Runs local fixpoints and ships placed partitions until no node is
+  /// dirty. Constraint violations on any node abort the run with that
+  /// node's status (message attribution included).
+  util::Result<RunStats> Run();
+
+  /// Test hook: tamper with the next delivery matching `relation` by
+  /// applying `mutate` to the serialized tuple payload.
+  void InjectTamper(const std::string& relation,
+                    std::function<void(std::string*)> mutate);
+
+ private:
+  struct NodeState {
+    std::unique_ptr<trust::TrustRuntime> runtime;
+    bool dirty = true;
+    /// Dedup of already-shipped tuples (relation + payload).
+    std::set<std::string> sent;
+  };
+
+  util::Status ShipFrom(const std::string& name, NodeState* state,
+                        std::vector<Message>* outbox);
+  util::Status Deliver(const Message& message);
+
+  Options options_;
+  std::map<std::string, NodeState> nodes_;
+  RunStats last_stats_;
+  std::string tamper_relation_;
+  std::function<void(std::string*)> tamper_;
+};
+
+}  // namespace lbtrust::net
+
+#endif  // LBTRUST_NET_CLUSTER_H_

@@ -1,0 +1,210 @@
+#include "net/wire.h"
+
+#include <charconv>
+#include <memory>
+
+#include "datalog/ast.h"
+#include "datalog/parser.h"
+#include "util/strings.h"
+
+namespace lbtrust::net {
+
+using datalog::CodeValue;
+using datalog::Tuple;
+using datalog::Value;
+using datalog::ValueKind;
+using util::Result;
+
+namespace {
+
+char KindTag(const Value& v) {
+  switch (v.kind()) {
+    case ValueKind::kNil: return 'n';
+    case ValueKind::kBool: return 'b';
+    case ValueKind::kInt: return 'i';
+    case ValueKind::kDouble: return 'd';
+    case ValueKind::kString: return 's';
+    case ValueKind::kSymbol: return 'y';
+    case ValueKind::kCode: return 'c';
+    case ValueKind::kPart: return 'p';
+  }
+  return '?';
+}
+
+char CodeTag(CodeValue::What what) {
+  switch (what) {
+    case CodeValue::What::kRule: return 'R';
+    case CodeValue::What::kAtom: return 'A';
+    case CodeValue::What::kTerm: return 'T';
+    case CodeValue::What::kLiteralList: return 'L';
+    case CodeValue::What::kTermList: return 'M';
+  }
+  return '?';
+}
+
+std::string Payload(const Value& v) {
+  switch (v.kind()) {
+    case ValueKind::kNil:
+      return "";
+    case ValueKind::kBool:
+      return v.AsBool() ? "1" : "0";
+    case ValueKind::kInt:
+      return std::to_string(v.AsInt());
+    case ValueKind::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", v.AsDouble());
+      return buf;
+    }
+    case ValueKind::kString:
+    case ValueKind::kSymbol:
+      return v.AsText();
+    case ValueKind::kCode:
+      return util::StrCat(std::string(1, CodeTag(v.AsCode().what)), ":",
+                          v.AsCode().canon);
+    case ValueKind::kPart:
+      return util::StrCat(v.AsPart().predicate, ":",
+                          SerializeValue(*v.AsPart().key));
+  }
+  return "";
+}
+
+Result<Value> ParseCodePayload(std::string_view payload) {
+  if (payload.size() < 2 || payload[1] != ':') {
+    return util::ParseError("malformed code payload");
+  }
+  char tag = payload[0];
+  std::string canon(payload.substr(2));
+  switch (tag) {
+    case 'R': {
+      LB_ASSIGN_OR_RETURN(
+          datalog::Term term,
+          datalog::ParseTermText(util::StrCat("[| ", canon, " |]")));
+      if (!term.is_constant() || term.value.kind() != ValueKind::kCode) {
+        return util::ParseError("code payload did not parse to code");
+      }
+      return term.value;
+    }
+    case 'A': {
+      LB_ASSIGN_OR_RETURN(datalog::Atom atom, datalog::ParseAtomText(canon));
+      return Value::CodeAtom(
+          std::make_shared<const datalog::Atom>(std::move(atom)));
+    }
+    case 'T': {
+      LB_ASSIGN_OR_RETURN(datalog::Term term, datalog::ParseTermText(canon));
+      if (term.is_constant()) return term.value;
+      return Value::CodeTerm(
+          std::make_shared<const datalog::Term>(std::move(term)));
+    }
+    case 'L': {
+      if (canon.empty()) return Value::CodeLiteralList({});
+      LB_ASSIGN_OR_RETURN(
+          datalog::Rule rule,
+          datalog::ParseRuleText(util::StrCat("wirelist() <- ", canon, ".")));
+      return Value::CodeLiteralList(std::move(rule.body));
+    }
+    case 'M': {
+      if (canon.empty()) return Value::CodeTermList({});
+      LB_ASSIGN_OR_RETURN(
+          datalog::Atom atom,
+          datalog::ParseAtomText(util::StrCat("wirelist(", canon, ")")));
+      return Value::CodeTermList(std::move(atom.args));
+    }
+    default:
+      return util::ParseError("unknown code payload tag");
+  }
+}
+
+}  // namespace
+
+std::string SerializeValue(const Value& v) {
+  std::string payload = Payload(v);
+  return util::StrCat(std::string(1, KindTag(v)), ":", payload.size(), ":",
+                      payload);
+}
+
+Result<Value> DeserializeValue(std::string_view text, size_t* consumed) {
+  if (text.size() < 4 || text[1] != ':') {
+    return util::ParseError("truncated wire value");
+  }
+  char kind = text[0];
+  size_t len_start = 2;
+  size_t len_end = text.find(':', len_start);
+  if (len_end == std::string_view::npos) {
+    return util::ParseError("missing length delimiter");
+  }
+  size_t len = 0;
+  auto [ptr, ec] = std::from_chars(text.data() + len_start,
+                                   text.data() + len_end, len);
+  if (ec != std::errc() || ptr != text.data() + len_end) {
+    return util::ParseError("bad wire length");
+  }
+  if (text.size() < len_end + 1 + len) {
+    return util::ParseError("truncated wire payload");
+  }
+  std::string_view payload = text.substr(len_end + 1, len);
+  *consumed = len_end + 1 + len;
+
+  switch (kind) {
+    case 'n':
+      return Value();
+    case 'b':
+      return Value::Bool(payload == "1");
+    case 'i': {
+      int64_t v = 0;
+      auto [p2, ec2] =
+          std::from_chars(payload.data(), payload.data() + payload.size(), v);
+      if (ec2 != std::errc()) return util::ParseError("bad int payload");
+      return Value::Int(v);
+    }
+    case 'd':
+      return Value::Double(std::stod(std::string(payload)));
+    case 's':
+      return Value::Str(std::string(payload));
+    case 'y':
+      return Value::Sym(std::string(payload));
+    case 'c':
+      return ParseCodePayload(payload);
+    case 'p': {
+      size_t sep = payload.find(':');
+      if (sep == std::string_view::npos) {
+        return util::ParseError("malformed part payload");
+      }
+      size_t inner_consumed = 0;
+      LB_ASSIGN_OR_RETURN(
+          Value key, DeserializeValue(payload.substr(sep + 1),
+                                      &inner_consumed));
+      return Value::Part(std::string(payload.substr(0, sep)), std::move(key));
+    }
+    default:
+      return util::ParseError(util::StrCat("unknown wire kind '", kind, "'"));
+  }
+}
+
+std::string SerializeTuple(const Tuple& tuple) {
+  std::string out = util::StrCat(tuple.size(), ":");
+  for (const Value& v : tuple) out += SerializeValue(v);
+  return out;
+}
+
+Result<Tuple> DeserializeTuple(std::string_view text) {
+  size_t sep = text.find(':');
+  if (sep == std::string_view::npos) {
+    return util::ParseError("missing tuple count");
+  }
+  size_t count = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + sep, count);
+  if (ec != std::errc()) return util::ParseError("bad tuple count");
+  text.remove_prefix(sep + 1);
+  Tuple out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    size_t consumed = 0;
+    LB_ASSIGN_OR_RETURN(Value v, DeserializeValue(text, &consumed));
+    out.push_back(std::move(v));
+    text.remove_prefix(consumed);
+  }
+  if (!text.empty()) return util::ParseError("trailing wire bytes");
+  return out;
+}
+
+}  // namespace lbtrust::net

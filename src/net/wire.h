@@ -1,0 +1,42 @@
+#ifndef LBTRUST_NET_WIRE_H_
+#define LBTRUST_NET_WIRE_H_
+
+#include <string>
+#include <string_view>
+
+#include "datalog/value.h"
+#include "util/status.h"
+
+namespace lbtrust::net {
+
+/// Wire format for tuples shipped between simulated nodes. Values are
+/// length-prefixed and kind-tagged; quoted code travels as its canonical
+/// text and is re-parsed on arrival, which exercises the same code path a
+/// real distributed deployment would (§3.5).
+///
+///   value := <kind-char> ':' <payload-length> ':' <payload>
+///   tuple := <count> ':' value*
+std::string SerializeValue(const datalog::Value& value);
+util::Result<datalog::Value> DeserializeValue(std::string_view text,
+                                              size_t* consumed);
+
+std::string SerializeTuple(const datalog::Tuple& tuple);
+util::Result<datalog::Tuple> DeserializeTuple(std::string_view text);
+
+/// One simulated network message: a tuple bound for `relation` at
+/// `to_node`.
+struct Message {
+  std::string from_node;
+  std::string to_node;
+  std::string relation;
+  std::string payload;  ///< SerializeTuple output
+
+  size_t ByteSize() const {
+    return from_node.size() + to_node.size() + relation.size() +
+           payload.size();
+  }
+};
+
+}  // namespace lbtrust::net
+
+#endif  // LBTRUST_NET_WIRE_H_

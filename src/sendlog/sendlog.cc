@@ -1,0 +1,127 @@
+#include "sendlog/sendlog.h"
+
+#include <memory>
+
+#include "datalog/parser.h"
+#include "datalog/pretty.h"
+#include "util/strings.h"
+
+namespace lbtrust::sendlog {
+
+using datalog::Atom;
+using datalog::CodeValue;
+using datalog::Literal;
+using datalog::Rule;
+using datalog::SurfaceUnit;
+using datalog::Term;
+using datalog::Value;
+using datalog::ValueKind;
+using util::Result;
+using util::Status;
+
+namespace {
+
+Term SubstContextTerm(const Term& t, const std::string& context_var);
+
+Atom SubstContextAtom(const Atom& a, const std::string& context_var) {
+  Atom out = datalog::CloneAtom(a);
+  if (out.partition) {
+    out.partition = std::make_shared<Term>(
+        SubstContextTerm(*out.partition, context_var));
+  }
+  for (Term& arg : out.args) arg = SubstContextTerm(arg, context_var);
+  return out;
+}
+
+Rule SubstContextRule(const Rule& r, const std::string& context_var) {
+  Rule out;
+  out.label = r.label;
+  out.aggregate = r.aggregate;
+  for (const Atom& h : r.heads) {
+    out.heads.push_back(SubstContextAtom(h, context_var));
+  }
+  for (const Literal& l : r.body) {
+    out.body.push_back(
+        Literal{SubstContextAtom(l.atom, context_var), l.negated});
+  }
+  return out;
+}
+
+Term SubstContextTerm(const Term& t, const std::string& context_var) {
+  switch (t.kind) {
+    case Term::Kind::kVariable:
+      if (t.var == context_var) return Term::Me();
+      return t;
+    case Term::Kind::kExpr:
+      return Term::Expr(t.op, SubstContextTerm(*t.lhs, context_var),
+                        SubstContextTerm(*t.rhs, context_var));
+    case Term::Kind::kPartRef:
+      return Term::PartRef(t.part_pred,
+                           SubstContextTerm(*t.part_key, context_var));
+    case Term::Kind::kConstant:
+      if (t.value.kind() == ValueKind::kCode) {
+        const CodeValue& code = t.value.AsCode();
+        if (code.what == CodeValue::What::kRule) {
+          return Term::Constant(Value::CodeRule(std::make_shared<const Rule>(
+              SubstContextRule(*code.rule, context_var))));
+        }
+      }
+      return t;
+    default:
+      return t;
+  }
+}
+
+std::string UnitToText(const SurfaceUnit& unit) {
+  std::string out;
+  for (const Rule& rule : unit.rules) {
+    Rule lowered = unit.context_is_variable
+                       ? SubstContextRule(rule, unit.context)
+                       : datalog::CloneRule(rule);
+    out += datalog::PrintRule(lowered);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::string> CompileSendlog(std::string_view sendlog_program) {
+  LB_ASSIGN_OR_RETURN(std::vector<SurfaceUnit> units,
+                      datalog::ParseSurfaceProgram(sendlog_program));
+  std::string out;
+  for (const SurfaceUnit& unit : units) {
+    if (!unit.context.empty() && !unit.context_is_variable) {
+      return util::InvalidArgument(
+          "constant 'At' contexts require a cluster "
+          "(use LoadSendlogOnCluster)");
+    }
+    out += UnitToText(unit);
+  }
+  return out;
+}
+
+Status LoadSendlogOnCluster(net::Cluster* cluster,
+                            std::string_view sendlog_program) {
+  LB_ASSIGN_OR_RETURN(std::vector<SurfaceUnit> units,
+                      datalog::ParseSurfaceProgram(sendlog_program));
+  for (const SurfaceUnit& unit : units) {
+    std::string text = UnitToText(unit);
+    if (text.empty()) continue;
+    if (!unit.context.empty() && !unit.context_is_variable) {
+      trust::TrustRuntime* rt = cluster->node(unit.context);
+      if (rt == nullptr) {
+        return util::NotFound(util::StrCat("no cluster node named '",
+                                           unit.context, "'"));
+      }
+      LB_RETURN_IF_ERROR(rt->Load(text));
+      continue;
+    }
+    for (const std::string& name : cluster->node_names()) {
+      LB_RETURN_IF_ERROR(cluster->node(name)->Load(text));
+    }
+  }
+  return util::OkStatus();
+}
+
+}  // namespace lbtrust::sendlog

@@ -1,0 +1,36 @@
+#ifndef LBTRUST_SENDLOG_SENDLOG_H_
+#define LBTRUST_SENDLOG_SENDLOG_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/cluster.h"
+#include "util/status.h"
+
+namespace lbtrust::sendlog {
+
+/// SeNDlog front-end (§5.2): Secure Network Datalog programs —
+///
+///   At S:
+///   s1: reachable(S,D) :- neighbor(S,D).
+///   s2: reachable(Z,D)@Z :- neighbor(S,Z), W says reachable(S,D).
+///
+/// — compile to the core exactly as the paper's ls1/ls2 translation: the
+/// context variable S becomes `me`, `p(...)@Z` heads become
+/// says(me,Z,[| p(...). |]) exports, and `W says p(...)` body literals
+/// become says(W,me,[| p(...). |]) imports.
+///
+/// Returns core program text (one clause per line) for a unit with a
+/// variable context; units with constant contexts are returned per node by
+/// CompileSendlogPerNode.
+util::Result<std::string> CompileSendlog(std::string_view sendlog_program);
+
+/// Loads a SeNDlog program onto every node of a cluster (variable-context
+/// units go everywhere, constant-context units only to the named node).
+util::Status LoadSendlogOnCluster(net::Cluster* cluster,
+                                  std::string_view sendlog_program);
+
+}  // namespace lbtrust::sendlog
+
+#endif  // LBTRUST_SENDLOG_SENDLOG_H_

@@ -1,0 +1,83 @@
+#include "trust/auth_scheme.h"
+
+#include <set>
+
+#include "datalog/parser.h"
+#include "datalog/pretty.h"
+
+namespace lbtrust::trust {
+
+// The export predicate declaration (exp0) is shared by all schemes:
+// export[U1](U2,R,S) — partition key U1 is the *destination* (placement
+// follows the destination principal, §4.1.1), U2 the source, R the rule,
+// S the signature.
+namespace {
+const char kExportDecl[] =
+    "exp0: export[U1](U2,R,S) -> prin(U1), prin(U2), rule(R), string(S).\n";
+}  // namespace
+
+std::string PlaintextScheme::ExportRules() const {
+  return std::string(kExportDecl) +
+         "exp1: export[U2](me,R,\"\") <- says(me,U2,R).\n";
+}
+
+std::string PlaintextScheme::ImportRules() const {
+  return "exp2: says(U,me,R) <- export[me](U,R,_).\n";
+}
+
+std::string RsaScheme::ExportRules() const {
+  return std::string(kExportDecl) +
+         "exp1: export[U2](me,R,S) <- says(me,U2,R), rsaprivkey(me,K), "
+         "rsasign(R,S,K).\n";
+}
+
+std::string RsaScheme::ImportRules() const {
+  return "exp2: says(U,me,R) <- export[me](U,R,S).\n"
+         "exp3: says(U,me,R) -> export[me](U,R,S), rsapubkey(U,K), "
+         "rsaverify(R,S,K).\n";
+}
+
+std::string HmacScheme::ExportRules() const {
+  return std::string(kExportDecl) +
+         "exp1: export[U2](me,R,S) <- says(me,U2,R), sharedsecret(me,U2,K), "
+         "hmacsign(R,K,S).\n";
+}
+
+std::string HmacScheme::ImportRules() const {
+  return "exp2: says(U,me,R) <- export[me](U,R,S).\n"
+         "exp3: says(U,me,R) -> export[me](U,R,S), sharedsecret(me,U,K), "
+         "hmacverify(R,S,K).\n";
+}
+
+std::unique_ptr<AuthScheme> MakeScheme(const std::string& name) {
+  if (name == "plaintext") return std::make_unique<PlaintextScheme>();
+  if (name == "rsa") return std::make_unique<RsaScheme>();
+  if (name == "hmac") return std::make_unique<HmacScheme>();
+  return nullptr;
+}
+
+int AuthScheme::CountDifferingRules(const AuthScheme& a, const AuthScheme& b) {
+  auto canon_set = [](const std::string& text) {
+    std::set<std::string> out;
+    auto clauses = datalog::ParseProgram(text);
+    if (!clauses.ok()) return out;
+    for (const auto& clause : *clauses) {
+      for (const auto& rule : clause.rules) {
+        out.insert(datalog::PrintRule(rule));
+      }
+      for (const auto& constraint : clause.constraints) {
+        out.insert(datalog::PrintConstraint(constraint));
+      }
+    }
+    return out;
+  };
+  std::set<std::string> sa = canon_set(a.ExportRules() + a.ImportRules());
+  std::set<std::string> sb = canon_set(b.ExportRules() + b.ImportRules());
+  int differing = 0;
+  for (const std::string& s : sa) {
+    if (sb.count(s) == 0) ++differing;
+  }
+  return differing;
+}
+
+}  // namespace lbtrust::trust

@@ -1,0 +1,64 @@
+#ifndef LBTRUST_TRUST_AUTH_SCHEME_H_
+#define LBTRUST_TRUST_AUTH_SCHEME_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lbtrust::trust {
+
+/// A `says` authentication scheme (§4.1): the rule set that implements
+/// export (signing) and import (verification) of communicated rules.
+/// Schemes differ ONLY in these rules — exactly the paper's point about
+/// reconfigurability: swapping RSA for HMAC changes two rules (exp1/exp3)
+/// while every policy that uses `says` is untouched.
+class AuthScheme {
+ public:
+  virtual ~AuthScheme() = default;
+
+  virtual std::string name() const = 0;
+
+  /// exp0/exp1-style rules run by the *sending* principal: declare the
+  /// export predicate and derive signed export tuples from says facts.
+  virtual std::string ExportRules() const = 0;
+
+  /// exp2/exp3-style rules and constraints run by the *receiving*
+  /// principal: import received exports into says and verify authenticity.
+  virtual std::string ImportRules() const = 0;
+
+  /// Rules that differ between this scheme and `other` (count used by the
+  /// reconfiguration benchmark; the paper reports 2 for RSA->HMAC).
+  static int CountDifferingRules(const AuthScheme& a, const AuthScheme& b);
+};
+
+/// No authentication: exports carry an empty signature; imports are
+/// accepted unconditionally ("cleartext principal headers").
+class PlaintextScheme : public AuthScheme {
+ public:
+  std::string name() const override { return "plaintext"; }
+  std::string ExportRules() const override;
+  std::string ImportRules() const override;
+};
+
+/// 1024-bit RSA signatures (exp1/exp3 of §4.1.1).
+class RsaScheme : public AuthScheme {
+ public:
+  std::string name() const override { return "rsa"; }
+  std::string ExportRules() const override;
+  std::string ImportRules() const override;
+};
+
+/// HMAC-SHA1 over a shared secret (exp1'/exp3' of §4.1.2).
+class HmacScheme : public AuthScheme {
+ public:
+  std::string name() const override { return "hmac"; }
+  std::string ExportRules() const override;
+  std::string ImportRules() const override;
+};
+
+/// Scheme registry by name ("plaintext", "rsa", "hmac").
+std::unique_ptr<AuthScheme> MakeScheme(const std::string& name);
+
+}  // namespace lbtrust::trust
+
+#endif  // LBTRUST_TRUST_AUTH_SCHEME_H_

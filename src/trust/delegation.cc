@@ -1,0 +1,67 @@
+#include "trust/delegation.h"
+
+#include "util/strings.h"
+
+namespace lbtrust::trust {
+
+std::string SpeaksForRule(const std::string& delegator) {
+  return util::StrCat("sf0: active(R) <- says(", delegator, ",me,R).\n");
+}
+
+std::string DelegationRules() {
+  return
+      // del0: type declaration.
+      "del0: delegates(U1,U2,P) -> prin(U1), prin(U2), predicate(P).\n"
+      // del1: a delegation fact generates the restricted speaks-for rule.
+      "del1: active([| active(R2) <- says(U2,me,R2), "
+      "R2 = [| P(T*) <- A*. |]. |]) <- delegates(me,U2,P).\n";
+}
+
+std::string DelegationDepthRules() {
+  return
+      "dd0: delDepth(U1,U2,P,N) -> prin(U1), prin(U2), predicate(P), "
+      "int[64](N).\n"
+      "dd1: inferredDelDepth(U1,U2,P,N) -> prin(U1), prin(U2), predicate(P), "
+      "int[64](N).\n"
+      // dd2: ship the seed restriction to the restricted delegatee.
+      "dd2: says(me,U,[| inferredDelDepth(me,U,P,N). |]) <- "
+      "delDepth(me,U,P,N).\n"
+      // dd3: a principal under restriction N>0 who further delegates P to W
+      // imposes N-1 on W.
+      "dd3: says(me,W,[| inferredDelDepth(me,W,P,N-1). |]) <- "
+      "inferredDelDepth(_,me,P,N), delegates(me,W,P), N > 0.\n"
+      // dd4: restriction 0 forbids further delegation (verbatim).
+      "dd4: inferredDelDepth(_,me,P,0) -> !delegates(me,_,P).\n";
+}
+
+std::string DelegationWidthRules() {
+  return
+      "dw0: delWidth(U1,P,U) -> prin(U1), predicate(P), prin(U).\n"
+      // A width-restricted principal may only delegate P inside the set it
+      // received. Width sets propagate along the chain like depth limits.
+      "dw1: says(me,U,[| inferredDelWidth(me,U,P,W). |]) <- "
+      "delWidth(me,P,W), delegates(me,U,P).\n"
+      "dw2: says(me,U,[| inferredDelWidth(me,U,P,W). |]) <- "
+      "inferredDelWidth(_,me,P,W), delegates(me,U,P).\n"
+      "dw3: inferredDelWidth(_,me,P,_), delegates(me,U,P) -> "
+      "inferredDelWidth(_,me,P,U).\n";
+}
+
+std::string ThresholdRules(const std::string& pred, const std::string& group,
+                           int k) {
+  return util::StrCat(
+      pred, "Count(C,N) <- agg<<N = count(U)>> pringroup(U,", group,
+      "), says(U,me,[| ", pred, "(C). |]).\n",
+      pred, "(C) <- ", pred, "Count(C,N), N >= ", k, ".\n");
+}
+
+std::string WeightedThresholdRules(const std::string& pred,
+                                   const std::string& group,
+                                   double min_weight) {
+  return util::StrCat(
+      pred, "Score(C,N) <- agg<<N = total(W)>> prinweight(U,", group,
+      ",W), says(U,me,[| ", pred, "(C). |]).\n",
+      pred, "(C) <- ", pred, "Score(C,N), N >= ", min_weight, ".\n");
+}
+
+}  // namespace lbtrust::trust

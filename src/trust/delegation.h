@@ -1,0 +1,50 @@
+#ifndef LBTRUST_TRUST_DELEGATION_H_
+#define LBTRUST_TRUST_DELEGATION_H_
+
+#include <string>
+
+namespace lbtrust::trust {
+
+/// §4.2 delegation library, provided as program text so applications can
+/// compose it with their policies (install via Workspace::Load /
+/// TrustRuntime::Load).
+
+/// Speaks-for (sf0): activate everything `delegator` says.
+/// `active(R) <- says(<delegator>,me,R).`
+std::string SpeaksForRule(const std::string& delegator);
+
+/// The `delegates` construct (del0/del1): a delegation fact
+/// delegates(me,U2,P) generates — via the meta-rule del1 — a speaks-for
+/// rule restricted to predicate P. (The paper's del1 writes the delegated
+/// predicate as a literal `p`; we bind it to the delegation fact's P,
+/// which is what the surrounding text describes.)
+std::string DelegationRules();
+
+/// §4.2.1 delegation depth (dd0-dd4). Deviation from the paper's listing,
+/// recorded in DESIGN.md: as printed, dd2/dd3 infer depth at the
+/// *delegator*, so a chain longer than one hop never propagates. We ship
+/// the seed restriction to the delegatee (dd2) and propagate decremented
+/// limits from received restrictions (dd3), which implements the semantics
+/// the paper's prose describes. dd4 is verbatim.
+std::string DelegationDepthRules();
+
+/// §4.2.1 delegation width: restricts the principals allowed in a chain.
+/// delWidth(me,P,U) facts enumerate the allowed set; forwarding to a
+/// principal outside the set violates the constraint.
+std::string DelegationWidthRules();
+
+/// §4.2.2 unweighted threshold (wd1/wd2 generalized): derive
+/// `<pred>(C)` when at least `k` principals of pringroup(U,<group>) said
+/// `<pred>(C)`.
+std::string ThresholdRules(const std::string& pred, const std::string& group,
+                           int k);
+
+/// Weighted variant: principals carry prinweight(U,<group>,W); derive when
+/// the total weight of sayers reaches `min_weight`.
+std::string WeightedThresholdRules(const std::string& pred,
+                                   const std::string& group,
+                                   double min_weight);
+
+}  // namespace lbtrust::trust
+
+#endif  // LBTRUST_TRUST_DELEGATION_H_

@@ -1,0 +1,50 @@
+#include "trust/keystore.h"
+
+#include "crypto/sha1.h"
+#include "util/strings.h"
+
+namespace lbtrust::trust {
+
+namespace {
+std::string Fingerprint(const std::string& material) {
+  return util::HexEncode(crypto::Sha1::Digest(material)).substr(0, 16);
+}
+}  // namespace
+
+std::string KeyStore::AddRsaPrivateKey(const crypto::RsaPrivateKey& key) {
+  std::string handle =
+      util::StrCat("rsa:priv:", Fingerprint(key.n.ToHex()));
+  private_keys_.emplace(handle, key);
+  return handle;
+}
+
+std::string KeyStore::AddRsaPublicKey(const crypto::RsaPublicKey& key) {
+  std::string handle = util::StrCat("rsa:pub:", Fingerprint(key.n.ToHex()));
+  public_keys_.emplace(handle, key);
+  return handle;
+}
+
+std::string KeyStore::AddSharedSecret(const std::string& secret) {
+  std::string handle = util::StrCat("hmac:", Fingerprint(secret));
+  secrets_.emplace(handle, secret);
+  return handle;
+}
+
+const crypto::RsaPrivateKey* KeyStore::FindPrivate(
+    const std::string& handle) const {
+  auto it = private_keys_.find(handle);
+  return it == private_keys_.end() ? nullptr : &it->second;
+}
+
+const crypto::RsaPublicKey* KeyStore::FindPublic(
+    const std::string& handle) const {
+  auto it = public_keys_.find(handle);
+  return it == public_keys_.end() ? nullptr : &it->second;
+}
+
+const std::string* KeyStore::FindSecret(const std::string& handle) const {
+  auto it = secrets_.find(handle);
+  return it == secrets_.end() ? nullptr : &it->second;
+}
+
+}  // namespace lbtrust::trust

@@ -1,0 +1,39 @@
+#ifndef LBTRUST_TRUST_KEYSTORE_H_
+#define LBTRUST_TRUST_KEYSTORE_H_
+
+#include <map>
+#include <string>
+
+#include "crypto/rsa.h"
+
+namespace lbtrust::trust {
+
+/// Maps opaque key *handles* (short strings that appear as values inside
+/// policies, e.g. in `rsaprivkey(me,K)`) to key material. Policies only ever
+/// see handles — private keys never enter the fact base, mirroring the
+/// paper's "application-defined libraries of custom predicates" (§3).
+class KeyStore {
+ public:
+  /// Stores a key and returns its handle ("rsa:priv:<fp>", "rsa:pub:<fp>",
+  /// "hmac:<fp>"). Re-adding identical material returns the same handle.
+  std::string AddRsaPrivateKey(const crypto::RsaPrivateKey& key);
+  std::string AddRsaPublicKey(const crypto::RsaPublicKey& key);
+  std::string AddSharedSecret(const std::string& secret);
+
+  const crypto::RsaPrivateKey* FindPrivate(const std::string& handle) const;
+  const crypto::RsaPublicKey* FindPublic(const std::string& handle) const;
+  const std::string* FindSecret(const std::string& handle) const;
+
+  size_t size() const {
+    return private_keys_.size() + public_keys_.size() + secrets_.size();
+  }
+
+ private:
+  std::map<std::string, crypto::RsaPrivateKey> private_keys_;
+  std::map<std::string, crypto::RsaPublicKey> public_keys_;
+  std::map<std::string, std::string> secrets_;
+};
+
+}  // namespace lbtrust::trust
+
+#endif  // LBTRUST_TRUST_KEYSTORE_H_

@@ -1,0 +1,43 @@
+#ifndef LBTRUST_TRUST_TRUST_BUILTINS_H_
+#define LBTRUST_TRUST_TRUST_BUILTINS_H_
+
+#include <memory>
+
+#include "datalog/workspace.h"
+#include "trust/keystore.h"
+
+namespace lbtrust::trust {
+
+/// Per-workspace cache so that full recomputation across fixpoint rounds
+/// does not redo public-key operations (RSA signing dominates Figure 2;
+/// caching keeps repeated fixpoints incremental in crypto cost). Counters
+/// are exposed for the benchmarks.
+struct CryptoStats {
+  size_t rsa_signs = 0;
+  size_t rsa_verifies = 0;
+  size_t hmac_signs = 0;
+  size_t hmac_verifies = 0;
+  size_t cache_hits = 0;
+};
+
+/// Registers the paper's cryptographic built-ins on a workspace:
+///
+///   rsasign(R,S,K)    S := RSA signature of R under private key handle K
+///   rsaverify(R,S,K)  true iff S verifies R under public key handle K
+///   hmacsign(R,K,S)   S := HMAC-SHA1 tag of R under shared secret K
+///   hmacverify(R,S,K) true iff tag matches
+///   sha1hash(M,H)     H := hex SHA-1 of M        (integrity, §4.1.3)
+///   checksum(M,C)     C := CRC-32 of M           (integrity, §4.1.3)
+///   encrypt(M,K,C)    C := hex sealed box of M under shared secret K
+///   decrypt(C,K,M)    inverse; fails (no solution) on tamper
+///
+/// Message bytes are the canonical form for code values, the raw text for
+/// strings/symbols, and the printed form otherwise.
+/// `stats` may be null. Returns the stats object owned by the caller.
+void RegisterCryptoBuiltins(datalog::Workspace* workspace,
+                            const KeyStore* keystore,
+                            std::shared_ptr<CryptoStats> stats);
+
+}  // namespace lbtrust::trust
+
+#endif  // LBTRUST_TRUST_TRUST_BUILTINS_H_

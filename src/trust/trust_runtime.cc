@@ -1,0 +1,146 @@
+#include "trust/trust_runtime.h"
+
+#include <set>
+
+#include "datalog/parser.h"
+#include "datalog/pretty.h"
+#include "meta/codegen.h"
+#include "meta/meta_model.h"
+#include "util/strings.h"
+
+namespace lbtrust::trust {
+
+using datalog::ParsedClause;
+using datalog::Value;
+using util::Result;
+using util::Status;
+
+Result<std::unique_ptr<TrustRuntime>> TrustRuntime::Create(Options options) {
+  if (options.principal.empty()) {
+    return util::InvalidArgument("principal name must not be empty");
+  }
+  std::unique_ptr<TrustRuntime> rt(new TrustRuntime(options));
+  rt->options_.workspace.principal = rt->options_.principal;
+  rt->workspace_ =
+      std::make_unique<datalog::Workspace>(rt->options_.workspace);
+  datalog::Workspace* ws = rt->workspace_.get();
+
+  // Deterministic key material.
+  uint64_t seed = options.key_seed != 0
+                      ? options.key_seed
+                      : util::Fnv1a(options.principal) | 1;
+  crypto::SecureRandom rng(seed);
+  LB_ASSIGN_OR_RETURN(rt->keypair_,
+                      crypto::RsaGenerateKeyPair(options.rsa_bits, &rng));
+  std::string priv_handle =
+      rt->keystore_.AddRsaPrivateKey(rt->keypair_.private_key);
+  std::string pub_handle =
+      rt->keystore_.AddRsaPublicKey(rt->keypair_.public_key);
+
+  rt->stats_ = std::make_shared<CryptoStats>();
+  RegisterCryptoBuiltins(ws, &rt->keystore_, rt->stats_);
+  if (rt->options_.enable_meta_model) {
+    LB_RETURN_IF_ERROR(meta::EnableMetaModel(ws));
+  }
+
+  // Identity facts and key bindings.
+  LB_RETURN_IF_ERROR(ws->EnsurePredicate("prin", 1));
+  LB_RETURN_IF_ERROR(ws->EnsurePredicate("rsaprivkey", 2));
+  LB_RETURN_IF_ERROR(ws->EnsurePredicate("rsapubkey", 2));
+  LB_RETURN_IF_ERROR(ws->EnsurePredicate("sharedsecret", 3));
+  LB_RETURN_IF_ERROR(
+      ws->AddFact("prin", {Value::Sym(rt->options_.principal)}));
+  LB_RETURN_IF_ERROR(ws->AddFact("rsaprivkey",
+                                 {Value::Sym(rt->options_.principal),
+                                  Value::Str(priv_handle)}));
+  LB_RETURN_IF_ERROR(ws->AddFact("rsapubkey",
+                                 {Value::Sym(rt->options_.principal),
+                                  Value::Str(pub_handle)}));
+
+  // The says core (§4.1).
+  LB_RETURN_IF_ERROR(
+      ws->Load("says0: says(U1,U2,R) -> prin(U1), prin(U2), rule(R)."));
+  if (rt->options_.trusting_activation) {
+    LB_RETURN_IF_ERROR(ws->Load("says1: active(R) <- says(_,me,R)."));
+  }
+  return rt;
+}
+
+Result<int> TrustRuntime::UseScheme(const AuthScheme& scheme) {
+  std::string new_text = scheme.ExportRules() + scheme.ImportRules();
+  if (scheme.name() == scheme_name_) return 0;
+
+  int changed = 0;
+  datalog::Workspace* ws = workspace_.get();
+  LB_ASSIGN_OR_RETURN(std::vector<ParsedClause> new_clauses,
+                      datalog::ParseProgram(new_text));
+  std::set<std::string> new_canons;
+  for (const ParsedClause& clause : new_clauses) {
+    for (const datalog::Rule& rule : clause.rules) {
+      new_canons.insert(datalog::PrintRule(
+          datalog::ResolveMeRule(rule, options_.principal)));
+    }
+    for (const datalog::Constraint& c : clause.constraints) {
+      new_canons.insert(datalog::PrintConstraint(c));
+    }
+  }
+  // Remove only the clauses of the previous scheme that the new scheme
+  // does not share — the paper's measure of reconfiguration effort (2
+  // clauses for RSA -> HMAC: exp1 and exp3).
+  if (!scheme_text_.empty()) {
+    LB_ASSIGN_OR_RETURN(std::vector<ParsedClause> old_clauses,
+                        datalog::ParseProgram(scheme_text_));
+    for (const ParsedClause& clause : old_clauses) {
+      for (const datalog::Rule& rule : clause.rules) {
+        if (new_canons.count(datalog::PrintRule(
+                datalog::ResolveMeRule(rule, options_.principal)))) {
+          continue;
+        }
+        Status st = ws->RemoveRule(rule);
+        if (st.ok()) ++changed;
+      }
+      for (const datalog::Constraint& c : clause.constraints) {
+        if (new_canons.count(datalog::PrintConstraint(c))) continue;
+        if (!c.label.empty()) {
+          Status st = ws->RemoveConstraintsByLabel(c.label);
+          if (st.ok()) ++changed;
+        }
+      }
+    }
+  }
+  LB_RETURN_IF_ERROR(ws->Load(new_text));
+  scheme_name_ = scheme.name();
+  scheme_text_ = std::move(new_text);
+  return changed;
+}
+
+Status TrustRuntime::AddPeer(const std::string& peer,
+                             const crypto::RsaPublicKey& key) {
+  std::string handle = keystore_.AddRsaPublicKey(key);
+  LB_RETURN_IF_ERROR(workspace_->AddFact("prin", {Value::Sym(peer)}));
+  return workspace_->AddFact("rsapubkey",
+                             {Value::Sym(peer), Value::Str(handle)});
+}
+
+Status TrustRuntime::AddSharedSecret(const std::string& peer,
+                                     const std::string& secret) {
+  std::string handle = keystore_.AddSharedSecret(secret);
+  LB_RETURN_IF_ERROR(workspace_->AddFact("prin", {Value::Sym(peer)}));
+  return workspace_->AddFact(
+      "sharedsecret",
+      {Value::Sym(options_.principal), Value::Sym(peer), Value::Str(handle)});
+}
+
+Status TrustRuntime::Load(std::string_view program) {
+  return workspace_->Load(program);
+}
+
+Status TrustRuntime::Say(const std::string& destination,
+                         std::string_view rule_text) {
+  LB_ASSIGN_OR_RETURN(Value code, meta::QuoteRuleText(rule_text));
+  return workspace_->AddFact(
+      "says",
+      {Value::Sym(options_.principal), Value::Sym(destination), code});
+}
+
+}  // namespace lbtrust::trust

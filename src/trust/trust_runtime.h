@@ -1,0 +1,85 @@
+#ifndef LBTRUST_TRUST_TRUST_RUNTIME_H_
+#define LBTRUST_TRUST_TRUST_RUNTIME_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "crypto/rsa.h"
+#include "datalog/workspace.h"
+#include "trust/auth_scheme.h"
+#include "trust/keystore.h"
+#include "trust/trust_builtins.h"
+#include "util/status.h"
+
+namespace lbtrust::trust {
+
+/// One principal's LBTrust context: a workspace wired with the meta-model,
+/// the cryptographic built-ins, a key store holding the principal's RSA
+/// key pair, the `says` core (says0/says1 of §4.1), and a pluggable
+/// authentication scheme. This is the paper's "context" — net::Cluster
+/// places one (or several) of these on simulated nodes.
+class TrustRuntime {
+ public:
+  struct Options {
+    std::string principal = "local";
+    /// RSA key material is generated deterministically from this seed
+    /// (0 = derive from the principal name), so runs are reproducible.
+    uint64_t key_seed = 0;
+    size_t rsa_bits = 1024;
+    bool enable_meta_model = true;
+    /// Install says1 ("active(R) <- says(_,me,R)."): trust everything said
+    /// to me. Turn off when activation should flow through delegation
+    /// rules only.
+    bool trusting_activation = true;
+    datalog::Workspace::Options workspace;
+  };
+
+  static util::Result<std::unique_ptr<TrustRuntime>> Create(Options options);
+
+  const std::string& principal() const { return options_.principal; }
+  datalog::Workspace* workspace() { return workspace_.get(); }
+  KeyStore* keystore() { return &keystore_; }
+  const crypto::RsaKeyPair& keypair() const { return keypair_; }
+  const CryptoStats& crypto_stats() const { return *stats_; }
+
+  /// Installs (or swaps in) an authentication scheme. Returns the number
+  /// of clauses that changed relative to the previously installed scheme
+  /// (the paper reports 2 for RSA -> HMAC).
+  util::Result<int> UseScheme(const AuthScheme& scheme);
+  const std::string& scheme_name() const { return scheme_name_; }
+
+  /// Registers a remote principal: prin(peer) + rsapubkey(peer,handle).
+  util::Status AddPeer(const std::string& peer,
+                       const crypto::RsaPublicKey& key);
+  /// Registers a shared HMAC secret with a peer:
+  /// sharedsecret(me,peer,handle). Both sides must add the same secret.
+  util::Status AddSharedSecret(const std::string& peer,
+                               const std::string& secret);
+
+  /// Loads policy text with `me` = this principal.
+  util::Status Load(std::string_view program);
+
+  /// Asserts says(me, destination, [| rule_text |]) — the programmatic way
+  /// to say something (policies usually derive says instead).
+  util::Status Say(const std::string& destination, std::string_view rule_text);
+
+  /// Runs the workspace to fixpoint (including export signing, import
+  /// verification, codegen and constraint checks).
+  util::Status Fixpoint() { return workspace_->Fixpoint(); }
+
+ private:
+  explicit TrustRuntime(Options options) : options_(std::move(options)) {}
+
+  Options options_;
+  std::unique_ptr<datalog::Workspace> workspace_;
+  KeyStore keystore_;
+  crypto::RsaKeyPair keypair_;
+  std::shared_ptr<CryptoStats> stats_;
+  std::string scheme_name_;
+  std::string scheme_text_;  // installed clauses, for swap-out
+};
+
+}  // namespace lbtrust::trust
+
+#endif  // LBTRUST_TRUST_TRUST_RUNTIME_H_

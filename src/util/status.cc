@@ -1,0 +1,45 @@
+#include "util/status.h"
+
+namespace lbtrust::util {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kParseError:
+      return "PARSE_ERROR";
+    case StatusCode::kTypeError:
+      return "TYPE_ERROR";
+    case StatusCode::kUnsafeProgram:
+      return "UNSAFE_PROGRAM";
+    case StatusCode::kNotStratifiable:
+      return "NOT_STRATIFIABLE";
+    case StatusCode::kConstraintViolation:
+      return "CONSTRAINT_VIOLATION";
+    case StatusCode::kCryptoError:
+      return "CRYPTO_ERROR";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace lbtrust::util

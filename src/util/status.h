@@ -1,0 +1,146 @@
+#ifndef LBTRUST_UTIL_STATUS_H_
+#define LBTRUST_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace lbtrust::util {
+
+/// Canonical error space for the whole library. The project is built without
+/// exceptions; every fallible operation returns a Status or a Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kParseError,
+  kTypeError,
+  kUnsafeProgram,        ///< Range-restriction / negation-safety violation.
+  kNotStratifiable,      ///< Negation or aggregation through recursion.
+  kConstraintViolation,  ///< A schema constraint derived fail().
+  kCryptoError,          ///< Signature/MAC verification or key failure.
+  kInternal,
+};
+
+/// Returns a stable human-readable name ("OK", "PARSE_ERROR", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Value-type status carrying a code and a message. Cheap to copy when OK.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "PARSE_ERROR: unexpected token ')' at line 3".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status(); }
+inline Status InvalidArgument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status NotFound(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+inline Status AlreadyExists(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+inline Status FailedPrecondition(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status ParseError(std::string msg) {
+  return Status(StatusCode::kParseError, std::move(msg));
+}
+inline Status TypeError(std::string msg) {
+  return Status(StatusCode::kTypeError, std::move(msg));
+}
+inline Status UnsafeProgram(std::string msg) {
+  return Status(StatusCode::kUnsafeProgram, std::move(msg));
+}
+inline Status NotStratifiable(std::string msg) {
+  return Status(StatusCode::kNotStratifiable, std::move(msg));
+}
+inline Status ConstraintViolation(std::string msg) {
+  return Status(StatusCode::kConstraintViolation, std::move(msg));
+}
+inline Status CryptoError(std::string msg) {
+  return Status(StatusCode::kCryptoError, std::move(msg));
+}
+inline Status Internal(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+
+/// Either a T or an error Status. Mirrors absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from error status, so call sites can
+  /// `return value;` or `return InvalidArgument(...)`.
+  Result(T value) : rep_(std::move(value)) {}             // NOLINT
+  Result(Status status) : rep_(std::move(status)) {}      // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOkStatus;
+    if (ok()) return kOkStatus;
+    return std::get<Status>(rep_);
+  }
+
+  T& value() & { return std::get<T>(rep_); }
+  const T& value() const& { return std::get<T>(rep_); }
+  T&& value() && { return std::get<T>(std::move(rep_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+}  // namespace lbtrust::util
+
+/// Propagates a non-OK Status from the evaluated expression.
+#define LB_RETURN_IF_ERROR(expr)                        \
+  do {                                                  \
+    ::lbtrust::util::Status lb_status_ = (expr);        \
+    if (!lb_status_.ok()) return lb_status_;            \
+  } while (0)
+
+/// Evaluates a Result expression; on success binds the value to `lhs`,
+/// otherwise propagates its Status.
+#define LB_ASSIGN_OR_RETURN(lhs, expr)                  \
+  auto LB_CONCAT_(lb_result_, __LINE__) = (expr);       \
+  if (!LB_CONCAT_(lb_result_, __LINE__).ok())           \
+    return LB_CONCAT_(lb_result_, __LINE__).status();   \
+  lhs = std::move(LB_CONCAT_(lb_result_, __LINE__)).value()
+
+#define LB_CONCAT_INNER_(a, b) a##b
+#define LB_CONCAT_(a, b) LB_CONCAT_INNER_(a, b)
+
+#endif  // LBTRUST_UTIL_STATUS_H_

@@ -1,0 +1,59 @@
+#ifndef LBTRUST_UTIL_STRINGS_H_
+#define LBTRUST_UTIL_STRINGS_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lbtrust::util {
+
+namespace internal_strings {
+inline void AppendPieces(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void AppendPieces(std::ostringstream& os, const T& first, Rest&&... rest) {
+  os << first;
+  AppendPieces(os, std::forward<Rest>(rest)...);
+}
+}  // namespace internal_strings
+
+/// Concatenates streamable pieces into one string (tiny StrCat stand-in;
+/// std::format is unavailable on the toolchain we target).
+template <typename... Pieces>
+std::string StrCat(Pieces&&... pieces) {
+  std::ostringstream os;
+  internal_strings::AppendPieces(os, std::forward<Pieces>(pieces)...);
+  return os.str();
+}
+
+/// Joins `parts` with `sep` ("a", "b" -> "a,b").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits on a single character, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Lowercase hex encoding of raw bytes.
+std::string HexEncode(const uint8_t* data, size_t len);
+std::string HexEncode(const std::string& bytes);
+
+/// Inverse of HexEncode; returns false on odd length or non-hex digits.
+bool HexDecode(std::string_view hex, std::string* out);
+
+/// True if `text` begins with / ends with the given prefix or suffix.
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Escapes a string for inclusion in double quotes ("a\"b" style).
+std::string EscapeQuoted(std::string_view raw);
+
+/// 64-bit FNV-1a hash, used to combine hashes across the engine.
+uint64_t Fnv1a(std::string_view data);
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  // Boost-style mix with 64-bit golden ratio.
+  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+}  // namespace lbtrust::util
+
+#endif  // LBTRUST_UTIL_STRINGS_H_

@@ -1,0 +1,142 @@
+#include "d1lp/d1lp.h"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace lbtrust::d1lp {
+namespace {
+
+std::unique_ptr<trust::TrustRuntime> MakeRuntime(const std::string& name,
+                                                 bool trusting = false) {
+  trust::TrustRuntime::Options opts;
+  opts.principal = name;
+  opts.rsa_bits = 512;
+  opts.trusting_activation = trusting;
+  auto rt = trust::TrustRuntime::Create(opts);
+  EXPECT_TRUE(rt.ok());
+  return std::move(*rt);
+}
+
+TEST(D1lpCompileTest, SaysStatement) {
+  auto compiled = CompileD1lp("alice", "bob says access(carol,f1).");
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  ASSERT_EQ(compiled->assertions.size(), 1u);
+  EXPECT_EQ(compiled->assertions[0].first, "bob");
+  EXPECT_EQ(compiled->assertions[0].second, "access(carol,f1).");
+  EXPECT_NE(compiled->core_rules.find("prin(bob)."), std::string::npos);
+}
+
+TEST(D1lpCompileTest, DelegationWithDepth) {
+  auto compiled = CompileD1lp("alice", "alice delegates access^2 to bob.");
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  EXPECT_NE(compiled->core_rules.find("delegates(me,bob,access)."),
+            std::string::npos);
+  EXPECT_NE(compiled->core_rules.find("delDepth(me,bob,access,2)."),
+            std::string::npos);
+  // The §4.2 library is pulled in.
+  EXPECT_NE(compiled->core_rules.find("del1:"), std::string::npos);
+  EXPECT_NE(compiled->core_rules.find("dd4:"), std::string::npos);
+}
+
+TEST(D1lpCompileTest, UnboundedDepth) {
+  auto compiled = CompileD1lp("alice", "alice delegates access^* to bob.");
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_NE(compiled->core_rules.find("delegates(me,bob,access)."),
+            std::string::npos);
+  // No depth *fact* (the dd library rules still mention the predicate).
+  EXPECT_EQ(compiled->core_rules.find("delDepth(me,bob"), std::string::npos);
+}
+
+TEST(D1lpCompileTest, SpeaksFor) {
+  auto compiled = CompileD1lp("alice", "bob speaks-for alice.");
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  EXPECT_NE(compiled->core_rules.find("active(R) <- says(bob,me,R)."),
+            std::string::npos);
+}
+
+TEST(D1lpCompileTest, Threshold) {
+  auto compiled =
+      CompileD1lp("bank", "bank trusts threshold(2, b1, b2, b3) on credit.");
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  EXPECT_NE(compiled->core_rules.find("pringroup(b2,thrgrp_credit)."),
+            std::string::npos);
+  EXPECT_NE(compiled->core_rules.find("creditCount"), std::string::npos);
+}
+
+TEST(D1lpCompileTest, Errors) {
+  EXPECT_FALSE(CompileD1lp("alice", "bob delegates p^1 to carol.").ok());
+  EXPECT_FALSE(CompileD1lp("alice", "bob speaks-for carol.").ok());
+  EXPECT_FALSE(CompileD1lp("alice", "alice delegates p^-1 to bob.").ok());
+  EXPECT_FALSE(
+      CompileD1lp("alice", "alice trusts threshold(4, a, b) on p.").ok());
+  EXPECT_FALSE(CompileD1lp("alice", "alice declares p.").ok());
+  EXPECT_FALSE(CompileD1lp("alice", "alice says p(X).").ok());  // non-ground
+}
+
+TEST(D1lpTest, DelegationEndToEnd) {
+  // alice delegates `access` to bob with depth 0: bob's statements about
+  // access activate; carol's do not; bob cannot re-delegate.
+  auto alice = MakeRuntime("alice");
+  auto bob = MakeRuntime("bob");
+  auto carol = MakeRuntime("carol");
+  ASSERT_TRUE(alice->AddPeer("bob", bob->keypair().public_key).ok());
+  ASSERT_TRUE(alice->AddPeer("carol", carol->keypair().public_key).ok());
+  ASSERT_TRUE(LoadD1lp(alice.get(),
+                       "alice delegates access^0 to bob.\n"
+                       "bob says access(dave,f1).\n"
+                       "carol says access(mallory,f2).")
+                  .ok());
+  ASSERT_TRUE(alice->Fixpoint().ok());
+  EXPECT_EQ(*alice->workspace()->Count("access(dave,f1)"), 1u);
+  EXPECT_EQ(*alice->workspace()->Count("access(mallory,f2)"), 0u);
+}
+
+TEST(D1lpTest, SpeaksForEndToEnd) {
+  auto alice = MakeRuntime("alice");
+  auto bob = MakeRuntime("bob");
+  ASSERT_TRUE(alice->AddPeer("bob", bob->keypair().public_key).ok());
+  ASSERT_TRUE(LoadD1lp(alice.get(),
+                       "bob speaks-for alice.\n"
+                       "bob says anything(1).")
+                  .ok());
+  ASSERT_TRUE(alice->Fixpoint().ok());
+  EXPECT_EQ(*alice->workspace()->Count("anything(1)"), 1u);
+}
+
+TEST(D1lpTest, ThresholdEndToEnd) {
+  auto bank = MakeRuntime("bank");
+  for (const char* b : {"b1", "b2", "b3"}) {
+    auto bureau = MakeRuntime(b);
+    ASSERT_TRUE(bank->AddPeer(b, bureau->keypair().public_key).ok());
+  }
+  ASSERT_TRUE(LoadD1lp(bank.get(),
+                       "bank trusts threshold(2, b1, b2, b3) on credit.\n"
+                       "b1 says credit(carol).")
+                  .ok());
+  ASSERT_TRUE(bank->Fixpoint().ok());
+  EXPECT_EQ(*bank->workspace()->Count("credit(carol)"), 0u);
+  ASSERT_TRUE(LoadD1lp(bank.get(), "b3 says credit(carol).").ok());
+  ASSERT_TRUE(bank->Fixpoint().ok());
+  EXPECT_EQ(*bank->workspace()->Count("credit(carol)"), 1u);
+}
+
+TEST(D1lpTest, DepthRestrictionPropagates) {
+  // Shared-workspace check that a ^0 delegatee cannot re-delegate (the
+  // same dd4 machinery the trust tests exercise, reached from D1LP).
+  auto alice = MakeRuntime("alice");
+  auto bob = MakeRuntime("bob");
+  ASSERT_TRUE(alice->AddPeer("bob", bob->keypair().public_key).ok());
+  ASSERT_TRUE(
+      LoadD1lp(alice.get(), "alice delegates access^0 to bob.").ok());
+  ASSERT_TRUE(alice->Fixpoint().ok());
+  // alice's own workspace holds the inferred restriction for bob.
+  EXPECT_EQ(*alice->workspace()->Count(
+                "says(alice,bob,[| inferredDelDepth(alice,bob,access,0). "
+                "|])"),
+            1u);
+}
+
+}  // namespace
+}  // namespace lbtrust::d1lp

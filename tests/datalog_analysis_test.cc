@@ -1,0 +1,114 @@
+#include "datalog/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/dump.h"
+#include "datalog/parser.h"
+#include "datalog/workspace.h"
+
+namespace lbtrust::datalog {
+namespace {
+
+std::vector<Rule> ParseRules(const std::string& text) {
+  auto clauses = ParseProgram(text);
+  EXPECT_TRUE(clauses.ok());
+  std::vector<Rule> out;
+  for (const auto& clause : *clauses) {
+    for (const Rule& r : clause.rules) out.push_back(CloneRule(r));
+  }
+  return out;
+}
+
+Stratification MustStratify(const std::string& text) {
+  BuiltinRegistry builtins;
+  RegisterStandardBuiltins(&builtins);
+  static std::vector<Rule> storage;  // keep rules alive per call
+  storage = ParseRules(text);
+  std::vector<const Rule*> ptrs;
+  for (const Rule& r : storage) ptrs.push_back(&r);
+  auto strat = Stratify(ptrs, builtins);
+  EXPECT_TRUE(strat.ok()) << strat.status().ToString();
+  return strat.ok() ? *strat : Stratification{};
+}
+
+TEST(StratifyTest, MonotoneProgramIsOneStratum) {
+  auto s = MustStratify("p(X) <- e(X). p(X) <- p(X).");
+  EXPECT_EQ(s.level.at("p"), 0);
+  EXPECT_EQ(s.strata.size(), 1u);
+}
+
+TEST(StratifyTest, NegationLiftsStratum) {
+  auto s = MustStratify("q(X) <- e(X).\np(X) <- e(X), !q(X).");
+  EXPECT_EQ(s.level.at("q"), 0);
+  EXPECT_EQ(s.level.at("p"), 1);
+}
+
+TEST(StratifyTest, ChainsOfNegationStack) {
+  auto s = MustStratify(
+      "a(X) <- e(X).\n"
+      "b(X) <- e(X), !a(X).\n"
+      "c(X) <- e(X), !b(X).");
+  EXPECT_EQ(s.level.at("a"), 0);
+  EXPECT_EQ(s.level.at("b"), 1);
+  EXPECT_EQ(s.level.at("c"), 2);
+}
+
+TEST(StratifyTest, AggregationActsLikeNegation) {
+  auto s = MustStratify(
+      "votes(C,N) <- agg<<N = count(U)>> vote(C,U).\n"
+      "vote(C,U) <- raw(C,U).");
+  EXPECT_LT(s.level.at("vote"), s.level.at("votes"));
+}
+
+TEST(StratifyTest, MutualRecursionSharesStratum) {
+  auto s = MustStratify(
+      "even(X) <- zero(X).\n"
+      "even(X) <- succ(Y,X), odd(Y).\n"
+      "odd(X) <- succ(Y,X), even(Y).");
+  EXPECT_EQ(s.level.at("even"), s.level.at("odd"));
+}
+
+TEST(StratifyTest, RejectsNegativeCycle) {
+  BuiltinRegistry builtins;
+  RegisterStandardBuiltins(&builtins);
+  auto rules = ParseRules("p(X) <- e(X), !q(X).\nq(X) <- e(X), !p(X).");
+  std::vector<const Rule*> ptrs;
+  for (const Rule& r : rules) ptrs.push_back(&r);
+  auto strat = Stratify(ptrs, builtins);
+  EXPECT_EQ(strat.status().code(), util::StatusCode::kNotStratifiable);
+}
+
+TEST(ValidateTest, RejectsMetaPatternsOutsideQuotes) {
+  auto rule = ParseRuleText("p(X) <- q(X).");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_TRUE(ValidateInstallableRule(*rule).ok());
+  // A star variable in an installed rule position is rejected at load.
+  Workspace ws;
+  auto st = ws.Load("p(X) <- says(U,me,R), Q(X).");
+  EXPECT_EQ(st.code(), util::StatusCode::kUnsafeProgram) << st.ToString();
+}
+
+TEST(DumpTest, RendersRulesAndRelations) {
+  Workspace ws;
+  ASSERT_TRUE(ws.Load("p(X) <- e(X). e(1). e(2).").ok());
+  ASSERT_TRUE(ws.Fixpoint().ok());
+  std::string dump = DumpWorkspace(ws);
+  EXPECT_NE(dump.find("p(X) <- e(X)."), std::string::npos);
+  EXPECT_NE(dump.find("e/1  (2 rows)"), std::string::npos);
+  EXPECT_NE(dump.find("  p(1)"), std::string::npos);
+}
+
+TEST(DumpTest, TruncatesLargeRelations) {
+  Workspace ws;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(ws.AddFact("big", {Value::Int(i)}).ok());
+  }
+  ASSERT_TRUE(ws.Fixpoint().ok());
+  std::string dump = DumpRelation(ws, "big", 5);
+  EXPECT_NE(dump.find("... 45 more"), std::string::npos);
+  EXPECT_NE(DumpRelation(ws, "missing").find("<no relation>"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace lbtrust::datalog

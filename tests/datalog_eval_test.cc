@@ -1,0 +1,402 @@
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+#include "datalog/workspace.h"
+
+namespace lbtrust::datalog {
+namespace {
+
+// Helper: run program then query.
+std::vector<Tuple> RunAndQuery(Workspace* ws, const std::string& program,
+                       const std::string& query) {
+  auto st = ws->Load(program);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  st = ws->Fixpoint();
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  auto result = ws->Query(query);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? *result : std::vector<Tuple>{};
+}
+
+TEST(EvalTest, FactsAndSimpleRule) {
+  Workspace ws;
+  auto rows = RunAndQuery(&ws,
+                  "parent(alice,bob). parent(bob,carol).\n"
+                  "grandparent(X,Z) <- parent(X,Y), parent(Y,Z).",
+                  "grandparent(X,Y)");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value::Sym("alice"));
+  EXPECT_EQ(rows[0][1], Value::Sym("carol"));
+}
+
+TEST(EvalTest, TransitiveClosure) {
+  Workspace ws;
+  std::string program = "edge(a,b). edge(b,c). edge(c,d). edge(d,b).\n"
+                        "path(X,Y) <- edge(X,Y).\n"
+                        "path(X,Z) <- path(X,Y), edge(Y,Z).";
+  auto rows = RunAndQuery(&ws, program, "path(X,Y)");
+  // a reaches b,c,d; b reaches c,d,b; c reaches d,b,c; d reaches b,c,d.
+  EXPECT_EQ(rows.size(), 12u);
+}
+
+TEST(EvalTest, SemiNaiveMatchesNaive) {
+  std::string program = "edge(a,b). edge(b,c). edge(c,d). edge(d,e).\n"
+                        "edge(e,a). edge(b,e). edge(c,a).\n"
+                        "path(X,Y) <- edge(X,Y).\n"
+                        "path(X,Z) <- path(X,Y), edge(Y,Z).";
+  Workspace fast;
+  auto fast_rows = RunAndQuery(&fast, program, "path(X,Y)");
+  Workspace::Options opts;
+  opts.naive_eval = true;
+  Workspace slow(opts);
+  auto slow_rows = RunAndQuery(&slow, program, "path(X,Y)");
+  auto key = [](const Tuple& t) {
+    return t[0].ToString() + "|" + t[1].ToString();
+  };
+  std::vector<std::string> a, b;
+  for (const auto& t : fast_rows) a.push_back(key(t));
+  for (const auto& t : slow_rows) b.push_back(key(t));
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(EvalTest, StratifiedNegation) {
+  Workspace ws;
+  auto rows = RunAndQuery(&ws,
+                  "node(a). node(b). node(c).\n"
+                  "blocked(b).\n"
+                  "allowed(X) <- node(X), !blocked(X).",
+                  "allowed(X)");
+  ASSERT_EQ(rows.size(), 2u);
+}
+
+TEST(EvalTest, NegationThroughRecursionRejected) {
+  Workspace ws;
+  ASSERT_TRUE(ws.Load("p(X) <- q(X), !p(X). q(a).").ok());
+  auto st = ws.Fixpoint();
+  EXPECT_EQ(st.code(), util::StatusCode::kNotStratifiable) << st.ToString();
+}
+
+TEST(EvalTest, NegationWithWildcard) {
+  // Unbound variables in negation act existentially (dd4-style).
+  Workspace ws;
+  auto rows = RunAndQuery(&ws,
+                  "emp(alice,sales). emp(bob,eng).\n"
+                  "dept(sales). dept(eng). dept(legal).\n"
+                  "emptyDept(D) <- dept(D), !emp(_,D).",
+                  "emptyDept(X)");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value::Sym("legal"));
+}
+
+TEST(EvalTest, DisjunctionInBody) {
+  Workspace ws;
+  auto rows = RunAndQuery(&ws,
+                  "a(1). b(2). c(3).\n"
+                  "out(X) <- a(X) ; (b(X), !c(X)) ; c(X).",
+                  "out(X)");
+  EXPECT_EQ(rows.size(), 3u);  // 1 from a, 2 from b (not in c), 3 from c
+}
+
+TEST(EvalTest, ComparisonBuiltins) {
+  Workspace ws;
+  auto rows = RunAndQuery(&ws,
+                  "n(1). n(2). n(3). n(4).\n"
+                  "big(X) <- n(X), X >= 3.\n"
+                  "pair(X,Y) <- n(X), n(Y), X < Y.",
+                  "big(X)");
+  EXPECT_EQ(rows.size(), 2u);
+  auto pairs = ws.Query("pair(X,Y)");
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_EQ(pairs->size(), 6u);
+}
+
+TEST(EvalTest, ArithmeticInHeadAndBody) {
+  Workspace ws;
+  auto rows = RunAndQuery(&ws,
+                  "n(5).\n"
+                  "dec(X-1) <- n(X).\n"
+                  "sum(X+Y) <- n(X), n(Y).",
+                  "dec(X)");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value::Int(4));
+  auto sums = ws.Query("sum(X)");
+  ASSERT_TRUE(sums.ok());
+  ASSERT_EQ(sums->size(), 1u);
+  EXPECT_EQ((*sums)[0][0], Value::Int(10));
+}
+
+TEST(EvalTest, ArithmeticRecursionWithGuard) {
+  Workspace ws;
+  auto rows = RunAndQuery(&ws,
+                  "count(10).\n"
+                  "count(N-1) <- count(N), N > 0.",
+                  "count(X)");
+  EXPECT_EQ(rows.size(), 11u);  // 10 down to 0
+}
+
+TEST(EvalTest, EqualityBindsAndChecks) {
+  Workspace ws;
+  auto rows = RunAndQuery(&ws,
+                  "n(3). n(4).\n"
+                  "twice(Y) <- n(X), Y = X + X.\n"
+                  "three(X) <- n(X), X = 3.",
+                  "twice(Y)");
+  EXPECT_EQ(rows.size(), 2u);
+  auto threes = ws.Query("three(X)");
+  ASSERT_TRUE(threes.ok());
+  EXPECT_EQ(threes->size(), 1u);
+}
+
+TEST(EvalTest, InequalityBuiltin) {
+  Workspace ws;
+  auto rows = RunAndQuery(&ws,
+                  "n(1). n(2).\n"
+                  "diff(X,Y) <- n(X), n(Y), X != Y.",
+                  "diff(X,Y)");
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST(EvalTest, UnsafeHeadVariableRejected) {
+  Workspace ws;
+  auto st = ws.Load("p(X,Y) <- q(X). q(a).");
+  EXPECT_EQ(st.code(), util::StatusCode::kUnsafeProgram) << st.ToString();
+}
+
+TEST(EvalTest, StringAndIntValues) {
+  Workspace ws;
+  auto rows = RunAndQuery(&ws,
+                  "f(alice,\"hello world\",42).\n"
+                  "g(S) <- f(_,S,_).",
+                  "g(X)");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value::Str("hello world"));
+}
+
+TEST(EvalTest, CountAggregate) {
+  Workspace ws;
+  auto rows = RunAndQuery(&ws,
+                  "vote(a,alice). vote(a,bob). vote(a,carol). vote(b,dave).\n"
+                  "tally(C,N) <- agg<<N = count(U)>> vote(C,U).",
+                  "tally(C,N)");
+  ASSERT_EQ(rows.size(), 2u);
+  for (const Tuple& t : rows) {
+    if (t[0] == Value::Sym("a")) {
+      EXPECT_EQ(t[1], Value::Int(3));
+    }
+    if (t[0] == Value::Sym("b")) {
+      EXPECT_EQ(t[1], Value::Int(1));
+    }
+  }
+}
+
+TEST(EvalTest, CountDistinct) {
+  // Duplicate derivations count once (set semantics).
+  Workspace ws;
+  auto rows = RunAndQuery(&ws,
+                  "v(a,x). v(a,x). v(a,y).\n"
+                  "c(G,N) <- agg<<N = count(U)>> v(G,U).",
+                  "c(G,N)");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][1], Value::Int(2));
+}
+
+TEST(EvalTest, TotalAggregate) {
+  Workspace ws;
+  auto rows = RunAndQuery(&ws,
+                  "score(alice,3). score(alice,4). score(bob,10).\n"
+                  "sum(P,N) <- agg<<N = total(S)>> score(P,S).",
+                  "sum(P,N)");
+  ASSERT_EQ(rows.size(), 2u);
+  for (const Tuple& t : rows) {
+    if (t[0] == Value::Sym("alice")) {
+      EXPECT_EQ(t[1], Value::Int(7));
+    }
+    if (t[0] == Value::Sym("bob")) {
+      EXPECT_EQ(t[1], Value::Int(10));
+    }
+  }
+}
+
+TEST(EvalTest, MinMaxAggregates) {
+  Workspace ws;
+  auto rows = RunAndQuery(&ws,
+                  "price(apple,3). price(apple,5). price(pear,7).\n"
+                  "cheapest(P,N) <- agg<<N = min(C)>> price(P,C).\n"
+                  "dearest(P,N) <- agg<<N = max(C)>> price(P,C).",
+                  "cheapest(apple,N)");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][1], Value::Int(3));
+  auto max_rows = ws.Query("dearest(apple,N)");
+  ASSERT_TRUE(max_rows.ok());
+  ASSERT_EQ(max_rows->size(), 1u);
+  EXPECT_EQ((*max_rows)[0][1], Value::Int(5));
+}
+
+TEST(EvalTest, AggregateOverDerived) {
+  // Aggregation is stratified above the aggregated predicate.
+  Workspace ws;
+  auto rows = RunAndQuery(&ws,
+                  "edge(a,b). edge(b,c). edge(a,c).\n"
+                  "reach(X,Y) <- edge(X,Y).\n"
+                  "reach(X,Z) <- reach(X,Y), edge(Y,Z).\n"
+                  "fanout(X,N) <- agg<<N = count(Y)>> reach(X,Y).",
+                  "fanout(a,N)");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][1], Value::Int(2));  // a reaches b and c
+}
+
+TEST(EvalTest, AggregateThroughRecursionRejected) {
+  Workspace ws;
+  ASSERT_TRUE(ws.Load("p(X,N) <- agg<<N = count(Y)>> q(X,Y).\n"
+                      "q(X,N) <- p(X,N).\n"
+                      "q(a,1).")
+                  .ok());
+  auto st = ws.Fixpoint();
+  EXPECT_EQ(st.code(), util::StatusCode::kNotStratifiable);
+}
+
+TEST(EvalTest, IncrementalFactAddition) {
+  Workspace ws;
+  ASSERT_TRUE(ws.Load("path(X,Y) <- edge(X,Y).\n"
+                      "path(X,Z) <- path(X,Y), edge(Y,Z).\n"
+                      "edge(a,b).")
+                  .ok());
+  ASSERT_TRUE(ws.Fixpoint().ok());
+  EXPECT_EQ(*ws.Count("path(X,Y)"), 1u);
+  ASSERT_TRUE(ws.AddFact("edge", {Value::Sym("b"), Value::Sym("c")}).ok());
+  ASSERT_TRUE(ws.Fixpoint().ok());
+  EXPECT_EQ(*ws.Count("path(X,Y)"), 3u);
+}
+
+TEST(EvalTest, FactRemovalRecomputes) {
+  Workspace ws;
+  ASSERT_TRUE(ws.Load("edge(a,b). edge(b,c).\n"
+                      "path(X,Y) <- edge(X,Y).\n"
+                      "path(X,Z) <- path(X,Y), edge(Y,Z).")
+                  .ok());
+  ASSERT_TRUE(ws.Fixpoint().ok());
+  EXPECT_EQ(*ws.Count("path(X,Y)"), 3u);
+  ASSERT_TRUE(ws.RemoveFact("edge", {Value::Sym("b"), Value::Sym("c")}).ok());
+  ASSERT_TRUE(ws.Fixpoint().ok());
+  EXPECT_EQ(*ws.Count("path(X,Y)"), 1u);
+}
+
+TEST(EvalTest, RuleRemoval) {
+  Workspace ws;
+  ASSERT_TRUE(ws.Load("p(X) <- q(X). q(a).").ok());
+  ASSERT_TRUE(ws.Fixpoint().ok());
+  EXPECT_EQ(*ws.Count("p(X)"), 1u);
+  auto rule = ParseRuleText("p(X) <- q(X).");
+  ASSERT_TRUE(rule.ok());
+  ASSERT_TRUE(ws.RemoveRule(*rule).ok());
+  ASSERT_TRUE(ws.Fixpoint().ok());
+  EXPECT_EQ(*ws.Count("p(X)"), 0u);
+}
+
+TEST(EvalTest, DuplicateRuleIsNoOp) {
+  Workspace ws;
+  ASSERT_TRUE(ws.Load("p(X) <- q(X). q(a).").ok());
+  ASSERT_TRUE(ws.Load("p(X) <- q(X).").ok());
+  ASSERT_TRUE(ws.Fixpoint().ok());
+  EXPECT_EQ(ws.rules().size(), 1u);
+}
+
+TEST(EvalTest, ZeroArityPredicates) {
+  Workspace ws;
+  auto rows = RunAndQuery(&ws, "go(). ready() <- go().", "ready()");
+  EXPECT_EQ(rows.size(), 1u);
+}
+
+TEST(EvalTest, MeResolution) {
+  Workspace::Options opts;
+  opts.principal = "alice";
+  Workspace ws(opts);
+  auto rows = RunAndQuery(&ws, "self(me).", "self(X)");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value::Sym("alice"));
+}
+
+TEST(EvalTest, LoadAsOverridesMe) {
+  Workspace ws;  // principal "local"
+  ASSERT_TRUE(ws.LoadAs("bob", "self(me).").ok());
+  ASSERT_TRUE(ws.Fixpoint().ok());
+  EXPECT_EQ(*ws.Count("self(bob)"), 1u);
+  EXPECT_EQ(*ws.Count("self(local)"), 0u);
+}
+
+TEST(EvalTest, PartitionedPredicates) {
+  Workspace ws;
+  auto rows = RunAndQuery(&ws,
+                  "p(a,1). p(a,2). p(b,3).\n"
+                  "q[X](Y) <- p(X,Y).",
+                  "q[a](Y)");
+  EXPECT_EQ(rows.size(), 2u);
+  auto all = ws.Query("q[X](Y)");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 3u);
+}
+
+TEST(EvalTest, PartitionRefValues) {
+  Workspace ws;
+  auto rows = RunAndQuery(&ws,
+                  "loc(alice,n1). loc(bob,n2).\n"
+                  "predNode(export[P],N) <- loc(P,N).",
+                  "predNode(X,N)");
+  ASSERT_EQ(rows.size(), 2u);
+  for (const Tuple& t : rows) {
+    ASSERT_EQ(t[0].kind(), ValueKind::kPart);
+    EXPECT_EQ(t[0].AsPart().predicate, "export");
+  }
+}
+
+TEST(EvalTest, ActiveCodegenInstallsRules) {
+  // A fact derived into `active` as a code value becomes a running rule.
+  Workspace ws;
+  ASSERT_TRUE(ws.Load("trigger(yes).\n"
+                      "active([| p(X) <- q(X). |]) <- trigger(yes).\n"
+                      "q(1). q(2).")
+                  .ok());
+  ASSERT_TRUE(ws.Fixpoint().ok());
+  EXPECT_EQ(*ws.Count("p(X)"), 2u);
+  EXPECT_GT(ws.last_codegen_rounds(), 1);
+}
+
+TEST(EvalTest, ActiveCodegenFacts) {
+  Workspace ws;
+  ASSERT_TRUE(ws.Load("active([| granted(alice). |]) <- request(alice).\n"
+                      "request(alice).")
+                  .ok());
+  ASSERT_TRUE(ws.Fixpoint().ok());
+  EXPECT_EQ(*ws.Count("granted(alice)"), 1u);
+  // Re-running must not loop.
+  ASSERT_TRUE(ws.Fixpoint().ok());
+  EXPECT_EQ(*ws.Count("granted(alice)"), 1u);
+}
+
+TEST(EvalTest, FixpointBudgetGuards) {
+  // A diverging program (no guard on arithmetic recursion) hits the tuple
+  // budget instead of hanging.
+  Workspace::Options opts;
+  opts.limits.max_tuples = 1000;
+  Workspace ws(opts);
+  ASSERT_TRUE(ws.Load("n(0). n(X+1) <- n(X).").ok());
+  auto st = ws.Fixpoint();
+  EXPECT_EQ(st.code(), util::StatusCode::kInternal);
+}
+
+TEST(EvalTest, QueryWithConstantFilter) {
+  Workspace ws;
+  RunAndQuery(&ws, "f(a,1). f(b,2). f(a,3).", "f(a,X)");
+  auto rows = ws.Query("f(a,X)");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);
+}
+
+}  // namespace
+}  // namespace lbtrust::datalog

@@ -1,0 +1,267 @@
+#include "datalog/parser.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "datalog/lexer.h"
+#include "datalog/pretty.h"
+
+namespace lbtrust::datalog {
+namespace {
+
+Rule MustParseRule(const std::string& text) {
+  auto r = ParseRuleText(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status().ToString();
+  return r.ok() ? *r : Rule();
+}
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Tokenize("p(X,42) <- q(\"s\"), !r(X).");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kIdent);
+  EXPECT_EQ((*tokens)[0].text, "p");
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kVar);
+  EXPECT_EQ((*tokens)[4].int_value, 42);
+  EXPECT_EQ(tokens->back().kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, QuoteTokens) {
+  auto tokens = Tokenize("[| p(X). |]");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kQuoteOpen);
+  EXPECT_EQ((*tokens)[6].kind, TokenKind::kQuoteClose);
+}
+
+TEST(LexerTest, ColonIdentifiers) {
+  // message:id is one symbol; a label keeps its colon separate.
+  auto tokens = Tokenize("m2: message:id(M,N)");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "m2");
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kColon);
+  EXPECT_EQ((*tokens)[2].text, "message:id");
+  auto key = Tokenize("pubkey(bob,rsa:3:c1ebab5d)");
+  ASSERT_TRUE(key.ok());
+  EXPECT_EQ((*key)[4].text, "rsa:3:c1ebab5d");
+}
+
+TEST(LexerTest, ArrowsAndAggBrackets) {
+  auto tokens = Tokenize("<- -> :- << >> <= >= < >");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kArrowLeft);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kArrowRight);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kColonDash);
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kAggOpen);
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kAggClose);
+  EXPECT_EQ((*tokens)[5].kind, TokenKind::kLe);
+  EXPECT_EQ((*tokens)[6].kind, TokenKind::kGe);
+}
+
+TEST(LexerTest, Comments) {
+  auto tokens = Tokenize("p(a). // line\n/* block\nmore */ q(b).");
+  ASSERT_TRUE(tokens.ok());
+  size_t idents = 0;
+  for (const Token& t : *tokens) {
+    if (t.kind == TokenKind::kIdent) ++idents;
+  }
+  EXPECT_EQ(idents, 4u);  // p, a, q, b
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("p(a) /* unterminated").ok());
+  EXPECT_FALSE(Tokenize("\"unterminated").ok());
+  EXPECT_FALSE(Tokenize("p | q").ok());
+  EXPECT_FALSE(Tokenize("p(#)").ok());
+}
+
+TEST(ParserTest, FactAndRule) {
+  Rule fact = MustParseRule("parent(alice,bob).");
+  EXPECT_TRUE(fact.IsFact());
+  EXPECT_EQ(fact.heads[0].predicate, "parent");
+  Rule rule = MustParseRule("gp(X,Z) <- parent(X,Y), parent(Y,Z).");
+  EXPECT_EQ(rule.body.size(), 2u);
+}
+
+TEST(ParserTest, LabelsAreKept) {
+  Rule rule = MustParseRule("exp1: p(X) <- q(X).");
+  EXPECT_EQ(rule.label, "exp1");
+}
+
+TEST(ParserTest, NegationAndAnonymous) {
+  Rule rule = MustParseRule("p(X) <- q(X,_), !r(X).");
+  EXPECT_FALSE(rule.body[0].negated);
+  EXPECT_TRUE(rule.body[1].negated);
+  EXPECT_TRUE(rule.body[0].atom.args[1].is_variable());
+}
+
+TEST(ParserTest, DnfSplitsDisjunction) {
+  auto clauses = ParseProgram("p(X) <- q(X) ; r(X).");
+  ASSERT_TRUE(clauses.ok());
+  ASSERT_EQ((*clauses)[0].rules.size(), 2u);
+}
+
+TEST(ParserTest, NegatedGroupDeMorgan) {
+  // !(a ; b) = !a, !b — one rule; !(a , b) = !a ; !b — two rules.
+  auto conj = ParseProgram("p(X) <- q(X), !(r(X) ; s(X)).");
+  ASSERT_TRUE(conj.ok());
+  EXPECT_EQ((*conj)[0].rules.size(), 1u);
+  EXPECT_EQ((*conj)[0].rules[0].body.size(), 3u);
+  auto disj = ParseProgram("p(X) <- q(X), !(r(X), s(X)).");
+  ASSERT_TRUE(disj.ok());
+  EXPECT_EQ((*disj)[0].rules.size(), 2u);
+}
+
+TEST(ParserTest, Constraints) {
+  auto clauses =
+      ParseProgram("access(P,O,M) -> principal(P), object(O), mode(M).");
+  ASSERT_TRUE(clauses.ok());
+  ASSERT_EQ((*clauses)[0].kind, ParsedClause::Kind::kConstraint);
+  const Constraint& c = (*clauses)[0].constraints[0];
+  EXPECT_EQ(c.lhs.size(), 1u);
+  ASSERT_EQ(c.rhs_dnf.size(), 1u);
+  EXPECT_EQ(c.rhs_dnf[0].size(), 3u);
+}
+
+TEST(ParserTest, EmptyRhsDeclaration) {
+  auto clauses = ParseProgram("rule(R) ->.");
+  ASSERT_TRUE(clauses.ok());
+  EXPECT_TRUE((*clauses)[0].constraints[0].rhs_dnf.empty());
+}
+
+TEST(ParserTest, QuotedFactNoDot) {
+  Rule rule = MustParseRule(
+      "access(P,O,read) <- says(bob,me,[|access(P,O,read)|]).");
+  const Term& arg = rule.body[0].atom.args[2];
+  ASSERT_TRUE(arg.is_constant());
+  ASSERT_EQ(arg.value.kind(), ValueKind::kCode);
+  EXPECT_EQ(arg.value.AsCode().what, CodeValue::What::kRule);
+  EXPECT_TRUE(arg.value.AsCode().rule->IsFact());
+}
+
+TEST(ParserTest, QuotedRuleWithStarPatterns) {
+  // §4.1's read-guard meta-constraint parses as written in the paper.
+  auto clauses =
+      ParseProgram("says(U,me,[| A <- P(T*), A*. |]) -> mayRead(U,P).");
+  ASSERT_TRUE(clauses.ok()) << clauses.status().ToString();
+  ASSERT_EQ((*clauses)[0].kind, ParsedClause::Kind::kConstraint);
+}
+
+TEST(ParserTest, QuotedPatternStructure) {
+  auto term = ParseTermText("[| A <- P(T*), A*. |]");
+  ASSERT_TRUE(term.ok());
+  const Rule& quoted = *term->value.AsCode().rule;
+  ASSERT_EQ(quoted.heads.size(), 1u);
+  EXPECT_TRUE(quoted.heads[0].meta_atom);
+  ASSERT_EQ(quoted.body.size(), 2u);
+  EXPECT_TRUE(quoted.body[0].atom.meta_functor);
+  EXPECT_EQ(quoted.body[0].atom.args[0].kind, Term::Kind::kStarVar);
+  EXPECT_TRUE(quoted.body[1].atom.star);
+}
+
+TEST(ParserTest, NestedQuotes) {
+  auto term = ParseTermText(
+      "[| active(R) <- says(U2,me,R), R = [| P(T*) <- A*. |]. |]");
+  ASSERT_TRUE(term.ok());
+  const Rule& outer = *term->value.AsCode().rule;
+  ASSERT_EQ(outer.body.size(), 2u);
+  EXPECT_EQ(outer.body[1].atom.predicate, "=");
+  const Term& inner = outer.body[1].atom.args[1];
+  EXPECT_EQ(inner.value.kind(), ValueKind::kCode);
+}
+
+TEST(ParserTest, StarVsMultiplication) {
+  Rule mult = MustParseRule("p(Z) <- q(X,Y), Z = X * Y.");
+  const Term& rhs = mult.body[1].atom.args[1];
+  EXPECT_EQ(rhs.kind, Term::Kind::kExpr);
+  EXPECT_EQ(rhs.op, '*');
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  Rule rule = MustParseRule("p(X+Y*Z) <- q(X,Y,Z).");
+  const Term& head = rule.heads[0].args[0];
+  ASSERT_EQ(head.kind, Term::Kind::kExpr);
+  EXPECT_EQ(head.op, '+');
+  EXPECT_EQ(head.rhs->op, '*');
+}
+
+TEST(ParserTest, NegativeNumbers) {
+  Rule rule = MustParseRule("p(-5).");
+  EXPECT_EQ(rule.heads[0].args[0].value, Value::Int(-5));
+}
+
+TEST(ParserTest, FloatLiterals) {
+  Rule rule = MustParseRule("w(bureau1,0.5).");
+  EXPECT_EQ(rule.heads[0].args[1].value.kind(), ValueKind::kDouble);
+}
+
+TEST(ParserTest, PartitionedAtomAndIntType) {
+  Rule rule = MustParseRule("export[U2](me,R,S) <- says(me,U2,R).");
+  ASSERT_NE(rule.heads[0].partition, nullptr);
+  EXPECT_EQ(rule.heads[0].Arity(), 4u);
+  // int[64] is a type name, not a partition.
+  auto clauses = ParseProgram("delDepth(N) -> int[64](N).");
+  ASSERT_TRUE(clauses.ok());
+  EXPECT_EQ((*clauses)[0].constraints[0].rhs_dnf[0][0].atom.predicate,
+            "int64");
+}
+
+TEST(ParserTest, AggregateSyntax) {
+  Rule rule = MustParseRule(
+      "creditOKCount(C,N) <- agg<<N = count(U)>> pringroup(U,creditBureau), "
+      "says(U,me,[| creditOK(C). |]).");
+  ASSERT_TRUE(rule.aggregate.has_value());
+  EXPECT_EQ(rule.aggregate->fn, Aggregate::Fn::kCount);
+  EXPECT_EQ(rule.aggregate->result_var, "N");
+  EXPECT_EQ(rule.aggregate->input_var, "U");
+}
+
+TEST(ParserTest, MultiHeadRule) {
+  auto clauses = ParseProgram("a(X), b(X) <- c(X).");
+  ASSERT_TRUE(clauses.ok());
+  ASSERT_EQ((*clauses)[0].rules.size(), 1u);
+  EXPECT_EQ((*clauses)[0].rules[0].heads.size(), 2u);
+}
+
+TEST(ParserTest, MeKeyword) {
+  Rule rule = MustParseRule("says(me,U,R) <- q(U,R).");
+  EXPECT_EQ(rule.heads[0].args[0].kind, Term::Kind::kMe);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseProgram("p(X) <- q(X)").ok());        // missing dot
+  EXPECT_FALSE(ParseProgram("p(X) <- .").ok());           // empty body
+  EXPECT_FALSE(ParseProgram("!p(X) <- q(X).").ok());      // negated head
+  EXPECT_FALSE(ParseProgram("p(X) <- q(X) r(X).").ok());  // missing comma
+  EXPECT_FALSE(ParseRuleText("p(X) -> q(X).").ok());      // constraint
+}
+
+TEST(PrettyTest, RoundTripCanonicalForms) {
+  const char* cases[] = {
+      "p(a,b).",
+      "p(X) <- q(X), !r(X,_G0).",
+      "says(alice,bob,[| access(carol,f1,read). |]) <- grant(carol).",
+      "export[U2](alice,R,S) <- says(alice,U2,R), rsasign(R,S,K).",
+      "tally(C,N) <- agg<<N = count(U)>> vote(C,U).",
+      "p((X+1)) <- q(X).",
+  };
+  for (const char* text : cases) {
+    auto rule = ParseRuleText(text);
+    ASSERT_TRUE(rule.ok()) << text;
+    std::string printed = PrintRule(*rule);
+    auto reparsed = ParseRuleText(printed);
+    ASSERT_TRUE(reparsed.ok()) << printed;
+    EXPECT_EQ(PrintRule(*reparsed), printed) << text;
+  }
+}
+
+TEST(PrettyTest, QuotedCodeCanonIsStable) {
+  auto t1 = ParseTermText("[| p(X)  <-   q(X),r(X). |]");
+  auto t2 = ParseTermText("[| p(X) <- q(X), r(X). |]");
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(t1->value, t2->value);
+  EXPECT_EQ(t1->value.AsCode().canon, "p(X) <- q(X), r(X).");
+}
+
+}  // namespace
+}  // namespace lbtrust::datalog

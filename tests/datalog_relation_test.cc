@@ -1,0 +1,85 @@
+#include "datalog/relation.h"
+
+#include <gtest/gtest.h>
+
+namespace lbtrust::datalog {
+namespace {
+
+Tuple T(int a, int b) { return {Value::Int(a), Value::Int(b)}; }
+
+TEST(RelationTest, InsertDeduplicates) {
+  Relation rel(2);
+  EXPECT_TRUE(rel.Insert(T(1, 2)));
+  EXPECT_FALSE(rel.Insert(T(1, 2)));
+  EXPECT_TRUE(rel.Insert(T(1, 3)));
+  EXPECT_EQ(rel.size(), 2u);
+  EXPECT_TRUE(rel.Contains(T(1, 2)));
+  EXPECT_FALSE(rel.Contains(T(9, 9)));
+}
+
+TEST(RelationTest, LookupByMask) {
+  Relation rel(2);
+  for (int i = 0; i < 10; ++i) {
+    rel.Insert(T(i % 3, i));
+  }
+  // Column 0 == 1: rows 1, 4, 7.
+  const auto& ids = rel.Lookup(0b01, {Value::Int(1)});
+  EXPECT_EQ(ids.size(), 3u);
+  for (uint32_t id : ids) {
+    EXPECT_EQ(rel.rows()[id][0], Value::Int(1));
+  }
+  // Both columns bound: exact probe.
+  EXPECT_EQ(rel.Lookup(0b11, {Value::Int(2), Value::Int(5)}).size(), 1u);
+  EXPECT_TRUE(rel.Lookup(0b11, {Value::Int(2), Value::Int(6)}).empty());
+}
+
+TEST(RelationTest, IndexExtendsAfterInserts) {
+  Relation rel(2);
+  rel.Insert(T(1, 1));
+  EXPECT_EQ(rel.Lookup(0b01, {Value::Int(1)}).size(), 1u);  // builds index
+  rel.Insert(T(1, 2));
+  rel.Insert(T(2, 9));
+  EXPECT_EQ(rel.Lookup(0b01, {Value::Int(1)}).size(), 2u);  // extended
+  EXPECT_EQ(rel.Lookup(0b01, {Value::Int(2)}).size(), 1u);
+}
+
+TEST(RelationTest, MatchesWildcard) {
+  Relation rel(2);
+  EXPECT_FALSE(rel.Matches(0, {}));
+  rel.Insert(T(1, 2));
+  EXPECT_TRUE(rel.Matches(0, {}));
+  EXPECT_TRUE(rel.Matches(0b10, {Value::Int(2)}));
+  EXPECT_FALSE(rel.Matches(0b10, {Value::Int(3)}));
+}
+
+TEST(RelationTest, EraseRebuilds) {
+  Relation rel(2);
+  for (int i = 0; i < 5; ++i) rel.Insert(T(1, i));
+  EXPECT_EQ(rel.Lookup(0b01, {Value::Int(1)}).size(), 5u);
+  EXPECT_TRUE(rel.Erase(T(1, 3)));
+  EXPECT_FALSE(rel.Erase(T(1, 3)));
+  EXPECT_EQ(rel.size(), 4u);
+  EXPECT_FALSE(rel.Contains(T(1, 3)));
+  // Indexes were invalidated and rebuilt correctly.
+  EXPECT_EQ(rel.Lookup(0b01, {Value::Int(1)}).size(), 4u);
+}
+
+TEST(RelationTest, ZeroArity) {
+  Relation rel(0);
+  EXPECT_TRUE(rel.Insert({}));
+  EXPECT_FALSE(rel.Insert({}));
+  EXPECT_EQ(rel.size(), 1u);
+  EXPECT_TRUE(rel.Contains({}));
+}
+
+TEST(RelationTest, ClearResets) {
+  Relation rel(2);
+  rel.Insert(T(1, 2));
+  rel.Clear();
+  EXPECT_TRUE(rel.empty());
+  EXPECT_FALSE(rel.Contains(T(1, 2)));
+  EXPECT_TRUE(rel.Insert(T(1, 2)));
+}
+
+}  // namespace
+}  // namespace lbtrust::datalog

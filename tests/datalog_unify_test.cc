@@ -1,0 +1,214 @@
+#include "datalog/unify.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+#include "datalog/pretty.h"
+
+namespace lbtrust::datalog {
+namespace {
+
+struct UnifyResult {
+  bool matched = false;
+  VarTable vars;
+  Bindings bindings;
+
+  std::string Binding(const std::string& name) const {
+    int slot = vars.Find(name);
+    if (slot < 0 || !bindings.IsBound(slot)) return "<unbound>";
+    return bindings.slots[slot].ToString();
+  }
+};
+
+UnifyResult UnifyCode(const std::string& pattern_text,
+                      const std::string& target_text) {
+  UnifyResult out;
+  auto pattern = ParseTermText(pattern_text);
+  auto target = ParseTermText(target_text);
+  EXPECT_TRUE(pattern.ok()) << pattern.status().ToString();
+  EXPECT_TRUE(target.ok()) << target.status().ToString();
+  Trail trail;
+  out.matched =
+      UnifyCodeValue(pattern->value.AsCode(), target->value.AsCode(),
+                     &out.vars, &out.bindings, &trail);
+  return out;
+}
+
+TEST(UnifyTest, FactPatternBindsConstants) {
+  auto r = UnifyCode("[| access(P,O,read). |]",
+                     "[| access(alice,file1,read). |]");
+  ASSERT_TRUE(r.matched);
+  EXPECT_EQ(r.Binding("P"), "alice");
+  EXPECT_EQ(r.Binding("O"), "file1");
+}
+
+TEST(UnifyTest, ConstantMismatchFails) {
+  EXPECT_FALSE(UnifyCode("[| access(P,O,read). |]",
+                         "[| access(alice,file1,write). |]")
+                   .matched);
+  EXPECT_FALSE(
+      UnifyCode("[| access(P). |]", "[| grant(alice). |]").matched);
+  EXPECT_FALSE(
+      UnifyCode("[| access(P). |]", "[| access(a,b). |]").matched);
+}
+
+TEST(UnifyTest, RepeatedVariableMustAgree) {
+  EXPECT_TRUE(UnifyCode("[| p(X,X). |]", "[| p(a,a). |]").matched);
+  EXPECT_FALSE(UnifyCode("[| p(X,X). |]", "[| p(a,b). |]").matched);
+}
+
+TEST(UnifyTest, MetaFunctorBindsPredicateName) {
+  auto r = UnifyCode("[| A <- P(T*), A*. |]", "[| p(X) <- q(X), r(X). |]");
+  ASSERT_TRUE(r.matched);
+  EXPECT_EQ(r.Binding("P"), "q");
+  // The head meta-atom binds the head; the star binds the remaining body.
+  EXPECT_EQ(r.Binding("A"), "[| p(X) |]");
+  EXPECT_EQ(r.Binding(StarKey("A")), "[| r(X) |]");
+  EXPECT_EQ(r.Binding(StarKey("T")), "[| X |]");
+}
+
+TEST(UnifyTest, StarMatchesEmptyRest) {
+  auto r = UnifyCode("[| A <- P(T*), A*. |]", "[| p(X) <- q(X). |]");
+  ASSERT_TRUE(r.matched);
+  EXPECT_EQ(r.Binding(StarKey("A")), "[|  |]");
+}
+
+TEST(UnifyTest, PatternVarAgainstTargetVarStaysFree) {
+  // DESIGN.md §8: the target variable means "anything".
+  auto r = UnifyCode("[| access(P,O,read). |]", "[| access(P,O,read). |]");
+  ASSERT_TRUE(r.matched);
+  EXPECT_EQ(r.Binding("P"), "<unbound>");
+}
+
+TEST(UnifyTest, NestedQuotedCode) {
+  auto r = UnifyCode("[| request(R). |]",
+                     "[| request([| access(alice,f,read). |]). |]");
+  ASSERT_TRUE(r.matched);
+  EXPECT_EQ(r.Binding("R"), "[| access(alice,f,read). |]");
+}
+
+TEST(UnifyTest, NegationPolarityMustMatch) {
+  EXPECT_TRUE(
+      UnifyCode("[| p() <- !q(X). |]", "[| p() <- !q(a). |]").matched);
+  EXPECT_FALSE(
+      UnifyCode("[| p() <- q(X). |]", "[| p() <- !q(a). |]").matched);
+}
+
+TEST(UnifyTest, BodyOrderIsPositional) {
+  // Documented: non-star pattern atoms match target literals in order.
+  EXPECT_TRUE(UnifyCode("[| A <- says(X,me2,R), A*. |]",
+                        "[| p(V) <- says(bob,me2,V), q(V). |]")
+                  .matched);
+  EXPECT_FALSE(UnifyCode("[| A <- says(X,me2,R), A*. |]",
+                         "[| p(V) <- q(V), says(bob,me2,V). |]")
+                   .matched);
+}
+
+TEST(UnifyTest, TrailUndoRestoresBindings) {
+  auto pattern = ParseTermText("[| p(X,Y). |]");
+  auto target = ParseTermText("[| p(a,b). |]");
+  VarTable vars;
+  Bindings b;
+  Trail trail;
+  ASSERT_TRUE(UnifyCodeValue(pattern->value.AsCode(), target->value.AsCode(),
+                             &vars, &b, &trail));
+  EXPECT_EQ(trail.size(), 2u);
+  UndoTrail(trail, &b);
+  EXPECT_FALSE(b.IsBound(vars.Find("X")));
+  EXPECT_FALSE(b.IsBound(vars.Find("Y")));
+}
+
+TEST(SubstituteTest, BoundVarsReplacedUnboundKept) {
+  auto rule = ParseRuleText("says(me2,U,[| granted(P,F). |]) <- req(P,F).");
+  VarTable vars;
+  Bindings b;
+  b.EnsureSize(2);
+  b.slots[vars.Intern("P")] = Value::Sym("alice");
+  // U and F stay variables.
+  Rule substituted = SubstituteRule(*rule, vars, b);
+  EXPECT_EQ(PrintRule(substituted),
+            "says(me2,U,[| granted(alice,F). |]) <- req(alice,F).");
+}
+
+TEST(SubstituteTest, ArithmeticFoldsWhenGround) {
+  auto term = ParseTermText("[| depth(N-1). |]");
+  VarTable vars;
+  Bindings b;
+  b.EnsureSize(1);
+  b.slots[vars.Intern("N")] = Value::Int(5);
+  Term out = SubstituteTerm(*term, vars, b);
+  EXPECT_EQ(PrintTerm(out), "[| depth(4). |]");
+}
+
+TEST(SubstituteTest, MetaFunctorSubstitution) {
+  auto term = ParseTermText("[| active(R2) <- says(U2,me2,R2), "
+                            "R2 = [| P(T*) <- A*. |]. |]");
+  VarTable vars;
+  Bindings b;
+  b.EnsureSize(2);
+  b.slots[vars.Intern("U2")] = Value::Sym("mgr");
+  b.slots[vars.Intern("P")] = Value::Sym("permission");
+  Term out = SubstituteTerm(*term, vars, b);
+  EXPECT_EQ(PrintTerm(out),
+            "[| active(R2) <- says(mgr,me2,R2), "
+            "R2 = [| permission(T*) <- A*. |]. |]");
+}
+
+TEST(SubstituteTest, StarSplicing) {
+  // A captured literal list splices back into a constructed rule.
+  auto pattern = ParseTermText("[| A <- P(T*), A*. |]");
+  auto target =
+      ParseTermText("[| out(X) <- first(X), second(X), third(). |]");
+  ASSERT_TRUE(pattern.ok());
+  ASSERT_TRUE(target.ok()) << target.status().ToString();
+  VarTable vars;
+  Bindings b;
+  Trail trail;
+  ASSERT_TRUE(UnifyCodeValue(pattern->value.AsCode(), target->value.AsCode(),
+                             &vars, &b, &trail));
+  auto rebuild = ParseTermText("[| B <- A*. |]");
+  ASSERT_TRUE(rebuild.ok()) << rebuild.status().ToString();
+  Term out = SubstituteTerm(*rebuild, vars, b);
+  EXPECT_EQ(PrintTerm(out), "[| B <- second(X), third(). |]");
+}
+
+TEST(EvalGroundTermTest, Basics) {
+  VarTable vars;
+  Bindings b;
+  b.EnsureSize(1);
+  b.slots[vars.Intern("X")] = Value::Int(6);
+  auto v = EvalGroundTerm(*ParseTermText("X / 2 + 1"), vars, b);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, Value::Int(4));
+  EXPECT_FALSE(EvalGroundTerm(*ParseTermText("Y + 1"), vars, b).ok());
+  auto div0 = EvalGroundTerm(*ParseTermText("X / 0"), vars, b);
+  EXPECT_FALSE(div0.ok());
+}
+
+TEST(EvalGroundTermTest, PartRef) {
+  VarTable vars;
+  Bindings b;
+  b.EnsureSize(1);
+  b.slots[vars.Intern("P")] = Value::Sym("alice");
+  auto v = EvalGroundTerm(*ParseTermText("export[P]"), vars, b);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsPart().predicate, "export");
+  EXPECT_EQ(*v->AsPart().key, Value::Sym("alice"));
+}
+
+TEST(ValueTermConversionTest, RoundTrip) {
+  // Constants convert value->term->value unchanged.
+  for (const Value& v : {Value::Int(3), Value::Sym("a"), Value::Str("s")}) {
+    EXPECT_EQ(ValueFromTerm(TermFromValue(v)), v);
+  }
+  // A variable term becomes a kCode term value and back.
+  Term var = Term::Variable("X");
+  Value as_value = ValueFromTerm(var);
+  EXPECT_EQ(as_value.kind(), ValueKind::kCode);
+  EXPECT_TRUE(TermFromValue(as_value).is_variable());
+}
+
+}  // namespace
+}  // namespace lbtrust::datalog

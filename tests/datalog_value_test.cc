@@ -1,0 +1,92 @@
+#include "datalog/value.h"
+
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "datalog/ast.h"
+#include "datalog/parser.h"
+
+namespace lbtrust::datalog {
+namespace {
+
+TEST(ValueTest, KindsAndAccessors) {
+  EXPECT_TRUE(Value().is_nil());
+  EXPECT_EQ(Value::Bool(true).AsBool(), true);
+  EXPECT_EQ(Value::Int(-7).AsInt(), -7);
+  EXPECT_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::Str("s").AsText(), "s");
+  EXPECT_EQ(Value::Sym("alice").AsText(), "alice");
+}
+
+TEST(ValueTest, StringAndSymbolAreDistinct) {
+  EXPECT_NE(Value::Str("alice"), Value::Sym("alice"));
+  EXPECT_NE(Value::Str("alice").Hash(), Value::Sym("alice").Hash());
+}
+
+TEST(ValueTest, NumericView) {
+  EXPECT_TRUE(Value::Int(3).IsNumeric());
+  EXPECT_TRUE(Value::Double(3.5).IsNumeric());
+  EXPECT_FALSE(Value::Sym("x").IsNumeric());
+  EXPECT_EQ(Value::Int(3).NumericValue(), 3.0);
+  // Int and Double are distinct values even at equal magnitude.
+  EXPECT_NE(Value::Int(3), Value::Double(3.0));
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value::Int(42).ToString(), "42");
+  EXPECT_EQ(Value::Sym("bob").ToString(), "bob");
+  EXPECT_EQ(Value::Str("a\"b").ToString(), "\"a\\\"b\"");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::Double(0.5).ToString(), "0.5");
+  // Doubles always print distinguishably from ints.
+  EXPECT_EQ(Value::Double(3).ToString(), "3.0");
+  EXPECT_EQ(Value::Part("export", Value::Sym("alice")).ToString(),
+            "export[alice]");
+}
+
+TEST(ValueTest, TotalOrderAcrossKinds) {
+  std::set<Value> ordered = {Value::Int(1), Value::Sym("a"), Value::Str("a"),
+                             Value::Bool(true), Value::Double(0.5)};
+  EXPECT_EQ(ordered.size(), 5u);
+  EXPECT_FALSE(Value::Int(1) < Value::Int(1));
+  EXPECT_TRUE(Value::Int(1) < Value::Int(2));
+}
+
+TEST(ValueTest, CodeEqualityByCanonicalForm) {
+  auto t1 = ParseTermText("[| p(X) <-  q(X). |]");
+  auto t2 = ParseTermText("[| p(X) <- q(X). |]");
+  auto t3 = ParseTermText("[| p(X) <- r(X). |]");
+  ASSERT_TRUE(t1.ok());
+  EXPECT_EQ(t1->value, t2->value);
+  EXPECT_EQ(t1->value.Hash(), t2->value.Hash());
+  EXPECT_NE(t1->value, t3->value);
+}
+
+TEST(ValueTest, PartEqualityIncludesKey) {
+  Value a = Value::Part("export", Value::Sym("alice"));
+  Value b = Value::Part("export", Value::Sym("bob"));
+  Value a2 = Value::Part("export", Value::Sym("alice"));
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, Value::Part("import", Value::Sym("alice")));
+}
+
+TEST(TupleHashTest, UsableInHashSet) {
+  std::unordered_set<Tuple, TupleHash> set;
+  set.insert({Value::Sym("a"), Value::Int(1)});
+  set.insert({Value::Sym("a"), Value::Int(1)});
+  set.insert({Value::Sym("a"), Value::Int(2)});
+  set.insert({Value::Int(1), Value::Sym("a")});  // order matters
+  EXPECT_EQ(set.size(), 3u);
+}
+
+TEST(TupleTest, ToStringIsReadable) {
+  Tuple t = {Value::Sym("alice"), Value::Int(3)};
+  EXPECT_EQ(TupleToString(t), "(alice,3)");
+  EXPECT_EQ(TupleToString({}), "()");
+}
+
+}  // namespace
+}  // namespace lbtrust::datalog

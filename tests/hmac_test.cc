@@ -1,0 +1,64 @@
+#include "crypto/hmac.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/strings.h"
+
+namespace lbtrust::crypto {
+namespace {
+
+// RFC 2202 HMAC-SHA1 test vectors.
+TEST(HmacSha1Test, Rfc2202Case1) {
+  std::string key(20, '\x0b');
+  EXPECT_EQ(util::HexEncode(HmacSha1(key, "Hi There")),
+            "b617318655057264e28bc0b6fb378c8ef146be00");
+}
+
+TEST(HmacSha1Test, Rfc2202Case2) {
+  EXPECT_EQ(util::HexEncode(HmacSha1("Jefe", "what do ya want for nothing?")),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+}
+
+TEST(HmacSha1Test, Rfc2202Case3) {
+  std::string key(20, '\xaa');
+  std::string msg(50, '\xdd');
+  EXPECT_EQ(util::HexEncode(HmacSha1(key, msg)),
+            "125d7342b9ac11cd91a39af48aa17b4f63f175d3");
+}
+
+TEST(HmacSha1Test, Rfc2202LongKey) {
+  std::string key(80, '\xaa');
+  EXPECT_EQ(util::HexEncode(HmacSha1(
+                key, "Test Using Larger Than Block-Size Key - Hash Key First")),
+            "aa4ae5e15272d00e95705637ce8a3b55ed402112");
+}
+
+// RFC 4231 HMAC-SHA256 test vectors.
+TEST(HmacSha256Test, Rfc4231Case1) {
+  std::string key(20, '\x0b');
+  EXPECT_EQ(util::HexEncode(HmacSha256(key, "Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256Test, Rfc4231Case2) {
+  EXPECT_EQ(
+      util::HexEncode(HmacSha256("Jefe", "what do ya want for nothing?")),
+      "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, KeySensitivity) {
+  EXPECT_NE(HmacSha1("k1", "msg"), HmacSha1("k2", "msg"));
+  EXPECT_NE(HmacSha1("k", "msg1"), HmacSha1("k", "msg2"));
+}
+
+TEST(ConstantTimeEqualsTest, Behaviour) {
+  EXPECT_TRUE(ConstantTimeEquals("abc", "abc"));
+  EXPECT_FALSE(ConstantTimeEquals("abc", "abd"));
+  EXPECT_FALSE(ConstantTimeEquals("abc", "ab"));
+  EXPECT_TRUE(ConstantTimeEquals("", ""));
+}
+
+}  // namespace
+}  // namespace lbtrust::crypto

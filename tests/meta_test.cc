@@ -1,0 +1,156 @@
+#include "meta/meta_model.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+#include "datalog/workspace.h"
+#include "meta/codegen.h"
+#include "meta/reflect.h"
+
+namespace lbtrust::meta {
+namespace {
+
+using datalog::Tuple;
+using datalog::Value;
+using datalog::ValueKind;
+using datalog::Workspace;
+
+TEST(ReflectTest, RuleEntityIsCanonical) {
+  auto r1 = datalog::ParseRuleText("p(X) <- q(X),  r(X).");
+  auto r2 = datalog::ParseRuleText("p(X) <- q(X), r(X).");
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(RuleEntity(*r1), RuleEntity(*r2));
+}
+
+TEST(MetaModelTest, ReflectsInstalledRules) {
+  Workspace ws;
+  ASSERT_TRUE(EnableMetaModel(&ws).ok());
+  ASSERT_TRUE(ws.Load("p(X) <- q(X), !r(X). q(1).").ok());
+  ASSERT_TRUE(ws.Fixpoint().ok());
+
+  // One rule: two body atoms, one head atom.
+  EXPECT_EQ(*ws.Count("head(R,A)"), 1u);
+  EXPECT_EQ(*ws.Count("body(R,A)"), 2u);
+  EXPECT_EQ(*ws.Count("negated(A)"), 1u);
+  // functor facts for head + both body atoms.
+  auto functors = ws.Query("functor(A,P)");
+  ASSERT_TRUE(functors.ok());
+  EXPECT_EQ(functors->size(), 3u);
+}
+
+TEST(MetaModelTest, ArgAndVnameFacts) {
+  Workspace ws;
+  ASSERT_TRUE(EnableMetaModel(&ws).ok());
+  ASSERT_TRUE(ws.Load("p(X,42) <- q(X).").ok());
+  ASSERT_TRUE(ws.Fixpoint().ok());
+  // p's args: X at 1, 42 at 2; q's arg: X at 1.
+  EXPECT_EQ(*ws.Count("arg(A,I,T)"), 3u);
+  EXPECT_EQ(*ws.Count("vname(T,\"X\")"), 1u);
+  EXPECT_EQ(*ws.Count("value(T,\"42\")"), 1u);
+}
+
+TEST(MetaModelTest, ReflectionQueriesJoinWithOwner) {
+  // The paper's §3.3 translated constraint shape as a query: which
+  // predicates does each owner's rule read?
+  Workspace::Options opts;
+  opts.principal = "alice";
+  Workspace ws(opts);
+  ASSERT_TRUE(EnableMetaModel(&ws).ok());
+  ASSERT_TRUE(ws.Load("p(X) <- q(X), r(X).").ok());
+  ASSERT_TRUE(ws.Load("reads(U,P) <- owner(R,U), body(R,A), functor(A,P).")
+                  .ok());
+  ASSERT_TRUE(ws.Fixpoint().ok());
+  EXPECT_EQ(*ws.Count("reads(alice,q)"), 1u);
+  EXPECT_EQ(*ws.Count("reads(alice,r)"), 1u);
+  // The meta-rule itself also has an owner; it reads owner/body/functor.
+  EXPECT_EQ(*ws.Count("reads(alice,body)"), 1u);
+}
+
+TEST(MetaModelTest, KindCheckBuiltins) {
+  Workspace ws;
+  ASSERT_TRUE(EnableMetaModel(&ws).ok());
+  ASSERT_TRUE(ws.Load("p(X) <- q(X).\n"
+                      "q(1).\n"
+                      "isrule(R) <- active(R), rule(R).")
+                  .ok());
+  ASSERT_TRUE(ws.Fixpoint().ok());
+  // Both installed rules (p<-q and isrule itself) are active rule values.
+  EXPECT_EQ(*ws.Count("isrule(R)"), 2u);
+}
+
+TEST(MetaModelTest, UnreflectOnRemove) {
+  Workspace ws;
+  ASSERT_TRUE(EnableMetaModel(&ws).ok());
+  ASSERT_TRUE(ws.Load("p(X) <- q(X).").ok());
+  ASSERT_TRUE(ws.Fixpoint().ok());
+  EXPECT_EQ(*ws.Count("body(R,A)"), 1u);
+  auto rule = datalog::ParseRuleText("p(X) <- q(X).");
+  ASSERT_TRUE(ws.RemoveRule(*rule).ok());
+  ASSERT_TRUE(ws.Fixpoint().ok());
+  EXPECT_EQ(*ws.Count("body(R,A)"), 0u);
+  EXPECT_EQ(*ws.Count("active(R)"), 0u);
+}
+
+TEST(CodegenTest, ActivateRuleText) {
+  Workspace ws;
+  ASSERT_TRUE(ws.Load("q(1). q(2).").ok());
+  ASSERT_TRUE(ActivateRuleText(&ws, "p(X) <- q(X).").ok());
+  ASSERT_TRUE(ws.Fixpoint().ok());
+  EXPECT_EQ(*ws.Count("p(X)"), 2u);
+}
+
+TEST(CodegenTest, QuoteRuleText) {
+  auto code = QuoteRuleText("access(alice,f,read).");
+  ASSERT_TRUE(code.ok());
+  EXPECT_EQ(code->kind(), ValueKind::kCode);
+  EXPECT_EQ(code->AsCode().canon, "access(alice,f,read).");
+  EXPECT_FALSE(QuoteRuleText("p(X <-").ok());
+}
+
+TEST(CodegenTest, TranslatePatternConstraintShape) {
+  auto translated = TranslatePatternConstraint(
+      "owner([| A <- P(T2*), A*. |], U) -> canRead(U,P).");
+  ASSERT_TRUE(translated.ok()) << translated.status().ToString();
+  // The paper's §3.3 worked example: owner + rule + body + atom + functor.
+  EXPECT_NE(translated->find("rule(R1)"), std::string::npos);
+  EXPECT_NE(translated->find("body(R1,A1)"), std::string::npos);
+  EXPECT_NE(translated->find("functor(A1,P)"), std::string::npos);
+}
+
+TEST(CodegenTest, TranslatedConstraintIsEquivalent) {
+  // Enforce the same policy through the pattern form and the translated
+  // meta-model form; both must flag the same violation.
+  for (bool use_translation : {false, true}) {
+    Workspace::Options opts;
+    opts.principal = "alice";
+    Workspace ws(opts);
+    ASSERT_TRUE(EnableMetaModel(&ws).ok());
+    std::string pattern_form =
+        "owner([| A <- P(T2*), A*. |], U) -> canRead(U,P).";
+    if (use_translation) {
+      auto translated = TranslatePatternConstraint(pattern_form);
+      ASSERT_TRUE(translated.ok());
+      ASSERT_TRUE(ws.Load(*translated).ok()) << *translated;
+    } else {
+      ASSERT_TRUE(ws.Load(pattern_form).ok());
+    }
+    ASSERT_TRUE(ws.Load("p(X) <- q(X). q(1).").ok());
+    auto st = ws.Fixpoint();
+    EXPECT_EQ(st.code(), util::StatusCode::kConstraintViolation)
+        << "use_translation=" << use_translation << ": " << st.ToString();
+    ASSERT_TRUE(
+        ws.AddFact("canRead", {Value::Sym("alice"), Value::Sym("q")}).ok());
+    EXPECT_TRUE(ws.Fixpoint().ok()) << "use_translation=" << use_translation;
+  }
+}
+
+TEST(CodegenTest, TranslateRejectsNonPattern) {
+  EXPECT_FALSE(TranslatePatternConstraint("p(X) -> q(X).").ok());
+  EXPECT_FALSE(TranslatePatternConstraint("p(X) <- q(X).").ok());
+}
+
+}  // namespace
+}  // namespace lbtrust::meta

@@ -1,0 +1,220 @@
+#include "net/cluster.h"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+#include "net/wire.h"
+
+namespace lbtrust::net {
+namespace {
+
+using datalog::Tuple;
+using datalog::Value;
+using datalog::ValueKind;
+
+TEST(WireTest, ScalarRoundTrip) {
+  Tuple t = {Value::Int(-42),       Value::Str("a:b|c"),
+             Value::Sym("alice"),   Value::Bool(true),
+             Value::Double(2.5),    Value()};
+  auto back = DeserializeTuple(SerializeTuple(t));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, t);
+}
+
+TEST(WireTest, CodeRoundTrip) {
+  auto term = datalog::ParseTermText(
+      "[| says(alice,bob,[| access(P,O,read). |]) <- grant(P,O). |]");
+  ASSERT_TRUE(term.ok());
+  Tuple t = {term->value};
+  auto back = DeserializeTuple(SerializeTuple(t));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, t);
+  EXPECT_EQ((*back)[0].AsCode().canon, term->value.AsCode().canon);
+}
+
+TEST(WireTest, PartRefRoundTrip) {
+  Tuple t = {Value::Part("export", Value::Sym("alice"))};
+  auto back = DeserializeTuple(SerializeTuple(t));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, t);
+  EXPECT_EQ((*back)[0].AsPart().predicate, "export");
+}
+
+TEST(WireTest, RejectsGarbage) {
+  EXPECT_FALSE(DeserializeTuple("").ok());
+  EXPECT_FALSE(DeserializeTuple("2:i:1:5").ok());      // short
+  EXPECT_FALSE(DeserializeTuple("1:q:1:x").ok());      // unknown kind
+  EXPECT_FALSE(DeserializeTuple("1:i:999:5").ok());    // bad length
+}
+
+class SchemeExchangeTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SchemeExchangeTest, TwoPrincipalExchange) {
+  // The Figure 2 micro-workload at unit scale: alice exports authenticated
+  // facts to bob through says; bob imports, verifies and activates them.
+  Cluster::Options copts;
+  copts.scheme = GetParam();
+  Cluster cluster(copts);
+  trust::TrustRuntime::Options small;
+  small.rsa_bits = 512;
+  ASSERT_TRUE(cluster.AddNode("alice", small).ok());
+  ASSERT_TRUE(cluster.AddNode("bob", small).ok());
+  ASSERT_TRUE(cluster.Connect().ok());
+
+  auto* alice = cluster.node("alice");
+  ASSERT_TRUE(
+      alice->Load("says(me,bob,[| ping(N). |]) <- msg(N).").ok());
+  ASSERT_TRUE(alice->workspace()->AddFactText("msg(1). msg(2). msg(3).").ok());
+
+  auto stats = cluster.Run();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->messages, 3u);
+
+  auto* bob = cluster.node("bob");
+  EXPECT_EQ(*bob->workspace()->Count("ping(N)"), 3u);
+  EXPECT_EQ(*bob->workspace()->Count("says(alice,bob,R)"), 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, SchemeExchangeTest,
+                         ::testing::Values("plaintext", "hmac", "rsa"));
+
+class TamperTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TamperTest, AuthenticatedSchemesRejectTampering) {
+  Cluster::Options copts;
+  copts.scheme = GetParam();
+  Cluster cluster(copts);
+  trust::TrustRuntime::Options small;
+  small.rsa_bits = 512;
+  ASSERT_TRUE(cluster.AddNode("alice", small).ok());
+  ASSERT_TRUE(cluster.AddNode("bob", small).ok());
+  ASSERT_TRUE(cluster.Connect().ok());
+  ASSERT_TRUE(cluster.node("alice")
+                  ->Load("says(me,bob,[| balance(100). |]) <- go().")
+                  .ok());
+  ASSERT_TRUE(cluster.node("alice")->workspace()->AddFactText("go().").ok());
+
+  // Flip a digit inside the payload: 100 -> 900 (the signature text stays).
+  cluster.InjectTamper("export", [](std::string* payload) {
+    size_t pos = payload->find("balance(100)");
+    ASSERT_NE(pos, std::string::npos);
+    (*payload)[pos + 8] = '9';
+  });
+
+  auto stats = cluster.Run();
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), util::StatusCode::kConstraintViolation);
+  EXPECT_NE(stats.status().message().find("bob"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(AuthSchemes, TamperTest,
+                         ::testing::Values("hmac", "rsa"));
+
+TEST(TamperTest, PlaintextAcceptsTampering) {
+  // The flip side of the security/efficiency tradeoff (§2.2): plaintext
+  // "says" happily accepts the forged fact.
+  Cluster::Options copts;
+  copts.scheme = "plaintext";
+  Cluster cluster(copts);
+  trust::TrustRuntime::Options small;
+  small.rsa_bits = 512;
+  ASSERT_TRUE(cluster.AddNode("alice", small).ok());
+  ASSERT_TRUE(cluster.AddNode("bob", small).ok());
+  ASSERT_TRUE(cluster.Connect().ok());
+  ASSERT_TRUE(cluster.node("alice")
+                  ->Load("says(me,bob,[| balance(100). |]) <- go().")
+                  .ok());
+  ASSERT_TRUE(cluster.node("alice")->workspace()->AddFactText("go().").ok());
+  cluster.InjectTamper("export", [](std::string* payload) {
+    size_t pos = payload->find("balance(100)");
+    ASSERT_NE(pos, std::string::npos);
+    (*payload)[pos + 8] = '9';
+  });
+  auto stats = cluster.Run();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(*cluster.node("bob")->workspace()->Count("balance(900)"), 1u);
+}
+
+TEST(ClusterTest, MessagesAreDedupedAcrossRounds) {
+  Cluster::Options copts;
+  copts.scheme = "plaintext";
+  Cluster cluster(copts);
+  trust::TrustRuntime::Options small;
+  small.rsa_bits = 512;
+  ASSERT_TRUE(cluster.AddNode("alice", small).ok());
+  ASSERT_TRUE(cluster.AddNode("bob", small).ok());
+  ASSERT_TRUE(cluster.Connect().ok());
+  ASSERT_TRUE(cluster.node("alice")
+                  ->Load("says(me,bob,[| ping(1). |]) <- go().")
+                  .ok());
+  ASSERT_TRUE(cluster.node("alice")->workspace()->AddFactText("go().").ok());
+  auto first = cluster.Run();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->messages, 1u);
+  // A second run with new local facts at alice re-derives the same export
+  // but must not re-ship it.
+  ASSERT_TRUE(
+      cluster.node("alice")->workspace()->AddFactText("unrelated(9).").ok());
+  auto second = cluster.Run();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->messages, 0u);
+}
+
+TEST(ClusterTest, ThreeHopRelay) {
+  // a says to b; a rule at b forwards to c.
+  Cluster::Options copts;
+  copts.scheme = "hmac";
+  Cluster cluster(copts);
+  trust::TrustRuntime::Options small;
+  small.rsa_bits = 512;
+  for (const char* n : {"a", "b", "c"}) {
+    ASSERT_TRUE(cluster.AddNode(n, small).ok());
+  }
+  ASSERT_TRUE(cluster.Connect().ok());
+  ASSERT_TRUE(cluster.node("a")
+                  ->Load("says(me,b,[| token(1). |]) <- go().")
+                  .ok());
+  ASSERT_TRUE(cluster.node("a")->workspace()->AddFactText("go().").ok());
+  ASSERT_TRUE(cluster.node("b")
+                  ->Load("says(me,c,[| token(N). |]) <- token(N).")
+                  .ok());
+  auto stats = cluster.Run();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(*cluster.node("c")->workspace()->Count("token(1)"), 1u);
+  EXPECT_GE(stats->rounds, 2u);
+}
+
+TEST(ClusterTest, CustomPlacementMovesPartitions) {
+  // Placement is ordinary data (§3.5): pointing loc(bob) at node "a" keeps
+  // bob's export partition on a — nothing is shipped.
+  Cluster::Options copts;
+  copts.scheme = "plaintext";
+  copts.default_placement = false;
+  Cluster cluster(copts);
+  trust::TrustRuntime::Options small;
+  small.rsa_bits = 512;
+  ASSERT_TRUE(cluster.AddNode("a", small).ok());
+  ASSERT_TRUE(cluster.AddNode("bob", small).ok());
+  ASSERT_TRUE(cluster.Connect().ok());
+  auto* a = cluster.node("a");
+  ASSERT_TRUE(a->Load("ld2: predNode(export[P],N) <- loc(P,N).").ok());
+  ASSERT_TRUE(a->workspace()->AddFactText("loc(bob,a).").ok());
+  ASSERT_TRUE(a->Load("says(me,bob,[| ping(1). |]) <- go(). go().").ok());
+  auto stats = cluster.Run();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->messages, 0u);
+  // Re-point bob's partition at node bob and re-run: now it ships.
+  ASSERT_TRUE(a->workspace()->RemoveFact(
+                   "loc", {Value::Sym("bob"), Value::Sym("a")})
+                  .ok());
+  ASSERT_TRUE(a->workspace()->AddFactText("loc(bob,bob).").ok());
+  auto stats2 = cluster.Run();
+  ASSERT_TRUE(stats2.ok());
+  EXPECT_EQ(stats2->messages, 1u);
+}
+
+}  // namespace
+}  // namespace lbtrust::net

@@ -1,0 +1,137 @@
+#include "datalog/provenance.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "datalog/workspace.h"
+#include "meta/codegen.h"
+#include "trust/trust_runtime.h"
+
+namespace lbtrust::datalog {
+namespace {
+
+Workspace::Options WithProvenance(const std::string& principal = "local") {
+  Workspace::Options opts;
+  opts.principal = principal;
+  opts.track_provenance = true;
+  return opts;
+}
+
+TEST(ProvenanceTest, DisabledByDefault) {
+  Workspace ws;
+  ASSERT_TRUE(ws.Load("p(a).").ok());
+  ASSERT_TRUE(ws.Fixpoint().ok());
+  EXPECT_EQ(ws.Explain("p(a)").status().code(),
+            util::StatusCode::kFailedPrecondition);
+}
+
+TEST(ProvenanceTest, BaseFactsAreBase) {
+  Workspace ws(WithProvenance());
+  ASSERT_TRUE(ws.Load("p(a).").ok());
+  ASSERT_TRUE(ws.Fixpoint().ok());
+  auto text = ws.Explain("p(a)");
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("[base]"), std::string::npos);
+}
+
+TEST(ProvenanceTest, SingleStepDerivation) {
+  Workspace ws(WithProvenance());
+  ASSERT_TRUE(ws.Load("q(1). p(X) <- q(X).").ok());
+  ASSERT_TRUE(ws.Fixpoint().ok());
+  auto text = ws.Explain("p(1)");
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("rule: p(X) <- q(X)."), std::string::npos) << *text;
+  EXPECT_NE(text->find("q(1)   [base]"), std::string::npos) << *text;
+}
+
+TEST(ProvenanceTest, RecursiveDerivationChains) {
+  Workspace ws(WithProvenance());
+  ASSERT_TRUE(ws.Load("edge(a,b). edge(b,c). edge(c,d).\n"
+                      "path(X,Y) <- edge(X,Y).\n"
+                      "path(X,Z) <- path(X,Y), edge(Y,Z).")
+                  .ok());
+  ASSERT_TRUE(ws.Fixpoint().ok());
+  auto text = ws.Explain("path(a,d)");
+  ASSERT_TRUE(text.ok());
+  // The witness chains back to base edges.
+  EXPECT_NE(text->find("path(a,c)"), std::string::npos) << *text;
+  EXPECT_NE(text->find("edge(c,d)   [base]"), std::string::npos) << *text;
+  EXPECT_NE(text->find("edge(a,b)   [base]"), std::string::npos) << *text;
+}
+
+TEST(ProvenanceTest, AggregateMarked) {
+  Workspace ws(WithProvenance());
+  ASSERT_TRUE(ws.Load("v(g,x). v(g,y).\n"
+                      "c(G,N) <- agg<<N = count(U)>> v(G,U).")
+                  .ok());
+  ASSERT_TRUE(ws.Fixpoint().ok());
+  auto text = ws.Explain("c(g,2)");
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("aggregate:"), std::string::npos) << *text;
+}
+
+TEST(ProvenanceTest, ActivationChainsToSays) {
+  // The trust-management payoff: a fact activated from a says message
+  // explains back through active(R) to the says fact itself.
+  trust::TrustRuntime::Options opts;
+  opts.principal = "alice";
+  opts.rsa_bits = 512;
+  opts.workspace.track_provenance = true;
+  auto rt = trust::TrustRuntime::Create(opts);
+  ASSERT_TRUE(rt.ok());
+  auto bob_opts = opts;
+  bob_opts.principal = "bob";
+  auto bob = trust::TrustRuntime::Create(bob_opts);
+  ASSERT_TRUE((*rt)->AddPeer("bob", (*bob)->keypair().public_key).ok());
+  ASSERT_TRUE((*rt)->workspace()
+                  ->AddFact("says",
+                            {Value::Sym("bob"), Value::Sym("alice"),
+                             *meta::QuoteRuleText("grant(carol).")})
+                  .ok());
+  ASSERT_TRUE((*rt)->Fixpoint().ok());
+  auto text = (*rt)->workspace()->Explain("grant(carol)");
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("activated: grant(carol)."), std::string::npos)
+      << *text;
+  EXPECT_NE(text->find("rule: active(R) <- says(_G0,alice,R)."),
+            std::string::npos)
+      << *text;
+  EXPECT_NE(text->find("says(bob,alice,"), std::string::npos) << *text;
+}
+
+TEST(ProvenanceTest, CycleIsCut) {
+  Workspace ws(WithProvenance());
+  ASSERT_TRUE(ws.Load("edge(a,b). edge(b,a).\n"
+                      "path(X,Y) <- edge(X,Y).\n"
+                      "path(X,Z) <- path(X,Y), path(Y,Z).")
+                  .ok());
+  ASSERT_TRUE(ws.Fixpoint().ok());
+  auto text = ws.Explain("path(a,a)");
+  ASSERT_TRUE(text.ok());
+  // The tree terminates (either on base edges or the cycle marker).
+  EXPECT_LT(text->size(), 10000u);
+}
+
+TEST(ProvenanceStoreTest, FirstWitnessWins) {
+  ProvenanceStore store;
+  Derivation base;
+  store.Record("p", {Value::Int(1)}, base);
+  Derivation rule;
+  rule.kind = Derivation::Kind::kRule;
+  rule.rule_canon = "p(X) <- q(X).";
+  store.Record("p", {Value::Int(1)}, rule);
+  const Derivation* d = store.Find("p", {Value::Int(1)});
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->kind, Derivation::Kind::kBase);
+}
+
+TEST(ProvenanceStoreTest, MissingTupleUnknown) {
+  ProvenanceStore store;
+  EXPECT_EQ(store.Find("p", {Value::Int(1)}), nullptr);
+  EXPECT_NE(store.Explain("p", {Value::Int(1)}).find("[unknown]"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace lbtrust::datalog

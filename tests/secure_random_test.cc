@@ -1,0 +1,77 @@
+#include "crypto/secure_random.h"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace lbtrust::crypto {
+namespace {
+
+TEST(SecureRandomTest, DeterministicPerSeed) {
+  SecureRandom a(uint64_t{5});
+  SecureRandom b(uint64_t{5});
+  EXPECT_EQ(a.Bytes(100), b.Bytes(100));
+  SecureRandom c(uint64_t{6});
+  EXPECT_NE(SecureRandom(uint64_t{5}).Bytes(100), c.Bytes(100));
+}
+
+TEST(SecureRandomTest, StringSeed) {
+  SecureRandom a(std::string_view("alice"));
+  SecureRandom b(std::string_view("alice"));
+  SecureRandom c(std::string_view("bob"));
+  EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  EXPECT_NE(SecureRandom(std::string_view("alice")).NextUint64(),
+            c.NextUint64());
+}
+
+TEST(SecureRandomTest, BytesSpansBlockBoundaries) {
+  SecureRandom a(uint64_t{5});
+  std::string big = a.Bytes(100);
+  SecureRandom b(uint64_t{5});
+  std::string parts;
+  for (int i = 0; i < 10; ++i) parts += b.Bytes(10);
+  EXPECT_EQ(big, parts);
+}
+
+TEST(SecureRandomTest, UniformRespectsBound) {
+  SecureRandom rng(uint64_t{17});
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Uniform(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all residues hit over 1000 draws
+  EXPECT_EQ(rng.Uniform(0), 0u);
+  EXPECT_EQ(rng.Uniform(1), 0u);
+}
+
+TEST(SecureRandomTest, RandomBitsExactWidth) {
+  SecureRandom rng(uint64_t{23});
+  for (size_t bits : {1u, 7u, 8u, 63u, 64u, 65u, 512u, 1024u}) {
+    BigInt v = rng.RandomBits(bits);
+    EXPECT_EQ(v.BitLength(), bits) << bits;
+  }
+  EXPECT_TRUE(rng.RandomBits(0).is_zero());
+}
+
+TEST(SecureRandomTest, PrimeCandidateShape) {
+  SecureRandom rng(uint64_t{29});
+  for (int i = 0; i < 10; ++i) {
+    BigInt c = rng.RandomPrimeCandidate(256);
+    EXPECT_EQ(c.BitLength(), 256u);
+    EXPECT_TRUE(c.is_odd());
+    EXPECT_TRUE(c.Bit(254));  // second-highest bit forced
+  }
+}
+
+TEST(SecureRandomTest, SystemSeedsDiffer) {
+  SecureRandom a = SecureRandom::FromSystem();
+  SecureRandom b = SecureRandom::FromSystem();
+  // Overwhelmingly likely to differ.
+  EXPECT_NE(a.Bytes(32), b.Bytes(32));
+}
+
+}  // namespace
+}  // namespace lbtrust::crypto

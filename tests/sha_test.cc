@@ -1,0 +1,111 @@
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "crypto/crc32.h"
+#include "crypto/sha1.h"
+#include "crypto/sha256.h"
+
+namespace lbtrust::crypto {
+namespace {
+
+// FIPS 180 test vectors.
+TEST(Sha1Test, KnownVectors) {
+  EXPECT_EQ(Sha1::HexDigest(""), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+  EXPECT_EQ(Sha1::HexDigest("abc"),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+  EXPECT_EQ(Sha1::HexDigest(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1Test, MillionA) {
+  Sha1 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  uint8_t out[Sha1::kDigestSize];
+  h.Final(out);
+  std::string hex;
+  static constexpr char kDigits[] = "0123456789abcdef";
+  for (uint8_t b : out) {
+    hex.push_back(kDigits[b >> 4]);
+    hex.push_back(kDigits[b & 0xf]);
+  }
+  EXPECT_EQ(hex, "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1Test, IncrementalMatchesOneShot) {
+  std::string msg = "The quick brown fox jumps over the lazy dog";
+  for (size_t split = 0; split <= msg.size(); split += 7) {
+    Sha1 h;
+    h.Update(msg.substr(0, split));
+    h.Update(msg.substr(split));
+    uint8_t out[Sha1::kDigestSize];
+    h.Final(out);
+    EXPECT_EQ(std::string(reinterpret_cast<char*>(out), sizeof(out)),
+              Sha1::Digest(msg));
+  }
+}
+
+TEST(Sha1Test, BlockBoundaryLengths) {
+  // Exercise padding at 55/56/63/64/65 bytes (single vs double pad block).
+  for (size_t len : {55u, 56u, 63u, 64u, 65u, 119u, 128u}) {
+    std::string msg(len, 'x');
+    std::string d1 = Sha1::Digest(msg);
+    Sha1 h;
+    for (char c : msg) h.Update(&c, 1);
+    uint8_t out[Sha1::kDigestSize];
+    h.Final(out);
+    EXPECT_EQ(std::string(reinterpret_cast<char*>(out), sizeof(out)), d1)
+        << len;
+  }
+}
+
+TEST(Sha256Test, KnownVectors) {
+  EXPECT_EQ(Sha256::HexDigest(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(Sha256::HexDigest("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(Sha256::HexDigest(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  std::string msg(300, '\0');
+  for (size_t i = 0; i < msg.size(); ++i) msg[i] = static_cast<char>(i * 7);
+  Sha256 h;
+  h.Update(msg.substr(0, 100));
+  h.Update(msg.substr(100, 100));
+  h.Update(msg.substr(200));
+  uint8_t out[Sha256::kDigestSize];
+  h.Final(out);
+  EXPECT_EQ(std::string(reinterpret_cast<char*>(out), sizeof(out)),
+            Sha256::Digest(msg));
+}
+
+TEST(Sha256Test, DifferentInputsDiffer) {
+  EXPECT_NE(Sha256::Digest("a"), Sha256::Digest("b"));
+  EXPECT_NE(Sha256::Digest("says(alice,bob,x)"),
+            Sha256::Digest("says(alice,bob,y)"));
+}
+
+TEST(Crc32Test, KnownVectors) {
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0x00000000u);
+  EXPECT_EQ(Crc32("The quick brown fox jumps over the lazy dog"),
+            0x414FA339u);
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::string msg = "reachable(alice,bob)";
+  uint32_t base = Crc32(msg);
+  for (size_t i = 0; i < msg.size(); ++i) {
+    std::string flipped = msg;
+    flipped[i] = static_cast<char>(flipped[i] ^ 1);
+    EXPECT_NE(Crc32(flipped), base) << i;
+  }
+}
+
+}  // namespace
+}  // namespace lbtrust::crypto

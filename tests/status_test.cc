@@ -1,0 +1,78 @@
+#include "util/status.h"
+
+#include <memory>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+namespace lbtrust::util {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = ParseError("unexpected ')'");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "unexpected ')'");
+  EXPECT_EQ(s.ToString(), "PARSE_ERROR: unexpected ')'");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(ParseError("x"), ParseError("x"));
+  EXPECT_FALSE(ParseError("x") == ParseError("y"));
+  EXPECT_FALSE(ParseError("x") == TypeError("x"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = NotFound("gone");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+Result<int> Half(int v) {
+  if (v % 2 != 0) return InvalidArgument("odd");
+  return v / 2;
+}
+
+Status UseHalf(int v, int* out) {
+  LB_ASSIGN_OR_RETURN(int h, Half(v));
+  *out = h;
+  return OkStatus();
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  int out = 0;
+  EXPECT_TRUE(UseHalf(10, &out).ok());
+  EXPECT_EQ(out, 5);
+  Status s = UseHalf(7, &out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(9);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 9);
+}
+
+}  // namespace
+}  // namespace lbtrust::util

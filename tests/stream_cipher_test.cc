@@ -1,0 +1,65 @@
+#include "crypto/stream_cipher.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace lbtrust::crypto {
+namespace {
+
+TEST(StreamCipherTest, XorRoundTrip) {
+  std::string pt = "permission(owner,alice,file1,read)";
+  std::string ct = StreamXor("key", "nonce", pt);
+  EXPECT_NE(ct, pt);
+  EXPECT_EQ(StreamXor("key", "nonce", ct), pt);
+}
+
+TEST(StreamCipherTest, KeyAndNonceMatter) {
+  std::string pt(100, 'a');
+  EXPECT_NE(StreamXor("k1", "n", pt), StreamXor("k2", "n", pt));
+  EXPECT_NE(StreamXor("k", "n1", pt), StreamXor("k", "n2", pt));
+}
+
+TEST(StreamCipherTest, EmptyPlaintext) {
+  EXPECT_EQ(StreamXor("k", "n", ""), "");
+}
+
+TEST(StreamCipherTest, LongMessageSpansBlocks) {
+  std::string pt(1000, 'z');
+  std::string ct = StreamXor("k", "n", pt);
+  EXPECT_EQ(ct.size(), pt.size());
+  EXPECT_EQ(StreamXor("k", "n", ct), pt);
+}
+
+TEST(SealedBoxTest, RoundTrip) {
+  std::string sealed = SealedBox("secret", "nonce0", "delegates(a,b,perm)");
+  std::string pt;
+  ASSERT_TRUE(SealedOpen("secret", sealed, &pt));
+  EXPECT_EQ(pt, "delegates(a,b,perm)");
+}
+
+TEST(SealedBoxTest, WrongKeyFails) {
+  std::string sealed = SealedBox("secret", "n", "m");
+  std::string pt;
+  EXPECT_FALSE(SealedOpen("other", sealed, &pt));
+}
+
+TEST(SealedBoxTest, TamperFails) {
+  std::string sealed = SealedBox("secret", "n", "message");
+  std::string pt;
+  for (size_t i = 0; i < sealed.size(); i += 5) {
+    std::string bad = sealed;
+    bad[i] = static_cast<char>(bad[i] ^ 0x80);
+    EXPECT_FALSE(SealedOpen("secret", bad, &pt)) << i;
+  }
+}
+
+TEST(SealedBoxTest, TruncationFails) {
+  std::string sealed = SealedBox("secret", "n", "message");
+  std::string pt;
+  EXPECT_FALSE(SealedOpen("secret", sealed.substr(0, 10), &pt));
+  EXPECT_FALSE(SealedOpen("secret", "", &pt));
+}
+
+}  // namespace
+}  // namespace lbtrust::crypto

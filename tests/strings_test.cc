@@ -1,0 +1,56 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace lbtrust::util {
+namespace {
+
+TEST(StringsTest, StrCat) {
+  EXPECT_EQ(StrCat("a", 1, "-", 2.5), "a1-2.5");
+  EXPECT_EQ(StrCat(), "");
+}
+
+TEST(StringsTest, JoinAndSplit) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ","), "a,b,c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringsTest, HexRoundTrip) {
+  std::string raw = "\x00\xff\x10 abc";
+  raw.push_back('\0');
+  std::string hex = HexEncode(raw);
+  std::string back;
+  ASSERT_TRUE(HexDecode(hex, &back));
+  EXPECT_EQ(back, raw);
+}
+
+TEST(StringsTest, HexDecodeRejectsBadInput) {
+  std::string out;
+  EXPECT_FALSE(HexDecode("abc", &out));   // odd length
+  EXPECT_FALSE(HexDecode("zz", &out));    // non-hex
+  EXPECT_TRUE(HexDecode("", &out));       // empty ok
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("export[me]", "export"));
+  EXPECT_FALSE(StartsWith("exp", "export"));
+  EXPECT_TRUE(EndsWith("file.cc", ".cc"));
+  EXPECT_FALSE(EndsWith("cc", "file.cc"));
+}
+
+TEST(StringsTest, EscapeQuoted) {
+  EXPECT_EQ(EscapeQuoted("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+TEST(StringsTest, Fnv1aIsStable) {
+  EXPECT_EQ(Fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_NE(Fnv1a("alice"), Fnv1a("bob"));
+  EXPECT_EQ(Fnv1a("says"), Fnv1a("says"));
+}
+
+}  // namespace
+}  // namespace lbtrust::util
