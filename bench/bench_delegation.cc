@@ -47,6 +47,7 @@ void BM_ThresholdGroupSize(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
   Workspace::Options opts;
   opts.principal = "bank";
+  opts.delta_fixpoint = false;  // measure aggregation, not the no-change path
   Workspace ws(opts);
   (void)ws.Load(lbtrust::trust::ThresholdRules("ok", "grp", n / 2));
   for (int i = 0; i < n; ++i) {

@@ -39,7 +39,9 @@ BENCHMARK(BM_RuleInstall)->Arg(0)->Arg(1);
 void BM_QuotedPatternMatch(benchmark::State& state) {
   // N code values probed by a pattern rule per fixpoint.
   int n = static_cast<int>(state.range(0));
-  Workspace ws;
+  Workspace::Options opts;
+  opts.delta_fixpoint = false;  // re-evaluate the pattern probe every time
+  Workspace ws(opts);
   (void)ws.Load(
       "got(P,O) <- said([| access(P,O,read). |]).");
   for (int i = 0; i < n; ++i) {
@@ -75,7 +77,9 @@ BENCHMARK(BM_CodegenActivation)->Arg(100)->Arg(1000);
 void BM_CodeValueConstruction(benchmark::State& state) {
   // Quoted-head construction: one new code value per derived tuple.
   int n = static_cast<int>(state.range(0));
-  Workspace ws;
+  Workspace::Options opts;
+  opts.delta_fixpoint = false;  // re-derive the code values every time
+  Workspace ws(opts);
   (void)ws.Load("out([| claim(X,Y). |]) <- in(X,Y).");
   for (int i = 0; i < n; ++i) {
     (void)ws.AddFact("in", {Value::Int(i), Value::Int(i + 1)});

@@ -19,12 +19,14 @@ void Check(const lbtrust::util::Status& st, const char* what) {
   }
 }
 
-void SayCreditOK(TrustRuntime* bank, const char* bureau,
-                 const char* statement) {
+// Stages "bureau says <statement> to bank" on a transaction (the speaker
+// is the bureau, so this is an AddFact rather than a Say on bank's own
+// behalf).
+void StageCreditOK(lbtrust::datalog::Transaction* txn, const char* bureau,
+                   const char* statement) {
   auto code = lbtrust::meta::QuoteRuleText(statement);
-  Check(bank->workspace()->AddFact(
-            "says", {Value::Sym(bureau), Value::Sym("bank"), *code}),
-        "says");
+  Check(code.status(), "quote");
+  txn->AddFact("says", {Value::Sym(bureau), Value::Sym("bank"), *code});
 }
 
 }  // namespace
@@ -47,20 +49,21 @@ int main() {
                  {"transunion", 0.4},
                  {"innovis", 0.2},
                  {"clarity", 0.1}};
+  lbtrust::datalog::Transaction setup = bank.Begin();
   for (const auto& b : bureaus) {
     TrustRuntime::Options bo;
     bo.principal = b.name;
     bo.rsa_bits = 512;
     auto bureau = TrustRuntime::Create(bo);
     Check(bank.AddPeer(b.name, (*bureau)->keypair().public_key), "peer");
-    Check(bank.workspace()->AddFact(
-              "pringroup", {Value::Sym(b.name), Value::Sym("creditBureau")}),
-          "group");
-    Check(bank.workspace()->AddFact(
-              "prinweight", {Value::Sym(b.name), Value::Sym("creditBureau"),
-                             Value::Double(b.weight)}),
-          "weight");
+    setup
+        .AddFact("pringroup",
+                 {Value::Sym(b.name), Value::Sym("creditBureau")})
+        .AddFact("prinweight",
+                 {Value::Sym(b.name), Value::Sym("creditBureau"),
+                  Value::Double(b.weight)});
   }
+  Check(setup.Commit(), "bureau setup");
 
   // wd1/wd2: 3-of-n unweighted threshold, plus a 0.8 weighted bar.
   Check(bank.Load(lbtrust::trust::ThresholdRules("creditOK", "creditBureau",
@@ -70,30 +73,44 @@ int main() {
             "loanOK", "creditBureau", 0.8)),
         "weighted threshold");
 
+  // Decision queries, prepared once and re-evaluated after every commit.
+  auto credit_q = bank.Prepare("creditOK(carol)");
+  auto loan_q = bank.Prepare("loanOK(carol)");
+  Check(credit_q.status(), "prepare");
+  Check(loan_q.status(), "prepare");
+
   std::printf("-- customer 'carol': equifax + experian say creditOK --\n");
-  SayCreditOK(&bank, "equifax", "creditOK(carol).");
-  SayCreditOK(&bank, "experian", "creditOK(carol).");
-  Check(bank.Fixpoint(), "fixpoint");
-  std::printf("creditOK(carol): %zu (needs 3 bureaus)\n",
-              *bank.workspace()->Count("creditOK(carol)"));
+  {
+    lbtrust::datalog::Transaction txn = bank.Begin();
+    StageCreditOK(&txn, "equifax", "creditOK(carol).");
+    StageCreditOK(&txn, "experian", "creditOK(carol).");
+    Check(txn.Commit(), "fixpoint");
+  }
+  std::printf("creditOK(carol): %zu (needs 3 bureaus)\n", *credit_q->Count());
 
   std::printf("\n-- transunion joins --\n");
-  SayCreditOK(&bank, "transunion", "creditOK(carol).");
-  Check(bank.Fixpoint(), "fixpoint");
-  std::printf("creditOK(carol): %zu\n",
-              *bank.workspace()->Count("creditOK(carol)"));
+  {
+    lbtrust::datalog::Transaction txn = bank.Begin();
+    StageCreditOK(&txn, "transunion", "creditOK(carol).");
+    Check(txn.Commit(), "fixpoint");
+  }
+  std::printf("creditOK(carol): %zu\n", *credit_q->Count());
 
   std::printf("\n-- weighted vote for a loan: equifax(0.5) says loanOK --\n");
-  SayCreditOK(&bank, "equifax", "loanOK(carol).");
-  Check(bank.Fixpoint(), "fixpoint");
-  std::printf("loanOK(carol): %zu (weight 0.5 < 0.8)\n",
-              *bank.workspace()->Count("loanOK(carol)"));
+  {
+    lbtrust::datalog::Transaction txn = bank.Begin();
+    StageCreditOK(&txn, "equifax", "loanOK(carol).");
+    Check(txn.Commit(), "fixpoint");
+  }
+  std::printf("loanOK(carol): %zu (weight 0.5 < 0.8)\n", *loan_q->Count());
 
   std::printf("\n-- experian(0.4) joins: 0.9 >= 0.8 --\n");
-  SayCreditOK(&bank, "experian", "loanOK(carol).");
-  Check(bank.Fixpoint(), "fixpoint");
-  std::printf("loanOK(carol): %zu\n",
-              *bank.workspace()->Count("loanOK(carol)"));
+  {
+    lbtrust::datalog::Transaction txn = bank.Begin();
+    StageCreditOK(&txn, "experian", "loanOK(carol).");
+    Check(txn.Commit(), "fixpoint");
+  }
+  std::printf("loanOK(carol): %zu\n", *loan_q->Count());
 
   auto scores = bank.workspace()->Query("loanOKScore(C,N)");
   for (const auto& row : *scores) {

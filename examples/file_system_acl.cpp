@@ -12,6 +12,7 @@
 #include "trust/delegation.h"
 #include "util/strings.h"
 
+using lbtrust::datalog::Transaction;
 using lbtrust::datalog::Value;
 using lbtrust::datalog::Workspace;
 
@@ -90,10 +91,14 @@ int main() {
         "file owner");
 
   // --- Scenario 1: direct permission ------------------------------------
-  Check(ws.AddFactTextAs("owner1", "permission(me,alice,f1,read)."),
-        "permission");
-  Check(ws.AddFactTextAs("alice", "want(me,f1)."), "want");
-  Check(ws.Fixpoint(), "fixpoint 1");
+  // Both principals' facts land in one transaction: one apply, one
+  // fixpoint (and an EDB-only batch like this takes the delta path).
+  {
+    Transaction txn = ws.Begin();
+    txn.AddFactTextAs("owner1", "permission(me,alice,f1,read).")
+        .AddFactTextAs("alice", "want(me,f1).");
+    Check(txn.Commit(), "fixpoint 1");
+  }
   std::printf("[1] direct permission: alice received f1 content: %zu\n",
               Count(&ws, "says(store1,alice,[| filecontent(f1,\"Q3 plan\"). "
                          "|])"));
@@ -105,17 +110,18 @@ int main() {
   for (const char* p : {"owner1", "mgr1"}) {
     Check(ws.LoadAs(p, lbtrust::trust::DelegationDepthRules()), "dd rules");
   }
-  Check(ws.AddFactTextAs("owner1",
-                         "delegates(me,mgr1,permission). "
-                         "delDepth(me,mgr1,permission,0)."),
-        "delegate");
-  // mgr1 grants alice read on f2 on owner1's behalf.
-  Check(ws.AddFactTextAs(
+  {
+    Transaction txn = ws.Begin();
+    txn.AddFactTextAs("owner1",
+                      "delegates(me,mgr1,permission). "
+                      "delDepth(me,mgr1,permission,0).")
+        // mgr1 grants alice read on f2 on owner1's behalf.
+        .AddFactTextAs(
             "mgr1",
-            "says(me,owner1,[| permission(owner1,alice,f2,read). |])."),
-        "mgr grant");
-  Check(ws.AddFactTextAs("alice", "want(me,f2)."), "want f2");
-  Check(ws.Fixpoint(), "fixpoint 2");
+            "says(me,owner1,[| permission(owner1,alice,f2,read). |]).")
+        .AddFactTextAs("alice", "want(me,f2).");
+    Check(txn.Commit(), "fixpoint 2");
+  }
   std::printf("[2] delegated permission: alice received f2 content: %zu\n",
               Count(&ws, "says(store1,alice,[| filecontent(f2,\"$42\"). |])"));
 
@@ -151,11 +157,12 @@ int main() {
             "pringroup(U,managers), permit(U,R,F).\n"
             "tc2: permission(me,R,F,read) <- permitCount(R,F,N), N >= 2."),
         "threshold");
-  Check(ws.AddFactTextAs("bob", "want(me,f1)."), "bob wants");
-  Check(ws.AddFactTextAs("mgr1",
-                         "says(me,owner1,[| permit(me,bob,f1). |])."),
-        "mgr1 permit");
-  Check(ws.Fixpoint(), "fixpoint 3");
+  {
+    Transaction txn = ws.Begin();
+    txn.AddFactTextAs("bob", "want(me,f1).")
+        .AddFactTextAs("mgr1", "says(me,owner1,[| permit(me,bob,f1). |]).");
+    Check(txn.Commit(), "fixpoint 3");
+  }
   std::printf("[4] one confirmation (need 2): bob has content: %zu\n",
               Count(&ws, "says(store1,bob,[| filecontent(f1,\"Q3 plan\"). "
                          "|])"));

@@ -1,10 +1,12 @@
-// Quickstart: the paper's §2.2 Binder policy on one principal.
+// Quickstart: the paper's §2.2 Binder policy on one principal, written
+// against the session API.
 //
 //   b1: access(P,O,read) :- good(P), object(O).
 //   b2: access(P,O,read) :- bob says access(P,O,read).
 //
-// Demonstrates loading a policy, receiving an authenticated statement
-// through `says`, running the fixpoint, and querying.
+// Demonstrates loading a policy, batching mutations in a Transaction
+// (including a received `says` statement), committing with a single
+// fixpoint, and serving reads through a PreparedQuery handle.
 #include <cstdio>
 
 #include "binder/binder.h"
@@ -12,6 +14,8 @@
 #include "meta/codegen.h"
 #include "trust/trust_runtime.h"
 
+using lbtrust::datalog::PreparedQuery;
+using lbtrust::datalog::Transaction;
 using lbtrust::datalog::TupleToString;
 using lbtrust::datalog::Value;
 using lbtrust::trust::TrustRuntime;
@@ -49,24 +53,32 @@ int main() {
     std::fprintf(stderr, "policy: %s\n", st.ToString().c_str());
     return 1;
   }
-  (void)alice.workspace()->AddFactText("good(carol). object(file1).");
 
-  // bob's statement arrives (transport + signature verification are
-  // exercised by the cluster examples; here we inject the says fact).
-  auto code = lbtrust::meta::QuoteRuleText("access(dave,file1,read).");
-  (void)alice.workspace()->AddFact(
-      "says", {Value::Sym("bob"), Value::Sym("alice"), *code});
-
-  if (auto fp = alice.Fixpoint(); !fp.ok()) {
-    std::fprintf(stderr, "fixpoint: %s\n", fp.ToString().c_str());
+  // Batch the workload: local facts plus bob's statement (transport and
+  // signature verification are exercised by the cluster examples; here the
+  // says fact is injected directly). One Commit() = one fixpoint.
+  Transaction txn = alice.Begin();
+  txn.AddFactText("good(carol). object(file1).")
+      .AddFact("says", {Value::Sym("bob"), Value::Sym("alice"),
+                        *lbtrust::meta::QuoteRuleText(
+                            "access(dave,file1,read).")});
+  if (auto cs = txn.Commit(); !cs.ok()) {
+    std::fprintf(stderr, "commit: %s\n", cs.ToString().c_str());
     return 1;
   }
 
-  auto rows = alice.workspace()->Query("access(P,O,M)");
+  // The read path: prepare once, evaluate per request with no parsing.
+  auto all_access = alice.Prepare("access(P,O,M)");
+  auto dave_probe = alice.Prepare("access(dave,file1,read)");
+  if (!all_access.ok() || !dave_probe.ok()) return 1;
+
   std::printf("access facts at alice:\n");
+  auto rows = all_access->Run();
   for (const auto& row : *rows) {
     std::printf("  access%s\n", TupleToString(row).c_str());
   }
+  std::printf("\nmay dave read file1? %s\n",
+              *dave_probe->Exists() ? "yes" : "no");
   std::printf("\ninstalled rules:\n");
   for (const auto* rule : alice.workspace()->rules()) {
     std::printf("  %s\n", lbtrust::datalog::PrintRule(*rule).c_str());

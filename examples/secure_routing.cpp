@@ -9,6 +9,8 @@
 // Every inter-node claim travels through `says`, i.e. it is signed by the
 // sender and verified by the receiver under the configured scheme.
 #include <cstdio>
+#include <map>
+#include <string>
 
 #include "net/cluster.h"
 #include "sendlog/sendlog.h"
@@ -56,19 +58,26 @@ int main() {
             "c3: bestcost(S,D,N) :- agg<<N = min(C)>> cost(S,D,C)."),
         "program");
 
+  // Stage each node's adjacency as one batch; fixpoints run in
+  // Cluster::Run.
+  std::map<std::string, lbtrust::datalog::Transaction> txns;
   auto add_edge = [&](const char* a, const char* b) {
-    Check(cluster.node(a)->workspace()->AddFact(
-              "neighbor", {Value::Sym(a), Value::Sym(b)}),
-          "edge");
-    Check(cluster.node(b)->workspace()->AddFact(
-              "neighbor", {Value::Sym(b), Value::Sym(a)}),
-          "edge");
+    auto stage = [&](const char* at, const char* s, const char* d) {
+      auto it = txns.find(at);
+      if (it == txns.end()) {
+        it = txns.emplace(at, cluster.node(at)->Begin()).first;
+      }
+      it->second.AddFact("neighbor", {Value::Sym(s), Value::Sym(d)});
+    };
+    stage(a, a, b);
+    stage(b, b, a);
   };
   add_edge("n0", "n1");
   add_edge("n1", "n2");
   add_edge("n2", "n3");
   add_edge("n3", "n4");
   add_edge("n1", "n3");
+  for (auto& [name, txn] : txns) Check(txn.CommitNoFixpoint(), "edges");
 
   auto stats = cluster.Run();
   if (!stats.ok()) {

@@ -197,6 +197,9 @@ Term ResolveMeTerm(const Term& t, const std::string& principal) {
           case CodeValue::What::kTerm:
             return Term::Constant(Value::CodeTerm(std::make_shared<const Term>(
                 ResolveMeTerm(*code.term, principal))));
+          case CodeValue::What::kLiteralList:
+          case CodeValue::What::kTermList:
+            return t;  // list values only exist transiently during matching
         }
       }
       return t;

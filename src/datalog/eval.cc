@@ -115,12 +115,6 @@ void CollectShallow(const Term& t, std::vector<std::string>* out) {
   }
 }
 
-bool TermIsGroundDeep(const Term& t) {
-  std::vector<std::string> vars;
-  CollectDeep(t, &vars);
-  return vars.empty();
-}
-
 CompiledArg CompileArg(const Term& t, VarTable* vars) {
   CompiledArg arg;
   arg.term = CloneTerm(t);
@@ -925,19 +919,142 @@ Status Evaluator::Run(const std::vector<CompiledRule*>& rules,
   return util::OkStatus();
 }
 
+Status Evaluator::RunIncremental(const std::vector<CompiledRule*>& rules,
+                                 const Stratification& strat,
+                                 const Limits& limits,
+                                 std::map<std::string, Relation> seed) {
+  size_t total_tuples = 0;
+  // Predicates changed so far: the EDB seed plus everything derived by
+  // lower strata during this call. Entries drive the round-0 delta joins
+  // of each stratum exactly once.
+  std::map<std::string, Relation>& accumulated = seed;
+
+  for (size_t level = 0; level < strat.strata.size(); ++level) {
+    std::vector<CompiledRule*> stratum_rules;
+    for (CompiledRule* r : rules) {
+      auto it = strat.level.find(r->head_pred);
+      if (it != strat.level.end() &&
+          it->second == static_cast<int>(level)) {
+        stratum_rules.push_back(r);
+      }
+    }
+    if (stratum_rules.empty()) continue;
+
+    auto in_stratum = [&](const std::string& pred) {
+      auto it = strat.level.find(pred);
+      return it != strat.level.end() &&
+             it->second == static_cast<int>(level);
+    };
+
+    // Everything this stratum derives, for the benefit of higher strata.
+    std::map<std::string, Relation> stratum_new;
+
+    auto emit_into = [&](const std::string& pred, size_t arity, Tuple t,
+                         std::map<std::string, Relation>* next_delta)
+        -> Status {
+      Relation* full = store_->GetOrCreate(pred, arity);
+      if (full->arity() != t.size()) {
+        return util::TypeError(util::StrCat("arity mismatch inserting into '",
+                                            pred, "'"));
+      }
+      if (full->Insert(t)) {
+        ++total_tuples;
+        if (total_tuples > limits.max_tuples) {
+          return util::Internal(
+              "fixpoint exceeded tuple budget (diverging program?)");
+        }
+        auto [sit, sfresh] = stratum_new.try_emplace(pred, Relation(t.size()));
+        (void)sfresh;
+        sit->second.Insert(t);
+        auto [it, fresh] = next_delta->try_emplace(pred, Relation(t.size()));
+        (void)fresh;
+        it->second.Insert(std::move(t));
+      }
+      return util::OkStatus();
+    };
+
+    // Round 0: drive every rule once per changed body relation. Non-delta
+    // positions read the full (already extended) store, so combinations of
+    // several changed relations are covered; set semantics dedups the
+    // overlap. Rules with no changed body relation are skipped — their
+    // consequences are already in the store. Aggregate rules never reach
+    // this path (Workspace::DeltaFixpointEligible falls back to a full
+    // rebuild when a delta can feed an aggregate).
+    std::map<std::string, Relation> delta;
+    for (CompiledRule* r : stratum_rules) {
+      if (r->agg.has_value()) continue;
+      for (int pos : r->relation_positions) {
+        const std::string& pred = r->body[static_cast<size_t>(pos)].pred;
+        auto ait = accumulated.find(pred);
+        if (ait == accumulated.end() || ait->second.empty()) continue;
+        LB_RETURN_IF_ERROR(EvalRuleOnce(r, pos, &ait->second, [&](Tuple t) {
+          return emit_into(r->head_pred, r->head_cols.size(), std::move(t),
+                           &delta);
+        }));
+      }
+    }
+
+    // In-stratum recursion: identical to Run()'s semi-naive rounds.
+    size_t rounds = 0;
+    while (!delta.empty()) {
+      if (++rounds > limits.max_rounds) {
+        return util::Internal("fixpoint exceeded round budget");
+      }
+      std::map<std::string, Relation> next_delta;
+      for (CompiledRule* r : stratum_rules) {
+        if (r->agg.has_value()) continue;
+        for (int pos : r->relation_positions) {
+          const std::string& pred = r->body[static_cast<size_t>(pos)].pred;
+          if (!in_stratum(pred)) continue;
+          auto dit = delta.find(pred);
+          if (dit == delta.end() || dit->second.empty()) continue;
+          LB_RETURN_IF_ERROR(
+              EvalRuleOnce(r, pos, &dit->second, [&](Tuple t) {
+                return emit_into(r->head_pred, r->head_cols.size(),
+                                 std::move(t), &next_delta);
+              }));
+        }
+      }
+      delta = std::move(next_delta);
+    }
+
+    for (auto& [pred, rel] : stratum_new) {
+      auto [it, fresh] = accumulated.try_emplace(pred, Relation(rel.arity()));
+      (void)fresh;
+      for (const Tuple& t : rel.rows()) it->second.Insert(t);
+    }
+  }
+  return util::OkStatus();
+}
+
 Status Evaluator::EvalQuery(CompiledRule* rule,
                             const std::function<void(const Bindings&)>& cb) {
+  return EvalQueryUntil(rule, [&](const Bindings& b) {
+    cb(b);
+    return true;
+  });
+}
+
+Status Evaluator::EvalQueryUntil(CompiledRule* rule,
+                                 const std::function<bool(const Bindings&)>& cb) {
   ExecContext ctx;
   ctx.rule = rule;
   ctx.delta_pos = -1;
   ctx.delta_rel = nullptr;
   ctx.order = &rule->order_full;
   ctx.bindings.EnsureSize(rule->vars.size());
+  bool stopped = false;
   ctx.on_solution = [&]() -> Status {
-    cb(ctx.bindings);
+    if (!cb(ctx.bindings)) {
+      stopped = true;
+      // Sentinel error: unwinds the enumeration, stripped below.
+      return util::Internal("enumeration stopped");
+    }
     return util::OkStatus();
   };
-  return Step(&ctx, 0);
+  Status st = Step(&ctx, 0);
+  if (stopped) return util::OkStatus();
+  return st;
 }
 
 }  // namespace lbtrust::datalog

@@ -101,10 +101,26 @@ class Evaluator {
                    const Stratification& strat, const Limits& limits,
                    bool naive = false);
 
+  /// Incremental (delta-seeded) counterpart of Run(): assumes the store
+  /// already holds a complete fixpoint of the rules minus the tuples in
+  /// `seed` (newly inserted EDB tuples, already present in the store), and
+  /// extends the store with every additional consequence. Sound only for
+  /// additive change sets that cannot reach a negated or aggregated body
+  /// literal — the caller (Workspace::Fixpoint) checks eligibility.
+  util::Status RunIncremental(const std::vector<CompiledRule*>& rules,
+                              const Stratification& strat,
+                              const Limits& limits,
+                              std::map<std::string, Relation> seed);
+
   /// Evaluates a body-only query (constraint checks, Workspace::Query),
   /// invoking `cb` once per solution with the rule's bindings.
   util::Status EvalQuery(CompiledRule* rule,
                          const std::function<void(const Bindings&)>& cb);
+
+  /// Like EvalQuery, but `cb` returns false to stop the enumeration early
+  /// (PreparedQuery::Exists / bounded scans).
+  util::Status EvalQueryUntil(CompiledRule* rule,
+                              const std::function<bool(const Bindings&)>& cb);
 
  private:
   struct ExecContext {

@@ -26,9 +26,27 @@ Status Workspace::EnsurePredicate(const std::string& name, size_t arity,
   edb_.GetOrCreate(name, arity);
   if (!existed && !util::StartsWith(name, "$")) {
     Relation* pname = edb_.GetOrCreate("pname", 2);
-    pname->Insert({Value::Sym(name), Value::Str(name)});
+    Tuple row{Value::Sym(name), Value::Str(name)};
+    bool inserted = pname->Insert(row);
+    RecordEdbInsert("pname", row, inserted);
   }
   return util::OkStatus();
+}
+
+void Workspace::RecordEdbInsert(const std::string& pred, const Tuple& tuple,
+                                bool inserted) {
+  // Deltas matter only while the store reflects a completed fixpoint; bulk
+  // loads before the first Fixpoint() and workspaces whose options rule
+  // the delta path out skip the bookkeeping entirely.
+  if (!inserted || !store_valid_ || !DeltaTrackingEnabled()) return;
+  auto [it, fresh] = edb_delta_.try_emplace(pred, Relation(tuple.size()));
+  (void)fresh;
+  it->second.Insert(tuple);
+}
+
+void Workspace::MarkRulesChanged() {
+  rules_dirty_ = true;
+  strat_cache_.reset();
 }
 
 Status Workspace::DeclareAtomPredicate(const Atom& atom) {
@@ -54,6 +72,7 @@ void Workspace::RegisterBuiltin(const std::string& name, size_t arity,
                                 std::vector<std::string> modes, BuiltinFn fn) {
   builtins_.Register(name, arity, std::move(modes), std::move(fn));
   catalog_.MarkBuiltin(name, arity);
+  MarkRulesChanged();
 }
 
 Status Workspace::Load(std::string_view program) {
@@ -65,8 +84,11 @@ Status Workspace::LoadAs(const std::string& principal,
   return LoadClauses(principal, program);
 }
 
-Status Workspace::LoadClauses(const std::string& principal,
-                              std::string_view program) {
+Status Workspace::RouteProgramClauses(
+    const std::string& principal, std::string_view program,
+    const std::function<Status(Rule)>& on_rule,
+    const std::function<Status(Constraint)>& on_fail_constraint,
+    const std::function<Status(Constraint)>& on_constraint) {
   LB_ASSIGN_OR_RETURN(std::vector<ParsedClause> clauses,
                       ParseProgram(program));
   for (ParsedClause& clause : clauses) {
@@ -81,7 +103,7 @@ Status Workspace::LoadClauses(const std::string& principal,
           c.label = resolved.label;
           c.lhs = resolved.body;
           c.display = PrintRule(resolved);
-          LB_RETURN_IF_ERROR(CompileConstraint(std::move(c)));
+          LB_RETURN_IF_ERROR(on_fail_constraint(std::move(c)));
           continue;
         }
         // Split multi-head rules.
@@ -91,8 +113,7 @@ Status Workspace::LoadClauses(const std::string& principal,
           single.heads = {CloneAtom(head)};
           single.body = resolved.body;
           single.aggregate = resolved.aggregate;
-          LB_RETURN_IF_ERROR(InstallResolved(std::move(single), principal,
-                                             /*hidden=*/false));
+          LB_RETURN_IF_ERROR(on_rule(std::move(single)));
         }
       }
     } else {
@@ -111,11 +132,23 @@ Status Workspace::LoadClauses(const std::string& principal,
           }
           resolved.rhs_dnf.push_back(std::move(out));
         }
-        LB_RETURN_IF_ERROR(AddConstraint(resolved));
+        LB_RETURN_IF_ERROR(on_constraint(std::move(resolved)));
       }
     }
   }
   return util::OkStatus();
+}
+
+Status Workspace::LoadClauses(const std::string& principal,
+                              std::string_view program) {
+  return RouteProgramClauses(
+      principal, program,
+      [&](Rule single) {
+        return InstallResolved(std::move(single), principal,
+                               /*hidden=*/false);
+      },
+      [&](Constraint c) { return CompileConstraint(std::move(c)); },
+      [&](Constraint c) { return AddConstraint(c); });
 }
 
 Status Workspace::AddRule(const Rule& rule) {
@@ -141,8 +174,26 @@ Status Workspace::AddRuleText(std::string_view text) {
   return AddRule(rule);
 }
 
+namespace {
+
+/// A clause whose heads are ground facts (quoted code may keep inner
+/// variables — CollectAtomVars is shallow) routes to the EDB rather than
+/// the rule set.
+bool IsGroundFactRule(const Rule& rule) {
+  if (!rule.IsFact()) return false;
+  for (const Atom& h : rule.heads) {
+    std::vector<std::string> vars;
+    CollectAtomVars(h, &vars);
+    if (!vars.empty() || h.meta_atom || h.meta_functor) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 Status Workspace::InstallFactRule(const Rule& rule, const std::string& owner,
-                                  bool from_activation) {
+                                  bool from_activation,
+                                  const FactSink* sink) {
   // Facts with fully ground heads go straight to the EDB; facts whose heads
   // contain quoted code keep inner variables as values.
   for (const Atom& head : rule.heads) {
@@ -172,7 +223,11 @@ Status Workspace::InstallFactRule(const Rule& rule, const std::string& owner,
               std::make_shared<const Rule>(CloneRule(rule)))});
       provenance_.Record(head.predicate, tuple, std::move(d));
     }
-    LB_RETURN_IF_ERROR(AddFact(head.predicate, std::move(tuple)));
+    if (sink != nullptr) {
+      LB_RETURN_IF_ERROR((*sink)(head.predicate, std::move(tuple)));
+    } else {
+      LB_RETURN_IF_ERROR(AddFact(head.predicate, std::move(tuple)));
+    }
   }
   (void)owner;
   return util::OkStatus();
@@ -181,17 +236,8 @@ Status Workspace::InstallFactRule(const Rule& rule, const std::string& owner,
 Status Workspace::InstallResolved(Rule rule, const std::string& owner,
                                   bool hidden, bool from_activation) {
   // Pure ground facts are EDB inserts, not rules.
-  if (rule.IsFact()) {
-    bool ground = true;
-    for (const Atom& h : rule.heads) {
-      std::vector<std::string> vars;
-      CollectAtomVars(h, &vars);
-      if (!vars.empty() || h.meta_atom || h.meta_functor) {
-        ground = false;
-        break;
-      }
-    }
-    if (ground) return InstallFactRule(rule, owner, from_activation);
+  if (IsGroundFactRule(rule)) {
+    return InstallFactRule(rule, owner, from_activation);
   }
 
   std::string canon = PrintRule(rule);
@@ -229,6 +275,7 @@ Status Workspace::InstallResolved(Rule rule, const std::string& owner,
 
   rules_by_canon_[canon] = installed.get();
   rules_.push_back(std::move(installed));
+  MarkRulesChanged();
   return util::OkStatus();
 }
 
@@ -251,6 +298,7 @@ Status Workspace::RemoveRule(const Rule& rule) {
                                 return r.get() == target;
                               }),
                rules_.end());
+  MarkRulesChanged();
   return util::OkStatus();
 }
 
@@ -266,7 +314,12 @@ Status Workspace::AddFact(const std::string& pred, Tuple tuple) {
                                         "': got ", tuple.size(), ", expected ",
                                         rel->arity()));
   }
-  rel->Insert(std::move(tuple));
+  if (store_valid_ && DeltaTrackingEnabled()) {
+    bool inserted = rel->Insert(tuple);  // keep the tuple for the delta log
+    RecordEdbInsert(pred, tuple, inserted);
+  } else {
+    rel->Insert(std::move(tuple));
+  }
   return util::OkStatus();
 }
 
@@ -275,6 +328,8 @@ Status Workspace::RemoveFact(const std::string& pred, const Tuple& tuple) {
   if (rel == nullptr || !rel->Erase(tuple)) {
     return util::NotFound(util::StrCat("no such fact in '", pred, "'"));
   }
+  // Deletions cannot be replayed additively; force a full rebuild.
+  edb_removed_ = true;
   return util::OkStatus();
 }
 
@@ -553,6 +608,7 @@ Status Workspace::RemoveConstraintsByLabel(const std::string& label) {
                                     [&](const std::unique_ptr<InstalledRule>&
                                             r) { return r.get() == target; }),
                      rules_.end());
+        MarkRulesChanged();
       }
     }
     it = constraints_.erase(it);
@@ -582,18 +638,78 @@ Status Workspace::PrepareStore() {
   return util::OkStatus();
 }
 
-Status Workspace::RunRules() {
-  std::vector<const Rule*> plain;
-  std::vector<CompiledRule*> compiled;
-  for (const auto& r : rules_) {
-    plain.push_back(&r->rule);
-    compiled.push_back(r->compiled.get());
+Result<const Stratification*> Workspace::CurrentStratification() {
+  if (strat_cache_ == nullptr) {
+    std::vector<const Rule*> plain;
+    plain.reserve(rules_.size());
+    for (const auto& r : rules_) plain.push_back(&r->rule);
+    LB_ASSIGN_OR_RETURN(Stratification strat, Stratify(plain, builtins_));
+    strat_cache_ = std::make_unique<Stratification>(std::move(strat));
   }
-  LB_ASSIGN_OR_RETURN(Stratification strat, Stratify(plain, builtins_));
+  return strat_cache_.get();
+}
+
+Status Workspace::RunRules() {
+  std::vector<CompiledRule*> compiled;
+  compiled.reserve(rules_.size());
+  for (const auto& r : rules_) compiled.push_back(r->compiled.get());
+  LB_ASSIGN_OR_RETURN(const Stratification* strat, CurrentStratification());
   Evaluator evaluator(&builtins_, &store_,
                       options_.track_provenance ? &provenance_ : nullptr);
-  return evaluator.Run(compiled, strat, options_.limits,
+  return evaluator.Run(compiled, *strat, options_.limits,
                        options_.naive_eval);
+}
+
+Status Workspace::RunRulesDelta(std::map<std::string, Relation> seed) {
+  std::vector<CompiledRule*> compiled;
+  compiled.reserve(rules_.size());
+  for (const auto& r : rules_) compiled.push_back(r->compiled.get());
+  LB_ASSIGN_OR_RETURN(const Stratification* strat, CurrentStratification());
+  Evaluator evaluator(&builtins_, &store_);
+  return evaluator.RunIncremental(compiled, *strat, options_.limits,
+                                  std::move(seed));
+}
+
+bool Workspace::DeltaFixpointEligible() const {
+  if (!DeltaTrackingEnabled()) return false;
+  if (!store_valid_ || rules_dirty_ || edb_removed_) return false;
+  if (edb_delta_.empty()) return true;  // nothing changed at all
+  // Affected closure: predicates whose extent may grow, seeded from the
+  // dirty EDB relations and propagated through rule heads.
+  std::set<std::string> affected;
+  for (const auto& [pred, rel] : edb_delta_) affected.insert(pred);
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const auto& r : rules_) {
+      const CompiledRule* cr = r->compiled.get();
+      if (cr == nullptr || affected.count(cr->head_pred) > 0) continue;
+      for (const CompiledLiteral& lit : cr->body) {
+        if (lit.kind == CompiledLiteral::Kind::kRelation &&
+            affected.count(lit.pred) > 0) {
+          affected.insert(cr->head_pred);
+          grew = true;
+          break;
+        }
+      }
+    }
+  }
+  // Additive replay is exact only if no growing relation is read under
+  // negation (derived tuples could become unjustified) or feeds an
+  // aggregate (the old aggregate value would need retraction).
+  for (const auto& r : rules_) {
+    const CompiledRule* cr = r->compiled.get();
+    if (cr == nullptr) continue;
+    for (const CompiledLiteral& lit : cr->body) {
+      if (affected.count(lit.pred) == 0) continue;
+      if (lit.kind == CompiledLiteral::Kind::kNegation) return false;
+      if (lit.kind == CompiledLiteral::Kind::kRelation &&
+          cr->agg.has_value()) {
+        return false;
+      }
+    }
+  }
+  return true;
 }
 
 Result<int> Workspace::ScanAndInstallActive() {
@@ -689,8 +805,42 @@ Status Workspace::Fixpoint() {
   if (options_.track_provenance) provenance_.Clear();
   for (int round = 0; round < options_.max_codegen_rounds; ++round) {
     ++last_codegen_rounds_;
-    LB_RETURN_IF_ERROR(PrepareStore());
-    LB_RETURN_IF_ERROR(RunRules());
+    if (DeltaFixpointEligible()) {
+      // Delta-aware path: extend the store in place, seeding semi-naive
+      // evaluation from the EDB tuples inserted since the last run. An
+      // empty delta set means the store is already the fixpoint and rule
+      // evaluation is skipped outright.
+      last_fixpoint_incremental_ = true;
+      ++delta_eval_rounds_;
+      std::map<std::string, Relation> seed;
+      for (auto& [pred, rel] : edb_delta_) {
+        Relation* dst = store_.GetOrCreate(pred, rel.arity());
+        for (const Tuple& t : rel.rows()) {
+          if (dst->Insert(t)) {
+            auto [it, fresh] = seed.try_emplace(pred, Relation(rel.arity()));
+            (void)fresh;
+            it->second.Insert(t);
+          }
+        }
+      }
+      edb_delta_.clear();
+      if (!seed.empty()) {
+        store_valid_ = false;  // invalid while mid-extension
+        LB_RETURN_IF_ERROR(RunRulesDelta(std::move(seed)));
+        store_valid_ = true;
+      }
+    } else {
+      // Full rebuild: clear the store and recompute from the EDB.
+      last_fixpoint_incremental_ = false;
+      ++full_eval_rounds_;
+      store_valid_ = false;
+      edb_delta_.clear();
+      LB_RETURN_IF_ERROR(PrepareStore());
+      LB_RETURN_IF_ERROR(RunRules());
+      store_valid_ = true;
+      rules_dirty_ = false;
+      edb_removed_ = false;
+    }
     LB_ASSIGN_OR_RETURN(int installed, ScanAndInstallActive());
     if (installed == 0) {
       if (options_.check_constraints) {
@@ -711,7 +861,7 @@ Status Workspace::Fixpoint() {
 // Queries
 // ---------------------------------------------------------------------------
 
-Result<std::vector<Tuple>> Workspace::Query(std::string_view atom_text) {
+Result<PreparedQuery> Workspace::Prepare(std::string_view atom_text) {
   LB_ASSIGN_OR_RETURN(Atom atom, ParseAtomText(atom_text));
   Atom resolved = ResolveMeAtom(atom, options_.principal);
   if (builtins_.Find(resolved.predicate) != nullptr) {
@@ -722,29 +872,64 @@ Result<std::vector<Tuple>> Workspace::Query(std::string_view atom_text) {
   query.body = {Literal{resolved, false}};
   LB_ASSIGN_OR_RETURN(std::unique_ptr<CompiledRule> compiled,
                       CompileRule(query, builtins_));
+  return PreparedQuery(this, std::string(atom_text), std::move(compiled));
+}
+
+size_t PreparedQuery::num_columns() const {
+  return compiled_->head_cols.size();
+}
+
+Status PreparedQuery::ForEach(const std::function<bool(const Tuple&)>& cb) {
+  CompiledRule* rule = compiled_.get();
+  Evaluator evaluator(&workspace_->builtins_, &workspace_->store_);
+  Tuple row;
+  return evaluator.EvalQueryUntil(rule, [&](const Bindings& b) {
+    row.clear();
+    row.reserve(rule->head_cols.size());
+    for (const CompiledArg& col : rule->head_cols) {
+      Result<Value> gv = EvalGroundTerm(col.term, rule->vars, b);
+      if (!gv.ok()) return true;  // ungroundable output column: skip row
+      row.push_back(std::move(*gv));
+    }
+    return cb(row);
+  });
+}
+
+Result<std::vector<Tuple>> PreparedQuery::Run() {
   std::vector<Tuple> out;
-  Evaluator evaluator(&builtins_, &store_);
-  LB_RETURN_IF_ERROR(
-      evaluator.EvalQuery(compiled.get(), [&](const Bindings& b) {
-        Tuple t;
-        bool ok = true;
-        for (const CompiledArg& col : compiled->head_cols) {
-          Value v;
-          Result<Value> gv = EvalGroundTerm(col.term, compiled->vars, b);
-          if (!gv.ok()) {
-            ok = false;
-            break;
-          }
-          t.push_back(std::move(*gv));
-        }
-        if (ok) out.push_back(std::move(t));
-      }));
+  LB_RETURN_IF_ERROR(ForEach([&](const Tuple& t) {
+    out.push_back(t);
+    return true;
+  }));
   return out;
 }
 
+Result<size_t> PreparedQuery::Count() {
+  size_t n = 0;
+  LB_RETURN_IF_ERROR(ForEach([&](const Tuple&) {
+    ++n;
+    return true;
+  }));
+  return n;
+}
+
+Result<bool> PreparedQuery::Exists() {
+  bool found = false;
+  LB_RETURN_IF_ERROR(ForEach([&](const Tuple&) {
+    found = true;
+    return false;  // stop at the first match
+  }));
+  return found;
+}
+
+Result<std::vector<Tuple>> Workspace::Query(std::string_view atom_text) {
+  LB_ASSIGN_OR_RETURN(PreparedQuery q, Prepare(atom_text));
+  return q.Run();
+}
+
 Result<size_t> Workspace::Count(std::string_view atom_text) {
-  LB_ASSIGN_OR_RETURN(std::vector<Tuple> rows, Query(atom_text));
-  return rows.size();
+  LB_ASSIGN_OR_RETURN(PreparedQuery q, Prepare(atom_text));
+  return q.Count();
 }
 
 Result<std::string> Workspace::Explain(std::string_view atom_text) {
@@ -779,6 +964,284 @@ std::vector<const Rule*> Workspace::rules() const {
 
 bool Workspace::HasRule(const std::string& canon) const {
   return rules_by_canon_.count(canon) > 0;
+}
+
+// ---------------------------------------------------------------------------
+// Transaction
+// ---------------------------------------------------------------------------
+
+Transaction& Transaction::AddFact(std::string pred, Tuple tuple) {
+  if (done_) return *this;
+  Op op;
+  op.kind = Op::Kind::kAddFact;
+  op.pred = std::move(pred);
+  op.tuple = std::move(tuple);
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+Transaction& Transaction::RemoveFact(std::string pred, Tuple tuple) {
+  if (done_) return *this;
+  Op op;
+  op.kind = Op::Kind::kRemoveFact;
+  op.pred = std::move(pred);
+  op.tuple = std::move(tuple);
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+Transaction& Transaction::AddRule(const Rule& rule) {
+  if (done_) return *this;
+  Op op;
+  op.kind = Op::Kind::kAddRule;
+  op.rule = CloneRule(rule);
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+Transaction& Transaction::RemoveRule(const Rule& rule) {
+  if (done_) return *this;
+  Op op;
+  op.kind = Op::Kind::kRemoveRule;
+  op.rule = CloneRule(rule);
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+Transaction& Transaction::AddRuleText(std::string_view text) {
+  if (done_) return *this;
+  Op op;
+  op.kind = Op::Kind::kAddRuleText;
+  op.text = std::string(text);
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+Transaction& Transaction::AddFactText(std::string_view text) {
+  return AddFactTextAs(std::string(), text);
+}
+
+Transaction& Transaction::AddFactTextAs(std::string principal,
+                                        std::string_view text) {
+  if (done_) return *this;
+  Op op;
+  op.kind = Op::Kind::kAddFactText;
+  op.text = std::string(text);
+  op.principal = std::move(principal);
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+Transaction& Transaction::AddProgram(std::string_view text) {
+  return AddProgramAs(std::string(), text);
+}
+
+Transaction& Transaction::AddProgramAs(std::string principal,
+                                       std::string_view text) {
+  if (done_) return *this;
+  Op op;
+  op.kind = Op::Kind::kAddProgram;
+  op.text = std::string(text);
+  op.principal = std::move(principal);
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+Transaction& Transaction::Say(std::string destination,
+                              std::string_view rule_text) {
+  if (done_) return *this;
+  Op op;
+  op.kind = Op::Kind::kSay;
+  op.pred = std::move(destination);
+  op.text = std::string(rule_text);
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+void Transaction::Abort() {
+  ops_.clear();
+  done_ = true;
+}
+
+Status Transaction::Commit() {
+  LB_RETURN_IF_ERROR(Apply());
+  return workspace_->Fixpoint();
+}
+
+Status Transaction::CommitNoFixpoint() { return Apply(); }
+
+Status Transaction::Apply() {
+  if (done_) {
+    return util::FailedPrecondition(
+        "transaction already committed or aborted");
+  }
+  done_ = true;
+  Workspace* ws = workspace_;
+  std::vector<std::function<void()>> undo;
+
+  // Each primitive pushes its inverse; on failure the applied prefix is
+  // unwound in reverse. Predicate declarations and constraint installs are
+  // not inverted (idempotent metadata; see the class comment).
+  auto apply_add_fact = [&](const std::string& pred,
+                            const Tuple& tuple) -> Status {
+    const Relation* rel = ws->edb_.Get(pred);
+    bool existed = rel != nullptr && rel->Contains(tuple);
+    LB_RETURN_IF_ERROR(ws->AddFact(pred, Tuple(tuple)));
+    if (!existed) {
+      undo.push_back(
+          [ws, pred, tuple]() { (void)ws->RemoveFact(pred, tuple); });
+    }
+    return util::OkStatus();
+  };
+
+  auto apply_remove_fact = [&](const std::string& pred,
+                               const Tuple& tuple) -> Status {
+    LB_RETURN_IF_ERROR(ws->RemoveFact(pred, tuple));
+    undo.push_back(
+        [ws, pred, tuple]() { (void)ws->AddFact(pred, Tuple(tuple)); });
+    return util::OkStatus();
+  };
+
+  // Ground-fact clause: InstallFactRule with an undo-recording sink in
+  // place of the plain AddFact.
+  Workspace::FactSink fact_sink = [&](const std::string& pred,
+                                      Tuple tuple) -> Status {
+    return apply_add_fact(pred, tuple);
+  };
+  auto apply_fact_rule = [&](const Rule& resolved) -> Status {
+    return ws->InstallFactRule(resolved, ws->options_.principal,
+                               /*from_activation=*/false, &fact_sink);
+  };
+
+  // One resolved single-head rule clause: route ground facts to the EDB
+  // and the rest through InstallResolved (mirrors InstallResolved's own
+  // routing, with undo).
+  auto apply_single_rule = [&](Rule single,
+                               const std::string& principal) -> Status {
+    if (IsGroundFactRule(single)) return apply_fact_rule(single);
+    std::string canon = PrintRule(single);
+    bool existed = ws->HasRule(canon);
+    Rule for_undo = CloneRule(single);
+    LB_RETURN_IF_ERROR(
+        ws->InstallResolved(std::move(single), principal, /*hidden=*/false));
+    if (!existed) {
+      undo.push_back([ws, for_undo]() { (void)ws->RemoveRule(for_undo); });
+    }
+    return util::OkStatus();
+  };
+
+  // Rule clause: me-resolve and split heads (mirrors Workspace::AddRuleAs).
+  auto apply_rule = [&](const Rule& rule,
+                        const std::string& principal) -> Status {
+    Rule resolved = ResolveMeRule(rule, principal);
+    for (const Atom& head : resolved.heads) {
+      Rule single;
+      single.label = resolved.label;
+      single.heads = {CloneAtom(head)};
+      single.body = resolved.body;
+      single.aggregate = resolved.aggregate;
+      LB_RETURN_IF_ERROR(apply_single_rule(std::move(single), principal));
+    }
+    return util::OkStatus();
+  };
+
+  auto apply_remove_rule = [&](const Rule& rule) -> Status {
+    Rule resolved = ResolveMeRule(rule, ws->options_.principal);
+    auto it = ws->rules_by_canon_.find(PrintRule(resolved));
+    if (it == ws->rules_by_canon_.end()) {
+      return util::NotFound(
+          util::StrCat("no such rule: ", PrintRule(resolved)));
+    }
+    Rule saved = CloneRule(it->second->rule);
+    std::string owner = it->second->owner;
+    LB_RETURN_IF_ERROR(ws->RemoveRule(resolved));
+    undo.push_back([ws, saved, owner]() {
+      (void)ws->InstallResolved(CloneRule(saved), owner, /*hidden=*/false);
+    });
+    return util::OkStatus();
+  };
+
+  auto apply_fact_text = [&](const std::string& text,
+                             const std::string& principal) -> Status {
+    LB_ASSIGN_OR_RETURN(std::vector<ParsedClause> clauses,
+                        ParseProgram(text));
+    for (const ParsedClause& clause : clauses) {
+      if (clause.kind != ParsedClause::Kind::kRule) {
+        return util::InvalidArgument("expected facts, found a constraint");
+      }
+      for (const Rule& rule : clause.rules) {
+        if (!rule.IsFact()) {
+          return util::InvalidArgument("expected facts, found a rule");
+        }
+        LB_RETURN_IF_ERROR(apply_fact_rule(ResolveMeRule(rule, principal)));
+      }
+    }
+    return util::OkStatus();
+  };
+
+  // Program clause list: same routing as Workspace::Load, with the
+  // transaction's undo-aware rule install (constraints are not undone;
+  // see the class comment).
+  auto apply_program = [&](const std::string& text,
+                           const std::string& principal) -> Status {
+    return ws->RouteProgramClauses(
+        principal, text,
+        [&](Rule single) {
+          return apply_single_rule(std::move(single), principal);
+        },
+        [&](Constraint c) { return ws->CompileConstraint(std::move(c)); },
+        [&](Constraint c) { return ws->AddConstraint(c); });
+  };
+
+  auto apply_say = [&](const std::string& destination,
+                       const std::string& rule_text) -> Status {
+    LB_ASSIGN_OR_RETURN(Rule rule, ParseRuleText(rule_text));
+    Value code = Value::CodeRule(std::make_shared<const Rule>(std::move(rule)));
+    return apply_add_fact("says",
+                          {Value::Sym(ws->options_.principal),
+                           Value::Sym(destination), std::move(code)});
+  };
+
+  for (const Op& op : ops_) {
+    const std::string& principal =
+        op.principal.empty() ? ws->options_.principal : op.principal;
+    Status st;
+    switch (op.kind) {
+      case Op::Kind::kAddFact:
+        st = apply_add_fact(op.pred, op.tuple);
+        break;
+      case Op::Kind::kRemoveFact:
+        st = apply_remove_fact(op.pred, op.tuple);
+        break;
+      case Op::Kind::kAddRule:
+        st = apply_rule(op.rule, principal);
+        break;
+      case Op::Kind::kRemoveRule:
+        st = apply_remove_rule(op.rule);
+        break;
+      case Op::Kind::kAddRuleText: {
+        auto parsed = ParseRuleText(op.text);
+        st = parsed.ok() ? apply_rule(*parsed, principal) : parsed.status();
+        break;
+      }
+      case Op::Kind::kAddFactText:
+        st = apply_fact_text(op.text, principal);
+        break;
+      case Op::Kind::kAddProgram:
+        st = apply_program(op.text, principal);
+        break;
+      case Op::Kind::kSay:
+        st = apply_say(op.pred, op.text);
+        break;
+    }
+    if (!st.ok()) {
+      for (auto it = undo.rbegin(); it != undo.rend(); ++it) (*it)();
+      ops_.clear();
+      return st;
+    }
+  }
+  ops_.clear();
+  return util::OkStatus();
 }
 
 }  // namespace lbtrust::datalog

@@ -17,12 +17,163 @@
 
 namespace lbtrust::datalog {
 
+class Workspace;
+
+/// A compiled, reusable query handle — the hot read path of the session
+/// model. `Workspace::Prepare()` lexes, parses, me-resolves and compiles the
+/// atom pattern exactly once; every subsequent `Run()`/`Count()`/`Exists()`
+/// evaluates the compiled plan directly against the current post-Fixpoint
+/// store with no lexer, parser or rule-compiler involvement. Handles remain
+/// valid across Fixpoint() calls, rule churn and scheme swaps (the plan
+/// reads relations by name at evaluation time), so a server can prepare its
+/// policy-decision queries at startup and serve every request through them.
+class PreparedQuery {
+ public:
+  PreparedQuery(PreparedQuery&&) = default;
+  PreparedQuery& operator=(PreparedQuery&&) = default;
+  PreparedQuery(const PreparedQuery&) = delete;
+  PreparedQuery& operator=(const PreparedQuery&) = delete;
+
+  /// The original pattern text, for diagnostics.
+  const std::string& pattern() const { return pattern_; }
+  /// Number of output columns per result tuple.
+  size_t num_columns() const;
+
+  /// Streams matching tuples; return false from `cb` to stop early.
+  util::Status ForEach(const std::function<bool(const Tuple&)>& cb);
+  /// Materializes all matching tuples.
+  util::Result<std::vector<Tuple>> Run();
+  /// Number of matches, without materializing a result vector.
+  util::Result<size_t> Count();
+  /// True iff at least one tuple matches (stops at the first match).
+  util::Result<bool> Exists();
+
+ private:
+  friend class Workspace;
+  PreparedQuery(Workspace* workspace, std::string pattern,
+                std::unique_ptr<CompiledRule> compiled)
+      : workspace_(workspace),
+        pattern_(std::move(pattern)),
+        compiled_(std::move(compiled)) {}
+
+  Workspace* workspace_;
+  std::string pattern_;
+  std::unique_ptr<CompiledRule> compiled_;
+};
+
+/// A batch mutation — the write path of the session model. Mutations staged
+/// on a Transaction do not touch the workspace until `Commit()`, which
+/// applies them in staging order and then runs a single `Fixpoint()`;
+/// the commit records per-relation dirty deltas so an EDB-only batch takes
+/// the delta-aware (semi-naive-from-delta) fixpoint path instead of a full
+/// rebuild. `Abort()` discards the staged operations.
+///
+/// If applying a staged operation fails (parse error, arity mismatch, ...),
+/// previously applied fact and rule operations of the same batch are rolled
+/// back before the error is returned; predicate declarations and installed
+/// constraints are idempotent metadata and are not undone. A constraint
+/// violation reported by the commit-time Fixpoint() leaves the applied
+/// mutations in place (matching the one-shot API, where callers typically
+/// retract the offending fact or constraint and re-run Fixpoint()).
+class Transaction {
+ public:
+  Transaction(Transaction&&) = default;
+  Transaction& operator=(Transaction&&) = default;
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  /// Staging calls; errors (e.g. unparsable text) surface at Commit().
+  Transaction& AddFact(std::string pred, Tuple tuple);
+  Transaction& RemoveFact(std::string pred, Tuple tuple);
+  Transaction& AddRule(const Rule& rule);
+  Transaction& RemoveRule(const Rule& rule);
+  Transaction& AddRuleText(std::string_view text);
+  /// "p(a). q(1,2)." fact text, me-resolved to the workspace principal
+  /// (or an explicit one).
+  Transaction& AddFactText(std::string_view text);
+  Transaction& AddFactTextAs(std::string principal, std::string_view text);
+  /// Full program text (rules, facts, constraints), as Workspace::Load.
+  Transaction& AddProgram(std::string_view text);
+  Transaction& AddProgramAs(std::string principal, std::string_view text);
+  /// Stages says(me, destination, [| rule_text |]) — batch counterpart of
+  /// TrustRuntime::Say().
+  Transaction& Say(std::string destination, std::string_view rule_text);
+
+  /// Applies the staged operations in order, then runs one Fixpoint().
+  util::Status Commit();
+  /// Applies the staged operations without the fixpoint; the recorded
+  /// deltas are picked up by the next Fixpoint(). For callers that batch
+  /// across several transactions (e.g. cluster message delivery).
+  util::Status CommitNoFixpoint();
+  /// Discards the staged operations; the transaction becomes inert.
+  void Abort();
+
+  /// False after Commit()/Abort().
+  bool active() const { return !done_; }
+  size_t pending_ops() const { return ops_.size(); }
+
+ private:
+  friend class Workspace;
+
+  struct Op {
+    enum class Kind {
+      kAddFact,
+      kRemoveFact,
+      kAddRule,
+      kRemoveRule,
+      kAddRuleText,
+      kAddFactText,
+      kAddProgram,
+      kSay,
+    };
+    Kind kind = Kind::kAddFact;
+    std::string pred;       ///< kAddFact/kRemoveFact; destination for kSay
+    Tuple tuple;            ///< kAddFact/kRemoveFact
+    Rule rule;              ///< kAddRule/kRemoveRule
+    std::string text;       ///< text-bearing ops
+    std::string principal;  ///< me-resolution override ("" = workspace's)
+  };
+
+  explicit Transaction(Workspace* workspace) : workspace_(workspace) {}
+
+  /// Applies ops in order with rollback of facts/rules on failure.
+  util::Status Apply();
+
+  Workspace* workspace_;
+  std::vector<Op> ops_;
+  bool done_ = false;
+};
+
 /// A workspace is a database instance: predicate definitions, EDB facts and
 /// a set of active rules (§3.1). Fixpoint() recomputes the derived state
 /// bottom-up (semi-naive, stratified), then runs the meta-programming loop —
 /// code values derived into `active` are installed as new rules and the
 /// fixpoint repeats — and finally checks schema constraints, failing with
 /// kConstraintViolation like LogicBlox's fail() (§3.2).
+///
+/// ## Session model
+///
+/// The public API is built around two long-lived handle types, separating
+/// per-request evaluation from policy-state management (the SAFE/GEM split):
+///
+///  - the READ path: `Prepare()` compiles an atom pattern once into a
+///    `PreparedQuery`; its `Run()/Count()/Exists()` touch no lexer or
+///    parser. The legacy one-shot `Query()`/`Count()` string calls remain
+///    as thin shims that prepare-and-run per call.
+///  - the WRITE path: `Begin()` opens a `Transaction`; staged mutations
+///    apply on `Commit()` followed by exactly one Fixpoint(). One-shot
+///    `AddFact()`/`RemoveFact()`/`Load()` remain for interactive use.
+///
+/// The workspace tracks per-relation EDB deltas between fixpoints. When a
+/// Fixpoint() finds that only EDB insertions happened since the last
+/// successful run — no rule installs/removals, no constraint or scheme
+/// churn, no fact retraction, and the inserted relations cannot reach a
+/// negated or aggregated body literal — it seeds semi-naive evaluation from
+/// those deltas on top of the existing store instead of clearing and
+/// rebuilding it. All other mutations fall back to the full rebuild, so
+/// results are always identical to a from-scratch evaluation (the
+/// differential tests in tests/datalog_workspace_test.cc enforce this
+/// against the naive evaluator).
 ///
 /// The `me` keyword in loaded programs resolves to the workspace principal
 /// (or to an explicit principal via the *As APIs, which is how the §9 demo
@@ -37,12 +188,19 @@ class Workspace {
     int max_codegen_rounds = 64;
     /// Evaluator budgets (diverging-program guards).
     Evaluator::Limits limits;
-    /// Disable semi-naive deltas (naive fixpoint) — ablation only.
+    /// Disable semi-naive deltas (naive fixpoint) — ablation only. Also
+    /// disables the delta-aware fixpoint path.
     bool naive_eval = false;
+    /// Disable the delta-aware fixpoint path (every Fixpoint() rebuilds
+    /// the store from scratch, as the seed engine did) — ablation and
+    /// escape hatch.
+    bool delta_fixpoint = true;
     /// If false, constraints are compiled but not checked (ablation).
     bool check_constraints = true;
     /// Record a derivation witness per derived tuple (§7's provenance
     /// extension); query via Explain(). Off by default (memory cost).
+    /// Disables the delta-aware fixpoint path (witnesses are rebuilt
+    /// per full evaluation).
     bool track_provenance = false;
   };
 
@@ -54,6 +212,17 @@ class Workspace {
 
   const Options& options() const { return options_; }
   const std::string& principal() const { return options_.principal; }
+
+  // --- Session API ---------------------------------------------------------
+
+  /// Compiles an atom pattern ("access(P,O,read)") into a reusable handle.
+  /// The handle stays valid for the lifetime of the workspace.
+  util::Result<PreparedQuery> Prepare(std::string_view atom_text);
+
+  /// Opens a batch mutation; see Transaction.
+  Transaction Begin() { return Transaction(this); }
+
+  // --- One-shot mutation API (shims kept during migration) -----------------
 
   /// Parses and installs a program (rules, facts, constraints).
   util::Status Load(std::string_view program);
@@ -96,13 +265,17 @@ class Workspace {
 
   /// Recomputes derived state; runs codegen to quiescence; checks
   /// constraints. On violation returns kConstraintViolation and records
-  /// details in violations().
+  /// details in violations(). Takes the delta-aware path when eligible
+  /// (see the class comment); last_fixpoint_incremental() reports which
+  /// path ran.
   util::Status Fixpoint();
+
+  // --- One-shot query API (shims over Prepare) -----------------------------
 
   /// Matches an atom pattern ("access(P,O,read)") against the current
   /// (post-Fixpoint) state; returns the matching stored tuples.
   util::Result<std::vector<Tuple>> Query(std::string_view atom_text);
-  /// Convenience: number of matches.
+  /// Convenience: number of matches (no result materialization).
   util::Result<size_t> Count(std::string_view atom_text);
 
   /// Renders derivation trees for every tuple matching the atom pattern
@@ -136,7 +309,20 @@ class Workspace {
   /// rounds); exposed for tests and benchmarks.
   int last_codegen_rounds() const { return last_codegen_rounds_; }
 
+  /// True if the last Fixpoint() round ran the delta-aware path (store
+  /// seeded from recorded EDB deltas, no rebuild). Exposed for tests and
+  /// benchmarks.
+  bool last_fixpoint_incremental() const {
+    return last_fixpoint_incremental_;
+  }
+  /// Cumulative counts of full-rebuild vs delta-seeded evaluation rounds.
+  int full_eval_rounds() const { return full_eval_rounds_; }
+  int delta_eval_rounds() const { return delta_eval_rounds_; }
+
  private:
+  friend class PreparedQuery;
+  friend class Transaction;
+
   struct InstalledRule {
     Rule rule;
     std::string canon;
@@ -158,22 +344,58 @@ class Workspace {
 
   util::Status LoadClauses(const std::string& principal,
                            std::string_view program);
+  /// Shared program-clause routing for Load and Transaction::AddProgram:
+  /// parses `program`, me-resolves every clause against `principal`,
+  /// splits multi-head rules, and dispatches — single-head rules (and
+  /// fact clauses) to `on_rule`, raw `fail() <- body.` constraints to
+  /// `on_fail_constraint`, `lhs -> rhs.` constraints to `on_constraint`.
+  util::Status RouteProgramClauses(
+      const std::string& principal, std::string_view program,
+      const std::function<util::Status(Rule)>& on_rule,
+      const std::function<util::Status(Constraint)>& on_fail_constraint,
+      const std::function<util::Status(Constraint)>& on_constraint);
   util::Status InstallResolved(Rule rule, const std::string& owner,
                                bool hidden, bool from_activation = false);
+  /// Insert target for InstallFactRule: null means AddFact; Transaction
+  /// substitutes an undo-recording sink.
+  using FactSink =
+      std::function<util::Status(const std::string& pred, Tuple tuple)>;
   util::Status InstallFactRule(const Rule& rule, const std::string& owner,
-                               bool from_activation = false);
+                               bool from_activation = false,
+                               const FactSink* sink = nullptr);
   util::Status CompileConstraint(Constraint constraint);
   util::Status DeclareAtomPredicate(const Atom& atom);
   util::Status PrepareStore();
   util::Status RunRules();
+  util::Status RunRulesDelta(std::map<std::string, Relation> seed);
   util::Result<int> ScanAndInstallActive();
   void CheckConstraints();
+
+  /// Bookkeeping for the delta-aware fixpoint: every EDB insertion lands
+  /// here; a successful (or constraint-rejecting) Fixpoint() consumes it.
+  void RecordEdbInsert(const std::string& pred, const Tuple& tuple,
+                       bool inserted);
+  /// False when this workspace's options rule the delta path out entirely
+  /// (no point logging deltas then).
+  bool DeltaTrackingEnabled() const {
+    return options_.delta_fixpoint && !options_.naive_eval &&
+           !options_.track_provenance;
+  }
+  /// Flags rule-set churn (forces the next Fixpoint() onto the full path)
+  /// and drops the cached stratification.
+  void MarkRulesChanged();
+  /// Stratification of the installed rules, cached across delta fixpoints.
+  util::Result<const Stratification*> CurrentStratification();
+  /// True when the pending deltas are EDB-only and cannot reach a negated
+  /// or aggregated body literal (so additive semi-naive is exact).
+  bool DeltaFixpointEligible() const;
 
   Options options_;
   Catalog catalog_;
   BuiltinRegistry builtins_;
   RelationStore edb_;    // explicit facts
-  RelationStore store_;  // visible state (EDB + derived), rebuilt by Fixpoint
+  RelationStore store_;  // visible state (EDB + derived); rebuilt by full
+                         // fixpoints, extended in place by delta fixpoints
   std::vector<std::unique_ptr<InstalledRule>> rules_;
   std::map<std::string, InstalledRule*> rules_by_canon_;
   std::vector<std::unique_ptr<CompiledConstraint>> constraints_;
@@ -185,6 +407,16 @@ class Workspace {
   int next_hidden_id_ = 1;
   int next_constraint_id_ = 0;
   int last_codegen_rounds_ = 0;
+
+  /// Delta-aware fixpoint state.
+  std::unique_ptr<Stratification> strat_cache_;
+  std::map<std::string, Relation> edb_delta_;  ///< inserts since last run
+  bool store_valid_ = false;   ///< store_ reflects a completed Fixpoint()
+  bool rules_dirty_ = true;    ///< rule/constraint churn since last run
+  bool edb_removed_ = false;   ///< a fact retraction since last run
+  bool last_fixpoint_incremental_ = false;
+  int full_eval_rounds_ = 0;
+  int delta_eval_rounds_ = 0;
 };
 
 }  // namespace lbtrust::datalog

@@ -140,7 +140,12 @@ Status Cluster::Deliver(const Message& message) {
   datalog::Workspace* ws = it->second.runtime->workspace();
   LB_RETURN_IF_ERROR(
       ws->EnsurePredicate(message.relation, tuple.size(), true));
-  LB_RETURN_IF_ERROR(ws->AddFact(message.relation, std::move(tuple)));
+  // Stage into the node's inbox transaction; all messages delivered to
+  // this node in the round commit as one batch with a single fixpoint.
+  if (!it->second.inbox.has_value()) {
+    it->second.inbox.emplace(ws->Begin());
+  }
+  it->second.inbox->AddFact(message.relation, std::move(tuple));
   it->second.dirty = true;
   return util::OkStatus();
 }
@@ -156,7 +161,15 @@ Result<Cluster::RunStats> Cluster::Run() {
       if (!state.dirty) continue;
       any_dirty = true;
       state.dirty = false;
-      Status st = state.runtime->Fixpoint();
+      Status st;
+      if (state.inbox.has_value()) {
+        // Inbound batch: apply every staged tuple, then fixpoint once.
+        datalog::Transaction txn = std::move(*state.inbox);
+        state.inbox.reset();
+        st = txn.Commit();
+      } else {
+        st = state.runtime->Fixpoint();
+      }
       ++stats.fixpoints;
       if (!st.ok()) {
         return Status(st.code(),
@@ -171,6 +184,19 @@ Result<Cluster::RunStats> Cluster::Run() {
       LB_RETURN_IF_ERROR(Deliver(msg));
     }
     if (outbox.empty() && !any_dirty) break;
+  }
+  // Round budget exhausted with deliveries still staged: apply them to the
+  // nodes' EDBs (no fixpoint) so the tuples are durable — as immediate
+  // delivery made them — and surface at the node's next fixpoint.
+  for (auto& [name, state] : nodes_) {
+    if (!state.inbox.has_value()) continue;
+    datalog::Transaction txn = std::move(*state.inbox);
+    state.inbox.reset();
+    Status st = txn.CommitNoFixpoint();
+    if (!st.ok()) {
+      return Status(st.code(),
+                    util::StrCat("node '", name, "': ", st.message()));
+    }
   }
   last_stats_ = stats;
   return stats;

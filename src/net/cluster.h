@@ -4,6 +4,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -72,6 +73,9 @@ class Cluster {
     bool dirty = true;
     /// Dedup of already-shipped tuples (relation + payload).
     std::set<std::string> sent;
+    /// Inbound tuples staged between rounds; committed (one batch apply +
+    /// one fixpoint) when the node's next round starts.
+    std::optional<datalog::Transaction> inbox;
   };
 
   util::Status ShipFrom(const std::string& name, NodeState* state,

@@ -1,5 +1,6 @@
 #include "sendlog/sendlog.h"
 
+#include <map>
 #include <memory>
 
 #include "datalog/parser.h"
@@ -105,21 +106,30 @@ Status LoadSendlogOnCluster(net::Cluster* cluster,
                             std::string_view sendlog_program) {
   LB_ASSIGN_OR_RETURN(std::vector<SurfaceUnit> units,
                       datalog::ParseSurfaceProgram(sendlog_program));
+  // Collect each node's clauses first, then install them through one
+  // batched transaction per node (a multi-unit program mutates every
+  // workspace once instead of once per unit). Fixpoints are deferred to
+  // the caller (typically Cluster::Run), as before.
+  std::map<std::string, std::string> per_node;
   for (const SurfaceUnit& unit : units) {
     std::string text = UnitToText(unit);
     if (text.empty()) continue;
     if (!unit.context.empty() && !unit.context_is_variable) {
-      trust::TrustRuntime* rt = cluster->node(unit.context);
-      if (rt == nullptr) {
+      if (cluster->node(unit.context) == nullptr) {
         return util::NotFound(util::StrCat("no cluster node named '",
                                            unit.context, "'"));
       }
-      LB_RETURN_IF_ERROR(rt->Load(text));
+      per_node[unit.context] += text;
       continue;
     }
     for (const std::string& name : cluster->node_names()) {
-      LB_RETURN_IF_ERROR(cluster->node(name)->Load(text));
+      per_node[name] += text;
     }
+  }
+  for (const auto& [name, text] : per_node) {
+    datalog::Transaction txn = cluster->node(name)->Begin();
+    txn.AddProgram(text);
+    LB_RETURN_IF_ERROR(txn.CommitNoFixpoint());
   }
   return util::OkStatus();
 }

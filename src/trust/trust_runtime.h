@@ -19,6 +19,14 @@ namespace lbtrust::trust {
 /// key pair, the `says` core (says0/says1 of §4.1), and a pluggable
 /// authentication scheme. This is the paper's "context" — net::Cluster
 /// places one (or several) of these on simulated nodes.
+///
+/// The runtime re-exports the workspace session API: `Prepare()` compiles
+/// a policy-decision query once into a reusable `PreparedQuery` handle
+/// (per-request evaluation with no parsing), and `Begin()` opens a
+/// `Transaction` that stages mutations — including `Say()` — and applies
+/// them with a single Fixpoint() at Commit(). Long-lived services should
+/// prepare their queries at startup and batch related mutations; the
+/// one-shot calls below remain for interactive and migration use.
 class TrustRuntime {
  public:
   struct Options {
@@ -36,6 +44,13 @@ class TrustRuntime {
   };
 
   static util::Result<std::unique_ptr<TrustRuntime>> Create(Options options);
+
+  /// Session API (re-exported from the workspace): a prepared read handle
+  /// and a batch write handle.
+  util::Result<datalog::PreparedQuery> Prepare(std::string_view atom_text) {
+    return workspace_->Prepare(atom_text);
+  }
+  datalog::Transaction Begin() { return workspace_->Begin(); }
 
   const std::string& principal() const { return options_.principal; }
   datalog::Workspace* workspace() { return workspace_.get(); }
@@ -61,7 +76,8 @@ class TrustRuntime {
   util::Status Load(std::string_view program);
 
   /// Asserts says(me, destination, [| rule_text |]) — the programmatic way
-  /// to say something (policies usually derive says instead).
+  /// to say something (policies usually derive says instead). Batch
+  /// counterpart: Begin().Say(destination, rule_text)...Commit().
   util::Status Say(const std::string& destination, std::string_view rule_text);
 
   /// Runs the workspace to fixpoint (including export signing, import

@@ -1,13 +1,41 @@
 #include "datalog/workspace.h"
 
+#include <algorithm>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "datalog/parser.h"
+#include "datalog/pretty.h"
+#include "trust/auth_scheme.h"
+#include "trust/trust_runtime.h"
 
 namespace lbtrust::datalog {
 namespace {
+
+// Canonical dump of every relation visible after a Fixpoint(), for
+// byte-identical comparison between evaluation strategies.
+std::string Snapshot(const Workspace& ws) {
+  std::string out;
+  for (const auto& [name, info] : ws.catalog().predicates()) {
+    if (info.builtin) continue;
+    const Relation* rel = ws.GetRelation(name);
+    if (rel == nullptr) continue;
+    std::vector<std::string> rows;
+    rows.reserve(rel->size());
+    for (const Tuple& t : rel->rows()) rows.push_back(TupleToString(t));
+    std::sort(rows.begin(), rows.end());
+    out += name;
+    out += ":\n";
+    for (const std::string& r : rows) {
+      out += "  ";
+      out += r;
+      out += "\n";
+    }
+  }
+  return out;
+}
 
 TEST(WorkspaceTest, FactArityMismatchRejected) {
   Workspace ws;
@@ -130,6 +158,397 @@ TEST(WorkspaceTest, PartitionedDeclarationViaUse) {
   ASSERT_NE(info, nullptr);
   EXPECT_TRUE(info->partitioned);
   EXPECT_EQ(info->arity, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// PreparedQuery
+// ---------------------------------------------------------------------------
+
+TEST(PreparedQueryTest, RunCountExists) {
+  Workspace ws;
+  ASSERT_TRUE(ws.Load("p(1,a). p(2,b). p(2,c).").ok());
+  ASSERT_TRUE(ws.Fixpoint().ok());
+  auto q = ws.Prepare("p(X,Y)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->num_columns(), 2u);
+  EXPECT_EQ((*q->Run()).size(), 3u);
+  EXPECT_EQ(*q->Count(), 3u);
+  EXPECT_TRUE(*q->Exists());
+
+  auto bound = ws.Prepare("p(2,Y)");
+  ASSERT_TRUE(bound.ok());
+  EXPECT_EQ(*bound->Count(), 2u);
+  auto miss = ws.Prepare("p(9,Y)");
+  ASSERT_TRUE(miss.ok());
+  EXPECT_FALSE(*miss->Exists());
+  EXPECT_EQ(*miss->Count(), 0u);
+}
+
+TEST(PreparedQueryTest, HandleSurvivesRuleChurnAndFixpoints) {
+  Workspace ws;
+  ASSERT_TRUE(ws.Load("r(X) <- s(X). s(1).").ok());
+  ASSERT_TRUE(ws.Fixpoint().ok());
+  auto q = ws.Prepare("r(X)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(*q->Count(), 1u);
+  // New facts and even new rules deriving into the queried relation are
+  // visible through the same handle after the next Fixpoint().
+  ASSERT_TRUE(ws.AddFact("s", {Value::Int(2)}).ok());
+  ASSERT_TRUE(ws.Fixpoint().ok());
+  EXPECT_EQ(*q->Count(), 2u);
+  ASSERT_TRUE(ws.Load("r(X) <- t(X). t(7).").ok());
+  ASSERT_TRUE(ws.Fixpoint().ok());
+  EXPECT_EQ(*q->Count(), 3u);
+}
+
+TEST(PreparedQueryTest, CountMatchesRunWithoutMaterializing) {
+  Workspace ws;
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(ws.AddFact("big", {Value::Int(i), Value::Int(i % 7)}).ok());
+  }
+  ASSERT_TRUE(ws.Fixpoint().ok());
+  auto q = ws.Prepare("big(X,3)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(*q->Count(), (*q->Run()).size());
+  EXPECT_EQ(*ws.Count("big(X,Y)"), 500u);
+}
+
+TEST(PreparedQueryTest, RejectsBuiltins) {
+  Workspace ws;
+  EXPECT_FALSE(ws.Prepare("int64(X)").ok());
+}
+
+TEST(PreparedQueryTest, ForEachEarlyStop) {
+  Workspace ws;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(ws.AddFact("n", {Value::Int(i)}).ok());
+  }
+  ASSERT_TRUE(ws.Fixpoint().ok());
+  auto q = ws.Prepare("n(X)");
+  ASSERT_TRUE(q.ok());
+  int seen = 0;
+  ASSERT_TRUE(q->ForEach([&](const Tuple&) { return ++seen < 5; }).ok());
+  EXPECT_EQ(seen, 5);
+}
+
+// ---------------------------------------------------------------------------
+// Transaction
+// ---------------------------------------------------------------------------
+
+TEST(TransactionTest, BatchCommitAppliesAllThenFixpointsOnce) {
+  Workspace ws;
+  ASSERT_TRUE(ws.Load("reach(X) <- seed(X).\n"
+                      "reach(Y) <- reach(X), edge(X,Y).")
+                  .ok());
+  ASSERT_TRUE(ws.Fixpoint().ok());
+  Transaction txn = ws.Begin();
+  txn.AddFact("seed", {Value::Int(0)});
+  for (int i = 0; i + 1 < 10; ++i) {
+    txn.AddFact("edge", {Value::Int(i), Value::Int(i + 1)});
+  }
+  EXPECT_EQ(txn.pending_ops(), 10u);
+  // Nothing is visible before Commit().
+  EXPECT_EQ(*ws.Count("seed(X)"), 0u);
+  ASSERT_TRUE(txn.Commit().ok());
+  EXPECT_FALSE(txn.active());
+  EXPECT_EQ(*ws.Count("reach(X)"), 10u);
+}
+
+TEST(TransactionTest, EdbOnlyCommitTakesDeltaPath) {
+  Workspace ws;
+  ASSERT_TRUE(ws.Load("path(X,Y) <- edge(X,Y).\n"
+                      "path(X,Z) <- path(X,Y), edge(Y,Z).\n"
+                      "edge(0,1).")
+                  .ok());
+  ASSERT_TRUE(ws.Fixpoint().ok());
+  int full_before = ws.full_eval_rounds();
+  Transaction txn = ws.Begin();
+  txn.AddFact("edge", {Value::Int(1), Value::Int(2)})
+      .AddFact("edge", {Value::Int(2), Value::Int(3)});
+  ASSERT_TRUE(txn.Commit().ok());
+  // The commit fixpoint seeded from deltas instead of rebuilding.
+  EXPECT_TRUE(ws.last_fixpoint_incremental());
+  EXPECT_EQ(ws.full_eval_rounds(), full_before);
+  EXPECT_EQ(*ws.Count("path(0,Y)"), 3u);
+  // Rule churn falls back to the full rebuild.
+  ASSERT_TRUE(ws.AddRuleText("sym(Y,X) <- edge(X,Y).").ok());
+  ASSERT_TRUE(ws.Fixpoint().ok());
+  EXPECT_FALSE(ws.last_fixpoint_incremental());
+  EXPECT_EQ(ws.full_eval_rounds(), full_before + 1);
+}
+
+TEST(TransactionTest, AbortDiscardsStagedOps) {
+  Workspace ws;
+  ASSERT_TRUE(ws.Fixpoint().ok());
+  Transaction txn = ws.Begin();
+  txn.AddFact("p", {Value::Int(1)}).AddRuleText("q(X) <- p(X).");
+  txn.Abort();
+  EXPECT_FALSE(txn.active());
+  EXPECT_FALSE(txn.Commit().ok());  // committing an aborted txn fails
+  ASSERT_TRUE(ws.Fixpoint().ok());
+  EXPECT_EQ(*ws.Count("p(X)"), 0u);
+  EXPECT_FALSE(ws.HasRule("q(X) <- p(X)."));
+}
+
+TEST(TransactionTest, MidBatchFailureRollsBackFactsAndRules) {
+  Workspace ws;
+  ASSERT_TRUE(ws.AddFact("keep", {Value::Int(1)}).ok());
+  ASSERT_TRUE(ws.Fixpoint().ok());
+  Transaction txn = ws.Begin();
+  txn.AddFact("p", {Value::Int(1)})
+      .AddRuleText("q(X) <- p(X).")
+      .RemoveFact("keep", {Value::Int(1)})
+      .AddRuleText("not a parsable rule <-<-");  // fails here
+  auto st = txn.Commit();
+  EXPECT_FALSE(st.ok());
+  // The applied prefix was rolled back: no p fact, no q rule, keep intact.
+  ASSERT_TRUE(ws.Fixpoint().ok());
+  EXPECT_EQ(*ws.Count("p(X)"), 0u);
+  EXPECT_FALSE(ws.HasRule("q(X) <- p(X)."));
+  EXPECT_EQ(*ws.Count("keep(1)"), 1u);
+}
+
+TEST(TransactionTest, SayStagesSaysFact) {
+  Workspace::Options opts;
+  opts.principal = "alice";
+  Workspace ws(opts);
+  ASSERT_TRUE(ws.Fixpoint().ok());
+  Transaction txn = ws.Begin();
+  txn.Say("bob", "greeting(hello).");
+  ASSERT_TRUE(txn.Commit().ok());
+  EXPECT_EQ(*ws.Count("says(alice,bob,R)"), 1u);
+}
+
+TEST(TransactionTest, RemoveRuleAndProgramOps) {
+  Workspace ws;
+  ASSERT_TRUE(ws.Load("p(X) <- q(X). q(1).").ok());
+  ASSERT_TRUE(ws.Fixpoint().ok());
+  EXPECT_EQ(*ws.Count("p(X)"), 1u);
+  Transaction txn = ws.Begin();
+  auto rule = ParseRuleText("p(X) <- q(X).");
+  txn.RemoveRule(*rule).AddProgram("r(X) <- q(X).\nq(2).");
+  ASSERT_TRUE(txn.Commit().ok());
+  EXPECT_EQ(*ws.Count("p(X)"), 0u);
+  EXPECT_EQ(*ws.Count("r(X)"), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Delta-aware fixpoint: differential correctness
+// ---------------------------------------------------------------------------
+
+// Runs the same mutation sequence against a delta-aware workspace and a
+// naive-evaluation reference; after every Fixpoint() the visible stores
+// must be byte-identical.
+class DifferentialHarness {
+ public:
+  DifferentialHarness() {
+    Workspace::Options naive;
+    naive.naive_eval = true;
+    ref_ = std::make_unique<Workspace>(naive);
+    dut_ = std::make_unique<Workspace>();
+  }
+
+  void Apply(const std::function<util::Status(Workspace*)>& op) {
+    auto st_ref = op(ref_.get());
+    auto st_dut = op(dut_.get());
+    ASSERT_EQ(st_ref.code(), st_dut.code())
+        << st_ref.ToString() << " vs " << st_dut.ToString();
+  }
+
+  void FixpointAndCompare() {
+    auto st_ref = ref_->Fixpoint();
+    auto st_dut = dut_->Fixpoint();
+    ASSERT_EQ(st_ref.code(), st_dut.code())
+        << st_ref.ToString() << " vs " << st_dut.ToString();
+    EXPECT_EQ(Snapshot(*ref_), Snapshot(*dut_));
+  }
+
+  Workspace* dut() { return dut_.get(); }
+
+ private:
+  std::unique_ptr<Workspace> ref_;
+  std::unique_ptr<Workspace> dut_;
+};
+
+TEST(DeltaFixpointTest, DifferentialInterleavedMutations) {
+  DifferentialHarness h;
+  h.Apply([](Workspace* ws) {
+    return ws->Load("path(X,Y) <- edge(X,Y).\n"
+                    "path(X,Z) <- path(X,Y), edge(Y,Z).");
+  });
+  h.FixpointAndCompare();
+  // EDB-only additions (delta path on the DUT).
+  for (int i = 0; i < 6; ++i) {
+    h.Apply([i](Workspace* ws) {
+      return ws->AddFact("edge", {Value::Int(i), Value::Int(i + 1)});
+    });
+    h.FixpointAndCompare();
+  }
+  EXPECT_TRUE(h.dut()->last_fixpoint_incremental());
+  // Retraction: falls back to the full rebuild, consequences disappear.
+  h.Apply([](Workspace* ws) {
+    return ws->RemoveFact("edge", {Value::Int(2), Value::Int(3)});
+  });
+  h.FixpointAndCompare();
+  EXPECT_FALSE(h.dut()->last_fixpoint_incremental());
+  // Rule churn interleaved with additions.
+  h.Apply([](Workspace* ws) {
+    return ws->AddRuleText("sym(Y,X) <- edge(X,Y).");
+  });
+  h.Apply([](Workspace* ws) {
+    return ws->AddFact("edge", {Value::Int(9), Value::Int(10)});
+  });
+  h.FixpointAndCompare();
+  auto rule = ParseRuleText("sym(Y,X) <- edge(X,Y).");
+  ASSERT_TRUE(rule.ok());
+  h.Apply([&](Workspace* ws) { return ws->RemoveRule(*rule); });
+  h.FixpointAndCompare();
+  h.Apply([](Workspace* ws) {
+    return ws->AddFact("edge", {Value::Int(10), Value::Int(11)});
+  });
+  h.FixpointAndCompare();
+  EXPECT_TRUE(h.dut()->last_fixpoint_incremental());
+}
+
+TEST(DeltaFixpointTest, DifferentialNegationForcesFullRebuild) {
+  DifferentialHarness h;
+  h.Apply([](Workspace* ws) {
+    return ws->Load("lonely(X) <- node(X), !edge(X,Y).\n"
+                    "node(1). node(2). edge(1,2).");
+  });
+  h.FixpointAndCompare();
+  // edge grows and is read under negation: lonely(2) must disappear, which
+  // the additive path cannot express — the DUT must detect this and
+  // rebuild.
+  h.Apply([](Workspace* ws) {
+    return ws->AddFact("edge", {Value::Int(2), Value::Int(1)});
+  });
+  h.FixpointAndCompare();
+  EXPECT_FALSE(h.dut()->last_fixpoint_incremental());
+  EXPECT_EQ(*h.dut()->Count("lonely(X)"), 0u);
+  // A delta that cannot reach the negated relation stays incremental.
+  h.Apply([](Workspace* ws) {
+    return ws->AddFact("unrelated", {Value::Int(1)});
+  });
+  h.FixpointAndCompare();
+  EXPECT_TRUE(h.dut()->last_fixpoint_incremental());
+}
+
+TEST(DeltaFixpointTest, DifferentialAggregateForcesFullRebuild) {
+  DifferentialHarness h;
+  h.Apply([](Workspace* ws) {
+    return ws->Load("tally(G,N) <- agg<<N = count(U)>> vote(G,U).\n"
+                    "vote(g1,1). vote(g1,2).");
+  });
+  h.FixpointAndCompare();
+  // Growing an aggregated relation must replace the old count.
+  h.Apply([](Workspace* ws) {
+    return ws->AddFact("vote", {Value::Sym("g1"), Value::Int(3)});
+  });
+  h.FixpointAndCompare();
+  EXPECT_FALSE(h.dut()->last_fixpoint_incremental());
+  EXPECT_EQ(*h.dut()->Count("tally(g1,3)"), 1u);
+}
+
+TEST(DeltaFixpointTest, DifferentialConstraintsAndActivation) {
+  DifferentialHarness h;
+  h.Apply([](Workspace* ws) {
+    return ws->Load("c9: p(X) -> t(X).\nt(1).");
+  });
+  h.FixpointAndCompare();
+  // Violation on both sides; retract on both sides; removal of the
+  // constraint label; meta-activation of a rule through `active`.
+  h.Apply([](Workspace* ws) {
+    return ws->AddFact("p", {Value::Int(5)});
+  });
+  h.FixpointAndCompare();  // both must report kConstraintViolation
+  h.Apply([](Workspace* ws) {
+    return ws->RemoveFact("p", {Value::Int(5)});
+  });
+  h.FixpointAndCompare();
+  h.Apply([](Workspace* ws) {
+    return ws->RemoveConstraintsByLabel("c9");
+  });
+  h.Apply([](Workspace* ws) {
+    return ws->AddFact("p", {Value::Int(5)});
+  });
+  h.FixpointAndCompare();
+  h.Apply([](Workspace* ws) {
+    return ws->Load("active([| q(X) <- p(X). |]) <- p(5).");
+  });
+  h.FixpointAndCompare();
+  EXPECT_EQ(*h.dut()->Count("q(5)"), 1u);
+}
+
+// Full-stack differential: a TrustRuntime pair (delta-aware vs naive
+// reference) driven through says/UseScheme reconfiguration, the ISSUE's
+// interleaved AddFact/RemoveFact/RemoveRule/UseScheme sequence.
+TEST(DeltaFixpointTest, DifferentialTrustRuntimeUseScheme) {
+  auto make = [](bool naive) {
+    trust::TrustRuntime::Options opts;
+    opts.principal = "alice";
+    opts.rsa_bits = 512;
+    opts.workspace.naive_eval = naive;
+    auto rt = trust::TrustRuntime::Create(opts);
+    EXPECT_TRUE(rt.ok());
+    return std::move(*rt);
+  };
+  auto ref = make(true);
+  auto dut = make(false);
+
+  auto both = [&](const std::function<util::Status(trust::TrustRuntime*)>& op) {
+    auto st_ref = op(ref.get());
+    auto st_dut = op(dut.get());
+    ASSERT_EQ(st_ref.code(), st_dut.code())
+        << st_ref.ToString() << " vs " << st_dut.ToString();
+  };
+  auto compare = [&]() {
+    auto st_ref = ref->Fixpoint();
+    auto st_dut = dut->Fixpoint();
+    ASSERT_EQ(st_ref.code(), st_dut.code())
+        << st_ref.ToString() << " vs " << st_dut.ToString();
+    EXPECT_EQ(Snapshot(*ref->workspace()), Snapshot(*dut->workspace()));
+  };
+
+  trust::TrustRuntime::Options bob_opts;
+  bob_opts.principal = "bob";
+  bob_opts.rsa_bits = 512;
+  auto bob = trust::TrustRuntime::Create(bob_opts);
+  ASSERT_TRUE(bob.ok());
+
+  both([&](trust::TrustRuntime* rt) {
+    return rt->AddPeer("bob", (*bob)->keypair().public_key);
+  });
+  both([&](trust::TrustRuntime* rt) {
+    return rt->AddSharedSecret("bob", "secret:alice:bob");
+  });
+  compare();
+
+  both([](trust::TrustRuntime* rt) {
+    return rt->UseScheme(*trust::MakeScheme("rsa")).status();
+  });
+  compare();
+  both([](trust::TrustRuntime* rt) {
+    return rt->Say("alice", "flag(up).");
+  });
+  compare();
+  // Scheme swap: the paper's RSA -> HMAC reconfiguration (rule removal +
+  // install), interleaved with fact churn.
+  both([](trust::TrustRuntime* rt) {
+    return rt->UseScheme(*trust::MakeScheme("hmac")).status();
+  });
+  both([](trust::TrustRuntime* rt) {
+    return rt->workspace()->AddFact("blob", {Value::Int(1)});
+  });
+  compare();
+  both([](trust::TrustRuntime* rt) {
+    return rt->workspace()->RemoveFact("blob", {Value::Int(1)});
+  });
+  compare();
+  both([](trust::TrustRuntime* rt) {
+    return rt->UseScheme(*trust::MakeScheme("plaintext")).status();
+  });
+  compare();
 }
 
 }  // namespace

@@ -372,7 +372,16 @@ TEST(CryptoBuiltinsTest, SigningIsCachedAcrossFixpoints) {
                   .ok());
   ASSERT_TRUE(alice->Fixpoint().ok());
   size_t signs_after_first = alice->crypto_stats().rsa_signs;
+  // A no-change Fixpoint() takes the delta-aware path and does not even
+  // re-evaluate the signing rule.
   ASSERT_TRUE(alice->Fixpoint().ok());
+  EXPECT_EQ(alice->crypto_stats().rsa_signs, signs_after_first);
+  EXPECT_TRUE(alice->workspace()->last_fixpoint_incremental());
+  // Rule churn forces a full rebuild; the re-evaluated rsasign call must
+  // then hit the signature cache instead of signing again.
+  ASSERT_TRUE(alice->Load("unrelated(X) <- prin(X).").ok());
+  ASSERT_TRUE(alice->Fixpoint().ok());
+  EXPECT_FALSE(alice->workspace()->last_fixpoint_incremental());
   EXPECT_EQ(alice->crypto_stats().rsa_signs, signs_after_first);
   EXPECT_GE(alice->crypto_stats().cache_hits, 1u);
 }

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build every target with
+# -Wall -Wextra -Werror on the library code, and run the test suite.
+# Usage: tools/ci.sh [build-dir]   (default: build-ci)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-ci}"
+
+cmake -B "${BUILD_DIR}" -S . \
+  -DLBTRUST_WERROR=ON \
+  -DLBTRUST_BENCH=ON \
+  -DLBTRUST_EXAMPLES=ON
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure --no-tests=error -j "$(nproc)"
