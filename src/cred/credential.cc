@@ -1,0 +1,166 @@
+#include "cred/credential.h"
+
+#include <charconv>
+
+#include "crypto/sha256.h"
+#include "util/strings.h"
+
+namespace lbtrust::cred {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+constexpr std::string_view kCredMagic = "LBC1";
+constexpr std::string_view kBundleMagic = "LBCB1";
+
+void AppendField(std::string* out, std::string_view bytes) {
+  util::AppendLengthPrefixed(out, bytes);
+}
+
+/// Reads one length-prefixed field off the front of `*text` (shared codec:
+/// util::ReadLengthPrefixed validates the length against the remaining
+/// input before any allocation).
+Status ReadField(std::string_view* text, std::string_view* out) {
+  if (!util::ReadLengthPrefixed(text, out)) {
+    return util::ParseError("credential field: malformed length prefix");
+  }
+  return util::OkStatus();
+}
+
+Status ReadInt64Field(std::string_view* text, int64_t* out) {
+  std::string_view field;
+  LB_RETURN_IF_ERROR(ReadField(text, &field));
+  auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), *out);
+  if (ec != std::errc() || ptr != field.data() + field.size()) {
+    return util::ParseError("credential field: bad integer");
+  }
+  return util::OkStatus();
+}
+
+bool IsHexHash(std::string_view s) {
+  if (s.size() != crypto::Sha256::kDigestSize * 2) return false;
+  for (char c : s) {
+    if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string CanonicalBytes(const Credential& cred) {
+  std::string out(kCredMagic);
+  AppendField(&out, cred.issuer);
+  AppendField(&out, cred.key_fingerprint);
+  AppendField(&out, std::to_string(cred.not_before));
+  AppendField(&out, std::to_string(cred.not_after));
+  AppendField(&out, util::Join(cred.links, ","));
+  AppendField(&out, cred.payload);
+  return out;
+}
+
+std::string SerializeCredential(const Credential& cred) {
+  std::string out = CanonicalBytes(cred);
+  AppendField(&out, util::HexEncode(cred.signature));
+  return out;
+}
+
+Result<Credential> ParseCredential(std::string_view text) {
+  if (!util::StartsWith(text, kCredMagic)) {
+    return util::ParseError("not a credential (missing LBC1 magic)");
+  }
+  text.remove_prefix(kCredMagic.size());
+  Credential cred;
+  std::string_view field;
+  LB_RETURN_IF_ERROR(ReadField(&text, &field));
+  cred.issuer = std::string(field);
+  if (cred.issuer.empty()) {
+    return util::ParseError("credential: empty issuer");
+  }
+  LB_RETURN_IF_ERROR(ReadField(&text, &field));
+  cred.key_fingerprint = std::string(field);
+  LB_RETURN_IF_ERROR(ReadInt64Field(&text, &cred.not_before));
+  LB_RETURN_IF_ERROR(ReadInt64Field(&text, &cred.not_after));
+  LB_RETURN_IF_ERROR(ReadField(&text, &field));
+  if (!field.empty()) {
+    for (const std::string& link : util::Split(field, ',')) {
+      if (!IsHexHash(link)) {
+        return util::ParseError("credential: malformed link hash");
+      }
+      cred.links.push_back(link);
+    }
+  }
+  LB_RETURN_IF_ERROR(ReadField(&text, &field));
+  cred.payload = std::string(field);
+  LB_RETURN_IF_ERROR(ReadField(&text, &field));
+  if (!util::HexDecode(field, &cred.signature)) {
+    return util::ParseError("credential: signature is not hex");
+  }
+  if (!text.empty()) {
+    return util::ParseError("credential: trailing bytes");
+  }
+  return cred;
+}
+
+std::string CredentialHash(const Credential& cred) {
+  return util::HexEncode(crypto::Sha256::Digest(SerializeCredential(cred)));
+}
+
+Status SignCredential(Credential* cred, const crypto::RsaPrivateKey& key) {
+  std::string digest = crypto::Sha256::Digest(CanonicalBytes(*cred));
+  LB_ASSIGN_OR_RETURN(cred->signature, crypto::RsaSign(key, digest));
+  return util::OkStatus();
+}
+
+bool VerifyCredentialSignature(const Credential& cred,
+                               const crypto::RsaPublicKey& key) {
+  std::string digest = crypto::Sha256::Digest(CanonicalBytes(cred));
+  return crypto::RsaVerify(key, digest, cred.signature);
+}
+
+std::string SerializeBundle(const std::vector<Credential>& credentials) {
+  std::string out(kBundleMagic);
+  out.append(std::to_string(credentials.size()));
+  out.push_back(':');
+  for (const Credential& cred : credentials) {
+    AppendField(&out, SerializeCredential(cred));
+  }
+  return out;
+}
+
+Result<std::vector<Credential>> ParseBundle(std::string_view text) {
+  if (!util::StartsWith(text, kBundleMagic)) {
+    return util::ParseError("not a credential bundle (missing LBCB1 magic)");
+  }
+  text.remove_prefix(kBundleMagic.size());
+  size_t sep = text.find(':');
+  if (sep == std::string_view::npos || sep == 0 || sep > 9) {
+    return util::ParseError("bundle: missing count");
+  }
+  size_t count = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + sep, count);
+  if (ec != std::errc() || ptr != text.data() + sep) {
+    return util::ParseError("bundle: bad count");
+  }
+  text.remove_prefix(sep + 1);
+  // Each serialized credential needs at least the magic + 7 "0:" fields.
+  if (count > text.size()) {
+    return util::ParseError("bundle: count exceeds input size");
+  }
+  std::vector<Credential> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    std::string_view field;
+    LB_RETURN_IF_ERROR(ReadField(&text, &field));
+    LB_ASSIGN_OR_RETURN(Credential cred, ParseCredential(field));
+    out.push_back(std::move(cred));
+  }
+  if (!text.empty()) {
+    return util::ParseError("bundle: trailing bytes");
+  }
+  return out;
+}
+
+}  // namespace lbtrust::cred

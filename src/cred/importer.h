@@ -1,0 +1,52 @@
+#ifndef LBTRUST_CRED_IMPORTER_H_
+#define LBTRUST_CRED_IMPORTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "cred/store.h"
+#include "datalog/workspace.h"
+#include "util/status.h"
+
+namespace lbtrust::cred {
+
+/// Maps (issuer principal, key fingerprint) to the issuer's public key, or
+/// nullptr when the receiving principal does not bind that key to that
+/// issuer. This is the importer's trust anchor: the host (TrustRuntime)
+/// answers from its KeyStore + peer registrations.
+using KeyResolver = std::function<const crypto::RsaPublicKey*(
+    const std::string& issuer, const std::string& key_fingerprint)>;
+
+struct ImportStats {
+  size_t credentials = 0;  ///< credentials in the imported closure
+  size_t clauses = 0;      ///< says-facts staged into the transaction
+};
+
+/// Materializes a verified credential set into a workspace.
+///
+/// The closure of `root_hash` is resolved from `store` (missing links and
+/// link cycles reject), every member is checked for validity at `now` and
+/// for a good signature under the resolver-bound key (memoized in the
+/// store), and only then is the evidence applied: each clause C of each
+/// credential payload becomes a speaker-attributed fact
+///
+///   says(issuer, me, [| C |])
+///
+/// — exactly what a local `Say`/`AddFactAs` sequence by the issuer would
+/// have staged — all inside ONE Workspace::Transaction, so a whole
+/// credential set commits with a single (delta-aware) fixpoint and the
+/// receiving policy decides activation through its says/delegation rules.
+///
+/// Any failure (resolution, validity, signature, payload parse) surfaces
+/// before the transaction commits: a rejected import never mutates the
+/// workspace.
+util::Result<ImportStats> ImportCredentialSet(const std::string& root_hash,
+                                              CredentialStore* store,
+                                              datalog::Workspace* workspace,
+                                              const KeyResolver& resolver,
+                                              int64_t now);
+
+}  // namespace lbtrust::cred
+
+#endif  // LBTRUST_CRED_IMPORTER_H_

@@ -187,4 +187,8 @@ Result<std::string> RsaDecrypt(const RsaPrivateKey& key,
   return em.substr(i + 1);
 }
 
+std::string KeyFingerprint(const RsaPublicKey& key) {
+  return util::HexEncode(Sha1::Digest(key.n.ToHex())).substr(0, 16);
+}
+
 }  // namespace lbtrust::crypto

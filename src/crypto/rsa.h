@@ -49,6 +49,11 @@ struct RsaKeyPair {
 /// (paper: 1024) and e = 65537. Deterministic given the RNG state.
 util::Result<RsaKeyPair> RsaGenerateKeyPair(size_t bits, SecureRandom* rng);
 
+/// Short public-key fingerprint: 16 lowercase hex chars of SHA-1(n_hex).
+/// This is the identity that appears in KeyStore handles ("rsa:pub:<fp>")
+/// and inside credentials, so both layers must agree on it.
+std::string KeyFingerprint(const RsaPublicKey& key);
+
 /// EMSA-PKCS1-v1_5 signature over SHA-1(message); returns raw signature
 /// bytes of modulus width. This is the paper's `rsasign` built-in.
 util::Result<std::string> RsaSign(const RsaPrivateKey& key,

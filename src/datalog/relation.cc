@@ -1,5 +1,7 @@
 #include "datalog/relation.h"
 
+#include <algorithm>
+
 namespace lbtrust::datalog {
 
 bool Relation::Insert(Tuple t) {
@@ -16,15 +18,49 @@ bool Relation::Contains(const Tuple& t) const { return primary_.count(t) > 0; }
 bool Relation::Erase(const Tuple& t) {
   auto it = primary_.find(t);
   if (it == primary_.end()) return false;
-  primary_.erase(it);
-  // Rare path (retraction): rebuild rows and drop indexes.
-  rows_.clear();
-  rows_.reserve(primary_.size());
-  for (auto& [tuple, idx] : primary_) {
-    idx = static_cast<uint32_t>(rows_.size());
-    rows_.push_back(tuple);
+  const uint32_t idx = it->second;
+  const uint32_t last = static_cast<uint32_t>(rows_.size()) - 1;
+  // Patch every built index before touching rows_: remove the erased row id
+  // and re-home the row that swap-and-pop moves from `last` to `idx`. An
+  // index only knows rows below built_upto; rows at or above it are picked
+  // up by the next ExtendIndex.
+  for (auto& [mask, index] : indexes_) {
+    const bool erased_indexed = index.built_upto > idx;
+    const bool moved_indexed = index.built_upto > last;
+    if (erased_indexed) {
+      auto bucket = index.map.find(Project(t, mask));
+      if (bucket != index.map.end()) {
+        auto& ids = bucket->second;
+        auto pos = std::find(ids.begin(), ids.end(), idx);
+        if (pos != ids.end()) {
+          *pos = ids.back();
+          ids.pop_back();
+        }
+        if (ids.empty()) index.map.erase(bucket);
+      }
+    }
+    if (idx != last) {
+      const Tuple& moved = rows_[last];
+      if (moved_indexed) {
+        auto& ids = index.map[Project(moved, mask)];
+        auto pos = std::find(ids.begin(), ids.end(), last);
+        if (pos != ids.end()) *pos = idx;
+      } else if (erased_indexed) {
+        // The moved row lands below built_upto without ever having been
+        // indexed; index it now since ExtendIndex will not revisit idx.
+        index.map[Project(moved, mask)].push_back(idx);
+      }
+    }
+    if (index.built_upto > rows_.size() - 1) {
+      index.built_upto = rows_.size() - 1;
+    }
   }
-  indexes_.clear();
+  primary_.erase(it);
+  if (idx != last) {
+    rows_[idx] = std::move(rows_[last]);
+    primary_[rows_[idx]] = idx;
+  }
+  rows_.pop_back();
   return true;
 }
 

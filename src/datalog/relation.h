@@ -24,7 +24,9 @@ class Relation {
   /// Returns true if the tuple was new.
   bool Insert(Tuple t);
   bool Contains(const Tuple& t) const;
-  /// Removes a tuple; rebuilds indexes. Returns true if present.
+  /// Removes a tuple (swap-and-pop; built indexes are patched in place, so
+  /// removal cost is O(indexes), not O(rows * indexes)). Returns true if
+  /// present.
   bool Erase(const Tuple& t);
   void Clear();
 

@@ -1,6 +1,7 @@
 #include "net/cluster.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "util/strings.h"
 
@@ -125,6 +126,27 @@ Status Cluster::ShipFrom(const std::string& name, NodeState* state,
   return util::OkStatus();
 }
 
+Status Cluster::ShipCredential(const std::string& from_node,
+                               const std::string& to_node,
+                               const std::string& hash) {
+  auto from = nodes_.find(from_node);
+  if (from == nodes_.end()) {
+    return util::NotFound(util::StrCat("unknown node '", from_node, "'"));
+  }
+  if (nodes_.count(to_node) == 0) {
+    return util::NotFound(util::StrCat("unknown node '", to_node, "'"));
+  }
+  Message msg;
+  msg.kind = Message::Kind::kCredential;
+  msg.from_node = from_node;
+  msg.to_node = to_node;
+  msg.relation = "credential";
+  LB_ASSIGN_OR_RETURN(msg.payload,
+                      from->second.runtime->ExportCredential(hash));
+  pending_credentials_.push_back(std::move(msg));
+  return util::OkStatus();
+}
+
 Status Cluster::Deliver(const Message& message) {
   auto it = nodes_.find(message.to_node);
   if (it == nodes_.end()) {
@@ -135,6 +157,14 @@ Status Cluster::Deliver(const Message& message) {
   if (tamper_ && message.relation == tamper_relation_) {
     tamper_(&payload);
     tamper_ = nullptr;  // one-shot
+  }
+  if (message.kind == Message::Kind::kCredential) {
+    LB_RETURN_IF_ERROR(it->second.runtime
+                           ->ImportCredentials(payload,
+                                               options_.credential_now)
+                           .status());
+    it->second.dirty = true;
+    return util::OkStatus();
   }
   LB_ASSIGN_OR_RETURN(Tuple tuple, DeserializeTuple(payload));
   datalog::Workspace* ws = it->second.runtime->workspace();
@@ -152,6 +182,25 @@ Status Cluster::Deliver(const Message& message) {
 
 Result<Cluster::RunStats> Cluster::Run() {
   RunStats stats;
+  // Credential bundles queued since the last Run() deliver first, so the
+  // imported says-facts participate in the first fixpoint round.
+  std::vector<Message> credentials = std::move(pending_credentials_);
+  pending_credentials_.clear();
+  for (size_t i = 0; i < credentials.size(); ++i) {
+    ++stats.messages;
+    stats.bytes += credentials[i].ByteSize();
+    Status st = Deliver(credentials[i]);
+    if (!st.ok()) {
+      // The rejected bundle is dropped (retrying it would fail forever),
+      // but bundles not yet attempted stay queued for the next Run().
+      pending_credentials_.assign(
+          std::make_move_iterator(credentials.begin() + i + 1),
+          std::make_move_iterator(credentials.end()));
+      return Status(st.code(),
+                    util::StrCat("node '", credentials[i].to_node,
+                                 "': ", st.message()));
+    }
+  }
   // Every Run() starts from local changes possibly made since the last one.
   for (auto& [name, state] : nodes_) state.dirty = true;
   for (stats.rounds = 0; stats.rounds < options_.max_rounds; ++stats.rounds) {

@@ -32,6 +32,9 @@ class Cluster {
     /// Have Connect() install default placement: node(N) and loc(P,N)
     /// facts for every node plus the ld2 placement rule.
     bool default_placement = true;
+    /// Wall-clock seconds used when receiving nodes validity-check imported
+    /// credentials (0 is fine for unbounded credentials; tests pin it).
+    int64_t credential_now = 0;
   };
 
   Cluster() : Cluster(Options()) {}
@@ -62,6 +65,15 @@ class Cluster {
   /// node's status (message attribution included).
   util::Result<RunStats> Run();
 
+  /// Queues credential `hash` (and its transitive link closure) from
+  /// `from_node`'s store as a bundle message to `to_node`; the next Run()
+  /// delivers it and the receiver verifies-and-imports before its first
+  /// fixpoint round. Failures at the receiver abort that Run() with the
+  /// node-attributed status.
+  util::Status ShipCredential(const std::string& from_node,
+                              const std::string& to_node,
+                              const std::string& hash);
+
   /// Test hook: tamper with the next delivery matching `relation` by
   /// applying `mutate` to the serialized tuple payload.
   void InjectTamper(const std::string& relation,
@@ -84,6 +96,9 @@ class Cluster {
 
   Options options_;
   std::map<std::string, NodeState> nodes_;
+  /// Credential bundles queued by ShipCredential(), delivered (and counted)
+  /// at the start of the next Run().
+  std::vector<Message> pending_credentials_;
   RunStats last_stats_;
   std::string tamper_relation_;
   std::function<void(std::string*)> tamper_;

@@ -1,6 +1,8 @@
 #include "net/wire.h"
 
+#include <cerrno>
 #include <charconv>
+#include <cstdlib>
 #include <memory>
 
 #include "datalog/ast.h"
@@ -118,46 +120,68 @@ Result<Value> ParseCodePayload(std::string_view payload) {
 
 std::string SerializeValue(const Value& v) {
   std::string payload = Payload(v);
-  return util::StrCat(std::string(1, KindTag(v)), ":", payload.size(), ":",
-                      payload);
+  std::string out(1, KindTag(v));
+  out.push_back(':');
+  util::AppendLengthPrefixed(&out, payload);
+  return out;
 }
 
-Result<Value> DeserializeValue(std::string_view text, size_t* consumed) {
+namespace {
+
+/// Nested part values ('p' payloads contain a serialized value) recurse;
+/// hostile input must not be able to exhaust the stack.
+constexpr int kMaxValueDepth = 32;
+
+Result<Value> DeserializeValueDepth(std::string_view text, size_t* consumed,
+                                    int depth) {
+  if (depth > kMaxValueDepth) {
+    return util::ParseError("wire value nesting too deep");
+  }
   if (text.size() < 4 || text[1] != ':') {
     return util::ParseError("truncated wire value");
   }
   char kind = text[0];
-  size_t len_start = 2;
-  size_t len_end = text.find(':', len_start);
-  if (len_end == std::string_view::npos) {
-    return util::ParseError("missing length delimiter");
+  // "<len>:<payload>" after the kind tag is the shared length-prefixed
+  // framing; the helper validates the length (19-digit cap, overflow,
+  // truncation) before any allocation.
+  std::string_view rest = text.substr(2);
+  std::string_view payload;
+  if (!util::ReadLengthPrefixed(&rest, &payload)) {
+    return util::ParseError("malformed wire length prefix");
   }
-  size_t len = 0;
-  auto [ptr, ec] = std::from_chars(text.data() + len_start,
-                                   text.data() + len_end, len);
-  if (ec != std::errc() || ptr != text.data() + len_end) {
-    return util::ParseError("bad wire length");
-  }
-  if (text.size() < len_end + 1 + len) {
-    return util::ParseError("truncated wire payload");
-  }
-  std::string_view payload = text.substr(len_end + 1, len);
-  *consumed = len_end + 1 + len;
+  *consumed = text.size() - rest.size();
 
   switch (kind) {
     case 'n':
+      if (!payload.empty()) return util::ParseError("bad nil payload");
       return Value();
     case 'b':
+      if (payload != "1" && payload != "0") {
+        return util::ParseError("bad bool payload");
+      }
       return Value::Bool(payload == "1");
     case 'i': {
       int64_t v = 0;
       auto [p2, ec2] =
           std::from_chars(payload.data(), payload.data() + payload.size(), v);
-      if (ec2 != std::errc()) return util::ParseError("bad int payload");
+      if (ec2 != std::errc() || p2 != payload.data() + payload.size()) {
+        return util::ParseError("bad int payload");
+      }
       return Value::Int(v);
     }
-    case 'd':
-      return Value::Double(std::stod(std::string(payload)));
+    case 'd': {
+      // std::from_chars for doubles is missing on some libstdc++ targets;
+      // strtod on a bounded copy with full-consumption + range checks.
+      std::string buf(payload);
+      if (buf.empty()) return util::ParseError("bad double payload");
+      errno = 0;
+      char* end = nullptr;
+      double v = std::strtod(buf.c_str(), &end);
+      if (end != buf.c_str() + buf.size() || errno == ERANGE) {
+        return util::ParseError("bad double payload");
+      }
+      return Value::Double(v);
+    }
     case 's':
       return Value::Str(std::string(payload));
     case 'y':
@@ -171,13 +195,22 @@ Result<Value> DeserializeValue(std::string_view text, size_t* consumed) {
       }
       size_t inner_consumed = 0;
       LB_ASSIGN_OR_RETURN(
-          Value key, DeserializeValue(payload.substr(sep + 1),
-                                      &inner_consumed));
+          Value key, DeserializeValueDepth(payload.substr(sep + 1),
+                                           &inner_consumed, depth + 1));
+      if (inner_consumed != payload.size() - sep - 1) {
+        return util::ParseError("trailing bytes in part payload");
+      }
       return Value::Part(std::string(payload.substr(0, sep)), std::move(key));
     }
     default:
       return util::ParseError(util::StrCat("unknown wire kind '", kind, "'"));
   }
+}
+
+}  // namespace
+
+Result<Value> DeserializeValue(std::string_view text, size_t* consumed) {
+  return DeserializeValueDepth(text, consumed, 0);
 }
 
 std::string SerializeTuple(const Tuple& tuple) {
@@ -188,13 +221,20 @@ std::string SerializeTuple(const Tuple& tuple) {
 
 Result<Tuple> DeserializeTuple(std::string_view text) {
   size_t sep = text.find(':');
-  if (sep == std::string_view::npos) {
+  if (sep == std::string_view::npos || sep == 0 || sep > 19) {
     return util::ParseError("missing tuple count");
   }
   size_t count = 0;
   auto [ptr, ec] = std::from_chars(text.data(), text.data() + sep, count);
-  if (ec != std::errc()) return util::ParseError("bad tuple count");
+  if (ec != std::errc() || ptr != text.data() + sep) {
+    return util::ParseError("bad tuple count");
+  }
   text.remove_prefix(sep + 1);
+  // Every serialized value is at least 4 bytes ("n:0:"), so a count larger
+  // than the remaining input is forged; reject before reserving memory.
+  if (count > text.size()) {
+    return util::ParseError("tuple count exceeds input size");
+  }
   Tuple out;
   out.reserve(count);
   for (size_t i = 0; i < count; ++i) {

@@ -23,13 +23,20 @@ util::Result<datalog::Value> DeserializeValue(std::string_view text,
 std::string SerializeTuple(const datalog::Tuple& tuple);
 util::Result<datalog::Tuple> DeserializeTuple(std::string_view text);
 
-/// One simulated network message: a tuple bound for `relation` at
-/// `to_node`.
+/// One simulated network message: either a tuple bound for `relation` at
+/// `to_node`, or a credential bundle (src/cred wire format) the receiving
+/// node verifies-and-imports.
 struct Message {
+  enum class Kind {
+    kTuple,       ///< payload = SerializeTuple output for `relation`
+    kCredential,  ///< payload = cred::SerializeBundle output
+  };
+
+  Kind kind = Kind::kTuple;
   std::string from_node;
   std::string to_node;
-  std::string relation;
-  std::string payload;  ///< SerializeTuple output
+  std::string relation;  ///< "credential" for Kind::kCredential (tamper hook)
+  std::string payload;
 
   size_t ByteSize() const {
     return from_node.size() + to_node.size() + relation.size() +

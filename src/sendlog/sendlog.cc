@@ -134,4 +134,13 @@ Status LoadSendlogOnCluster(net::Cluster* cluster,
   return util::OkStatus();
 }
 
+Result<std::string> IssueSendlogCredential(trust::TrustRuntime* runtime,
+                                           std::string_view sendlog_program,
+                                           std::vector<std::string> links,
+                                           int64_t not_before,
+                                           int64_t not_after) {
+  LB_ASSIGN_OR_RETURN(std::string core, CompileSendlog(sendlog_program));
+  return runtime->Issue(core, std::move(links), not_before, not_after);
+}
+
 }  // namespace lbtrust::sendlog

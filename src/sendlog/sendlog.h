@@ -1,6 +1,7 @@
 #ifndef LBTRUST_SENDLOG_SENDLOG_H_
 #define LBTRUST_SENDLOG_SENDLOG_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -30,6 +31,15 @@ util::Result<std::string> CompileSendlog(std::string_view sendlog_program);
 /// units go everywhere, constant-context units only to the named node).
 util::Status LoadSendlogOnCluster(net::Cluster* cluster,
                                   std::string_view sendlog_program);
+
+/// Compiles a SeNDlog surface program (variable contexts only) to core
+/// clauses and issues the result as a signed credential from `runtime`'s
+/// principal — SeNDlog policy fragments become portable, linkable evidence
+/// (see src/cred). Returns the credential's content hash.
+util::Result<std::string> IssueSendlogCredential(
+    trust::TrustRuntime* runtime, std::string_view sendlog_program,
+    std::vector<std::string> links = {}, int64_t not_before = 0,
+    int64_t not_after = 0);
 
 }  // namespace lbtrust::sendlog
 

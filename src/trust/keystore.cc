@@ -6,26 +6,27 @@
 namespace lbtrust::trust {
 
 namespace {
-std::string Fingerprint(const std::string& material) {
+std::string MaterialFingerprint(const std::string& material) {
   return util::HexEncode(crypto::Sha1::Digest(material)).substr(0, 16);
 }
 }  // namespace
 
 std::string KeyStore::AddRsaPrivateKey(const crypto::RsaPrivateKey& key) {
   std::string handle =
-      util::StrCat("rsa:priv:", Fingerprint(key.n.ToHex()));
+      util::StrCat("rsa:priv:", crypto::KeyFingerprint(key.PublicKey()));
   private_keys_.emplace(handle, key);
   return handle;
 }
 
 std::string KeyStore::AddRsaPublicKey(const crypto::RsaPublicKey& key) {
-  std::string handle = util::StrCat("rsa:pub:", Fingerprint(key.n.ToHex()));
+  std::string handle =
+      util::StrCat("rsa:pub:", crypto::KeyFingerprint(key));
   public_keys_.emplace(handle, key);
   return handle;
 }
 
 std::string KeyStore::AddSharedSecret(const std::string& secret) {
-  std::string handle = util::StrCat("hmac:", Fingerprint(secret));
+  std::string handle = util::StrCat("hmac:", MaterialFingerprint(secret));
   secrets_.emplace(handle, secret);
   return handle;
 }
@@ -45,6 +46,30 @@ const crypto::RsaPublicKey* KeyStore::FindPublic(
 const std::string* KeyStore::FindSecret(const std::string& handle) const {
   auto it = secrets_.find(handle);
   return it == secrets_.end() ? nullptr : &it->second;
+}
+
+util::Result<std::string> KeyStore::Fingerprint(
+    const std::string& handle) const {
+  if (private_keys_.count(handle) == 0 && public_keys_.count(handle) == 0 &&
+      secrets_.count(handle) == 0) {
+    return util::NotFound(util::StrCat("unknown key handle '", handle, "'"));
+  }
+  // Handles are "<scheme>:[priv|pub:]<fp>"; the fingerprint is the part
+  // after the last colon (handles are minted by this class, see Add*).
+  size_t sep = handle.rfind(':');
+  return handle.substr(sep + 1);
+}
+
+std::vector<std::string> KeyStore::PublicKeyHandles() const {
+  std::vector<std::string> out;
+  out.reserve(public_keys_.size());
+  for (const auto& [handle, key] : public_keys_) out.push_back(handle);
+  return out;  // std::map iteration order: already sorted
+}
+
+const crypto::RsaPublicKey* KeyStore::FindPublicByFingerprint(
+    const std::string& fingerprint) const {
+  return FindPublic(util::StrCat("rsa:pub:", fingerprint));
 }
 
 }  // namespace lbtrust::trust

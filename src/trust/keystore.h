@@ -3,8 +3,10 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "crypto/rsa.h"
+#include "util/status.h"
 
 namespace lbtrust::trust {
 
@@ -23,6 +25,22 @@ class KeyStore {
   const crypto::RsaPrivateKey* FindPrivate(const std::string& handle) const;
   const crypto::RsaPublicKey* FindPublic(const std::string& handle) const;
   const std::string* FindSecret(const std::string& handle) const;
+
+  /// Fingerprint of the key material behind a stored handle (the "<fp>"
+  /// component: crypto::KeyFingerprint for RSA keys — identical for a key
+  /// pair's private and public handle — SHA-1 prefix for HMAC secrets).
+  /// kNotFound for handles this store has never issued.
+  util::Result<std::string> Fingerprint(const std::string& handle) const;
+
+  /// All public-key handles, in deterministic (sorted) order. Credential
+  /// issuance enumerates these to pick signing identities.
+  std::vector<std::string> PublicKeyHandles() const;
+
+  /// Public key whose crypto::KeyFingerprint equals `fingerprint`, or
+  /// nullptr. This is how credential verification turns the fingerprint
+  /// named inside a credential back into key material.
+  const crypto::RsaPublicKey* FindPublicByFingerprint(
+      const std::string& fingerprint) const;
 
   size_t size() const {
     return private_keys_.size() + public_keys_.size() + secrets_.size();

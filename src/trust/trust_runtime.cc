@@ -63,6 +63,8 @@ Result<std::unique_ptr<TrustRuntime>> TrustRuntime::Create(Options options) {
   if (rt->options_.trusting_activation) {
     LB_RETURN_IF_ERROR(ws->Load("says1: active(R) <- says(_,me,R)."));
   }
+  rt->peer_key_fingerprints_[rt->options_.principal] =
+      crypto::KeyFingerprint(rt->keypair_.public_key);
   return rt;
 }
 
@@ -117,6 +119,7 @@ Result<int> TrustRuntime::UseScheme(const AuthScheme& scheme) {
 Status TrustRuntime::AddPeer(const std::string& peer,
                              const crypto::RsaPublicKey& key) {
   std::string handle = keystore_.AddRsaPublicKey(key);
+  peer_key_fingerprints_[peer] = crypto::KeyFingerprint(key);
   LB_RETURN_IF_ERROR(workspace_->AddFact("prin", {Value::Sym(peer)}));
   return workspace_->AddFact("rsapubkey",
                              {Value::Sym(peer), Value::Str(handle)});
@@ -141,6 +144,93 @@ Status TrustRuntime::Say(const std::string& destination,
   return workspace_->AddFact(
       "says",
       {Value::Sym(options_.principal), Value::Sym(destination), code});
+}
+
+Result<std::string> TrustRuntime::Issue(std::string_view payload,
+                                        std::vector<std::string> links,
+                                        int64_t not_before,
+                                        int64_t not_after) {
+  // Reject unparsable evidence at issuance, not at the importing peer.
+  LB_RETURN_IF_ERROR(datalog::ParseProgram(payload).status());
+  for (const std::string& link : links) {
+    if (!credstore_.Contains(link)) {
+      return util::NotFound(
+          util::StrCat("cannot link unknown credential ", link));
+    }
+  }
+  cred::Credential credential;
+  credential.issuer = options_.principal;
+  credential.key_fingerprint = crypto::KeyFingerprint(keypair_.public_key);
+  credential.not_before = not_before;
+  credential.not_after = not_after;
+  credential.links = std::move(links);
+  credential.payload = std::string(payload);
+  LB_RETURN_IF_ERROR(
+      cred::SignCredential(&credential, keypair_.private_key));
+  return credstore_.Put(std::move(credential));
+}
+
+Result<std::string> TrustRuntime::ExportCredential(const std::string& hash) {
+  LB_ASSIGN_OR_RETURN(std::vector<std::string> closure,
+                      credstore_.ResolveClosure(hash));
+  std::vector<cred::Credential> bundle;
+  bundle.reserve(closure.size());
+  for (const std::string& member : closure) {
+    bundle.push_back(*credstore_.Get(member));
+  }
+  return cred::SerializeBundle(bundle);
+}
+
+Result<cred::ImportStats> TrustRuntime::ImportCredentials(
+    std::string_view bundle, int64_t now) {
+  LB_ASSIGN_OR_RETURN(std::vector<cred::Credential> credentials,
+                      cred::ParseBundle(bundle));
+  if (credentials.empty()) {
+    return util::InvalidArgument("empty credential bundle");
+  }
+  // Content-addressed staging: already-known credentials dedup here, and
+  // their cached verification verdicts make the import skip RSA entirely.
+  // Members that are NEW to the store are provisional until the whole
+  // bundle verifies — a rejected bundle must not pollute the store with
+  // unverified (and possibly unexpirable) credentials.
+  std::string root_hash;
+  std::vector<std::string> staged;
+  for (cred::Credential& credential : credentials) {
+    std::string hash = cred::CredentialHash(credential);
+    if (!credstore_.Contains(hash)) {
+      // The hash was just computed from this exact content, so inserting
+      // under it directly avoids Put() rehashing the credential.
+      credstore_.InsertForReplication(hash, std::move(credential));
+      staged.push_back(hash);
+    }
+    if (root_hash.empty()) root_hash = std::move(hash);
+  }
+  cred::KeyResolver resolver =
+      [this](const std::string& issuer,
+             const std::string& fingerprint) -> const crypto::RsaPublicKey* {
+    auto bound = peer_key_fingerprints_.find(issuer);
+    if (bound == peer_key_fingerprints_.end() || bound->second != fingerprint) {
+      return nullptr;  // unknown issuer, or a key we never bound to them
+    }
+    return keystore_.FindPublicByFingerprint(fingerprint);
+  };
+  util::Result<cred::ImportStats> result = cred::ImportCredentialSet(
+      root_hash, &credstore_, workspace_.get(), resolver, now);
+  if (!result.ok()) {
+    for (const std::string& hash : staged) credstore_.Erase(hash);
+    return result;
+  }
+  // Only the root's link closure was verified; bundle members outside it
+  // are unverified freight and must not survive the import (they would be
+  // unexpirable and ExportCredential could re-ship them).
+  auto closure = credstore_.ResolveClosure(root_hash);
+  if (closure.ok()) {
+    std::set<std::string> keep(closure->begin(), closure->end());
+    for (const std::string& hash : staged) {
+      if (keep.count(hash) == 0) credstore_.Erase(hash);
+    }
+  }
+  return result;
 }
 
 }  // namespace lbtrust::trust

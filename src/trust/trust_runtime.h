@@ -1,10 +1,15 @@
 #ifndef LBTRUST_TRUST_TRUST_RUNTIME_H_
 #define LBTRUST_TRUST_TRUST_RUNTIME_H_
 
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "cred/importer.h"
+#include "cred/store.h"
 #include "crypto/rsa.h"
 #include "datalog/workspace.h"
 #include "trust/auth_scheme.h"
@@ -80,6 +85,35 @@ class TrustRuntime {
   /// counterpart: Begin().Say(destination, rule_text)...Commit().
   util::Status Say(const std::string& destination, std::string_view rule_text);
 
+  // --- Credentials (src/cred): signed, linkable, portable evidence --------
+
+  /// This principal's content-addressed credential store (issued and
+  /// imported credentials, with the memoized verification cache).
+  cred::CredentialStore* credentials() { return &credstore_; }
+
+  /// Signs `payload` (program text: facts/rules this principal states) into
+  /// a credential linked to `links` (content hashes that must already be in
+  /// the store), valid in [not_before, not_after] (0 = unbounded), and puts
+  /// it in the store. Returns the credential's content hash.
+  util::Result<std::string> Issue(std::string_view payload,
+                                  std::vector<std::string> links = {},
+                                  int64_t not_before = 0,
+                                  int64_t not_after = 0);
+
+  /// Serializes the credential and its transitive link closure into a
+  /// bundle ready to ship to another principal.
+  util::Result<std::string> ExportCredential(const std::string& hash);
+
+  /// Verifies and imports a bundle produced by a peer's ExportCredential():
+  /// all member credentials land in the store (content-deduplicated), the
+  /// closure is signature-checked against registered peer keys (cache hits
+  /// skip RSA), validity-checked at `now`, and materialized as
+  /// says(issuer, me, [| clause |]) facts in one transaction + fixpoint.
+  /// A rejected bundle leaves both the workspace and the store untouched
+  /// (members staged from the failing bundle are rolled back out).
+  util::Result<cred::ImportStats> ImportCredentials(std::string_view bundle,
+                                                    int64_t now = 0);
+
   /// Runs the workspace to fixpoint (including export signing, import
   /// verification, codegen and constraint checks).
   util::Status Fixpoint() { return workspace_->Fixpoint(); }
@@ -94,6 +128,10 @@ class TrustRuntime {
   std::shared_ptr<CryptoStats> stats_;
   std::string scheme_name_;
   std::string scheme_text_;  // installed clauses, for swap-out
+  cred::CredentialStore credstore_;
+  /// Trust anchors for credential import: principal -> key fingerprint,
+  /// populated by Create() (self) and AddPeer().
+  std::map<std::string, std::string> peer_key_fingerprints_;
 };
 
 }  // namespace lbtrust::trust

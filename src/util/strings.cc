@@ -1,5 +1,7 @@
 #include "util/strings.h"
 
+#include <charconv>
+
 namespace lbtrust::util {
 
 std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
@@ -97,6 +99,27 @@ std::string EscapeQuoted(std::string_view raw) {
     }
   }
   return out;
+}
+
+void AppendLengthPrefixed(std::string* out, std::string_view bytes) {
+  out->append(std::to_string(bytes.size()));
+  out->push_back(':');
+  out->append(bytes);
+}
+
+bool ReadLengthPrefixed(std::string_view* text, std::string_view* out) {
+  size_t sep = text->find(':');
+  // A length prefix longer than 19 digits cannot fit in size_t and is
+  // certainly hostile; reject before from_chars sees it.
+  if (sep == std::string_view::npos || sep == 0 || sep > 19) return false;
+  size_t len = 0;
+  auto [ptr, ec] = std::from_chars(text->data(), text->data() + sep, len);
+  if (ec != std::errc() || ptr != text->data() + sep) return false;
+  // Subtraction form so an oversized len cannot wrap the bounds check.
+  if (text->size() - sep - 1 < len) return false;
+  *out = text->substr(sep + 1, len);
+  text->remove_prefix(sep + 1 + len);
+  return true;
 }
 
 uint64_t Fnv1a(std::string_view data) {

@@ -47,6 +47,15 @@ bool EndsWith(std::string_view text, std::string_view suffix);
 /// Escapes a string for inclusion in double quotes ("a\"b" style).
 std::string EscapeQuoted(std::string_view raw);
 
+/// Length-prefixed field framing ("<decimal-byte-length>:<bytes>") shared
+/// by the net wire format and credential serialization. ReadLengthPrefixed
+/// consumes one field off the front of *text into *out; it validates the
+/// length against the remaining input BEFORE any allocation (length
+/// prefixes over 19 digits, overflow, and truncation all return false), so
+/// hostile prefixes cannot trigger over-reads or runaway reserves.
+void AppendLengthPrefixed(std::string* out, std::string_view bytes);
+bool ReadLengthPrefixed(std::string_view* text, std::string_view* out);
+
 /// 64-bit FNV-1a hash, used to combine hashes across the engine.
 uint64_t Fnv1a(std::string_view data);
 inline uint64_t HashCombine(uint64_t seed, uint64_t v) {

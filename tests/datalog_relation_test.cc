@@ -64,6 +64,66 @@ TEST(RelationTest, EraseRebuilds) {
   EXPECT_EQ(rel.Lookup(0b01, {Value::Int(1)}).size(), 4u);
 }
 
+TEST(RelationTest, EraseMaintainsEveryIndexInPlace) {
+  // Build several indexes with different masks, then erase from the
+  // middle, the end, and the front; every index must keep answering
+  // exactly as a freshly built one would.
+  Relation rel(2);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) rel.Insert(T(a, b));
+  }
+  // Materialize three indexes.
+  EXPECT_EQ(rel.Lookup(0b01, {Value::Int(1)}).size(), 4u);
+  EXPECT_EQ(rel.Lookup(0b10, {Value::Int(2)}).size(), 4u);
+  EXPECT_EQ(rel.Lookup(0b11, T(3, 3)).size(), 1u);
+
+  EXPECT_TRUE(rel.Erase(T(1, 2)));   // middle row
+  EXPECT_TRUE(rel.Erase(T(3, 3)));   // last row
+  EXPECT_TRUE(rel.Erase(T(0, 0)));   // first row
+  EXPECT_EQ(rel.size(), 13u);
+
+  EXPECT_EQ(rel.Lookup(0b01, {Value::Int(1)}).size(), 3u);
+  EXPECT_EQ(rel.Lookup(0b10, {Value::Int(2)}).size(), 3u);
+  EXPECT_EQ(rel.Lookup(0b11, T(3, 3)).size(), 0u);
+  EXPECT_EQ(rel.Lookup(0b11, T(1, 3)).size(), 1u);
+  // Row ids handed back by Lookup must still point at the right rows.
+  for (uint32_t id : rel.Lookup(0b01, {Value::Int(2)})) {
+    EXPECT_EQ(rel.rows()[id][0], Value::Int(2));
+  }
+  for (uint32_t id : rel.Lookup(0b10, {Value::Int(0)})) {
+    EXPECT_EQ(rel.rows()[id][1], Value::Int(0));
+  }
+}
+
+TEST(RelationTest, ErasePatchesPartiallyBuiltIndexes) {
+  // An index built before later inserts has built_upto < rows(); erasing
+  // an indexed row moves an unindexed row below built_upto and the index
+  // must pick it up exactly once.
+  Relation rel(2);
+  for (int i = 0; i < 3; ++i) rel.Insert(T(0, i));
+  EXPECT_EQ(rel.Lookup(0b01, {Value::Int(0)}).size(), 3u);  // build index
+  for (int i = 3; i < 6; ++i) rel.Insert(T(0, i));  // beyond built_upto
+  EXPECT_TRUE(rel.Erase(T(0, 1)));  // moves row 5 into slot 1
+  EXPECT_EQ(rel.Lookup(0b01, {Value::Int(0)}).size(), 5u);
+  EXPECT_EQ(rel.Lookup(0b10, {Value::Int(5)}).size(), 1u);
+  // Erase a row the index has never seen.
+  EXPECT_TRUE(rel.Erase(T(0, 4)));
+  EXPECT_EQ(rel.Lookup(0b01, {Value::Int(0)}).size(), 4u);
+  EXPECT_EQ(rel.Lookup(0b10, {Value::Int(4)}).size(), 0u);
+}
+
+TEST(RelationTest, EraseThenInsertKeepsIndexesConsistent) {
+  Relation rel(2);
+  for (int i = 0; i < 8; ++i) rel.Insert(T(i % 2, i));
+  EXPECT_EQ(rel.Lookup(0b01, {Value::Int(0)}).size(), 4u);
+  EXPECT_TRUE(rel.Erase(T(0, 4)));
+  EXPECT_TRUE(rel.Insert(T(0, 100)));
+  EXPECT_TRUE(rel.Insert(T(0, 4)));  // re-insert the erased tuple
+  EXPECT_EQ(rel.Lookup(0b01, {Value::Int(0)}).size(), 5u);
+  EXPECT_EQ(rel.Lookup(0b10, {Value::Int(4)}).size(), 1u);
+  EXPECT_EQ(rel.Lookup(0b10, {Value::Int(100)}).size(), 1u);
+}
+
 TEST(RelationTest, ZeroArity) {
   Relation rel(0);
   EXPECT_TRUE(rel.Insert({}));

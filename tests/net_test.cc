@@ -50,6 +50,59 @@ TEST(WireTest, RejectsGarbage) {
   EXPECT_FALSE(DeserializeTuple("1:i:999:5").ok());    // bad length
 }
 
+TEST(WireTest, MalformedInputsReturnStatusNotCrash) {
+  // Table-driven adversarial inputs: every case must produce a non-OK
+  // status — never a crash, over-read or runaway allocation.
+  struct Case {
+    const char* name;
+    const char* input;
+  };
+  const Case kCases[] = {
+      {"empty", ""},
+      {"no count separator", "abc"},
+      {"non-numeric count", "x:i:1:5"},
+      {"oversized count (DoS reserve)", "99999999999999:i:1:5"},
+      {"count overflows size_t", "99999999999999999999999:i:1:5"},
+      {"count larger than input", "9:i:1:5"},
+      {"truncated value header", "1:i"},
+      {"missing value length delimiter", "1:i:5"},
+      {"empty value length", "1:i::x"},
+      {"non-numeric value length", "1:i:zz:x"},
+      {"value length overflows size_t", "1:s:99999999999999999999999:x"},
+      {"value length past end", "1:s:100:abc"},
+      {"huge value length (wraparound)", "1:s:18446744073709551615:x"},
+      {"bad int payload", "1:i:3:abc"},
+      {"int payload with trailing junk", "1:i:4:5abc"},
+      {"empty double payload", "1:d:0:"},
+      {"bad double payload", "1:d:3:abc"},
+      {"double payload trailing junk", "1:d:5:1.5xy"},
+      {"double overflow", "1:d:6:1e9999"},
+      {"bad bool payload", "1:b:1:7"},
+      {"nil with payload", "1:n:1:x"},
+      {"unknown kind tag", "1:z:1:x"},
+      {"part without separator", "1:p:3:abc"},
+      {"part with truncated key", "1:p:6:ex:i:9"},
+      {"part with trailing bytes", "1:p:10:ex:i:1:5xx"},
+      {"code payload without tag", "1:c:1:R"},
+      {"code payload bad tag", "1:c:4:Z:p()"},
+      {"code payload unparsable", "1:c:6:R:((((" },
+      {"trailing bytes after tuple", "1:i:1:5xxx"},
+      {"two values claimed one present", "2:i:1:5"},
+  };
+  for (const Case& c : kCases) {
+    auto result = DeserializeTuple(c.input);
+    EXPECT_FALSE(result.ok()) << "case '" << c.name << "' should reject";
+  }
+  // Deeply nested part values (built inside-out with correct lengths) must
+  // hit the depth limit, not the stack.
+  std::string nested = "i:1:5";
+  for (int i = 0; i < 2000; ++i) {
+    std::string body = "x:" + nested;
+    nested = "p:" + std::to_string(body.size()) + ":" + body;
+  }
+  EXPECT_FALSE(DeserializeTuple("1:" + nested).ok());
+}
+
 class SchemeExchangeTest : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(SchemeExchangeTest, TwoPrincipalExchange) {

@@ -1,7 +1,9 @@
 #include "trust/trust_runtime.h"
 
+#include <algorithm>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -323,6 +325,51 @@ TEST(ThresholdTest, WeightedThreshold) {
   say_ok("b1");  // 0.3 + 0.5 = 0.8 >= 0.8
   ASSERT_TRUE(bank->Fixpoint().ok());
   EXPECT_EQ(*bank->workspace()->Count("loanOK(c1)"), 1u);
+}
+
+TEST(KeyStoreTest, FingerprintOfStoredHandles) {
+  auto rt = MakeRuntime("alice");
+  KeyStore* ks = rt->keystore();
+  std::string pub = ks->AddRsaPublicKey(rt->keypair().public_key);
+  std::string priv = ks->AddRsaPrivateKey(rt->keypair().private_key);
+  std::string hmac = ks->AddSharedSecret("s3cret");
+
+  auto pub_fp = ks->Fingerprint(pub);
+  ASSERT_TRUE(pub_fp.ok());
+  EXPECT_EQ(*pub_fp, crypto::KeyFingerprint(rt->keypair().public_key));
+  EXPECT_EQ(pub, "rsa:pub:" + *pub_fp);
+  // A key pair's private and public handle share the fingerprint.
+  auto priv_fp = ks->Fingerprint(priv);
+  ASSERT_TRUE(priv_fp.ok());
+  EXPECT_EQ(*priv_fp, *pub_fp);
+  auto hmac_fp = ks->Fingerprint(hmac);
+  ASSERT_TRUE(hmac_fp.ok());
+  EXPECT_EQ(hmac, "hmac:" + *hmac_fp);
+
+  auto missing = ks->Fingerprint("rsa:pub:deadbeefdeadbeef");
+  EXPECT_EQ(missing.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST(KeyStoreTest, EnumeratesPublicKeyHandles) {
+  auto alice = MakeRuntime("alice");
+  auto bob = MakeRuntime("bob");
+  auto carol = MakeRuntime("carol");
+  // Runtime creation registered alice's own public key already.
+  EXPECT_EQ(alice->keystore()->PublicKeyHandles().size(), 1u);
+  ASSERT_TRUE(alice->AddPeer("bob", bob->keypair().public_key).ok());
+  ASSERT_TRUE(alice->AddPeer("carol", carol->keypair().public_key).ok());
+  std::vector<std::string> handles = alice->keystore()->PublicKeyHandles();
+  ASSERT_EQ(handles.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(handles.begin(), handles.end()));
+  for (const std::string& handle : handles) {
+    auto fp = alice->keystore()->Fingerprint(handle);
+    ASSERT_TRUE(fp.ok());
+    const auto* key = alice->keystore()->FindPublicByFingerprint(*fp);
+    ASSERT_NE(key, nullptr);
+    EXPECT_EQ(crypto::KeyFingerprint(*key), *fp);
+  }
+  EXPECT_EQ(alice->keystore()->FindPublicByFingerprint("0000000000000000"),
+            nullptr);
 }
 
 TEST(CryptoBuiltinsTest, IntegrityPrimitives) {

@@ -1,12 +1,34 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build every target with
 # -Wall -Wextra -Werror on the library code, and run the test suite.
-# Usage: tools/ci.sh [build-dir]   (default: build-ci)
+#
+# Usage: tools/ci.sh [build-dir] [sanitize]
+#   build-dir  defaults to build-ci (build-asan in sanitize mode)
+#   sanitize   any second argument (or SANITIZE=1 in the environment)
+#              rebuilds with ASan+UBSan and runs the full ctest suite
+#              under the sanitizers (benches skipped: ASan + benchmark
+#              timing is noise).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build-ci}"
 
+MODE="${2:-${SANITIZE:-}}"
+if [[ -n "${MODE}" ]]; then
+  BUILD_DIR="${1:-build-asan}"
+  cmake -B "${BUILD_DIR}" -S . \
+    -DLBTRUST_WERROR=ON \
+    -DLBTRUST_SANITIZE=ON \
+    -DLBTRUST_BENCH=OFF \
+    -DLBTRUST_EXAMPLES=ON
+  cmake --build "${BUILD_DIR}" -j "$(nproc)"
+  ASAN_OPTIONS=strict_string_checks=1:detect_stack_use_after_return=1 \
+  UBSAN_OPTIONS=print_stacktrace=1 \
+  ctest --test-dir "${BUILD_DIR}" --output-on-failure --no-tests=error \
+    -j "$(nproc)"
+  exit 0
+fi
+
+BUILD_DIR="${1:-build-ci}"
 cmake -B "${BUILD_DIR}" -S . \
   -DLBTRUST_WERROR=ON \
   -DLBTRUST_BENCH=ON \
