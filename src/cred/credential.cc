@@ -1,6 +1,7 @@
 #include "cred/credential.h"
 
 #include <charconv>
+#include <unordered_map>
 
 #include "crypto/sha256.h"
 #include "util/strings.h"
@@ -14,6 +15,7 @@ namespace {
 
 constexpr std::string_view kCredMagic = "LBC1";
 constexpr std::string_view kBundleMagic = "LBCB1";
+constexpr std::string_view kBundleMagicV2 = "LBCB2";
 
 void AppendField(std::string* out, std::string_view bytes) {
   util::AppendLengthPrefixed(out, bytes);
@@ -120,31 +122,21 @@ bool VerifyCredentialSignature(const Credential& cred,
   return crypto::RsaVerify(key, digest, cred.signature);
 }
 
-std::string SerializeBundle(const std::vector<Credential>& credentials) {
-  std::string out(kBundleMagic);
-  out.append(std::to_string(credentials.size()));
-  out.push_back(':');
-  for (const Credential& cred : credentials) {
-    AppendField(&out, SerializeCredential(cred));
+namespace {
+
+/// Reads a "<decimal>:" count (9-digit cap — bundles never need more;
+/// shared framing via util::ReadDecimalCount).
+Status ReadBundleCount(std::string_view* text, size_t* out,
+                       const char* what) {
+  if (!util::ReadDecimalCount(text, out, 9)) {
+    return util::ParseError(util::StrCat("bundle: bad ", what));
   }
-  return out;
+  return util::OkStatus();
 }
 
-Result<std::vector<Credential>> ParseBundle(std::string_view text) {
-  if (!util::StartsWith(text, kBundleMagic)) {
-    return util::ParseError("not a credential bundle (missing LBCB1 magic)");
-  }
-  text.remove_prefix(kBundleMagic.size());
-  size_t sep = text.find(':');
-  if (sep == std::string_view::npos || sep == 0 || sep > 9) {
-    return util::ParseError("bundle: missing count");
-  }
+Result<std::vector<Credential>> ParseBundleV1(std::string_view text) {
   size_t count = 0;
-  auto [ptr, ec] = std::from_chars(text.data(), text.data() + sep, count);
-  if (ec != std::errc() || ptr != text.data() + sep) {
-    return util::ParseError("bundle: bad count");
-  }
-  text.remove_prefix(sep + 1);
+  LB_RETURN_IF_ERROR(ReadBundleCount(&text, &count, "count"));
   // Each serialized credential needs at least the magic + 7 "0:" fields.
   if (count > text.size()) {
     return util::ParseError("bundle: count exceeds input size");
@@ -161,6 +153,154 @@ Result<std::vector<Credential>> ParseBundle(std::string_view text) {
     return util::ParseError("bundle: trailing bytes");
   }
   return out;
+}
+
+Result<std::vector<Credential>> ParseBundleV2(std::string_view text) {
+  // Records copy dictionary strings, so a few record bytes can reference a
+  // large dictionary entry many times; cap the total materialized bytes so
+  // a hostile bundle cannot amplify a small input into gigabytes of copies
+  // before any signature is checked. Generous for legitimate linked sets
+  // (a 64 MiB expansion is far beyond any real closure).
+  constexpr size_t kMaxMaterializedBytes = size_t{64} << 20;
+  size_t materialized = 0;
+  auto charge = [&materialized](size_t bytes) {
+    materialized += bytes;
+    return materialized <= kMaxMaterializedBytes;
+  };
+  size_t dict_count = 0;
+  LB_RETURN_IF_ERROR(ReadBundleCount(&text, &dict_count, "dictionary count"));
+  // Each dictionary entry is a length-prefixed field, at least "0:".
+  if (dict_count > text.size()) {
+    return util::ParseError("bundle: dictionary count exceeds input size");
+  }
+  std::vector<std::string> dict;
+  dict.reserve(dict_count);
+  for (size_t i = 0; i < dict_count; ++i) {
+    std::string_view field;
+    LB_RETURN_IF_ERROR(ReadField(&text, &field));
+    dict.emplace_back(field);
+  }
+  auto dict_at = [&](size_t idx) -> const std::string* {
+    return idx < dict.size() ? &dict[idx] : nullptr;
+  };
+  size_t count = 0;
+  LB_RETURN_IF_ERROR(ReadBundleCount(&text, &count, "count"));
+  if (count > text.size()) {
+    return util::ParseError("bundle: count exceeds input size");
+  }
+  std::vector<Credential> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Credential cred;
+    size_t idx = 0;
+    LB_RETURN_IF_ERROR(ReadBundleCount(&text, &idx, "issuer index"));
+    const std::string* issuer = dict_at(idx);
+    if (issuer == nullptr || issuer->empty()) {
+      return util::ParseError("bundle: bad issuer reference");
+    }
+    if (!charge(issuer->size())) {
+      return util::ParseError("bundle: materialized size cap exceeded");
+    }
+    cred.issuer = *issuer;
+    LB_RETURN_IF_ERROR(ReadBundleCount(&text, &idx, "key index"));
+    const std::string* key = dict_at(idx);
+    if (key == nullptr) return util::ParseError("bundle: bad key reference");
+    if (!charge(key->size())) {
+      return util::ParseError("bundle: materialized size cap exceeded");
+    }
+    cred.key_fingerprint = *key;
+    LB_RETURN_IF_ERROR(ReadInt64Field(&text, &cred.not_before));
+    LB_RETURN_IF_ERROR(ReadInt64Field(&text, &cred.not_after));
+    size_t link_count = 0;
+    LB_RETURN_IF_ERROR(ReadBundleCount(&text, &link_count, "link count"));
+    if (link_count > text.size()) {
+      return util::ParseError("bundle: link count exceeds input size");
+    }
+    for (size_t l = 0; l < link_count; ++l) {
+      LB_RETURN_IF_ERROR(ReadBundleCount(&text, &idx, "link index"));
+      const std::string* link = dict_at(idx);
+      if (link == nullptr || !IsHexHash(*link)) {
+        return util::ParseError("bundle: malformed link hash");
+      }
+      if (!charge(link->size())) {
+        return util::ParseError("bundle: materialized size cap exceeded");
+      }
+      cred.links.push_back(*link);
+    }
+    LB_RETURN_IF_ERROR(ReadBundleCount(&text, &idx, "payload index"));
+    const std::string* payload = dict_at(idx);
+    if (payload == nullptr) {
+      return util::ParseError("bundle: bad payload reference");
+    }
+    if (!charge(payload->size())) {
+      return util::ParseError("bundle: materialized size cap exceeded");
+    }
+    cred.payload = *payload;
+    std::string_view sig;
+    LB_RETURN_IF_ERROR(ReadField(&text, &sig));
+    if (!util::HexDecode(sig, &cred.signature)) {
+      return util::ParseError("bundle: signature is not hex");
+    }
+    out.push_back(std::move(cred));
+  }
+  if (!text.empty()) {
+    return util::ParseError("bundle: trailing bytes");
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SerializeBundle(const std::vector<Credential>& credentials) {
+  // v2: a bundle-level string dictionary. Issuers, key fingerprints, link
+  // hashes and payloads repeat heavily across a linked credential set (a
+  // link IS another member's 64-hex hash), so each distinct string ships
+  // once; records then reference dictionary indices. Signatures are unique
+  // per credential and stay inline. The per-credential canonical form
+  // (CanonicalBytes/SerializeCredential) is unchanged — receivers rebuild
+  // it locally, so hashes and signatures are unaffected by the container.
+  std::vector<std::string> dict;
+  std::unordered_map<std::string, size_t> index;
+  auto intern = [&](const std::string& s) -> size_t {
+    auto [it, fresh] = index.try_emplace(s, dict.size());
+    if (fresh) dict.push_back(s);
+    return it->second;
+  };
+  std::string records;
+  auto append_count = [](std::string* out, size_t n) {
+    out->append(std::to_string(n));
+    out->push_back(':');
+  };
+  for (const Credential& cred : credentials) {
+    append_count(&records, intern(cred.issuer));
+    append_count(&records, intern(cred.key_fingerprint));
+    AppendField(&records, std::to_string(cred.not_before));
+    AppendField(&records, std::to_string(cred.not_after));
+    append_count(&records, cred.links.size());
+    for (const std::string& link : cred.links) {
+      append_count(&records, intern(link));
+    }
+    append_count(&records, intern(cred.payload));
+    AppendField(&records, util::HexEncode(cred.signature));
+  }
+  std::string out(kBundleMagicV2);
+  out.append(std::to_string(dict.size()));
+  out.push_back(':');
+  for (const std::string& entry : dict) AppendField(&out, entry);
+  out.append(std::to_string(credentials.size()));
+  out.push_back(':');
+  out += records;
+  return out;
+}
+
+Result<std::vector<Credential>> ParseBundle(std::string_view text) {
+  if (util::StartsWith(text, kBundleMagicV2)) {
+    return ParseBundleV2(text.substr(kBundleMagicV2.size()));
+  }
+  if (util::StartsWith(text, kBundleMagic)) {
+    return ParseBundleV1(text.substr(kBundleMagic.size()));
+  }
+  return util::ParseError("not a credential bundle (missing LBCB magic)");
 }
 
 }  // namespace lbtrust::cred

@@ -28,8 +28,8 @@ std::string DumpRelation(const Workspace& workspace, const std::string& name,
   if (rel == nullptr) return util::StrCat(name, ": <no relation>\n");
   std::vector<std::string> lines;
   lines.reserve(rel->size());
-  for (const Tuple& t : rel->rows()) {
-    lines.push_back(TupleToString(t));
+  for (size_t i = 0; i < rel->size(); ++i) {
+    lines.push_back(TupleToString(rel->RowTuple(i)));
   }
   std::sort(lines.begin(), lines.end());
   std::string out = util::StrCat(name, "/", rel->arity(), "  (", rel->size(),

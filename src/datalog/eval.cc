@@ -1,6 +1,8 @@
 #include "datalog/eval.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstring>
 #include <set>
 
 #include "datalog/pretty.h"
@@ -11,10 +13,18 @@ namespace lbtrust::datalog {
 using util::Result;
 using util::Status;
 
+uint64_t RelationStore::NextGeneration() {
+  // Atomic so concurrent workspace construction (one workspace per
+  // evaluation thread) can never mint duplicate generations, which would
+  // let a stale CompiledLiteral cache validate against a reused address.
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 Relation* RelationStore::GetOrCreate(const std::string& name, size_t arity) {
   auto it = rels_.find(name);
   if (it == rels_.end()) {
-    it = rels_.emplace(name, Relation(arity)).first;
+    it = rels_.emplace(name, Relation(arity, pool_)).first;
   }
   return &it->second;
 }
@@ -313,9 +323,15 @@ Result<std::unique_ptr<CompiledRule>> CompileRule(
   const Atom& head = rule.heads[0];
   cr->head_pred = head.predicate;
   cr->head_cols = CompileAtomCols(head, &cr->vars);
+  if (head.Arity() > 64) {
+    return util::TypeError("predicates are limited to 64 columns");
+  }
 
   for (const Literal& lit : rule.body) {
     CompiledLiteral cl;
+    if (lit.atom.Arity() > 64) {
+      return util::TypeError("predicates are limited to 64 columns");
+    }
     cl.pred = lit.atom.predicate;
     cl.negated = lit.negated;
     cl.cols = CompileAtomCols(lit.atom, &cr->vars);
@@ -396,6 +412,15 @@ Result<std::unique_ptr<CompiledRule>> CompileRule(
 
 namespace {
 
+// The interned id of a kConst column, computed once per (arg, pool) pair.
+ValueId ConstId(const CompiledArg& arg, ValuePool* pool) {
+  if (arg.const_pool_gen != pool->generation()) {
+    arg.const_id = pool->Intern(arg.constant);
+    arg.const_pool_gen = pool->generation();
+  }
+  return arg.const_id;
+}
+
 // Grounds a *head* column. Quoted-code constants are always constructible:
 // bound meta-variables substitute in, unbound variables legitimately remain
 // variables of the constructed code (e.g. del1's generated rule).
@@ -414,7 +439,7 @@ bool TryGroundHeadArg(const CompiledArg& arg, const VarTable& vars,
   }
   if (arg.kind == CompiledArg::Kind::kVar) {
     if (!b.IsBound(arg.slot)) return false;
-    *out = b.slots[arg.slot];
+    *out = b.Get(arg.slot);
     return true;
   }
   for (int slot : arg.term_slots) {
@@ -423,6 +448,25 @@ bool TryGroundHeadArg(const CompiledArg& arg, const VarTable& vars,
   Result<Value> v = EvalGroundTerm(arg.term, vars, b);
   if (!v.ok()) return false;
   *out = std::move(*v);
+  return true;
+}
+
+// Id counterpart of TryGroundHeadArg: kConst and kVar columns never
+// materialize; only pattern/expression columns take the Value detour.
+bool TryGroundHeadArgId(const CompiledArg& arg, const VarTable& vars,
+                        const Bindings& b, ValuePool* pool, ValueId* out) {
+  if (arg.kind == CompiledArg::Kind::kConst) {
+    *out = ConstId(arg, pool);
+    return true;
+  }
+  if (arg.kind == CompiledArg::Kind::kVar) {
+    if (!b.IsBound(arg.slot)) return false;
+    *out = b.slots[arg.slot];
+    return true;
+  }
+  Value v;
+  if (!TryGroundHeadArg(arg, vars, b, &v)) return false;
+  *out = pool->Intern(v);
   return true;
 }
 
@@ -435,7 +479,7 @@ bool TryGroundArg(const CompiledArg& arg, const VarTable& vars,
       return true;
     case CompiledArg::Kind::kVar:
       if (b.IsBound(arg.slot)) {
-        *out = b.slots[arg.slot];
+        *out = b.Get(arg.slot);
         return true;
       }
       return false;
@@ -453,7 +497,55 @@ bool TryGroundArg(const CompiledArg& arg, const VarTable& vars,
   return false;
 }
 
+// Id counterpart of TryGroundArg — the probe-key builder. Constants and
+// bound variables are pure id reads; patterns and arithmetic evaluate
+// through Values. A computed value the pool has never seen is reported as
+// kAbsent, NOT interned: no stored row can contain it, so the caller can
+// short-circuit, and transient intermediates (e.g. `q(X*2)` probe keys
+// that miss) never become workspace-lifetime pool entries.
+enum class GroundArg { kUnbound, kGround, kAbsent };
+
+GroundArg TryGroundArgId(const CompiledArg& arg, const VarTable& vars,
+                         const Bindings& b, ValuePool* pool, ValueId* out) {
+  switch (arg.kind) {
+    case CompiledArg::Kind::kConst:
+      // Bounded by program size; interning keeps the steady-state probe a
+      // cached id read.
+      *out = ConstId(arg, pool);
+      return GroundArg::kGround;
+    case CompiledArg::Kind::kVar:
+      if (b.IsBound(arg.slot)) {
+        *out = b.slots[arg.slot];
+        return GroundArg::kGround;
+      }
+      return GroundArg::kUnbound;
+    case CompiledArg::Kind::kPattern:
+    case CompiledArg::Kind::kExpr: {
+      for (int slot : arg.term_slots) {
+        if (!b.IsBound(slot)) return GroundArg::kUnbound;
+      }
+      Result<Value> v = EvalGroundTerm(arg.term, vars, b);
+      if (!v.ok()) return GroundArg::kUnbound;
+      return pool->Find(*v, out) ? GroundArg::kGround : GroundArg::kAbsent;
+    }
+  }
+  return GroundArg::kUnbound;
+}
+
 }  // namespace
+
+Relation* Evaluator::ResolveRelation(const CompiledLiteral& lit,
+                                     size_t arity) {
+  if (lit.cached_store == store_ &&
+      lit.cached_gen == store_->generation()) {
+    return lit.cached_rel;
+  }
+  Relation* rel = store_->GetOrCreate(lit.pred, arity);
+  lit.cached_store = store_;
+  lit.cached_gen = store_->generation();
+  lit.cached_rel = rel;
+  return rel;
+}
 
 Status Evaluator::Step(ExecContext* ctx, size_t oi) {
   if (oi == ctx->order->size()) return ctx->on_solution();
@@ -479,8 +571,9 @@ Status Evaluator::EvalRelation(ExecContext* ctx, size_t oi,
   int body_idx = (*ctx->order)[oi];
   Relation* rel = (body_idx == ctx->delta_pos)
                       ? ctx->delta_rel
-                      : store_->GetOrCreate(lit.pred, lit.cols.size());
-  if (rel->arity() != lit.cols.size()) {
+                      : ResolveRelation(lit, lit.cols.size());
+  const size_t arity = lit.cols.size();
+  if (rel->arity() != arity) {
     return util::TypeError(util::StrCat("predicate '", lit.pred, "' used with ",
                                         lit.cols.size(), " columns, stored as ",
                                         rel->arity()));
@@ -489,31 +582,58 @@ Status Evaluator::EvalRelation(ExecContext* ctx, size_t oi,
   const VarTable& vars = ctx->rule->vars;
 
   uint64_t mask = 0;
-  Tuple key;
-  std::vector<size_t> open;  // unbound column indices
-  for (size_t i = 0; i < lit.cols.size(); ++i) {
-    Value v;
-    if (TryGroundArg(lit.cols[i], vars, b, &v)) {
-      mask |= uint64_t{1} << i;
-      key.push_back(std::move(v));
-    } else {
-      open.push_back(i);
+  ValueId key[64];
+  size_t nkey = 0;
+  size_t open[64];
+  size_t nopen = 0;
+  for (size_t i = 0; i < arity; ++i) {
+    ValueId id;
+    switch (TryGroundArgId(lit.cols[i], vars, b, pool_, &id)) {
+      case GroundArg::kGround:
+        mask |= uint64_t{1} << i;
+        key[nkey++] = id;
+        break;
+      case GroundArg::kAbsent:
+        return util::OkStatus();  // value never interned: no row matches
+      case GroundArg::kUnbound:
+        open[nopen++] = i;
+        break;
     }
   }
 
-  auto try_row = [&](const Tuple& row) -> Status {
-    Trail trail;
+  // `row` is a caller-owned snapshot: recursive Step calls may insert into
+  // `rel` (self-recursive rules) and reallocate its storage. The trail is
+  // hoisted so its buffer is reused across the rows this frame enumerates.
+  Trail trail;
+  auto try_row = [&](const ValueId* row) -> Status {
+    trail.clear();
     bool ok = true;
-    for (size_t i : open) {
-      if (!UnifyTermValue(lit.cols[i].term, row[i], &ctx->rule->vars, &b,
-                          &trail)) {
+    for (size_t k = 0; k < nopen; ++k) {
+      size_t i = open[k];
+      const CompiledArg& col = lit.cols[i];
+      if (col.kind == CompiledArg::Kind::kVar) {
+        // The dominant case: bind or compare an 8-byte id, no Value.
+        if (b.IsBound(col.slot)) {
+          if (b.slots[col.slot] != row[i]) {
+            ok = false;
+            break;
+          }
+        } else {
+          b.slots[col.slot] = row[i];
+          trail.push_back(col.slot);
+        }
+      } else if (!UnifyTermValue(col.term, pool_->Get(row[i]),
+                                 &ctx->rule->vars, &b, &trail)) {
         ok = false;
         break;
       }
     }
     Status st = util::OkStatus();
     if (ok) {
-      if (ctx->premises != nullptr) ctx->premises->emplace_back(lit.pred, row);
+      if (ctx->premises != nullptr) {
+        ctx->premises->emplace_back(lit.pred,
+                                    MaterializeTuple(*pool_, row, arity));
+      }
       st = Step(ctx, oi + 1);
       if (ctx->premises != nullptr) ctx->premises->pop_back();
     }
@@ -521,22 +641,29 @@ Status Evaluator::EvalRelation(ExecContext* ctx, size_t oi,
     return st;
   };
 
+  if (nopen == 0 && body_idx != ctx->delta_pos &&
+      mask == ((arity >= 64) ? ~uint64_t{0} : (uint64_t{1} << arity) - 1)) {
+    // Fully bound probe: a primary-set membership check, no index at all.
+    // (Delta relations skip this: they are append-only and carry no
+    // primary set.)
+    if (!rel->ContainsIds(key)) return util::OkStatus();
+    return try_row(key);
+  }
   if (mask != 0) {
-    // Lookup returns row ids valid for the relation's current rows; the
-    // callee may insert into *other* relations but never into `rel` while
-    // we iterate (head predicates are never read in the same traversal
-    // thanks to delta separation) — except self-recursive rules hitting the
-    // head relation. Snapshot ids defensively.
-    std::vector<uint32_t> ids = rel->Lookup(mask, key);
+    std::vector<uint32_t>& ids = ctx->probe_scratch[oi];
+    ids.clear();
+    rel->LookupIds(mask, key, &ids);
+    ValueId row[64];
     for (uint32_t id : ids) {
-      Tuple row = rel->rows()[id];  // copy: insertions may reallocate
+      if (arity > 0) std::memcpy(row, rel->RowIds(id), arity * sizeof(ValueId));
       LB_RETURN_IF_ERROR(try_row(row));
     }
   } else {
     size_t n = rel->size();  // snapshot: rows appended during recursion are
                              // handled by later semi-naive rounds
+    ValueId row[64];
     for (size_t i = 0; i < n; ++i) {
-      Tuple row = rel->rows()[i];
+      if (arity > 0) std::memcpy(row, rel->RowIds(i), arity * sizeof(ValueId));
       LB_RETURN_IF_ERROR(try_row(row));
     }
   }
@@ -545,45 +672,56 @@ Status Evaluator::EvalRelation(ExecContext* ctx, size_t oi,
 
 Status Evaluator::EvalNegation(ExecContext* ctx, size_t oi,
                                const CompiledLiteral& lit) {
-  Relation* rel = store_->GetOrCreate(lit.pred, lit.cols.size());
+  Relation* rel = ResolveRelation(lit, lit.cols.size());
   Bindings& b = ctx->bindings;
   const VarTable& vars = ctx->rule->vars;
 
   uint64_t mask = 0;
-  Tuple key;
-  std::vector<size_t> open_patterns;
+  ValueId key[64];
+  size_t nkey = 0;
+  size_t open_patterns[64];
+  size_t nopen = 0;
   for (size_t i = 0; i < lit.cols.size(); ++i) {
-    Value v;
-    if (TryGroundArg(lit.cols[i], vars, b, &v)) {
-      mask |= uint64_t{1} << i;
-      key.push_back(std::move(v));
-    } else if (lit.cols[i].kind == CompiledArg::Kind::kPattern) {
-      open_patterns.push_back(i);
+    ValueId id;
+    switch (TryGroundArgId(lit.cols[i], vars, b, pool_, &id)) {
+      case GroundArg::kGround:
+        mask |= uint64_t{1} << i;
+        key[nkey++] = id;
+        break;
+      case GroundArg::kAbsent:
+        // The computed value was never interned, so no stored row carries
+        // it: the literal cannot match and the negation holds.
+        return Step(ctx, oi + 1);
+      case GroundArg::kUnbound:
+        if (lit.cols[i].kind == CompiledArg::Kind::kPattern) {
+          open_patterns[nopen++] = i;
+        }
+        // Unbound kVar columns are wildcards (∄ semantics, e.g. dd4's
+        // `!delegates(me,_,P)` before P's delegation exists).
+        break;
     }
-    // Unbound kVar columns are wildcards (∄ semantics, e.g. dd4's
-    // `!delegates(me,_,P)` before P's delegation exists).
   }
 
   bool found = false;
-  if (open_patterns.empty()) {
-    found = (mask == 0) ? !rel->rows().empty() : rel->Matches(mask, key);
+  if (nopen == 0) {
+    found = rel->MatchesIds(mask, key);
   } else {
-    const std::vector<uint32_t>* ids = nullptr;
-    std::vector<uint32_t> all;
+    std::vector<uint32_t>& ids = ctx->probe_scratch[oi];
+    ids.clear();
     if (mask != 0) {
-      ids = &rel->Lookup(mask, key);
+      rel->LookupIds(mask, key, &ids);
     } else {
-      all.resize(rel->size());
-      for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<uint32_t>(i);
-      ids = &all;
+      ids.resize(rel->size());
+      for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<uint32_t>(i);
     }
-    for (uint32_t id : *ids) {
-      const Tuple& row = rel->rows()[id];
+    for (uint32_t id : ids) {
+      const ValueId* row = rel->RowIds(id);
       Trail trail;
       bool ok = true;
-      for (size_t i : open_patterns) {
-        if (!UnifyTermValue(lit.cols[i].term, row[i], &ctx->rule->vars, &b,
-                            &trail)) {
+      for (size_t k = 0; k < nopen; ++k) {
+        size_t i = open_patterns[k];
+        if (!UnifyTermValue(lit.cols[i].term, pool_->Get(row[i]),
+                            &ctx->rule->vars, &b, &trail)) {
           ok = false;
           break;
         }
@@ -603,6 +741,10 @@ Status Evaluator::EvalEquality(ExecContext* ctx, size_t oi,
                                const CompiledLiteral& lit) {
   Bindings& b = ctx->bindings;
   const VarTable& vars = ctx->rule->vars;
+  // Value-level comparison: equality may relate two *computed* values
+  // (e.g. X+1 = Y*2) that have no pool entry, so ids are the wrong
+  // currency here — and materializing keeps transient arithmetic out of
+  // the pool.
   Value v0, v1;
   bool g0 = TryGroundArg(lit.cols[0], vars, b, &v0);
   bool g1 = TryGroundArg(lit.cols[1], vars, b, &v1);
@@ -695,16 +837,20 @@ Status Evaluator::EvalBuiltin(ExecContext* ctx, size_t oi,
   return inner;
 }
 
-Status Evaluator::EvalRuleOnce(CompiledRule* rule, int delta_pos,
-                               Relation* delta_rel,
-                               const std::function<Status(Tuple)>& emit) {
+Status Evaluator::EvalRuleOnce(
+    CompiledRule* rule, int delta_pos, Relation* delta_rel,
+    const std::function<Status(const ValueId*)>& emit) {
   ExecContext ctx;
   ctx.rule = rule;
   ctx.delta_pos = delta_pos;
   ctx.delta_rel = delta_rel;
   ctx.order = (delta_pos >= 0) ? &rule->order_delta.at(delta_pos)
                                : &rule->order_full;
+  ctx.bindings.pool = pool_;
   ctx.bindings.EnsureSize(rule->vars.size());
+  // Sized up front: frames hold references into it, so it must never
+  // reallocate mid-evaluation. Inner vectors start empty (no heap).
+  ctx.probe_scratch.resize(ctx.order->size());
   std::vector<std::pair<std::string, Tuple>> premises;
   if (provenance_ != nullptr && !rule->agg.has_value()) {
     ctx.premises = &premises;
@@ -718,7 +864,11 @@ Status Evaluator::EvalRuleOnce(CompiledRule* rule, int delta_pos,
     // semantics): count folds distinct input values; total/min/max fold the
     // input of every distinct solution, so two bureaus with equal weight
     // both contribute to a weighted threshold (§4.2.2).
-    std::set<Tuple> seen_solutions;
+    // Distinct solutions dedup on the interned binding vector (canonical
+    // ids, so id-vector equality is assignment equality); groups and inputs
+    // stay materialized so the fold and emission order match the seed
+    // engine exactly.
+    std::set<IdTuple> seen_solutions;
     std::map<Tuple, std::vector<Value>> by_group;
     ctx.on_solution = [&]() -> Status {
       Tuple group;
@@ -741,7 +891,7 @@ Status Evaluator::EvalRuleOnce(CompiledRule* rule, int delta_pos,
         return util::OkStatus();
       }
       by_group[std::move(group)].push_back(
-          ctx.bindings.slots[rule->agg_input_slot]);
+          ctx.bindings.Get(rule->agg_input_slot));
       return util::OkStatus();
     };
     LB_RETURN_IF_ERROR(Step(&ctx, 0));
@@ -784,36 +934,82 @@ Status Evaluator::EvalRuleOnce(CompiledRule* rule, int delta_pos,
         }
       }
       // Rebuild the head tuple: group columns in order, result in place.
-      Tuple out;
+      IdTuple out;
       size_t gi = 0;
       for (const CompiledArg& col : rule->head_cols) {
         if (col.kind == CompiledArg::Kind::kVar &&
             col.slot == rule->agg_result_slot) {
-          out.push_back(result);
+          out.push_back(pool_->Intern(result));
         } else {
-          out.push_back(group[gi++]);
+          out.push_back(pool_->Intern(group[gi++]));
         }
       }
-      LB_RETURN_IF_ERROR(emit(std::move(out)));
+      LB_RETURN_IF_ERROR(emit(out.data()));
     }
     return util::OkStatus();
   }
 
+  IdTuple out(rule->head_cols.size());
   ctx.on_solution = [&]() -> Status {
-    Tuple out;
-    out.reserve(rule->head_cols.size());
-    for (const CompiledArg& col : rule->head_cols) {
-      Value v;
-      if (!TryGroundHeadArg(col, rule->vars, ctx.bindings, &v)) {
+    for (size_t i = 0; i < rule->head_cols.size(); ++i) {
+      if (!TryGroundHeadArgId(rule->head_cols[i], rule->vars, ctx.bindings,
+                              pool_, &out[i])) {
         return util::UnsafeProgram(
             util::StrCat("unbound head column in rule: ",
                          PrintRule(rule->source)));
       }
-      out.push_back(std::move(v));
     }
-    return emit(std::move(out));
+    return emit(out.data());
   };
   return Step(&ctx, 0);
+}
+
+Status Evaluator::RunRuleInto(CompiledRule* rule, int pos,
+                              Relation* delta_rel, const Limits& limits,
+                              size_t* total_tuples,
+                              std::map<std::string, Relation>* next_delta,
+                              std::map<std::string, Relation>* stratum_new) {
+  const size_t arity = rule->head_cols.size();
+  Relation* full = store_->GetOrCreate(rule->head_pred, arity);
+  if (full->arity() != arity) {
+    return util::TypeError(
+        util::StrCat("arity mismatch inserting into '", rule->head_pred, "'"));
+  }
+  Relation* dnext = nullptr;
+  Relation* snext = nullptr;
+  return EvalRuleOnce(rule, pos, delta_rel, [&](const ValueId* row) -> Status {
+    if (provenance_ != nullptr && emitting_rule_ != nullptr) {
+      Derivation d;
+      d.kind = emitting_rule_->agg.has_value() ? Derivation::Kind::kAggregate
+                                               : Derivation::Kind::kRule;
+      d.rule_canon = PrintRule(emitting_rule_->source);
+      if (emitting_premises_ != nullptr) d.premises = *emitting_premises_;
+      provenance_->Record(rule->head_pred, MaterializeTuple(*pool_, row, arity),
+                          std::move(d));
+    }
+    if (full->InsertIds(row)) {
+      ++*total_tuples;
+      if (*total_tuples > limits.max_tuples) {
+        return util::Internal(
+            "fixpoint exceeded tuple budget (diverging program?)");
+      }
+      if (dnext == nullptr) {
+        dnext = &next_delta->try_emplace(rule->head_pred,
+                                         Relation(arity, pool_))
+                     .first->second;
+      }
+      dnext->AppendUnchecked(row);
+      if (stratum_new != nullptr) {
+        if (snext == nullptr) {
+          snext = &stratum_new->try_emplace(rule->head_pred,
+                                            Relation(arity, pool_))
+                       .first->second;
+        }
+        snext->AppendUnchecked(row);
+      }
+    }
+    return util::OkStatus();
+  });
 }
 
 Status Evaluator::Run(const std::vector<CompiledRule*>& rules,
@@ -840,41 +1036,11 @@ Status Evaluator::Run(const std::vector<CompiledRule*>& rules,
              it->second == static_cast<int>(level);
     };
 
-    auto emit_into = [&](const std::string& pred, size_t arity, Tuple t,
-                         std::map<std::string, Relation>* next_delta)
-        -> Status {
-      Relation* full = store_->GetOrCreate(pred, arity);
-      if (full->arity() != t.size()) {
-        return util::TypeError(util::StrCat("arity mismatch inserting into '",
-                                            pred, "'"));
-      }
-      if (provenance_ != nullptr && emitting_rule_ != nullptr) {
-        Derivation d;
-        d.kind = emitting_rule_->agg.has_value()
-                     ? Derivation::Kind::kAggregate
-                     : Derivation::Kind::kRule;
-        d.rule_canon = PrintRule(emitting_rule_->source);
-        if (emitting_premises_ != nullptr) d.premises = *emitting_premises_;
-        provenance_->Record(pred, t, std::move(d));
-      }
-      if (full->Insert(t)) {
-        ++total_tuples;
-        if (total_tuples > limits.max_tuples) {
-          return util::Internal(
-              "fixpoint exceeded tuple budget (diverging program?)");
-        }
-        auto [it, inserted] = next_delta->try_emplace(pred, Relation(t.size()));
-        it->second.Insert(std::move(t));
-      }
-      return util::OkStatus();
-    };
-
     // Round 0: naive evaluation of every rule in the stratum.
     for (CompiledRule* r : stratum_rules) {
-      LB_RETURN_IF_ERROR(EvalRuleOnce(r, -1, nullptr, [&](Tuple t) {
-        return emit_into(r->head_pred, r->head_cols.size(), std::move(t),
-                         &delta);
-      }));
+      LB_RETURN_IF_ERROR(
+          RunRuleInto(r, -1, nullptr, limits, &total_tuples, &delta,
+                      /*stratum_new=*/nullptr));
     }
 
     // Recursive rounds.
@@ -895,10 +1061,9 @@ Status Evaluator::Run(const std::vector<CompiledRule*>& rules,
             }
           }
           if (!recursive) continue;
-          LB_RETURN_IF_ERROR(EvalRuleOnce(r, -1, nullptr, [&](Tuple t) {
-            return emit_into(r->head_pred, r->head_cols.size(), std::move(t),
-                             &next_delta);
-          }));
+          LB_RETURN_IF_ERROR(
+              RunRuleInto(r, -1, nullptr, limits, &total_tuples, &next_delta,
+                          /*stratum_new=*/nullptr));
           continue;
         }
         for (int pos : r->relation_positions) {
@@ -907,10 +1072,8 @@ Status Evaluator::Run(const std::vector<CompiledRule*>& rules,
           auto dit = delta.find(pred);
           if (dit == delta.end() || dit->second.empty()) continue;
           LB_RETURN_IF_ERROR(
-              EvalRuleOnce(r, pos, &dit->second, [&](Tuple t) {
-                return emit_into(r->head_pred, r->head_cols.size(),
-                                 std::move(t), &next_delta);
-              }));
+              RunRuleInto(r, pos, &dit->second, limits, &total_tuples,
+                          &next_delta, /*stratum_new=*/nullptr));
         }
       }
       delta = std::move(next_delta);
@@ -949,30 +1112,6 @@ Status Evaluator::RunIncremental(const std::vector<CompiledRule*>& rules,
     // Everything this stratum derives, for the benefit of higher strata.
     std::map<std::string, Relation> stratum_new;
 
-    auto emit_into = [&](const std::string& pred, size_t arity, Tuple t,
-                         std::map<std::string, Relation>* next_delta)
-        -> Status {
-      Relation* full = store_->GetOrCreate(pred, arity);
-      if (full->arity() != t.size()) {
-        return util::TypeError(util::StrCat("arity mismatch inserting into '",
-                                            pred, "'"));
-      }
-      if (full->Insert(t)) {
-        ++total_tuples;
-        if (total_tuples > limits.max_tuples) {
-          return util::Internal(
-              "fixpoint exceeded tuple budget (diverging program?)");
-        }
-        auto [sit, sfresh] = stratum_new.try_emplace(pred, Relation(t.size()));
-        (void)sfresh;
-        sit->second.Insert(t);
-        auto [it, fresh] = next_delta->try_emplace(pred, Relation(t.size()));
-        (void)fresh;
-        it->second.Insert(std::move(t));
-      }
-      return util::OkStatus();
-    };
-
     // Round 0: drive every rule once per changed body relation. Non-delta
     // positions read the full (already extended) store, so combinations of
     // several changed relations are covered; set semantics dedups the
@@ -987,10 +1126,8 @@ Status Evaluator::RunIncremental(const std::vector<CompiledRule*>& rules,
         const std::string& pred = r->body[static_cast<size_t>(pos)].pred;
         auto ait = accumulated.find(pred);
         if (ait == accumulated.end() || ait->second.empty()) continue;
-        LB_RETURN_IF_ERROR(EvalRuleOnce(r, pos, &ait->second, [&](Tuple t) {
-          return emit_into(r->head_pred, r->head_cols.size(), std::move(t),
-                           &delta);
-        }));
+        LB_RETURN_IF_ERROR(RunRuleInto(r, pos, &ait->second, limits,
+                                       &total_tuples, &delta, &stratum_new));
       }
     }
 
@@ -1008,20 +1145,23 @@ Status Evaluator::RunIncremental(const std::vector<CompiledRule*>& rules,
           if (!in_stratum(pred)) continue;
           auto dit = delta.find(pred);
           if (dit == delta.end() || dit->second.empty()) continue;
-          LB_RETURN_IF_ERROR(
-              EvalRuleOnce(r, pos, &dit->second, [&](Tuple t) {
-                return emit_into(r->head_pred, r->head_cols.size(),
-                                 std::move(t), &next_delta);
-              }));
+          LB_RETURN_IF_ERROR(RunRuleInto(r, pos, &dit->second, limits,
+                                         &total_tuples, &next_delta,
+                                         &stratum_new));
         }
       }
       delta = std::move(next_delta);
     }
 
+    // Stratum-new rows are disjoint from the rows already accumulated (they
+    // were new in the full store, which contains everything accumulated).
     for (auto& [pred, rel] : stratum_new) {
-      auto [it, fresh] = accumulated.try_emplace(pred, Relation(rel.arity()));
+      auto [it, fresh] =
+          accumulated.try_emplace(pred, Relation(rel.arity(), pool_));
       (void)fresh;
-      for (const Tuple& t : rel.rows()) it->second.Insert(t);
+      for (size_t i = 0; i < rel.size(); ++i) {
+        it->second.AppendUnchecked(rel.RowIds(i));
+      }
     }
   }
   return util::OkStatus();
@@ -1042,7 +1182,9 @@ Status Evaluator::EvalQueryUntil(CompiledRule* rule,
   ctx.delta_pos = -1;
   ctx.delta_rel = nullptr;
   ctx.order = &rule->order_full;
+  ctx.bindings.pool = pool_;
   ctx.bindings.EnsureSize(rule->vars.size());
+  ctx.probe_scratch.resize(ctx.order->size());
   bool stopped = false;
   ctx.on_solution = [&]() -> Status {
     if (!cb(ctx.bindings)) {

@@ -5,6 +5,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "datalog/analysis.h"
@@ -13,21 +14,47 @@
 #include "datalog/provenance.h"
 #include "datalog/relation.h"
 #include "datalog/unify.h"
+#include "datalog/value_pool.h"
 #include "util/status.h"
 
 namespace lbtrust::datalog {
 
-/// Name -> Relation map holding the visible database state.
+/// Name -> Relation map holding the visible database state. Hash-keyed
+/// (rule evaluation resolves relations by name only on the first touch per
+/// store generation — see CompiledLiteral's cache); every relation interns
+/// into the store's pool so ids are comparable across relations. Relation
+/// pointers are stable until Clear(), which bumps the generation so cached
+/// pointers self-invalidate.
 class RelationStore {
  public:
+  explicit RelationStore(ValuePool* pool = nullptr)
+      : pool_(pool != nullptr ? pool : ValuePool::Default()),
+        generation_(NextGeneration()) {}
+
   Relation* GetOrCreate(const std::string& name, size_t arity);
   Relation* Get(const std::string& name);
   const Relation* Get(const std::string& name) const;
-  std::map<std::string, Relation>& relations() { return rels_; }
-  const std::map<std::string, Relation>& relations() const { return rels_; }
+  std::unordered_map<std::string, Relation>& relations() { return rels_; }
+  const std::unordered_map<std::string, Relation>& relations() const {
+    return rels_;
+  }
+
+  /// Drops every relation and invalidates cached Relation pointers.
+  void Clear() {
+    rels_.clear();
+    generation_ = NextGeneration();
+  }
+
+  ValuePool* pool() const { return pool_; }
+  /// Unique across all stores and all Clear() epochs of one store.
+  uint64_t generation() const { return generation_; }
 
  private:
-  std::map<std::string, Relation> rels_;
+  static uint64_t NextGeneration();
+
+  ValuePool* pool_;
+  uint64_t generation_;
+  std::unordered_map<std::string, Relation> rels_;
 };
 
 /// One column of a compiled literal or head.
@@ -44,6 +71,14 @@ struct CompiledArg {
   int slot = -1;                ///< kVar
   Term term;                    ///< kPattern / kExpr (also kVar, for unify)
   std::vector<int> term_slots;  ///< slots of variables inside `term`
+
+  /// kConst probe cache: `constant` interned once per pool (CompileRule is
+  /// pool-agnostic; the evaluator fills this on first use and re-validates
+  /// against the pool *generation* — never reused, unlike addresses — so a
+  /// compiled rule stays usable with any workspace while its steady-state
+  /// probes never re-hash the constant).
+  mutable ValueId const_id;
+  mutable uint64_t const_pool_gen = 0;
 };
 
 struct CompiledLiteral {
@@ -53,6 +88,13 @@ struct CompiledLiteral {
   bool negated = false;         ///< for kBuiltin: negated builtin
   std::vector<CompiledArg> cols;
   const BuiltinDef* builtin = nullptr;
+
+  /// Relation-resolution cache: avoids the per-evaluation string-keyed map
+  /// walk. Valid while (store, generation) match; RelationStore::Clear()
+  /// bumps the generation, so stale pointers are never dereferenced.
+  mutable const RelationStore* cached_store = nullptr;
+  mutable uint64_t cached_gen = 0;
+  mutable Relation* cached_rel = nullptr;
 };
 
 /// A rule compiled against a builtin registry: variables interned to slots,
@@ -92,7 +134,10 @@ class Evaluator {
   /// witness per newly derived tuple (relational premises only).
   Evaluator(const BuiltinRegistry* builtins, RelationStore* store,
             ProvenanceStore* provenance = nullptr)
-      : builtins_(builtins), store_(store), provenance_(provenance) {}
+      : builtins_(builtins),
+        store_(store),
+        provenance_(provenance),
+        pool_(store->pool()) {}
 
   /// Runs all rules to fixpoint. The store must already be seeded with EDB
   /// facts (including facts of derived predicates). `naive` disables the
@@ -130,9 +175,15 @@ class Evaluator {
     Relation* delta_rel = nullptr;
     Bindings bindings;
     std::function<util::Status()> on_solution;
+    /// Per-order-position probe result scratch, reused across the rows a
+    /// position enumerates (a position is never re-entered concurrently).
+    std::vector<std::vector<uint32_t>> probe_scratch;
     /// When provenance is tracked: the relational rows matched so far.
     std::vector<std::pair<std::string, Tuple>>* premises = nullptr;
   };
+
+  /// Cached by-name relation resolution (see CompiledLiteral).
+  Relation* ResolveRelation(const CompiledLiteral& lit, size_t arity);
 
   util::Status Step(ExecContext* ctx, size_t oi);
   util::Status EvalRelation(ExecContext* ctx, size_t oi,
@@ -144,13 +195,28 @@ class Evaluator {
   util::Status EvalBuiltin(ExecContext* ctx, size_t oi,
                            const CompiledLiteral& lit);
 
-  util::Status EvalRuleOnce(CompiledRule* rule, int delta_pos,
-                            Relation* delta_rel,
-                            const std::function<util::Status(Tuple)>& emit);
+  /// `emit` receives the head row as rule->head_cols.size() interned ids
+  /// (valid only for the duration of the call).
+  util::Status EvalRuleOnce(
+      CompiledRule* rule, int delta_pos, Relation* delta_rel,
+      const std::function<util::Status(const ValueId*)>& emit);
+
+  /// Shared rule-evaluation driver for Run/RunIncremental: resolves the
+  /// head relation once (not per emitted tuple), evaluates the rule
+  /// (delta-seeded when pos >= 0), inserts every emission into the full
+  /// store — recording provenance when enabled — and appends tuples that
+  /// were new there to lazily created per-predicate outputs in
+  /// `next_delta` and (when non-null) `stratum_new`; the full-store
+  /// insert deduped, so the outputs take unchecked appends.
+  util::Status RunRuleInto(CompiledRule* rule, int pos, Relation* delta_rel,
+                           const Limits& limits, size_t* total_tuples,
+                           std::map<std::string, Relation>* next_delta,
+                           std::map<std::string, Relation>* stratum_new);
 
   const BuiltinRegistry* builtins_;
   RelationStore* store_;
   ProvenanceStore* provenance_;
+  ValuePool* pool_;
   /// Set while a rule is emitting (read by Run's insertion callback).
   const CompiledRule* emitting_rule_ = nullptr;
   const std::vector<std::pair<std::string, Tuple>>* emitting_premises_ =

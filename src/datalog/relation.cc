@@ -1,103 +1,303 @@
 #include "datalog/relation.h"
 
 #include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "util/strings.h"
 
 namespace lbtrust::datalog {
 
-bool Relation::Insert(Tuple t) {
-  auto [it, inserted] =
-      primary_.try_emplace(std::move(t), static_cast<uint32_t>(rows_.size()));
-  if (!inserted) return false;
-  rows_.push_back(it->first);
+namespace {
+
+/// Removes one occurrence of `value` from `ids` (swap-and-pop).
+void RemoveId(std::vector<uint32_t>* ids, uint32_t value) {
+  auto pos = std::find(ids->begin(), ids->end(), value);
+  if (pos != ids->end()) {
+    *pos = ids->back();
+    ids->pop_back();
+  }
+}
+
+}  // namespace
+
+uint64_t Relation::HashRow(const ValueId* row) const {
+  uint64_t h = 0x811C9DC5ULL;
+  for (size_t i = 0; i < arity_; ++i) h = util::HashCombine(h, row[i].Hash());
+  return h;
+}
+
+uint64_t Relation::HashProjected(const ValueId* row, uint64_t mask) const {
+  uint64_t h = 0x811C9DC5ULL;
+  for (size_t i = 0; i < arity_; ++i) {
+    if (mask & (uint64_t{1} << i)) h = util::HashCombine(h, row[i].Hash());
+  }
+  return h;
+}
+
+uint64_t Relation::HashKeySpan(const ValueId* key, size_t n) {
+  uint64_t h = 0x811C9DC5ULL;
+  for (size_t i = 0; i < n; ++i) h = util::HashCombine(h, key[i].Hash());
+  return h;
+}
+
+bool Relation::RowEquals(uint32_t row, const ValueId* ids) const {
+  // arity 0: the empty row equals itself (and memcmp must not see null).
+  if (arity_ == 0) return true;
+  return std::memcmp(RowIds(row), ids, arity_ * sizeof(ValueId)) == 0;
+}
+
+bool Relation::RowMatchesKey(uint32_t row, uint64_t mask,
+                             const ValueId* key) const {
+  const ValueId* r = RowIds(row);
+  size_t k = 0;
+  for (size_t i = 0; i < arity_; ++i) {
+    if (mask & (uint64_t{1} << i)) {
+      if (r[i] != key[k++]) return false;
+    }
+  }
+  return true;
+}
+
+// --- Primary set (open addressing) -----------------------------------------
+
+void Relation::GrowPrimary(size_t min_capacity) {
+  size_t cap = 16;
+  while (cap < min_capacity * 2) cap <<= 1;
+  primary_slots_.assign(cap, kEmptySlot);
+  primary_used_ = 0;
+  const size_t mask = cap - 1;
+  for (size_t i = 0; i < num_rows_; ++i) {
+    size_t slot = static_cast<size_t>(row_hash_[i]) & mask;
+    while (primary_slots_[slot] != kEmptySlot) slot = (slot + 1) & mask;
+    primary_slots_[slot] = static_cast<uint32_t>(i);
+    ++primary_used_;
+  }
+}
+
+size_t Relation::FindPrimarySlot(uint32_t row_id) const {
+  const size_t mask = primary_slots_.size() - 1;
+  size_t slot = static_cast<size_t>(row_hash_[row_id]) & mask;
+  while (primary_slots_[slot] != row_id) slot = (slot + 1) & mask;
+  return slot;
+}
+
+bool Relation::InsertIds(const ValueId* row) {
+  assert(!append_only_ && "checked insert into an AppendUnchecked relation");
+  if ((primary_used_ + 1) * 4 >= primary_slots_.size() * 3) {
+    GrowPrimary(num_rows_ + 1);
+  }
+  const uint64_t h = HashRow(row);
+  const size_t mask = primary_slots_.size() - 1;
+  size_t slot = static_cast<size_t>(h) & mask;
+  size_t insert_at = SIZE_MAX;
+  for (;;) {
+    uint32_t occupant = primary_slots_[slot];
+    if (occupant == kEmptySlot) break;
+    if (occupant == kTombstone) {
+      if (insert_at == SIZE_MAX) insert_at = slot;
+    } else if (row_hash_[occupant] == h && RowEquals(occupant, row)) {
+      return false;
+    }
+    slot = (slot + 1) & mask;
+  }
+  if (insert_at == SIZE_MAX) {
+    insert_at = slot;
+    ++primary_used_;  // consumed a fresh empty slot (tombstone reuse is free)
+  }
+  const uint32_t id = static_cast<uint32_t>(num_rows_++);
+  primary_slots_[insert_at] = id;
+  row_hash_.push_back(h);
+  if (arity_ > 0) data_.insert(data_.end(), row, row + arity_);
   // Existing indexes are extended lazily at next lookup (built_upto).
   return true;
 }
 
-bool Relation::Contains(const Tuple& t) const { return primary_.count(t) > 0; }
+void Relation::AppendUnchecked(const ValueId* row) {
+  append_only_ = true;
+  ++num_rows_;
+  row_hash_.push_back(0);  // never consulted: no primary entry exists
+  if (arity_ > 0) data_.insert(data_.end(), row, row + arity_);
+}
 
-bool Relation::Erase(const Tuple& t) {
-  auto it = primary_.find(t);
-  if (it == primary_.end()) return false;
-  const uint32_t idx = it->second;
-  const uint32_t last = static_cast<uint32_t>(rows_.size()) - 1;
-  // Patch every built index before touching rows_: remove the erased row id
-  // and re-home the row that swap-and-pop moves from `last` to `idx`. An
-  // index only knows rows below built_upto; rows at or above it are picked
-  // up by the next ExtendIndex.
-  for (auto& [mask, index] : indexes_) {
+bool Relation::Insert(Tuple t) {
+  if (t.size() != arity_) return false;  // boundary guard: no OOB stride
+  IdTuple ids = InternTuple(pool_, t);
+  return InsertIds(ids.data());
+}
+
+bool Relation::ContainsIds(const ValueId* row) const {
+  if (primary_slots_.empty()) return false;
+  const uint64_t h = HashRow(row);
+  const size_t mask = primary_slots_.size() - 1;
+  size_t slot = static_cast<size_t>(h) & mask;
+  for (;;) {
+    uint32_t occupant = primary_slots_[slot];
+    if (occupant == kEmptySlot) return false;
+    if (occupant != kTombstone && row_hash_[occupant] == h &&
+        RowEquals(occupant, row)) {
+      return true;
+    }
+    slot = (slot + 1) & mask;
+  }
+}
+
+bool Relation::Contains(const Tuple& t) const {
+  if (t.size() != arity_) return false;
+  IdTuple ids;
+  if (!ProjectKey(t, &ids)) return false;
+  return ContainsIds(ids.data());
+}
+
+bool Relation::EraseIds(const ValueId* row) {
+  assert(!append_only_ && "checked erase from an AppendUnchecked relation");
+  if (primary_slots_.empty()) return false;
+  const uint64_t h = HashRow(row);
+  const size_t pmask = primary_slots_.size() - 1;
+  size_t slot = static_cast<size_t>(h) & pmask;
+  uint32_t idx = kEmptySlot;
+  for (;;) {
+    uint32_t occupant = primary_slots_[slot];
+    if (occupant == kEmptySlot) return false;
+    if (occupant != kTombstone && row_hash_[occupant] == h &&
+        RowEquals(occupant, row)) {
+      idx = occupant;
+      break;
+    }
+    slot = (slot + 1) & pmask;
+  }
+
+  const uint32_t last = static_cast<uint32_t>(num_rows_) - 1;
+  const ValueId* moved = RowIds(last);
+  // Patch every built index before touching row storage: remove the erased
+  // row id and re-home the row that swap-and-pop moves from `last` to
+  // `idx`. An index only knows rows below built_upto; rows at or above it
+  // are picked up by the next ExtendIndex.
+  for (auto& [imask, index] : indexes_) {
     const bool erased_indexed = index.built_upto > idx;
     const bool moved_indexed = index.built_upto > last;
     if (erased_indexed) {
-      auto bucket = index.map.find(Project(t, mask));
+      auto bucket = index.map.find(HashProjected(row, imask));
       if (bucket != index.map.end()) {
-        auto& ids = bucket->second;
-        auto pos = std::find(ids.begin(), ids.end(), idx);
-        if (pos != ids.end()) {
-          *pos = ids.back();
-          ids.pop_back();
-        }
-        if (ids.empty()) index.map.erase(bucket);
+        RemoveId(&bucket->second, idx);
+        if (bucket->second.empty()) index.map.erase(bucket);
       }
     }
     if (idx != last) {
-      const Tuple& moved = rows_[last];
+      uint64_t mh = HashProjected(moved, imask);
       if (moved_indexed) {
-        auto& ids = index.map[Project(moved, mask)];
-        auto pos = std::find(ids.begin(), ids.end(), last);
-        if (pos != ids.end()) *pos = idx;
+        auto bucket = index.map.find(mh);
+        if (bucket != index.map.end()) {
+          auto pos =
+              std::find(bucket->second.begin(), bucket->second.end(), last);
+          if (pos != bucket->second.end()) *pos = idx;
+        }
       } else if (erased_indexed) {
         // The moved row lands below built_upto without ever having been
         // indexed; index it now since ExtendIndex will not revisit idx.
-        index.map[Project(moved, mask)].push_back(idx);
+        index.map[mh].push_back(idx);
       }
     }
-    if (index.built_upto > rows_.size() - 1) {
-      index.built_upto = rows_.size() - 1;
+    if (index.built_upto > last) index.built_upto = last;
+  }
+
+  primary_slots_[slot] = kTombstone;
+  if (idx != last) {
+    // Re-home `last` under its (unchanged) hash, then move its storage.
+    primary_slots_[FindPrimarySlot(last)] = idx;
+    row_hash_[idx] = row_hash_[last];
+    if (arity_ > 0) {
+      std::memcpy(data_.data() + size_t{idx} * arity_, moved,
+                  arity_ * sizeof(ValueId));
     }
   }
-  primary_.erase(it);
-  if (idx != last) {
-    rows_[idx] = std::move(rows_[last]);
-    primary_[rows_[idx]] = idx;
-  }
-  rows_.pop_back();
+  row_hash_.pop_back();
+  data_.resize(data_.size() - arity_);
+  --num_rows_;
   return true;
 }
 
+bool Relation::Erase(const Tuple& t) {
+  if (t.size() != arity_) return false;
+  IdTuple ids;
+  if (!ProjectKey(t, &ids)) return false;
+  return EraseIds(ids.data());
+}
+
 void Relation::Clear() {
-  rows_.clear();
-  primary_.clear();
+  num_rows_ = 0;
+  append_only_ = false;
+  data_.clear();
+  primary_slots_.clear();
+  row_hash_.clear();
+  primary_used_ = 0;
   indexes_.clear();
 }
 
-Tuple Relation::Project(const Tuple& row, uint64_t mask) {
-  Tuple key;
-  key.reserve(static_cast<size_t>(__builtin_popcountll(mask)));
-  for (size_t i = 0; i < row.size(); ++i) {
-    if (mask & (uint64_t{1} << i)) key.push_back(row[i]);
-  }
-  return key;
-}
+// --- Mask indexes -----------------------------------------------------------
 
 void Relation::ExtendIndex(uint64_t mask, Index* index) const {
-  for (size_t i = index->built_upto; i < rows_.size(); ++i) {
-    index->map[Project(rows_[i], mask)].push_back(static_cast<uint32_t>(i));
+  for (size_t i = index->built_upto; i < num_rows_; ++i) {
+    index->map[HashProjected(RowIds(i), mask)].push_back(
+        static_cast<uint32_t>(i));
   }
-  index->built_upto = rows_.size();
+  index->built_upto = num_rows_;
 }
 
-const std::vector<uint32_t>& Relation::Lookup(uint64_t mask,
-                                              const Tuple& key) const {
-  static const std::vector<uint32_t> kEmpty;
+void Relation::LookupIds(uint64_t mask, const ValueId* key,
+                         std::vector<uint32_t>* out) const {
   Index& index = indexes_[mask];
   ExtendIndex(mask, &index);
-  auto it = index.map.find(key);
-  return it == index.map.end() ? kEmpty : it->second;
+  auto it = index.map.find(
+      HashKeySpan(key, static_cast<size_t>(__builtin_popcountll(mask))));
+  if (it == index.map.end()) return;
+  for (uint32_t id : it->second) {
+    if (RowMatchesKey(id, mask, key)) out->push_back(id);
+  }
+}
+
+bool Relation::MatchesIds(uint64_t mask, const ValueId* key) const {
+  if (mask == 0) return num_rows_ > 0;
+  Index& index = indexes_[mask];
+  ExtendIndex(mask, &index);
+  auto it = index.map.find(
+      HashKeySpan(key, static_cast<size_t>(__builtin_popcountll(mask))));
+  if (it == index.map.end()) return false;
+  for (uint32_t id : it->second) {
+    if (RowMatchesKey(id, mask, key)) return true;
+  }
+  return false;
+}
+
+bool Relation::ProjectKey(const Tuple& key, IdTuple* out) const {
+  out->reserve(key.size());
+  for (const Value& v : key) {
+    ValueId id;
+    if (!pool_->Find(v, &id)) return false;
+    out->push_back(id);
+  }
+  return true;
+}
+
+std::vector<uint32_t> Relation::Lookup(uint64_t mask, const Tuple& key) const {
+  std::vector<uint32_t> out;
+  if (key.size() != static_cast<size_t>(__builtin_popcountll(mask))) {
+    return out;  // boundary guard: key must cover exactly the bound columns
+  }
+  IdTuple ids;
+  if (!ProjectKey(key, &ids)) return out;
+  LookupIds(mask, ids.data(), &out);
+  return out;
 }
 
 bool Relation::Matches(uint64_t mask, const Tuple& key) const {
-  if (mask == 0) return !rows_.empty();
-  return !Lookup(mask, key).empty();
+  if (mask == 0) return num_rows_ > 0;
+  if (key.size() != static_cast<size_t>(__builtin_popcountll(mask))) {
+    return false;
+  }
+  IdTuple ids;
+  if (!ProjectKey(key, &ids)) return false;
+  return MatchesIds(mask, ids.data());
 }
 
 }  // namespace lbtrust::datalog

@@ -6,52 +6,120 @@
 #include <vector>
 
 #include "datalog/value.h"
+#include "datalog/value_pool.h"
 
 namespace lbtrust::datalog {
 
-/// Set-semantics tuple store with lazily built, incrementally extended hash
-/// indexes keyed by bound-column masks. The evaluator asks for "all rows
+/// Set-semantics tuple store over interned values. Rows live in one flat,
+/// arity-strided `ValueId` buffer; the primary set and the lazily built,
+/// incrementally extended per-mask hash indexes key on 64-bit hashes of id
+/// spans (candidates are verified with id compares, so correctness never
+/// depends on hash collision freedom). The evaluator asks for "all rows
 /// whose columns {i: mask bit i set} equal this key"; the first such query
 /// builds the index, later inserts extend it on demand.
+///
+/// The `Tuple`-taking methods are the boundary API: they intern (inserts)
+/// or probe the pool without inserting (lookups), so a lookup for a value
+/// the pool has never seen is a guaranteed miss instead of pool growth.
+/// The `...Ids` methods are the engine hot path; their ids MUST come from
+/// this relation's pool.
 class Relation {
  public:
-  explicit Relation(size_t arity) : arity_(arity) {}
+  /// `pool == nullptr` uses the process-wide ValuePool::Default() (for
+  /// standalone relations in tests and tools); the engine always passes a
+  /// workspace-scoped pool so ids stay comparable across its relations.
+  explicit Relation(size_t arity, ValuePool* pool = nullptr)
+      : arity_(arity), pool_(pool != nullptr ? pool : ValuePool::Default()) {}
 
   size_t arity() const { return arity_; }
-  size_t size() const { return rows_.size(); }
-  bool empty() const { return rows_.empty(); }
+  size_t size() const { return num_rows_; }
+  bool empty() const { return num_rows_ == 0; }
+  ValuePool* pool() const { return pool_; }
 
   /// Returns true if the tuple was new.
   bool Insert(Tuple t);
+  bool InsertIds(const ValueId* row);
+  /// Appends a row WITHOUT the duplicate check or primary-set bookkeeping.
+  /// For delta/seed relations whose uniqueness the caller already
+  /// guarantees (the evaluator only feeds them rows that were new in the
+  /// full store). Contains/Erase are unreliable on such relations; scans
+  /// and mask lookups (which read only row storage) work normally.
+  void AppendUnchecked(const ValueId* row);
   bool Contains(const Tuple& t) const;
+  bool ContainsIds(const ValueId* row) const;
   /// Removes a tuple (swap-and-pop; built indexes are patched in place, so
   /// removal cost is O(indexes), not O(rows * indexes)). Returns true if
   /// present.
   bool Erase(const Tuple& t);
+  bool EraseIds(const ValueId* row);
   void Clear();
 
-  const std::vector<Tuple>& rows() const { return rows_; }
+  /// The ids of row `i` (arity() consecutive entries). Invalidated by
+  /// Insert/Erase/Clear.
+  const ValueId* RowIds(size_t i) const { return data_.data() + i * arity_; }
+  /// Materializes row `i` as a boundary tuple.
+  Tuple RowTuple(size_t i) const {
+    return MaterializeTuple(*pool_, RowIds(i), arity_);
+  }
+  Value ValueAt(size_t row, size_t col) const {
+    return pool_->Get(RowIds(row)[col]);
+  }
 
-  /// Row indexes matching `key` on the columns set in `mask` (LSB =
-  /// column 0). `key` holds only the bound columns, in column order.
-  /// mask == 0 is invalid (iterate rows() instead).
-  const std::vector<uint32_t>& Lookup(uint64_t mask, const Tuple& key) const;
+  /// Appends the row indexes matching `key` on the columns set in `mask`
+  /// (LSB = column 0) to `out`. `key` holds only the bound columns, in
+  /// column order — callers keep a scratch buffer, so a probe allocates
+  /// nothing beyond `out`'s growth. mask == 0 is invalid (scan instead).
+  void LookupIds(uint64_t mask, const ValueId* key,
+                 std::vector<uint32_t>* out) const;
 
   /// True if at least one row matches (wildcard semantics for negation).
+  /// mask == 0 asks "any row at all?".
+  bool MatchesIds(uint64_t mask, const ValueId* key) const;
+
+  /// Boundary conveniences over the id probes (tests, tools).
+  std::vector<uint32_t> Lookup(uint64_t mask, const Tuple& key) const;
   bool Matches(uint64_t mask, const Tuple& key) const;
 
  private:
   struct Index {
-    std::unordered_map<Tuple, std::vector<uint32_t>, TupleHash> map;
+    /// key-span hash -> row ids whose projection hashes there.
+    std::unordered_map<uint64_t, std::vector<uint32_t>> map;
     size_t built_upto = 0;
   };
 
+  static constexpr uint32_t kEmptySlot = 0xFFFFFFFF;
+  static constexpr uint32_t kTombstone = 0xFFFFFFFE;
+
+  uint64_t HashRow(const ValueId* row) const;
+  uint64_t HashProjected(const ValueId* row, uint64_t mask) const;
+  static uint64_t HashKeySpan(const ValueId* key, size_t n);
+  bool RowEquals(uint32_t row, const ValueId* ids) const;
+  bool RowMatchesKey(uint32_t row, uint64_t mask, const ValueId* key) const;
   void ExtendIndex(uint64_t mask, Index* index) const;
-  static Tuple Project(const Tuple& row, uint64_t mask);
+  /// Projects the boundary key into ids via pool Find; false when some key
+  /// value was never interned (no row can match).
+  bool ProjectKey(const Tuple& key, IdTuple* out) const;
+
+  /// Open-addressing primary set helpers.
+  void GrowPrimary(size_t min_capacity);
+  /// Slot index holding `row_id` (which must be present), located via its
+  /// cached hash.
+  size_t FindPrimarySlot(uint32_t row_id) const;
 
   size_t arity_;
-  std::vector<Tuple> rows_;
-  std::unordered_map<Tuple, uint32_t, TupleHash> primary_;
+  ValuePool* pool_;
+  size_t num_rows_ = 0;
+  /// Set by the first AppendUnchecked: the relation has no primary-set
+  /// bookkeeping and must never see checked mutations again (asserted in
+  /// InsertIds/EraseIds — mixing would silently break set semantics).
+  bool append_only_ = false;
+  std::vector<ValueId> data_;  ///< arity-strided row storage
+  /// Set membership: open-addressing table of row ids (linear probing,
+  /// power-of-two capacity, tombstoned deletes) — one flat allocation, no
+  /// per-row nodes. Empty for AppendUnchecked-only (delta) relations.
+  std::vector<uint32_t> primary_slots_;
+  std::vector<uint64_t> row_hash_;  ///< cached HashRow per row
+  size_t primary_used_ = 0;         ///< occupied slots incl. tombstones
   mutable std::unordered_map<uint64_t, Index> indexes_;
 };
 

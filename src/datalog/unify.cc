@@ -19,7 +19,7 @@ int VarTable::Find(const std::string& name) const {
 }
 
 void UndoTrail(const Trail& trail, Bindings* b) {
-  for (int slot : trail) b->slots[slot] = Value();
+  for (int slot : trail) b->slots[slot] = ValueId();
 }
 
 Value ValueFromTerm(const Term& t) {
@@ -41,8 +41,9 @@ bool BindVar(const std::string& name, const Value& value, VarTable* vars,
              Bindings* b, Trail* trail) {
   int slot = vars->Intern(name);
   b->EnsureSize(vars->size());
-  if (b->IsBound(slot)) return b->slots[slot] == value;
-  b->slots[slot] = value;
+  ValueId id = b->pool->Intern(value);
+  if (b->IsBound(slot)) return b->slots[slot] == id;
+  b->slots[slot] = id;
   trail->push_back(slot);
   return true;
 }
@@ -270,7 +271,7 @@ Term SubstituteTerm(const Term& t, const VarTable& vars, const Bindings& b) {
   switch (t.kind) {
     case Term::Kind::kVariable: {
       int slot = vars.Find(t.var);
-      if (slot >= 0 && b.IsBound(slot)) return TermFromValue(b.slots[slot]);
+      if (slot >= 0 && b.IsBound(slot)) return TermFromValue(b.Get(slot));
       return t;
     }
     case Term::Kind::kExpr: {
@@ -317,23 +318,27 @@ Atom SubstituteAtom(const Atom& a, const VarTable& vars, const Bindings& b) {
   out.star = a.star;
   if (a.meta_atom && !a.star) {
     int slot = vars.Find(a.predicate);
-    if (slot >= 0 && b.IsBound(slot) &&
-        b.slots[slot].kind() == ValueKind::kCode) {
-      const CodeValue& code = b.slots[slot].AsCode();
-      if (code.what == CodeValue::What::kAtom) return CloneAtom(*code.atom);
-      if (code.what == CodeValue::What::kRule && code.rule->IsFact() &&
-          code.rule->heads.size() == 1) {
-        return CloneAtom(code.rule->heads[0]);
+    if (slot >= 0 && b.IsBound(slot)) {
+      Value bound = b.Get(slot);
+      if (bound.kind() == ValueKind::kCode) {
+        const CodeValue& code = bound.AsCode();
+        if (code.what == CodeValue::What::kAtom) return CloneAtom(*code.atom);
+        if (code.what == CodeValue::What::kRule && code.rule->IsFact() &&
+            code.rule->heads.size() == 1) {
+          return CloneAtom(code.rule->heads[0]);
+        }
       }
     }
     return out;  // unbound meta atom survives as-is
   }
   if (a.meta_functor) {
     int slot = vars.Find(a.predicate);
-    if (slot >= 0 && b.IsBound(slot) &&
-        b.slots[slot].kind() == ValueKind::kSymbol) {
-      out.predicate = b.slots[slot].AsText();
-      out.meta_functor = false;
+    if (slot >= 0 && b.IsBound(slot)) {
+      Value bound = b.Get(slot);
+      if (bound.kind() == ValueKind::kSymbol) {
+        out.predicate = bound.AsText();
+        out.meta_functor = false;
+      }
     }
   }
   if (a.partition) {
@@ -343,13 +348,15 @@ Atom SubstituteAtom(const Atom& a, const VarTable& vars, const Bindings& b) {
   for (const Term& t : a.args) {
     if (t.kind == Term::Kind::kStarVar) {
       int slot = vars.Find(StarKey(t.var));
-      if (slot >= 0 && b.IsBound(slot) &&
-          b.slots[slot].kind() == ValueKind::kCode &&
-          b.slots[slot].AsCode().what == CodeValue::What::kTermList) {
-        for (const Term& spliced : *b.slots[slot].AsCode().terms) {
-          out.args.push_back(CloneTerm(spliced));
+      if (slot >= 0 && b.IsBound(slot)) {
+        Value bound = b.Get(slot);
+        if (bound.kind() == ValueKind::kCode &&
+            bound.AsCode().what == CodeValue::What::kTermList) {
+          for (const Term& spliced : *bound.AsCode().terms) {
+            out.args.push_back(CloneTerm(spliced));
+          }
+          continue;
         }
-        continue;
       }
       out.args.push_back(t);
       continue;
@@ -367,13 +374,16 @@ Rule SubstituteRule(const Rule& r, const VarTable& vars, const Bindings& b) {
   for (const Literal& l : r.body) {
     if (l.atom.star) {
       int slot = vars.Find(StarKey(l.atom.predicate));
-      if (slot >= 0 && b.IsBound(slot) &&
-          b.slots[slot].kind() == ValueKind::kCode &&
-          b.slots[slot].AsCode().what == CodeValue::What::kLiteralList) {
-        for (const Literal& spliced : *b.slots[slot].AsCode().literals) {
-          out.body.push_back(Literal{CloneAtom(spliced.atom), spliced.negated});
+      if (slot >= 0 && b.IsBound(slot)) {
+        Value bound = b.Get(slot);
+        if (bound.kind() == ValueKind::kCode &&
+            bound.AsCode().what == CodeValue::What::kLiteralList) {
+          for (const Literal& spliced : *bound.AsCode().literals) {
+            out.body.push_back(
+                Literal{CloneAtom(spliced.atom), spliced.negated});
+          }
+          continue;
         }
-        continue;
       }
     }
     out.body.push_back(Literal{SubstituteAtom(l.atom, vars, b), l.negated});
@@ -409,7 +419,7 @@ util::Result<Value> EvalGroundTerm(const Term& t, const VarTable& vars,
         return util::UnsafeProgram(
             util::StrCat("unbound variable '", t.var, "'"));
       }
-      return b.slots[slot];
+      return b.Get(slot);
     }
     case Term::Kind::kConstant:
       if (t.value.kind() == ValueKind::kCode) {

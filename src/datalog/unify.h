@@ -7,6 +7,7 @@
 
 #include "datalog/ast.h"
 #include "datalog/value.h"
+#include "datalog/value_pool.h"
 #include "util/status.h"
 
 namespace lbtrust::datalog {
@@ -30,9 +31,13 @@ class VarTable {
   std::unordered_map<std::string, int> index_;
 };
 
-/// Slot-indexed bindings; a default-constructed (nil) Value means unbound.
+/// Slot-indexed bindings over interned values; a nil ValueId (the default)
+/// means unbound. Slots hold 8-byte ids so binding, comparing and copying
+/// in join loops never touch shared_ptr payloads; `Get`/`Set` bridge to
+/// full Values at pattern/builtin boundaries through the attached pool.
 struct Bindings {
-  std::vector<Value> slots;
+  ValuePool* pool = ValuePool::Default();
+  std::vector<ValueId> slots;
 
   void EnsureSize(size_t n) {
     if (slots.size() < n) slots.resize(n);
@@ -40,6 +45,10 @@ struct Bindings {
   bool IsBound(int slot) const {
     return slot < static_cast<int>(slots.size()) && !slots[slot].is_nil();
   }
+  /// Materializes the bound value (callers must check IsBound first).
+  Value Get(int slot) const { return pool->Get(slots[slot]); }
+  /// Interns and binds (no trail bookkeeping — evaluator-internal).
+  void Set(int slot, const Value& v) { slots[slot] = pool->Intern(v); }
 };
 
 /// Slots bound during a unification attempt; unwound on backtrack.

@@ -1,0 +1,156 @@
+#include "datalog/value_pool.h"
+
+#include <atomic>
+#include <cstring>
+
+namespace lbtrust::datalog {
+
+ValuePool::ValuePool() {
+  static std::atomic<uint64_t> counter{0};
+  generation_ = counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+namespace {
+
+/// IEEE bit pattern with -0.0 normalized to +0.0 so that ids preserve
+/// `Value::operator==` on doubles.
+uint64_t DoubleBits(double d) {
+  if (d == 0) d = 0;
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+/// Tag an inline-representable value, or report the pooled tag to use.
+bool TryInline(const Value& v, ValueId* out, ValueId::Tag* pooled_tag) {
+  switch (v.kind()) {
+    case ValueKind::kNil:
+      *out = ValueId::Nil();
+      return true;
+    case ValueKind::kBool:
+      *out = ValueId::Bool(v.AsBool());
+      return true;
+    case ValueKind::kInt:
+      if (ValueId::IntFitsInline(v.AsInt())) {
+        *out = ValueId::InlineInt(v.AsInt());
+        return true;
+      }
+      *pooled_tag = ValueId::kTagPooledInt;
+      return false;
+    case ValueKind::kDouble: {
+      // NaN never compares equal to anything (including itself) under
+      // Value::operator==; inline-encoding it would make two NaN ids
+      // bit-equal and break "id equality iff value equality". Pool it
+      // instead — and InternSlow/Find below never dedup or resolve NaN,
+      // so every NaN intern is a fresh, never-equal id, exactly mirroring
+      // the seed engine's equality semantics.
+      if (v.AsDouble() != v.AsDouble()) {
+        *pooled_tag = ValueId::kTagPooledDouble;
+        return false;
+      }
+      uint64_t bits = DoubleBits(v.AsDouble());
+      if ((bits & 0xFF) == 0) {
+        *out = ValueId::FromBits(
+            (uint64_t{ValueId::kTagInlineDouble} << ValueId::kPayloadBits) |
+            (bits >> 8));
+        return true;
+      }
+      *pooled_tag = ValueId::kTagPooledDouble;
+      return false;
+    }
+    case ValueKind::kString:
+      *pooled_tag = ValueId::kTagString;
+      return false;
+    case ValueKind::kSymbol:
+      *pooled_tag = ValueId::kTagSymbol;
+      return false;
+    case ValueKind::kCode:
+      *pooled_tag = ValueId::kTagCode;
+      return false;
+    case ValueKind::kPart:
+      *pooled_tag = ValueId::kTagPart;
+      return false;
+  }
+  *out = ValueId::Nil();
+  return true;
+}
+
+}  // namespace
+
+ValueId ValuePool::Intern(const Value& v) {
+  ValueId inline_id;
+  ValueId::Tag tag = ValueId::kTagNil;
+  if (TryInline(v, &inline_id, &tag)) return inline_id;
+  return InternSlow(v, tag);
+}
+
+ValueId ValuePool::InternSlow(const Value& v, ValueId::Tag tag) {
+  uint64_t h = v.Hash();
+  std::vector<uint32_t>& bucket = dedup_[h];
+  for (uint32_t index : bucket) {
+    if (values_[index] == v) return ValueId::Pooled(tag, index);
+  }
+  uint32_t index = static_cast<uint32_t>(values_.size());
+  values_.push_back(v);
+  bucket.push_back(index);
+  return ValueId::Pooled(tag, index);
+}
+
+bool ValuePool::Find(const Value& v, ValueId* out) const {
+  ValueId::Tag tag = ValueId::kTagNil;
+  if (TryInline(v, out, &tag)) return true;
+  auto it = dedup_.find(v.Hash());
+  if (it == dedup_.end()) return false;
+  for (uint32_t index : it->second) {
+    if (values_[index] == v) {
+      *out = ValueId::Pooled(tag, index);
+      return true;
+    }
+  }
+  return false;
+}
+
+Value ValuePool::Get(ValueId id) const {
+  switch (id.tag()) {
+    case ValueId::kTagNil:
+      return Value();
+    case ValueId::kTagFalse:
+      return Value::Bool(false);
+    case ValueId::kTagTrue:
+      return Value::Bool(true);
+    case ValueId::kTagInlineInt: {
+      // Sign-extend the 56-bit payload.
+      int64_t v = static_cast<int64_t>(id.payload() << 8) >> 8;
+      return Value::Int(v);
+    }
+    case ValueId::kTagInlineDouble: {
+      uint64_t bits = id.payload() << 8;
+      double d;
+      std::memcpy(&d, &bits, sizeof(d));
+      return Value::Double(d);
+    }
+    default:
+      return values_[static_cast<size_t>(id.payload())];
+  }
+}
+
+ValuePool* ValuePool::Default() {
+  static ValuePool* pool = new ValuePool();
+  return pool;
+}
+
+IdTuple InternTuple(ValuePool* pool, const Tuple& t) {
+  IdTuple out;
+  out.reserve(t.size());
+  for (const Value& v : t) out.push_back(pool->Intern(v));
+  return out;
+}
+
+Tuple MaterializeTuple(const ValuePool& pool, const ValueId* row, size_t n) {
+  Tuple out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(pool.Get(row[i]));
+  return out;
+}
+
+}  // namespace lbtrust::datalog

@@ -1,0 +1,186 @@
+#ifndef LBTRUST_DATALOG_VALUE_POOL_H_
+#define LBTRUST_DATALOG_VALUE_POOL_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "datalog/value.h"
+
+namespace lbtrust::datalog {
+
+/// A trivially-copyable 8-byte handle for an interned Value. The engine's
+/// storage and evaluation layers operate entirely on ids; full `Value`s are
+/// materialized only at the API boundary (builtins, arithmetic, aggregates,
+/// dump, wire).
+///
+/// Layout: the top byte is a tag, the low 56 bits are the payload.
+///
+///   tag  payload
+///   0    0                nil (a default-constructed id; also "unbound")
+///   1    0                bool false
+///   2    0                bool true
+///   3    56-bit int       kInt whose value fits 56-bit two's complement
+///   4    double bits>>8   kDouble whose IEEE bit pattern has a zero low
+///                         byte (covers ints-as-doubles and short decimals)
+///   5..  pool index       kInt / kDouble (rare wide cases), kString,
+///                         kSymbol, kCode, kPart
+///
+/// Within one ValuePool, interning is canonical: two ids are bit-equal iff
+/// the Values they denote compare equal (code and part values compare by
+/// canonical printed form, exactly as `Value::operator==`). Ids from
+/// different pools must never be mixed; `Relation` enforces this by
+/// interning at its boundary API.
+class ValueId {
+ public:
+  constexpr ValueId() = default;
+
+  enum Tag : uint8_t {
+    kTagNil = 0,
+    kTagFalse = 1,
+    kTagTrue = 2,
+    kTagInlineInt = 3,
+    kTagInlineDouble = 4,
+    kTagPooledInt = 5,
+    kTagPooledDouble = 6,
+    kTagString = 7,
+    kTagSymbol = 8,
+    kTagCode = 9,
+    kTagPart = 10,
+  };
+
+  static constexpr uint64_t kPayloadBits = 56;
+  static constexpr uint64_t kPayloadMask = (uint64_t{1} << kPayloadBits) - 1;
+
+  static constexpr ValueId Nil() { return ValueId(); }
+  static constexpr ValueId Bool(bool v) {
+    return FromBits(uint64_t{v ? kTagTrue : kTagFalse} << kPayloadBits);
+  }
+  /// True iff `v` survives the 56-bit round trip (sign-extended). The
+  /// left shift happens in unsigned arithmetic (shifting a negative value
+  /// is UB); the arithmetic right shift restores the sign.
+  static constexpr bool IntFitsInline(int64_t v) {
+    return (static_cast<int64_t>(static_cast<uint64_t>(v)
+                                 << (64 - kPayloadBits)) >>
+            (64 - kPayloadBits)) == v;
+  }
+  static constexpr ValueId InlineInt(int64_t v) {
+    return FromBits((uint64_t{kTagInlineInt} << kPayloadBits) |
+                    (static_cast<uint64_t>(v) & kPayloadMask));
+  }
+  static constexpr ValueId FromBits(uint64_t bits) {
+    ValueId id;
+    id.bits_ = bits;
+    return id;
+  }
+  static constexpr ValueId Pooled(Tag tag, uint32_t index) {
+    return FromBits((uint64_t{tag} << kPayloadBits) | index);
+  }
+
+  constexpr uint64_t bits() const { return bits_; }
+  constexpr Tag tag() const {
+    return static_cast<Tag>(bits_ >> kPayloadBits);
+  }
+  constexpr uint64_t payload() const { return bits_ & kPayloadMask; }
+  constexpr bool is_nil() const { return bits_ == 0; }
+  constexpr bool is_pooled() const { return tag() >= kTagPooledInt; }
+
+  ValueKind kind() const {
+    switch (tag()) {
+      case kTagNil: return ValueKind::kNil;
+      case kTagFalse:
+      case kTagTrue: return ValueKind::kBool;
+      case kTagInlineInt:
+      case kTagPooledInt: return ValueKind::kInt;
+      case kTagInlineDouble:
+      case kTagPooledDouble: return ValueKind::kDouble;
+      case kTagString: return ValueKind::kString;
+      case kTagSymbol: return ValueKind::kSymbol;
+      case kTagCode: return ValueKind::kCode;
+      case kTagPart: return ValueKind::kPart;
+    }
+    return ValueKind::kNil;
+  }
+
+  /// splitmix64 finalizer over the raw bits: uniformly spreads the tag and
+  /// small inline payloads that dominate real workloads.
+  uint64_t Hash() const {
+    uint64_t x = bits_ + 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+  }
+
+  friend constexpr bool operator==(ValueId a, ValueId b) {
+    return a.bits_ == b.bits_;
+  }
+  friend constexpr bool operator!=(ValueId a, ValueId b) {
+    return a.bits_ != b.bits_;
+  }
+  /// Bit order — NOT the Value total order; use it only for canonical
+  /// container keys (dedup), never for user-visible ordering.
+  friend constexpr bool operator<(ValueId a, ValueId b) {
+    return a.bits_ < b.bits_;
+  }
+
+ private:
+  uint64_t bits_ = 0;
+};
+
+static_assert(sizeof(ValueId) == 8, "ValueId must stay an 8-byte handle");
+
+/// A row of interned values (the engine-internal mirror of `Tuple`).
+using IdTuple = std::vector<ValueId>;
+
+/// Deduplicating value store. One pool per Workspace (plus a process-wide
+/// default for standalone Relations); NOT thread-safe — a pool and all
+/// relations over it belong to one evaluation thread, which is exactly the
+/// unit future sharding will distribute.
+class ValuePool {
+ public:
+  ValuePool();
+  ValuePool(const ValuePool&) = delete;
+  ValuePool& operator=(const ValuePool&) = delete;
+
+  /// Returns the canonical id for `v`, adding a pool entry if needed.
+  ValueId Intern(const Value& v);
+
+  /// Lookup without insertion: false when `v` has no id yet (then no stored
+  /// row can contain it). Inline-representable values always succeed.
+  bool Find(const Value& v, ValueId* out) const;
+
+  /// Materializes the Value an id denotes. Inline kinds are rebuilt on the
+  /// fly; pooled kinds return a copy of the stored entry (cheap:
+  /// shared-pointer payloads).
+  Value Get(ValueId id) const;
+
+  /// Number of pooled (non-inline) entries; exposed for tests and stats.
+  size_t pooled_count() const { return values_.size(); }
+
+  /// Process-unique pool identity (never reused, unlike addresses), for
+  /// caches that must not validate a stale entry against a new pool that
+  /// happens to live at the old pool's address.
+  uint64_t generation() const { return generation_; }
+
+  /// Process-wide pool used by relations constructed without an explicit
+  /// pool (standalone tests, tools).
+  static ValuePool* Default();
+
+ private:
+  ValueId InternSlow(const Value& v, ValueId::Tag tag);
+
+  uint64_t generation_;
+  std::vector<Value> values_;
+  /// Content-hash buckets (Value::Hash -> pool indices); collisions are
+  /// resolved with full Value equality.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> dedup_;
+};
+
+/// Interns every element of a boundary tuple.
+IdTuple InternTuple(ValuePool* pool, const Tuple& t);
+/// Materializes a full tuple from a row of ids.
+Tuple MaterializeTuple(const ValuePool& pool, const ValueId* row, size_t n);
+
+}  // namespace lbtrust::datalog
+
+#endif  // LBTRUST_DATALOG_VALUE_POOL_H_

@@ -11,7 +11,8 @@ namespace lbtrust::datalog {
 using util::Result;
 using util::Status;
 
-Workspace::Workspace(Options options) : options_(std::move(options)) {
+Workspace::Workspace(Options options)
+    : options_(std::move(options)), edb_(&pool_), store_(&pool_) {
   RegisterStandardBuiltins(&builtins_);
   // Meta relations maintained by the workspace itself.
   (void)EnsurePredicate("active", 1);
@@ -26,22 +27,24 @@ Status Workspace::EnsurePredicate(const std::string& name, size_t arity,
   edb_.GetOrCreate(name, arity);
   if (!existed && !util::StartsWith(name, "$")) {
     Relation* pname = edb_.GetOrCreate("pname", 2);
-    Tuple row{Value::Sym(name), Value::Str(name)};
-    bool inserted = pname->Insert(row);
+    IdTuple row =
+        InternTuple(&pool_, {Value::Sym(name), Value::Str(name)});
+    bool inserted = pname->InsertIds(row.data());
     RecordEdbInsert("pname", row, inserted);
   }
   return util::OkStatus();
 }
 
-void Workspace::RecordEdbInsert(const std::string& pred, const Tuple& tuple,
+void Workspace::RecordEdbInsert(const std::string& pred, const IdTuple& ids,
                                 bool inserted) {
   // Deltas matter only while the store reflects a completed fixpoint; bulk
   // loads before the first Fixpoint() and workspaces whose options rule
   // the delta path out skip the bookkeeping entirely.
   if (!inserted || !store_valid_ || !DeltaTrackingEnabled()) return;
-  auto [it, fresh] = edb_delta_.try_emplace(pred, Relation(tuple.size()));
+  auto [it, fresh] = edb_delta_.try_emplace(pred, Relation(ids.size(), &pool_));
   (void)fresh;
-  it->second.Insert(tuple);
+  // Unique by construction: the EDB relation deduplicated the insert.
+  it->second.AppendUnchecked(ids.data());
 }
 
 void Workspace::MarkRulesChanged() {
@@ -314,12 +317,11 @@ Status Workspace::AddFact(const std::string& pred, Tuple tuple) {
                                         "': got ", tuple.size(), ", expected ",
                                         rel->arity()));
   }
-  if (store_valid_ && DeltaTrackingEnabled()) {
-    bool inserted = rel->Insert(tuple);  // keep the tuple for the delta log
-    RecordEdbInsert(pred, tuple, inserted);
-  } else {
-    rel->Insert(std::move(tuple));
-  }
+  // The API edge interns exactly once; the delta log and the store reuse
+  // the ids without ever re-hashing the payloads.
+  IdTuple ids = InternTuple(&pool_, tuple);
+  bool inserted = rel->InsertIds(ids.data());
+  RecordEdbInsert(pred, ids, inserted);
   return util::OkStatus();
 }
 
@@ -625,14 +627,15 @@ Status Workspace::RemoveConstraintsByLabel(const std::string& label) {
 // ---------------------------------------------------------------------------
 
 Status Workspace::PrepareStore() {
-  store_.relations().clear();
+  store_.Clear();  // bumps the generation: cached Relation* self-invalidate
   for (const auto& [name, rel] : edb_.relations()) {
     Relation* dst = store_.GetOrCreate(name, rel.arity());
-    for (const Tuple& t : rel.rows()) {
+    for (size_t i = 0; i < rel.size(); ++i) {
       if (options_.track_provenance) {
-        provenance_.Record(name, t, Derivation{});  // kBase; first wins
+        provenance_.Record(name, rel.RowTuple(i),
+                           Derivation{});  // kBase; first wins
       }
-      dst->Insert(t);
+      dst->InsertIds(rel.RowIds(i));  // same pool: pure id copy
     }
   }
   return util::OkStatus();
@@ -714,11 +717,12 @@ bool Workspace::DeltaFixpointEligible() const {
 
 Result<int> Workspace::ScanAndInstallActive() {
   const Relation* active = store_.Get("active");
-  if (active == nullptr) return 0;
+  if (active == nullptr || active->arity() != 1) return 0;
   std::vector<Rule> pending;
-  for (const Tuple& t : active->rows()) {
-    if (t.size() != 1 || t[0].kind() != ValueKind::kCode) continue;
-    const CodeValue& code = t[0].AsCode();
+  for (size_t i = 0; i < active->size(); ++i) {
+    Value v = active->ValueAt(i, 0);
+    if (v.kind() != ValueKind::kCode) continue;
+    const CodeValue& code = v.AsCode();
     if (code.what != CodeValue::What::kRule) continue;
     if (rules_by_canon_.count(code.canon) > 0) continue;
     // Ground facts activated via `active` land in the EDB; skip if present.
@@ -781,7 +785,7 @@ void Workspace::CheckConstraints() {
           if (!b.IsBound(col.slot)) continue;
           if (!detail.empty()) detail += ", ";
           detail += util::StrCat(fail_rule->vars.name(col.slot), "=",
-                                 b.slots[col.slot].ToString());
+                                 b.Get(col.slot).ToString());
         }
         violations_.push_back(util::StrCat("constraint violated: ",
                                            cc->display,
@@ -815,11 +819,12 @@ Status Workspace::Fixpoint() {
       std::map<std::string, Relation> seed;
       for (auto& [pred, rel] : edb_delta_) {
         Relation* dst = store_.GetOrCreate(pred, rel.arity());
-        for (const Tuple& t : rel.rows()) {
-          if (dst->Insert(t)) {
-            auto [it, fresh] = seed.try_emplace(pred, Relation(rel.arity()));
+        for (size_t i = 0; i < rel.size(); ++i) {
+          if (dst->InsertIds(rel.RowIds(i))) {
+            auto [it, fresh] =
+                seed.try_emplace(pred, Relation(rel.arity(), &pool_));
             (void)fresh;
-            it->second.Insert(t);
+            it->second.AppendUnchecked(rel.RowIds(i));
           }
         }
       }
@@ -914,8 +919,16 @@ Result<size_t> PreparedQuery::Count() {
 }
 
 Result<bool> PreparedQuery::Exists() {
+  // Dedicated path: no output-tuple materialization. The groundability
+  // check mirrors ForEach (a solution whose output columns cannot ground
+  // is not a result row), but discards the values.
+  CompiledRule* rule = compiled_.get();
+  Evaluator evaluator(&workspace_->builtins_, &workspace_->store_);
   bool found = false;
-  LB_RETURN_IF_ERROR(ForEach([&](const Tuple&) {
+  LB_RETURN_IF_ERROR(evaluator.EvalQueryUntil(rule, [&](const Bindings& b) {
+    for (const CompiledArg& col : rule->head_cols) {
+      if (!EvalGroundTerm(col.term, rule->vars, b).ok()) return true;
+    }
     found = true;
     return false;  // stop at the first match
   }));

@@ -287,6 +287,10 @@ class Workspace {
   const Relation* GetRelation(const std::string& name) const;
   const Catalog& catalog() const { return catalog_; }
   BuiltinRegistry* builtins() { return &builtins_; }
+  /// The workspace's value pool: every relation (EDB, store, deltas)
+  /// interns into it, so ids are comparable engine-wide.
+  ValuePool* pool() { return &pool_; }
+  const ValuePool& pool() const { return pool_; }
 
   /// Installed rules in install order.
   std::vector<const Rule*> rules() const;
@@ -372,8 +376,9 @@ class Workspace {
   void CheckConstraints();
 
   /// Bookkeeping for the delta-aware fixpoint: every EDB insertion lands
-  /// here; a successful (or constraint-rejecting) Fixpoint() consumes it.
-  void RecordEdbInsert(const std::string& pred, const Tuple& tuple,
+  /// here (already interned — the API edge interns exactly once); a
+  /// successful (or constraint-rejecting) Fixpoint() consumes it.
+  void RecordEdbInsert(const std::string& pred, const IdTuple& ids,
                        bool inserted);
   /// False when this workspace's options rule the delta path out entirely
   /// (no point logging deltas then).
@@ -393,6 +398,7 @@ class Workspace {
   Options options_;
   Catalog catalog_;
   BuiltinRegistry builtins_;
+  ValuePool pool_;       // interned values; must outlive the stores below
   RelationStore edb_;    // explicit facts
   RelationStore store_;  // visible state (EDB + derived); rebuilt by full
                          // fixpoints, extended in place by delta fixpoints

@@ -92,9 +92,10 @@ Status Cluster::ShipFrom(const std::string& name, NodeState* state,
   // Placement map computed by the node's own rules: predNode(part, node).
   const Relation* pred_node = ws->GetRelation("predNode");
   std::map<std::pair<std::string, std::string>, std::string> placement;
-  if (pred_node != nullptr) {
-    for (const Tuple& t : pred_node->rows()) {
-      if (t.size() != 2 || t[0].kind() != ValueKind::kPart ||
+  if (pred_node != nullptr && pred_node->arity() == 2) {
+    for (size_t i = 0; i < pred_node->size(); ++i) {
+      Tuple t = pred_node->RowTuple(i);
+      if (t[0].kind() != ValueKind::kPart ||
           t[1].kind() != ValueKind::kSymbol) {
         continue;
       }
@@ -104,24 +105,41 @@ Status Cluster::ShipFrom(const std::string& name, NodeState* state,
   }
   if (placement.empty()) return util::OkStatus();
 
+  // Batch per (destination, relation): one dictionary-framed block message
+  // per group, so a round's worth of tuples for a peer shares one payload
+  // and repeated principals/predicates ship once (per-tuple dedup across
+  // rounds is unchanged — `sent` is still keyed on the single-tuple wire
+  // form).
+  std::map<std::pair<std::string, std::string>, std::vector<Tuple>> batches;
   for (const auto& [pred_name, info] : ws->catalog().predicates()) {
     if (!info.partitioned) continue;
     const Relation* rel = ws->GetRelation(pred_name);
-    if (rel == nullptr) continue;
-    for (const Tuple& row : rel->rows()) {
-      if (row.empty()) continue;
-      auto it = placement.find({pred_name, row[0].ToString()});
+    if (rel == nullptr || rel->arity() == 0) continue;
+    for (size_t ri = 0; ri < rel->size(); ++ri) {
+      auto it = placement.find(
+          {pred_name, rel->ValueAt(ri, 0).ToString()});
       if (it == placement.end() || it->second == name) continue;
-      Message msg;
-      msg.from_node = name;
-      msg.to_node = it->second;
-      msg.relation = pred_name;
-      msg.payload = SerializeTuple(row);
-      std::string dedup_key = util::StrCat(pred_name, "|", msg.to_node, "|",
-                                           msg.payload);
+      // Dedup on the row's interned ids: stable for the workspace's
+      // lifetime (the pool only grows), unique per value, and far cheaper
+      // than serializing the tuple a second time just for the key.
+      std::string dedup_key = util::StrCat(pred_name, "|", it->second);
+      const datalog::ValueId* ids = rel->RowIds(ri);
+      for (size_t c = 0; c < rel->arity(); ++c) {
+        dedup_key.push_back('#');
+        dedup_key.append(std::to_string(ids[c].bits()));
+      }
       if (!state->sent.insert(dedup_key).second) continue;
-      outbox->push_back(std::move(msg));
+      batches[{it->second, pred_name}].push_back(rel->RowTuple(ri));
     }
+  }
+  for (auto& [key, tuples] : batches) {
+    Message msg;
+    msg.kind = Message::Kind::kTupleBlock;
+    msg.from_node = name;
+    msg.to_node = key.first;
+    msg.relation = key.second;
+    msg.payload = SerializeTupleBlock(tuples);
+    outbox->push_back(std::move(msg));
   }
   return util::OkStatus();
 }
@@ -147,7 +165,7 @@ Status Cluster::ShipCredential(const std::string& from_node,
   return util::OkStatus();
 }
 
-Status Cluster::Deliver(const Message& message) {
+Status Cluster::Deliver(const Message& message, RunStats* stats) {
   auto it = nodes_.find(message.to_node);
   if (it == nodes_.end()) {
     return util::NotFound(
@@ -166,16 +184,25 @@ Status Cluster::Deliver(const Message& message) {
     it->second.dirty = true;
     return util::OkStatus();
   }
-  LB_ASSIGN_OR_RETURN(Tuple tuple, DeserializeTuple(payload));
+  std::vector<Tuple> tuples;
+  if (message.kind == Message::Kind::kTupleBlock) {
+    LB_ASSIGN_OR_RETURN(tuples, DeserializeTupleBlock(payload));
+  } else {
+    LB_ASSIGN_OR_RETURN(Tuple tuple, DeserializeTuple(payload));
+    tuples.push_back(std::move(tuple));
+  }
   datalog::Workspace* ws = it->second.runtime->workspace();
-  LB_RETURN_IF_ERROR(
-      ws->EnsurePredicate(message.relation, tuple.size(), true));
   // Stage into the node's inbox transaction; all messages delivered to
   // this node in the round commit as one batch with a single fixpoint.
-  if (!it->second.inbox.has_value()) {
-    it->second.inbox.emplace(ws->Begin());
+  for (Tuple& tuple : tuples) {
+    LB_RETURN_IF_ERROR(
+        ws->EnsurePredicate(message.relation, tuple.size(), true));
+    if (!it->second.inbox.has_value()) {
+      it->second.inbox.emplace(ws->Begin());
+    }
+    it->second.inbox->AddFact(message.relation, std::move(tuple));
+    if (stats != nullptr) ++stats->tuples;
   }
-  it->second.inbox->AddFact(message.relation, std::move(tuple));
   it->second.dirty = true;
   return util::OkStatus();
 }
@@ -189,7 +216,7 @@ Result<Cluster::RunStats> Cluster::Run() {
   for (size_t i = 0; i < credentials.size(); ++i) {
     ++stats.messages;
     stats.bytes += credentials[i].ByteSize();
-    Status st = Deliver(credentials[i]);
+    Status st = Deliver(credentials[i], &stats);
     if (!st.ok()) {
       // The rejected bundle is dropped (retrying it would fail forever),
       // but bundles not yet attempted stay queued for the next Run().
@@ -230,7 +257,7 @@ Result<Cluster::RunStats> Cluster::Run() {
     for (const Message& msg : outbox) {
       ++stats.messages;
       stats.bytes += msg.ByteSize();
-      LB_RETURN_IF_ERROR(Deliver(msg));
+      LB_RETURN_IF_ERROR(Deliver(msg, &stats));
     }
     if (outbox.empty() && !any_dirty) break;
   }

@@ -55,7 +55,8 @@ class Cluster {
 
   struct RunStats {
     size_t rounds = 0;
-    size_t messages = 0;
+    size_t messages = 0;  ///< network sends (a block message counts once)
+    size_t tuples = 0;    ///< tuples delivered across all messages
     size_t bytes = 0;
     size_t fixpoints = 0;
   };
@@ -92,7 +93,7 @@ class Cluster {
 
   util::Status ShipFrom(const std::string& name, NodeState* state,
                         std::vector<Message>* outbox);
-  util::Status Deliver(const Message& message);
+  util::Status Deliver(const Message& message, RunStats* stats);
 
   Options options_;
   std::map<std::string, NodeState> nodes_;

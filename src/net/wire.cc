@@ -4,6 +4,8 @@
 #include <charconv>
 #include <cstdlib>
 #include <memory>
+#include <unordered_map>
+#include <vector>
 
 #include "datalog/ast.h"
 #include "datalog/parser.h"
@@ -219,17 +221,21 @@ std::string SerializeTuple(const Tuple& tuple) {
   return out;
 }
 
+namespace {
+
+/// Shared "<decimal>:" framing (see util::ReadDecimalCount); 19 digits is
+/// the size_t cap.
+bool ReadCount(std::string_view* text, size_t* out) {
+  return util::ReadDecimalCount(text, out, 19);
+}
+
+}  // namespace
+
 Result<Tuple> DeserializeTuple(std::string_view text) {
-  size_t sep = text.find(':');
-  if (sep == std::string_view::npos || sep == 0 || sep > 19) {
+  size_t count = 0;
+  if (!ReadCount(&text, &count)) {
     return util::ParseError("missing tuple count");
   }
-  size_t count = 0;
-  auto [ptr, ec] = std::from_chars(text.data(), text.data() + sep, count);
-  if (ec != std::errc() || ptr != text.data() + sep) {
-    return util::ParseError("bad tuple count");
-  }
-  text.remove_prefix(sep + 1);
   // Every serialized value is at least 4 bytes ("n:0:"), so a count larger
   // than the remaining input is forged; reject before reserving memory.
   if (count > text.size()) {
@@ -244,6 +250,87 @@ Result<Tuple> DeserializeTuple(std::string_view text) {
     text.remove_prefix(consumed);
   }
   if (!text.empty()) return util::ParseError("trailing wire bytes");
+  return out;
+}
+
+std::string SerializeTupleBlock(const std::vector<Tuple>& tuples) {
+  // Dictionary: first occurrence wins; identity is the serialized form
+  // (exactly the per-value wire codec, so nothing new to trust).
+  std::vector<std::string> dict;
+  std::unordered_map<std::string, size_t> index;
+  std::string rows;
+  for (const Tuple& tuple : tuples) {
+    rows += std::to_string(tuple.size());
+    rows.push_back(':');
+    for (const Value& v : tuple) {
+      std::string serialized = SerializeValue(v);
+      auto [it, fresh] = index.try_emplace(std::move(serialized), dict.size());
+      if (fresh) dict.push_back(it->first);
+      rows += std::to_string(it->second);
+      rows.push_back(':');
+    }
+  }
+  std::string out = "B:";
+  out += std::to_string(dict.size());
+  out.push_back(':');
+  for (const std::string& entry : dict) out += entry;
+  out += std::to_string(tuples.size());
+  out.push_back(':');
+  out += rows;
+  return out;
+}
+
+Result<std::vector<Tuple>> DeserializeTupleBlock(std::string_view text) {
+  if (text.size() < 2 || text[0] != 'B' || text[1] != ':') {
+    return util::ParseError("not a tuple block");
+  }
+  text.remove_prefix(2);
+  size_t dict_count = 0;
+  if (!ReadCount(&text, &dict_count)) {
+    return util::ParseError("block: missing dictionary count");
+  }
+  // Every serialized value is at least 4 bytes ("n:0:"); reject forged
+  // counts before reserving memory.
+  if (dict_count > text.size()) {
+    return util::ParseError("block: dictionary count exceeds input size");
+  }
+  std::vector<Value> dict;
+  dict.reserve(dict_count);
+  for (size_t i = 0; i < dict_count; ++i) {
+    size_t consumed = 0;
+    LB_ASSIGN_OR_RETURN(Value v, DeserializeValue(text, &consumed));
+    dict.push_back(std::move(v));
+    text.remove_prefix(consumed);
+  }
+  size_t row_count = 0;
+  if (!ReadCount(&text, &row_count)) {
+    return util::ParseError("block: missing row count");
+  }
+  if (row_count > text.size()) {
+    return util::ParseError("block: row count exceeds input size");
+  }
+  std::vector<Tuple> out;
+  out.reserve(row_count);
+  for (size_t r = 0; r < row_count; ++r) {
+    size_t arity = 0;
+    if (!ReadCount(&text, &arity) || arity > 64) {
+      return util::ParseError("block: bad row arity");
+    }
+    Tuple tuple;
+    tuple.reserve(arity);
+    for (size_t i = 0; i < arity; ++i) {
+      size_t idx = 0;
+      if (!ReadCount(&text, &idx)) {
+        return util::ParseError("block: bad dictionary index");
+      }
+      if (idx >= dict.size()) {
+        return util::ParseError("block: dictionary index out of range");
+      }
+      tuple.push_back(dict[idx]);
+    }
+    out.push_back(std::move(tuple));
+  }
+  if (!text.empty()) return util::ParseError("block: trailing bytes");
   return out;
 }
 

@@ -23,12 +23,26 @@ util::Result<datalog::Value> DeserializeValue(std::string_view text,
 std::string SerializeTuple(const datalog::Tuple& tuple);
 util::Result<datalog::Tuple> DeserializeTuple(std::string_view text);
 
-/// One simulated network message: either a tuple bound for `relation` at
+/// Dictionary-framed multi-tuple block — the batched counterpart of
+/// SerializeTuple. Every distinct value in the batch is serialized exactly
+/// once into a per-message dictionary; rows are lists of dictionary
+/// indices, so repeated principals/predicates/payloads ship once per
+/// message no matter how many tuples mention them.
+///
+///   block := 'B' ':' <dict-count> ':' value*
+///                    <row-count> ':' row*
+///   row   := <arity> ':' (<dict-index> ':')*
+std::string SerializeTupleBlock(const std::vector<datalog::Tuple>& tuples);
+util::Result<std::vector<datalog::Tuple>> DeserializeTupleBlock(
+    std::string_view text);
+
+/// One simulated network message: tuples bound for `relation` at
 /// `to_node`, or a credential bundle (src/cred wire format) the receiving
 /// node verifies-and-imports.
 struct Message {
   enum class Kind {
     kTuple,       ///< payload = SerializeTuple output for `relation`
+    kTupleBlock,  ///< payload = SerializeTupleBlock output for `relation`
     kCredential,  ///< payload = cred::SerializeBundle output
   };
 

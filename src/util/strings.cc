@@ -122,6 +122,18 @@ bool ReadLengthPrefixed(std::string_view* text, std::string_view* out) {
   return true;
 }
 
+bool ReadDecimalCount(std::string_view* text, size_t* out, int max_digits) {
+  size_t sep = text->find(':');
+  if (sep == std::string_view::npos || sep == 0 ||
+      sep > static_cast<size_t>(max_digits)) {
+    return false;
+  }
+  auto [ptr, ec] = std::from_chars(text->data(), text->data() + sep, *out);
+  if (ec != std::errc() || ptr != text->data() + sep) return false;
+  text->remove_prefix(sep + 1);
+  return true;
+}
+
 uint64_t Fnv1a(std::string_view data) {
   uint64_t h = 0xcbf29ce484222325ULL;
   for (unsigned char c : data) {

@@ -56,6 +56,12 @@ std::string EscapeQuoted(std::string_view raw);
 void AppendLengthPrefixed(std::string* out, std::string_view bytes);
 bool ReadLengthPrefixed(std::string_view* text, std::string_view* out);
 
+/// Consumes a "<decimal>:" count off the front of `*text` (shared by the
+/// net wire and credential-bundle framing). Rejects empty counts, counts
+/// longer than `max_digits`, partial parses and overflow — all before any
+/// allocation, so hostile counts cannot trigger runaway reserves.
+bool ReadDecimalCount(std::string_view* text, size_t* out, int max_digits);
+
 /// 64-bit FNV-1a hash, used to combine hashes across the engine.
 uint64_t Fnv1a(std::string_view data);
 inline uint64_t HashCombine(uint64_t seed, uint64_t v) {

@@ -23,10 +23,10 @@ TEST(RelationTest, LookupByMask) {
     rel.Insert(T(i % 3, i));
   }
   // Column 0 == 1: rows 1, 4, 7.
-  const auto& ids = rel.Lookup(0b01, {Value::Int(1)});
+  const auto ids = rel.Lookup(0b01, {Value::Int(1)});
   EXPECT_EQ(ids.size(), 3u);
   for (uint32_t id : ids) {
-    EXPECT_EQ(rel.rows()[id][0], Value::Int(1));
+    EXPECT_EQ(rel.ValueAt(id, 0), Value::Int(1));
   }
   // Both columns bound: exact probe.
   EXPECT_EQ(rel.Lookup(0b11, {Value::Int(2), Value::Int(5)}).size(), 1u);
@@ -88,10 +88,10 @@ TEST(RelationTest, EraseMaintainsEveryIndexInPlace) {
   EXPECT_EQ(rel.Lookup(0b11, T(1, 3)).size(), 1u);
   // Row ids handed back by Lookup must still point at the right rows.
   for (uint32_t id : rel.Lookup(0b01, {Value::Int(2)})) {
-    EXPECT_EQ(rel.rows()[id][0], Value::Int(2));
+    EXPECT_EQ(rel.ValueAt(id, 0), Value::Int(2));
   }
   for (uint32_t id : rel.Lookup(0b10, {Value::Int(0)})) {
-    EXPECT_EQ(rel.rows()[id][1], Value::Int(0));
+    EXPECT_EQ(rel.ValueAt(id, 1), Value::Int(0));
   }
 }
 

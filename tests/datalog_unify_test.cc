@@ -18,9 +18,17 @@ struct UnifyResult {
   std::string Binding(const std::string& name) const {
     int slot = vars.Find(name);
     if (slot < 0 || !bindings.IsBound(slot)) return "<unbound>";
-    return bindings.slots[slot].ToString();
+    return bindings.Get(slot).ToString();
   }
 };
+
+/// Interns `name` and binds it (bindings now hold interned ValueIds).
+void Bind(VarTable* vars, Bindings* b, const std::string& name,
+          const Value& v) {
+  int slot = vars->Intern(name);
+  b->EnsureSize(vars->size());
+  b->Set(slot, v);
+}
 
 UnifyResult UnifyCode(const std::string& pattern_text,
                       const std::string& target_text) {
@@ -124,8 +132,7 @@ TEST(SubstituteTest, BoundVarsReplacedUnboundKept) {
   auto rule = ParseRuleText("says(me2,U,[| granted(P,F). |]) <- req(P,F).");
   VarTable vars;
   Bindings b;
-  b.EnsureSize(2);
-  b.slots[vars.Intern("P")] = Value::Sym("alice");
+  Bind(&vars, &b, "P", Value::Sym("alice"));
   // U and F stay variables.
   Rule substituted = SubstituteRule(*rule, vars, b);
   EXPECT_EQ(PrintRule(substituted),
@@ -136,8 +143,7 @@ TEST(SubstituteTest, ArithmeticFoldsWhenGround) {
   auto term = ParseTermText("[| depth(N-1). |]");
   VarTable vars;
   Bindings b;
-  b.EnsureSize(1);
-  b.slots[vars.Intern("N")] = Value::Int(5);
+  Bind(&vars, &b, "N", Value::Int(5));
   Term out = SubstituteTerm(*term, vars, b);
   EXPECT_EQ(PrintTerm(out), "[| depth(4). |]");
 }
@@ -147,9 +153,8 @@ TEST(SubstituteTest, MetaFunctorSubstitution) {
                             "R2 = [| P(T*) <- A*. |]. |]");
   VarTable vars;
   Bindings b;
-  b.EnsureSize(2);
-  b.slots[vars.Intern("U2")] = Value::Sym("mgr");
-  b.slots[vars.Intern("P")] = Value::Sym("permission");
+  Bind(&vars, &b, "U2", Value::Sym("mgr"));
+  Bind(&vars, &b, "P", Value::Sym("permission"));
   Term out = SubstituteTerm(*term, vars, b);
   EXPECT_EQ(PrintTerm(out),
             "[| active(R2) <- says(mgr,me2,R2), "
@@ -177,8 +182,7 @@ TEST(SubstituteTest, StarSplicing) {
 TEST(EvalGroundTermTest, Basics) {
   VarTable vars;
   Bindings b;
-  b.EnsureSize(1);
-  b.slots[vars.Intern("X")] = Value::Int(6);
+  Bind(&vars, &b, "X", Value::Int(6));
   auto v = EvalGroundTerm(*ParseTermText("X / 2 + 1"), vars, b);
   ASSERT_TRUE(v.ok());
   EXPECT_EQ(*v, Value::Int(4));
@@ -190,8 +194,7 @@ TEST(EvalGroundTermTest, Basics) {
 TEST(EvalGroundTermTest, PartRef) {
   VarTable vars;
   Bindings b;
-  b.EnsureSize(1);
-  b.slots[vars.Intern("P")] = Value::Sym("alice");
+  Bind(&vars, &b, "P", Value::Sym("alice"));
   auto v = EvalGroundTerm(*ParseTermText("export[P]"), vars, b);
   ASSERT_TRUE(v.ok());
   EXPECT_EQ(v->AsPart().predicate, "export");

@@ -24,7 +24,9 @@ std::string Snapshot(const Workspace& ws) {
     if (rel == nullptr) continue;
     std::vector<std::string> rows;
     rows.reserve(rel->size());
-    for (const Tuple& t : rel->rows()) rows.push_back(TupleToString(t));
+    for (size_t i = 0; i < rel->size(); ++i) {
+      rows.push_back(TupleToString(rel->RowTuple(i)));
+    }
     std::sort(rows.begin(), rows.end());
     out += name;
     out += ":\n";

@@ -1,0 +1,112 @@
+#ifndef LBTRUST_TESTS_GOLDEN_PROGRAMS_H_
+#define LBTRUST_TESTS_GOLDEN_PROGRAMS_H_
+
+// Program corpus for the representation-differential suite: every value
+// kind, join shape and engine feature that the interned (ValueId) engine
+// must evaluate observationally identically to the seed representation.
+// tools/gen_goldens.cc runs this corpus through Workspace::Dump and emits
+// tests/golden_dumps.inc; datalog_intern_differential_test.cc asserts the
+// current engine reproduces those dumps byte-for-byte.
+//
+// The checked-in golden_dumps.inc was generated from the PRE-interning
+// engine (PR 2 tree, commit b5501a4), so the suite is a true differential
+// against the seed representation. Regenerate only when output semantics
+// change intentionally.
+
+namespace lbtrust::testing {
+
+struct GoldenProgram {
+  const char* name;
+  const char* principal;
+  const char* program;
+};
+
+inline constexpr GoldenProgram kGoldenPrograms[] = {
+    {"binder_access", "alice",
+     "b1: access(P,O,read) <- good(P), object(O).\n"
+     "good(u1). good(u2). object(f1). object(f2).\n"},
+
+    {"transitive_closure", "local",
+     "path(X,Y) <- edge(X,Y).\n"
+     "path(X,Z) <- path(X,Y), edge(Y,Z).\n"
+     "edge(a,b). edge(b,c). edge(c,d). edge(d,a). edge(b,e).\n"},
+
+    {"value_kinds", "local",
+     "mixed(1, 2.5, \"text\", sym, true).\n"
+     "mixed(-7, 0.125, \"two words\", other, false).\n"
+     "big(4611686018427387904). big(-4611686018427387905).\n"
+     "big(72057594037927936). big(-72057594037927937).\n"
+     "dbl(3.14159265358979). dbl(123456789.125). dbl(-0.0001).\n"
+     "copy(I, D) <- mixed(I, D, S, Y, B).\n"},
+
+    {"arithmetic_compare", "local",
+     "n(1). n(2). n(3). n(4).\n"
+     "sum(X, Y, X + Y) <- n(X), n(Y), X < Y.\n"
+     "scaled(X * 10) <- n(X).\n"
+     "halved(X / 2.0) <- n(X).\n"},
+
+    {"negation_wildcard", "local",
+     "user(alice). user(bob). user(carol).\n"
+     "banned(bob).\n"
+     "welcome(U) <- user(U), !banned(U).\n"
+     "lonely(U) <- user(U), !knows(U, V).\n"
+     "knows(alice, carol).\n"},
+
+    {"aggregates", "local",
+     "vote(g1, u1). vote(g1, u2). vote(g1, u3).\n"
+     "vote(g2, u1). vote(g2, u1). vote(g2, u4).\n"
+     "weight(u1, 3). weight(u2, 5). weight(u3, 2). weight(u4, 5).\n"
+     "tally(G, N) <- agg<<N = count(U)>> vote(G, U).\n"
+     "mass(G, W) <- agg<<W = total(X)>> vote(G, U), weight(U, X).\n"
+     "lightest(W) <- agg<<W = min(X)>> weight(U, X).\n"
+     "heaviest(W) <- agg<<W = max(X)>> weight(U, X).\n"},
+
+    {"says_code_values", "alice",
+     "says(me, bob, [| grant(alice, db). |]) <- trigger().\n"
+     "says(me, carol, [| access(P, O, read) <- good(P), object(O). |]) "
+     "<- trigger().\n"
+     "trigger().\n"
+     "heard(U2, R) <- says(U1, U2, R).\n"},
+
+    {"meta_codegen_activation", "local",
+     "seed_rule(on).\n"
+     "active([| derived(7). |]) <- seed_rule(on).\n"
+     "active([| chain(X) <- derived(X). |]) <- seed_rule(on).\n"},
+
+    {"partition_refs", "local",
+     "loc(alice, n1). loc(bob, n2).\n"
+     "predNode(export[P], N) <- loc(P, N).\n"
+     "shipped(export[alice], payload1).\n"
+     "shipped(export[bob], payload2).\n"},
+
+    {"pattern_match_code", "alice",
+     "policy([| access(P, O, read) <- good(P). |]).\n"
+     "policy([| audit(E) <- event(E). |]).\n"
+     "head_rule(R) <- policy(R), R = [| A <- B*. |].\n"
+     "read_rule(R) <- policy(R), R = [| A <- good(P). |].\n"},
+
+    {"constraint_pass", "local",
+     "t(1). t(2). t(3).\n"
+     "p(1, 2). p(2, 3).\n"
+     "p(X, Y) -> t(X), t(Y).\n"},
+
+    {"deep_recursion_strings", "local",
+     "next(\"n00\", \"n01\"). next(\"n01\", \"n02\"). next(\"n02\", \"n03\").\n"
+     "next(\"n03\", \"n04\"). next(\"n04\", \"n05\"). next(\"n05\", \"n06\").\n"
+     "next(\"n06\", \"n07\"). next(\"n07\", \"n08\"). next(\"n08\", \"n09\").\n"
+     "reach(X, Y) <- next(X, Y).\n"
+     "reach(X, Z) <- reach(X, Y), next(Y, Z).\n"},
+
+    {"equality_and_builtins", "local",
+     "item(a, 10). item(b, 20). item(c, 10).\n"
+     "pair(X, Y) <- item(X, N), item(Y, N), X != Y.\n"
+     "ten(X) <- item(X, N), N = 10.\n"
+     "typed(X) <- item(X, N), int(N).\n"},
+};
+
+inline constexpr size_t kNumGoldenPrograms =
+    sizeof(kGoldenPrograms) / sizeof(kGoldenPrograms[0]);
+
+}  // namespace lbtrust::testing
+
+#endif  // LBTRUST_TESTS_GOLDEN_PROGRAMS_H_

@@ -103,6 +103,57 @@ TEST(WireTest, MalformedInputsReturnStatusNotCrash) {
   EXPECT_FALSE(DeserializeTuple("1:" + nested).ok());
 }
 
+TEST(WireBlockTest, RoundTripWithDictionarySharing) {
+  auto term = datalog::ParseTermText("[| ping(1). |]");
+  ASSERT_TRUE(term.ok());
+  std::vector<Tuple> tuples = {
+      {Value::Sym("alice"), Value::Sym("bob"), Value::Int(1)},
+      {Value::Sym("alice"), Value::Sym("bob"), Value::Int(2)},
+      {Value::Sym("alice"), Value::Sym("carol"), term->value},
+      {Value::Sym("alice"), Value::Sym("bob"), Value::Int(1)},  // repeat row
+  };
+  std::string block = SerializeTupleBlock(tuples);
+  auto back = DeserializeTupleBlock(block);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, tuples);
+  // The dictionary dedups: the block must be smaller than the naive
+  // concatenation of per-tuple serializations.
+  size_t naive = 0;
+  for (const Tuple& t : tuples) naive += SerializeTuple(t).size();
+  EXPECT_LT(block.size(), naive);
+  // "alice" is serialized exactly once in the whole message.
+  size_t first = block.find("alice");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(block.find("alice", first + 1), std::string::npos);
+}
+
+TEST(WireBlockTest, EmptyBlockRoundTrips) {
+  auto back = DeserializeTupleBlock(SerializeTupleBlock({}));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(WireBlockTest, MalformedBlocksReturnStatusNotCrash) {
+  const char* kCases[] = {
+      "",
+      "X:1:",                      // wrong magic
+      "B:",                        // missing dictionary count
+      "B:zz:",                     // bad dictionary count
+      "B:99999999:i:1:5",          // dictionary count exceeds input
+      "B:1:i:1:5",                 // missing row count
+      "B:1:i:1:5zz:",              // bad row count
+      "B:1:i:1:51:",               // missing row arity
+      "B:1:i:1:51:1:",             // missing index
+      "B:1:i:1:51:1:9:",           // index out of range
+      "B:1:i:1:51:1:0:xx",         // trailing bytes
+      "B:0:1:1:0:",                // index into empty dictionary
+      "B:1:i:1:51:99:0:",          // oversized arity
+  };
+  for (const char* c : kCases) {
+    EXPECT_FALSE(DeserializeTupleBlock(c).ok()) << "input: " << c;
+  }
+}
+
 class SchemeExchangeTest : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(SchemeExchangeTest, TwoPrincipalExchange) {
@@ -124,7 +175,9 @@ TEST_P(SchemeExchangeTest, TwoPrincipalExchange) {
 
   auto stats = cluster.Run();
   ASSERT_TRUE(stats.ok()) << stats.status().ToString();
-  EXPECT_EQ(stats->messages, 3u);
+  // All three exported tuples for bob batch into one dictionary-framed
+  // block message (repeated principals ship once per message).
+  EXPECT_EQ(stats->messages, 1u);
 
   auto* bob = cluster.node("bob");
   EXPECT_EQ(*bob->workspace()->Count("ping(N)"), 3u);
