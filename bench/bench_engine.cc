@@ -27,10 +27,16 @@ void LoadChain(Workspace* ws, int n) {
   (void)ws->AddFact("edge", {Value::Int(n - 1), Value::Int(0)});
 }
 
+// Second arg = Options::threads (1 = the classic sequential engine). The
+// chain shape is the parallel evaluator's worst case: n rounds of n-row
+// deltas, so per-round dispatch/merge overhead is maximally exposed.
 void BM_TransitiveClosureSemiNaive(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
+  unsigned threads = static_cast<unsigned>(state.range(1));
   for (auto _ : state) {
-    Workspace ws;
+    Workspace::Options opts;
+    opts.threads = threads;
+    Workspace ws(opts);
     (void)ws.Load("path(X,Y) <- edge(X,Y).\n"
                   "path(X,Z) <- path(X,Y), edge(Y,Z).");
     LoadChain(&ws, n);
@@ -40,7 +46,44 @@ void BM_TransitiveClosureSemiNaive(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n * n);
 }
-BENCHMARK(BM_TransitiveClosureSemiNaive)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_TransitiveClosureSemiNaive)
+    ->Args({32, 1})
+    ->Args({64, 1})
+    ->Args({128, 1})
+    ->Args({128, 2})
+    ->Args({128, 4});
+
+// Thread-scaling series on a wide closure: layered complete-bipartite
+// edges give few rounds with large deltas — the shape where intra-round
+// parallelism pays, as opposed to the chain's many tiny rounds.
+void BM_TransitiveClosureWide(benchmark::State& state) {
+  int width = static_cast<int>(state.range(0));
+  unsigned threads = static_cast<unsigned>(state.range(1));
+  constexpr int kLayers = 6;
+  for (auto _ : state) {
+    Workspace::Options opts;
+    opts.threads = threads;
+    Workspace ws(opts);
+    (void)ws.Load("path(X,Y) <- edge(X,Y).\n"
+                  "path(X,Z) <- path(X,Y), edge(Y,Z).");
+    for (int layer = 0; layer + 1 < kLayers; ++layer) {
+      for (int a = 0; a < width; ++a) {
+        for (int b = 0; b < width; ++b) {
+          (void)ws.AddFact("edge", {Value::Int(layer * 1000 + a),
+                                    Value::Int((layer + 1) * 1000 + b)});
+        }
+      }
+    }
+    auto st = ws.Fixpoint();
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    benchmark::DoNotOptimize(ws.GetRelation("path"));
+  }
+  state.SetItemsProcessed(state.iterations() * width * width * kLayers);
+}
+BENCHMARK(BM_TransitiveClosureWide)
+    ->Args({24, 1})
+    ->Args({24, 2})
+    ->Args({24, 4});
 
 void BM_TransitiveClosureNaive(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <cstring>
+#include <memory>
+#include <mutex>
 #include <set>
+#include <thread>
 
 #include "datalog/pretty.h"
 #include "util/strings.h"
@@ -12,6 +16,131 @@ namespace lbtrust::datalog {
 
 using util::Result;
 using util::Status;
+
+/// A small claim-based worker pool for intra-round rule parallelism.
+/// `Run(n, body)` executes body(0..n-1) with the calling thread
+/// participating: items are claimed with an atomic counter, so a worker
+/// that the scheduler starves simply claims nothing and the caller drains
+/// the queue itself (important when threads oversubscribe the machine).
+/// Each Run publishes a fresh shared state block; stale workers that wake
+/// late claim from their old, exhausted block and then re-wait, so a
+/// late wakeup can never execute a new round's items with an old body.
+class EvalWorkerPool {
+ public:
+  explicit EvalWorkerPool(unsigned workers) { EnsureWorkers(workers); }
+
+  /// Grows the pool to at least `workers` threads (called between
+  /// rounds, never concurrently with Run). New threads start in the
+  /// wait loop and pick up the next round normally.
+  void EnsureWorkers(unsigned workers) {
+    threads_.reserve(workers);
+    while (threads_.size() < workers) {
+      threads_.emplace_back([this] { ThreadMain(); });
+    }
+  }
+
+  size_t worker_count() const { return threads_.size(); }
+
+  ~EvalWorkerPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  void Run(size_t nitems, const std::function<void(size_t)>& body) {
+    auto state = std::make_shared<RoundState>();
+    state->nitems = nitems;
+    state->body = &body;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      current_ = state;
+      ++epoch_;
+    }
+    epoch_fast_.fetch_add(1, std::memory_order_release);
+    cv_.notify_all();
+    Work(*state);
+    // Claims are exhausted; wait for items still running on workers. The
+    // last done-increment happens-before the acquire load, so the caller
+    // observes every buffer write the workers made.
+    size_t spins = 0;
+    while (state->done.load(std::memory_order_acquire) != nitems) {
+      if (++spins > 64) std::this_thread::yield();
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    current_.reset();
+  }
+
+ private:
+  struct RoundState {
+    size_t nitems = 0;
+    const std::function<void(size_t)>* body = nullptr;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+  };
+
+  static void Work(RoundState& s) {
+    for (;;) {
+      size_t i = s.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= s.nitems) return;
+      (*s.body)(i);
+      s.done.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+
+  void ThreadMain() {
+    uint64_t seen = 0;
+    for (;;) {
+      // Bounded spin before sleeping: rounds arrive back-to-back during a
+      // fixpoint, so catching the next epoch without a futex round-trip
+      // keeps per-round dispatch latency in the sub-microsecond range on
+      // multicore. The periodic yield keeps oversubscribed (fewer cores
+      // than threads) machines degrading gracefully instead of burning
+      // the merge thread's quantum.
+      for (int spin = 0; spin < 4096; ++spin) {
+        if (epoch_fast_.load(std::memory_order_acquire) != seen) break;
+        if ((spin & 31) == 31) std::this_thread::yield();
+      }
+      std::shared_ptr<RoundState> state;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] {
+          return stop_ || (epoch_ != seen && current_ != nullptr);
+        });
+        if (stop_) return;
+        seen = epoch_;
+        state = current_;
+      }
+      Work(*state);
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t epoch_ = 0;
+  std::atomic<uint64_t> epoch_fast_{0};
+  bool stop_ = false;
+  std::shared_ptr<RoundState> current_;
+};
+
+void EvalWorkerPoolDeleter::operator()(EvalWorkerPool* pool) const {
+  delete pool;
+}
+
+Evaluator::Evaluator(const BuiltinRegistry* builtins, RelationStore* store,
+                     ProvenanceStore* provenance, unsigned threads,
+                     EvalWorkerPoolHandle* shared_pool)
+    : builtins_(builtins),
+      store_(store),
+      provenance_(provenance),
+      pool_(store->pool()),
+      threads_(threads == 0 ? 1 : threads),
+      workers_slot_(shared_pool != nullptr ? shared_pool : &owned_workers_) {}
+
+Evaluator::~Evaluator() = default;
 
 uint64_t RelationStore::NextGeneration() {
   // Atomic so concurrent workspace construction (one workspace per
@@ -278,6 +407,73 @@ int ScheduleScore(const CompiledRule& cr, size_t idx, const SchedState& st) {
   return -1;
 }
 
+// True when the rule evaluates entirely on the id plane (see the
+// CompiledRule::parallel_safe comment).
+bool RuleParallelSafe(const CompiledRule& cr) {
+  if (cr.agg.has_value()) return false;
+  auto cols_safe = [](const std::vector<CompiledArg>& cols) {
+    for (const CompiledArg& c : cols) {
+      if (c.kind != CompiledArg::Kind::kConst &&
+          c.kind != CompiledArg::Kind::kVar) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (!cols_safe(cr.head_cols)) return false;
+  for (const CompiledLiteral& lit : cr.body) {
+    if (lit.kind != CompiledLiteral::Kind::kRelation &&
+        lit.kind != CompiledLiteral::Kind::kNegation) {
+      return false;
+    }
+    if (!cols_safe(lit.cols)) return false;
+  }
+  return true;
+}
+
+// Statically derives the probe mask of every relation/negation literal
+// along `order`. For const/var-only rules the runtime mask at a position
+// is exactly "constant columns + variables bound by earlier literals", so
+// the parallel evaluator can pre-build these indexes before freezing.
+CompiledRule::OrderProbes ComputeOrderProbes(const CompiledRule& cr,
+                                             const std::vector<int>& order) {
+  CompiledRule::OrderProbes out;
+  SchedState st;
+  st.bound.resize(cr.vars.size(), false);
+  for (size_t oi = 0; oi < order.size(); ++oi) {
+    const CompiledLiteral& lit = cr.body[static_cast<size_t>(order[oi])];
+    if (lit.kind == CompiledLiteral::Kind::kRelation ||
+        lit.kind == CompiledLiteral::Kind::kNegation) {
+      const size_t arity = lit.cols.size();
+      uint64_t mask = 0;
+      for (size_t i = 0; i < arity; ++i) {
+        const CompiledArg& c = lit.cols[i];
+        if (c.kind == CompiledArg::Kind::kConst ||
+            (c.kind == CompiledArg::Kind::kVar && st.IsBound(c.slot))) {
+          mask |= uint64_t{1} << i;
+        }
+      }
+      const uint64_t full =
+          arity >= 64 ? ~uint64_t{0} : (uint64_t{1} << arity) - 1;
+      if (oi == 0 && lit.kind == CompiledLiteral::Kind::kRelation) {
+        // Leading relation literal: chunks enumerate its row range
+        // directly (filtering constants with RowMatchesKey), no index.
+        out.partition_first = true;
+      } else if (lit.kind == CompiledLiteral::Kind::kRelation) {
+        // mask == 0 scans; mask == full short-circuits to ContainsIds.
+        if (mask != 0 && mask != full) {
+          out.index_masks.push_back({order[oi], mask});
+        }
+      } else {
+        // Negation probes MatchesIds for any nonzero mask (incl. full).
+        if (mask != 0) out.index_masks.push_back({order[oi], mask});
+      }
+    }
+    BindLiteralOutputs(lit, &st);
+  }
+  return out;
+}
+
 Result<std::vector<int>> ScheduleOrder(const CompiledRule& cr,
                                        int forced_first) {
   std::vector<int> order;
@@ -323,13 +519,13 @@ Result<std::unique_ptr<CompiledRule>> CompileRule(
   const Atom& head = rule.heads[0];
   cr->head_pred = head.predicate;
   cr->head_cols = CompileAtomCols(head, &cr->vars);
-  if (head.Arity() > 64) {
+  if (head.Arity() > Relation::kMaxArity) {
     return util::TypeError("predicates are limited to 64 columns");
   }
 
   for (const Literal& lit : rule.body) {
     CompiledLiteral cl;
-    if (lit.atom.Arity() > 64) {
+    if (lit.atom.Arity() > Relation::kMaxArity) {
       return util::TypeError("predicates are limited to 64 columns");
     }
     cl.pred = lit.atom.predicate;
@@ -367,6 +563,13 @@ Result<std::unique_ptr<CompiledRule>> CompileRule(
   for (int pos : cr->relation_positions) {
     LB_ASSIGN_OR_RETURN(std::vector<int> order, ScheduleOrder(*cr, pos));
     cr->order_delta[pos] = std::move(order);
+  }
+  cr->parallel_safe = RuleParallelSafe(*cr);
+  if (cr->parallel_safe) {
+    cr->probes_full = ComputeOrderProbes(*cr, cr->order_full);
+    for (const auto& [pos, order] : cr->order_delta) {
+      cr->probes_delta[pos] = ComputeOrderProbes(*cr, order);
+    }
   }
 
   // Safety: head variables outside quoted code must be bound by the body.
@@ -641,6 +844,23 @@ Status Evaluator::EvalRelation(ExecContext* ctx, size_t oi,
     return st;
   };
 
+  if (oi == 0 && ctx->first_restricted) {
+    // Worker-chunk enumeration: this task's leading literal is split into
+    // row ranges. Constants filter with direct id compares instead of an
+    // index, so the frozen relation needs no index for position 0 (and
+    // delta relations never get one).
+    const size_t limit = std::min(ctx->first_end, rel->size());
+    ValueId row[64];
+    for (size_t i = ctx->first_begin; i < limit; ++i) {
+      if (mask != 0 &&
+          !rel->RowMatchesKey(static_cast<uint32_t>(i), mask, key)) {
+        continue;
+      }
+      if (arity > 0) std::memcpy(row, rel->RowIds(i), arity * sizeof(ValueId));
+      LB_RETURN_IF_ERROR(try_row(row));
+    }
+    return util::OkStatus();
+  }
   if (nopen == 0 && body_idx != ctx->delta_pos &&
       mask == ((arity >= 64) ? ~uint64_t{0} : (uint64_t{1} << arity) - 1)) {
     // Fully bound probe: a primary-set membership check, no index at all.
@@ -855,8 +1075,13 @@ Status Evaluator::EvalRuleOnce(
   if (provenance_ != nullptr && !rule->agg.has_value()) {
     ctx.premises = &premises;
   }
-  emitting_rule_ = rule;
-  emitting_premises_ = ctx.premises;
+  // Only track the emitting rule when provenance needs it: these are
+  // evaluator-wide members, and worker threads (which only ever run with
+  // provenance disabled) must not write shared state.
+  if (provenance_ != nullptr) {
+    emitting_rule_ = rule;
+    emitting_premises_ = ctx.premises;
+  }
 
   if (rule->agg.has_value()) {
     // Aggregate over the *set* of body solutions (deduplicated on the full
@@ -1012,6 +1237,311 @@ Status Evaluator::RunRuleInto(CompiledRule* rule, int pos,
   });
 }
 
+namespace {
+
+/// Stable in-place dedup of an emission buffer (first occurrence wins, so
+/// order — and therefore determinism — is preserved). Used as a memory
+/// backstop when a chunk's raw emission count grows large: duplicates are
+/// legal (the merge deduplicates anyway) and must not trip the tuple
+/// budget, which counts distinct new tuples.
+void CompactEmitBuffer(std::vector<ValueId>* rows,
+                       std::vector<uint64_t>* hashes, size_t arity) {
+  std::unordered_map<uint64_t, std::vector<size_t>> seen;  // hash -> kept idx
+  size_t kept = 0;
+  const size_t n = hashes->size();
+  for (size_t r = 0; r < n; ++r) {
+    const ValueId* row = rows->data() + r * arity;
+    const uint64_t h = (*hashes)[r];
+    std::vector<size_t>& bucket = seen[h];
+    bool dup = false;
+    for (size_t prev : bucket) {
+      if (arity == 0 ||
+          std::memcmp(rows->data() + prev * arity, row,
+                      arity * sizeof(ValueId)) == 0) {
+        dup = true;
+        break;
+      }
+    }
+    if (dup) continue;
+    if (kept != r) {
+      if (arity > 0) {
+        std::memmove(rows->data() + kept * arity, row,
+                     arity * sizeof(ValueId));
+      }
+      (*hashes)[kept] = h;
+    }
+    bucket.push_back(kept);
+    ++kept;
+  }
+  hashes->resize(kept);
+  rows->resize(kept * arity);
+}
+
+}  // namespace
+
+Status Evaluator::EvalRuleChunk(CompiledRule* rule, int pos,
+                                Relation* delta_rel, bool restricted,
+                                size_t begin, size_t end, const Limits& limits,
+                                Relation* full, EmitBuffer* buf) {
+  ExecContext ctx;
+  ctx.rule = rule;
+  ctx.delta_pos = pos;
+  ctx.delta_rel = delta_rel;
+  ctx.order = (pos >= 0) ? &rule->order_delta.at(pos) : &rule->order_full;
+  ctx.bindings.pool = pool_;
+  ctx.bindings.EnsureSize(rule->vars.size());
+  ctx.probe_scratch.resize(ctx.order->size());
+  ctx.first_restricted = restricted;
+  ctx.first_begin = begin;
+  ctx.first_end = end;
+  const size_t arity = rule->head_cols.size();
+  IdTuple out(arity);
+  size_t budget_check_at = limits.max_tuples + 1;
+  ctx.on_solution = [&]() -> Status {
+    for (size_t i = 0; i < arity; ++i) {
+      // parallel_safe guarantees kConst/kVar head columns, so this never
+      // interns: constants were pre-interned, variables are id reads.
+      if (!TryGroundHeadArgId(rule->head_cols[i], rule->vars, ctx.bindings,
+                              pool_, &out[i])) {
+        return util::UnsafeProgram(util::StrCat(
+            "unbound head column in rule: ", PrintRule(rule->source)));
+      }
+    }
+    const uint64_t h = full->RowHash(out.data());
+    // Pre-filter against the frozen full relation: duplicate re-derivations
+    // of already-stored tuples die here, in parallel, instead of occupying
+    // the sequential merge.
+    if (full->ContainsIdsHashed(out.data(), h)) return util::OkStatus();
+    buf->rows.insert(buf->rows.end(), out.begin(), out.end());
+    buf->hashes.push_back(h);
+    // Memory backstop. The store is frozen, so a chunk always terminates,
+    // but a dense join can emit the same new tuple many times before the
+    // merge deduplicates; raw emissions must not trip the tuple budget
+    // (which counts distinct inserts — the sequential engine happily
+    // churns through duplicates). Compact with a stable dedup and fail
+    // only if the chunk's DISTINCT emissions exceed the budget, which
+    // the sequential path would also have failed. The doubling schedule
+    // keeps compaction amortized O(1) per emission.
+    if (buf->hashes.size() >= budget_check_at) {
+      CompactEmitBuffer(&buf->rows, &buf->hashes, arity);
+      if (buf->hashes.size() > limits.max_tuples) {
+        return util::Internal(
+            "fixpoint exceeded tuple budget (diverging program?)");
+      }
+      budget_check_at =
+          std::max(limits.max_tuples + 1, buf->hashes.size() * 2);
+    }
+    return util::OkStatus();
+  };
+  return Step(&ctx, 0);
+}
+
+Status Evaluator::RunRound(const std::vector<RoundTask>& tasks,
+                           const Limits& limits, size_t* total_tuples,
+                           std::map<std::string, Relation>* next_delta,
+                           std::map<std::string, Relation>* stratum_new) {
+  bool parallel = threads_ > 1 && provenance_ == nullptr;
+  if (parallel) {
+    parallel = false;
+    for (const RoundTask& t : tasks) {
+      if (t.rule->parallel_safe) {
+        parallel = true;
+        break;
+      }
+    }
+  }
+  if (!parallel) {
+    // Classic sequential round (threads == 1 path): in-round visibility,
+    // immediate inserts — exactly the pre-parallel engine.
+    for (const RoundTask& t : tasks) {
+      LB_RETURN_IF_ERROR(RunRuleInto(t.rule, t.pos, t.delta_rel, limits,
+                                     total_tuples, next_delta, stratum_new));
+    }
+    return util::OkStatus();
+  }
+
+  // --- Prep (sequential): resolve every relation a worker can reach, pre-
+  // intern constants, pre-build the statically known probe-mask indexes,
+  // then freeze. After this, phase A touches no mutable shared state.
+  struct TaskPlan {
+    bool safe = false;
+    Relation* head = nullptr;
+    Relation* first_rel = nullptr;  ///< partitionable leading relation
+    size_t chunk_begin = 0;
+    size_t chunk_end = 0;
+  };
+  std::vector<TaskPlan> plans(tasks.size());
+  std::vector<Relation*> frozen;
+  for (size_t ti = 0; ti < tasks.size(); ++ti) {
+    const RoundTask& t = tasks[ti];
+    if (!t.rule->parallel_safe) continue;
+    TaskPlan& plan = plans[ti];
+    CompiledRule* rule = t.rule;
+    const size_t head_arity = rule->head_cols.size();
+    Relation* head = store_->GetOrCreate(rule->head_pred, head_arity);
+    if (head->arity() != head_arity) {
+      return util::TypeError(util::StrCat("arity mismatch inserting into '",
+                                          rule->head_pred, "'"));
+    }
+    plan.head = head;
+    frozen.push_back(head);
+    if (t.delta_rel != nullptr) frozen.push_back(t.delta_rel);
+    for (size_t bi = 0; bi < rule->body.size(); ++bi) {
+      const CompiledLiteral& lit = rule->body[bi];
+      if (lit.kind != CompiledLiteral::Kind::kRelation &&
+          lit.kind != CompiledLiteral::Kind::kNegation) {
+        continue;
+      }
+      if (static_cast<int>(bi) == t.pos) continue;  // reads delta_rel
+      Relation* rel = ResolveRelation(lit, lit.cols.size());
+      if (rel->arity() != lit.cols.size()) {
+        return util::TypeError(util::StrCat(
+            "predicate '", lit.pred, "' used with ", lit.cols.size(),
+            " columns, stored as ", rel->arity()));
+      }
+      frozen.push_back(rel);
+    }
+    for (const CompiledLiteral& lit : rule->body) {
+      for (const CompiledArg& c : lit.cols) {
+        if (c.kind == CompiledArg::Kind::kConst) ConstId(c, pool_);
+      }
+    }
+    for (const CompiledArg& c : rule->head_cols) {
+      if (c.kind == CompiledArg::Kind::kConst) ConstId(c, pool_);
+    }
+    const CompiledRule::OrderProbes& probes =
+        t.pos >= 0 ? rule->probes_delta.at(t.pos) : rule->probes_full;
+    for (const CompiledRule::OrderProbes::Need& need : probes.index_masks) {
+      const CompiledLiteral& lit =
+          rule->body[static_cast<size_t>(need.body_idx)];
+      Relation* rel = need.body_idx == t.pos
+                          ? t.delta_rel
+                          : ResolveRelation(lit, lit.cols.size());
+      rel->BuildIndex(need.mask);
+    }
+    if (probes.partition_first) {
+      const std::vector<int>& order =
+          t.pos >= 0 ? rule->order_delta.at(t.pos) : rule->order_full;
+      const int first_idx = order[0];
+      const CompiledLiteral& first_lit =
+          rule->body[static_cast<size_t>(first_idx)];
+      plan.first_rel = first_idx == t.pos
+                           ? t.delta_rel
+                           : ResolveRelation(first_lit, first_lit.cols.size());
+    }
+    plan.safe = true;
+  }
+
+  // --- Chunking: deterministic (depends only on row counts and the
+  // configured thread count). Concatenating chunk outputs in order yields
+  // the same emission stream regardless of which worker ran which chunk,
+  // and regardless of chunk boundaries — so any threads >= 2 run of the
+  // same state produces bit-identical stores.
+  struct ChunkSpec {
+    size_t task;
+    bool restricted;
+    size_t begin;
+    size_t end;
+  };
+  constexpr size_t kMinChunkRows = 8;
+  std::vector<ChunkSpec> chunks;
+  for (size_t ti = 0; ti < tasks.size(); ++ti) {
+    TaskPlan& plan = plans[ti];
+    if (!plan.safe) continue;
+    plan.chunk_begin = chunks.size();
+    if (plan.first_rel != nullptr) {
+      const size_t n = plan.first_rel->size();
+      const size_t nchunks = std::min<size_t>(
+          threads_, std::max<size_t>(1, n / kMinChunkRows));
+      for (size_t c = 0; c < nchunks; ++c) {
+        chunks.push_back({ti, true, n * c / nchunks, n * (c + 1) / nchunks});
+      }
+    } else {
+      chunks.push_back({ti, false, 0, 0});
+    }
+    plan.chunk_end = chunks.size();
+  }
+
+  std::sort(frozen.begin(), frozen.end());
+  frozen.erase(std::unique(frozen.begin(), frozen.end()), frozen.end());
+  for (Relation* rel : frozen) rel->FreezeForRead();
+
+  // --- Phase A: evaluate chunks against the frozen view.
+  if (emit_bufs_.size() < chunks.size()) emit_bufs_.resize(chunks.size());
+  std::vector<Status> chunk_status(chunks.size());
+  auto run_chunk = [&](size_t ci) {
+    const ChunkSpec& c = chunks[ci];
+    const RoundTask& t = tasks[c.task];
+    emit_bufs_[ci].clear();
+    chunk_status[ci] =
+        EvalRuleChunk(t.rule, t.pos, t.delta_rel, c.restricted, c.begin,
+                      c.end, limits, plans[c.task].head, &emit_bufs_[ci]);
+  };
+  // Spawn only as many workers as this round can actually use (the
+  // caller participates, so chunks - 1 saturates the round); a shared
+  // slot keeps the threads alive across fixpoints.
+  const unsigned want_workers = static_cast<unsigned>(std::min<size_t>(
+      threads_ - 1, chunks.size() > 0 ? chunks.size() - 1 : 0));
+  if (want_workers > 0) {
+    EvalWorkerPoolHandle& pool = *workers_slot_;
+    if (pool == nullptr) {
+      pool = EvalWorkerPoolHandle(new EvalWorkerPool(want_workers));
+    } else {
+      pool->EnsureWorkers(want_workers);
+    }
+    pool->Run(chunks.size(), run_chunk);
+  } else {
+    for (size_t ci = 0; ci < chunks.size(); ++ci) run_chunk(ci);
+  }
+  for (Relation* rel : frozen) rel->Thaw();
+
+  // --- Merge (sequential, deterministic task order): deduplicating
+  // full-store inserts and delta construction, identical bookkeeping to
+  // RunRuleInto. Non-safe tasks evaluate inline at their position.
+  for (size_t ti = 0; ti < tasks.size(); ++ti) {
+    const RoundTask& t = tasks[ti];
+    const TaskPlan& plan = plans[ti];
+    if (!plan.safe) {
+      LB_RETURN_IF_ERROR(RunRuleInto(t.rule, t.pos, t.delta_rel, limits,
+                                     total_tuples, next_delta, stratum_new));
+      continue;
+    }
+    Relation* full = plan.head;
+    const size_t arity = t.rule->head_cols.size();
+    Relation* dnext = nullptr;
+    Relation* snext = nullptr;
+    for (size_t ci = plan.chunk_begin; ci < plan.chunk_end; ++ci) {
+      LB_RETURN_IF_ERROR(chunk_status[ci]);
+      const EmitBuffer& buf = emit_bufs_[ci];
+      for (size_t r = 0; r < buf.hashes.size(); ++r) {
+        const ValueId* row = buf.rows.data() + r * arity;
+        if (!full->InsertIdsHashed(row, buf.hashes[r])) continue;
+        ++*total_tuples;
+        if (*total_tuples > limits.max_tuples) {
+          return util::Internal(
+              "fixpoint exceeded tuple budget (diverging program?)");
+        }
+        if (dnext == nullptr) {
+          dnext = &next_delta
+                       ->try_emplace(t.rule->head_pred, Relation(arity, pool_))
+                       .first->second;
+        }
+        dnext->AppendUnchecked(row);
+        if (stratum_new != nullptr) {
+          if (snext == nullptr) {
+            snext = &stratum_new
+                         ->try_emplace(t.rule->head_pred,
+                                       Relation(arity, pool_))
+                         .first->second;
+          }
+          snext->AppendUnchecked(row);
+        }
+      }
+    }
+  }
+  return util::OkStatus();
+}
+
 Status Evaluator::Run(const std::vector<CompiledRule*>& rules,
                       const Stratification& strat, const Limits& limits,
                       bool naive) {
@@ -1036,11 +1566,22 @@ Status Evaluator::Run(const std::vector<CompiledRule*>& rules,
              it->second == static_cast<int>(level);
     };
 
-    // Round 0: naive evaluation of every rule in the stratum.
-    for (CompiledRule* r : stratum_rules) {
-      LB_RETURN_IF_ERROR(
-          RunRuleInto(r, -1, nullptr, limits, &total_tuples, &delta,
-                      /*stratum_new=*/nullptr));
+    // Round 0: naive evaluation of every rule in the stratum. The naive
+    // ablation stays on the classic sequential path throughout.
+    if (naive) {
+      for (CompiledRule* r : stratum_rules) {
+        LB_RETURN_IF_ERROR(
+            RunRuleInto(r, -1, nullptr, limits, &total_tuples, &delta,
+                        /*stratum_new=*/nullptr));
+      }
+    } else {
+      std::vector<RoundTask> tasks;
+      tasks.reserve(stratum_rules.size());
+      for (CompiledRule* r : stratum_rules) {
+        tasks.push_back(RoundTask{r, -1, nullptr});
+      }
+      LB_RETURN_IF_ERROR(RunRound(tasks, limits, &total_tuples, &delta,
+                                  /*stratum_new=*/nullptr));
     }
 
     // Recursive rounds.
@@ -1050,9 +1591,9 @@ Status Evaluator::Run(const std::vector<CompiledRule*>& rules,
         return util::Internal("fixpoint exceeded round budget");
       }
       std::map<std::string, Relation> next_delta;
-      for (CompiledRule* r : stratum_rules) {
-        if (r->agg.has_value()) continue;  // agg bodies are lower strata
-        if (naive) {
+      if (naive) {
+        for (CompiledRule* r : stratum_rules) {
+          if (r->agg.has_value()) continue;  // agg bodies are lower strata
           bool recursive = false;
           for (int pos : r->relation_positions) {
             if (in_stratum(r->body[static_cast<size_t>(pos)].pred)) {
@@ -1064,17 +1605,21 @@ Status Evaluator::Run(const std::vector<CompiledRule*>& rules,
           LB_RETURN_IF_ERROR(
               RunRuleInto(r, -1, nullptr, limits, &total_tuples, &next_delta,
                           /*stratum_new=*/nullptr));
-          continue;
         }
-        for (int pos : r->relation_positions) {
-          const std::string& pred = r->body[static_cast<size_t>(pos)].pred;
-          if (!in_stratum(pred)) continue;
-          auto dit = delta.find(pred);
-          if (dit == delta.end() || dit->second.empty()) continue;
-          LB_RETURN_IF_ERROR(
-              RunRuleInto(r, pos, &dit->second, limits, &total_tuples,
-                          &next_delta, /*stratum_new=*/nullptr));
+      } else {
+        std::vector<RoundTask> tasks;
+        for (CompiledRule* r : stratum_rules) {
+          if (r->agg.has_value()) continue;  // agg bodies are lower strata
+          for (int pos : r->relation_positions) {
+            const std::string& pred = r->body[static_cast<size_t>(pos)].pred;
+            if (!in_stratum(pred)) continue;
+            auto dit = delta.find(pred);
+            if (dit == delta.end() || dit->second.empty()) continue;
+            tasks.push_back(RoundTask{r, pos, &dit->second});
+          }
         }
+        LB_RETURN_IF_ERROR(RunRound(tasks, limits, &total_tuples, &next_delta,
+                                    /*stratum_new=*/nullptr));
       }
       delta = std::move(next_delta);
     }
@@ -1120,15 +1665,19 @@ Status Evaluator::RunIncremental(const std::vector<CompiledRule*>& rules,
     // this path (Workspace::DeltaFixpointEligible falls back to a full
     // rebuild when a delta can feed an aggregate).
     std::map<std::string, Relation> delta;
-    for (CompiledRule* r : stratum_rules) {
-      if (r->agg.has_value()) continue;
-      for (int pos : r->relation_positions) {
-        const std::string& pred = r->body[static_cast<size_t>(pos)].pred;
-        auto ait = accumulated.find(pred);
-        if (ait == accumulated.end() || ait->second.empty()) continue;
-        LB_RETURN_IF_ERROR(RunRuleInto(r, pos, &ait->second, limits,
-                                       &total_tuples, &delta, &stratum_new));
+    {
+      std::vector<RoundTask> tasks;
+      for (CompiledRule* r : stratum_rules) {
+        if (r->agg.has_value()) continue;
+        for (int pos : r->relation_positions) {
+          const std::string& pred = r->body[static_cast<size_t>(pos)].pred;
+          auto ait = accumulated.find(pred);
+          if (ait == accumulated.end() || ait->second.empty()) continue;
+          tasks.push_back(RoundTask{r, pos, &ait->second});
+        }
       }
+      LB_RETURN_IF_ERROR(
+          RunRound(tasks, limits, &total_tuples, &delta, &stratum_new));
     }
 
     // In-stratum recursion: identical to Run()'s semi-naive rounds.
@@ -1138,6 +1687,7 @@ Status Evaluator::RunIncremental(const std::vector<CompiledRule*>& rules,
         return util::Internal("fixpoint exceeded round budget");
       }
       std::map<std::string, Relation> next_delta;
+      std::vector<RoundTask> tasks;
       for (CompiledRule* r : stratum_rules) {
         if (r->agg.has_value()) continue;
         for (int pos : r->relation_positions) {
@@ -1145,11 +1695,11 @@ Status Evaluator::RunIncremental(const std::vector<CompiledRule*>& rules,
           if (!in_stratum(pred)) continue;
           auto dit = delta.find(pred);
           if (dit == delta.end() || dit->second.empty()) continue;
-          LB_RETURN_IF_ERROR(RunRuleInto(r, pos, &dit->second, limits,
-                                         &total_tuples, &next_delta,
-                                         &stratum_new));
+          tasks.push_back(RoundTask{r, pos, &dit->second});
         }
       }
+      LB_RETURN_IF_ERROR(RunRound(tasks, limits, &total_tuples, &next_delta,
+                                  &stratum_new));
       delta = std::move(next_delta);
     }
 

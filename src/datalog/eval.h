@@ -115,6 +115,35 @@ struct CompiledRule {
   std::vector<int> order_full;               ///< literal visit order
   std::map<int, std::vector<int>> order_delta;  ///< per delta position
   std::vector<int> relation_positions;       ///< body idx of kRelation lits
+
+  /// True when evaluating this rule touches nothing but the interned id
+  /// plane: no aggregate, every body literal is a relation or negation,
+  /// and every column (body and head) is a constant or a plain variable.
+  /// Such rules never intern into the pool, never unify patterns, and
+  /// never materialize Values — so any number of workers can evaluate
+  /// them concurrently against a frozen store. Rules with builtins,
+  /// equality, patterns/expressions or aggregates run sequentially in the
+  /// merge phase instead.
+  bool parallel_safe = false;
+
+  /// For parallel-safe rules: the probe masks each evaluation order needs,
+  /// derived statically from the schedule (a column is bound at position
+  /// `oi` iff it is a constant or bound by an earlier literal — for
+  /// const/var-only rules runtime boundness equals scheduled boundness).
+  /// The parallel evaluator pre-builds exactly these indexes before
+  /// freezing the round's relations.
+  struct OrderProbes {
+    struct Need {
+      int body_idx;    ///< literal whose relation needs the index
+      uint64_t mask;   ///< probe mask at its scheduled position
+    };
+    std::vector<Need> index_masks;
+    /// order[0] is a relation literal, so worker chunks can partition its
+    /// row enumeration (delta scans and round-0 leading scans).
+    bool partition_first = false;
+  };
+  OrderProbes probes_full;
+  std::map<int, OrderProbes> probes_delta;  ///< keyed like order_delta
 };
 
 /// Compiles and safety-checks a rule. Fails with kUnsafeProgram when no
@@ -122,7 +151,41 @@ struct CompiledRule {
 util::Result<std::unique_ptr<CompiledRule>> CompileRule(
     const Rule& rule, const BuiltinRegistry& builtins);
 
+class EvalWorkerPool;
+
+/// Opaque owner handle for a worker pool (the type lives in eval.cc).
+/// A Workspace keeps one of these and passes its address to every
+/// Evaluator it constructs, so the pool's threads are spawned once and
+/// reused across fixpoints instead of per-Evaluator.
+struct EvalWorkerPoolDeleter {
+  void operator()(EvalWorkerPool* pool) const;
+};
+using EvalWorkerPoolHandle =
+    std::unique_ptr<EvalWorkerPool, EvalWorkerPoolDeleter>;
+
 /// Bottom-up semi-naive stratified evaluator over a RelationStore.
+///
+/// ## Parallel evaluation (threads > 1)
+///
+/// Within each stratum round, parallel-safe rules (CompiledRule::
+/// parallel_safe) are evaluated by a worker pool against a frozen
+/// read-only view of the store: relations are resolved, constants
+/// interned and the statically known probe-mask indexes built *before*
+/// the round's threads start, then every reachable relation is
+/// FreezeForRead()-locked, so workers touch no shared mutable state at
+/// all. Each task's leading literal enumeration is partitioned into row
+/// ranges (chunks); workers emit pre-hashed head rows — already filtered
+/// against the frozen full relation — into per-chunk buffers. A
+/// sequential merge then replays the buffers in deterministic chunk
+/// order: deduplicating full-store inserts, delta construction and the
+/// tuple budget exactly as the sequential path, while non-safe rules
+/// (builtins, patterns, aggregates) evaluate inline at their task
+/// position. The fixpoint SET is identical to sequential evaluation
+/// (rounds are confluent; a consequence skipped under the frozen view is
+/// derived from the next round's delta), so Workspace::Dump — which
+/// sorts rows — is byte-identical across thread counts. threads == 1
+/// runs today's exact sequential code path; provenance tracking and the
+/// naive ablation force it.
 class Evaluator {
  public:
   struct Limits {
@@ -132,12 +195,17 @@ class Evaluator {
 
   /// `provenance` may be null; when set, Run() records one derivation
   /// witness per newly derived tuple (relational premises only).
+  /// `threads` is the worker count for intra-stratum rule parallelism
+  /// (1 = sequential; callers resolve 0/auto before constructing).
+  /// `shared_pool` may point at a caller-owned worker-pool slot (see
+  /// EvalWorkerPoolHandle); when null, the evaluator owns a private pool
+  /// for its own lifetime. Either way the pool is created lazily, sized
+  /// to the largest parallel round actually seen, and never spawns more
+  /// than `threads - 1` workers.
   Evaluator(const BuiltinRegistry* builtins, RelationStore* store,
-            ProvenanceStore* provenance = nullptr)
-      : builtins_(builtins),
-        store_(store),
-        provenance_(provenance),
-        pool_(store->pool()) {}
+            ProvenanceStore* provenance = nullptr, unsigned threads = 1,
+            EvalWorkerPoolHandle* shared_pool = nullptr);
+  ~Evaluator();
 
   /// Runs all rules to fixpoint. The store must already be seeded with EDB
   /// facts (including facts of derived predicates). `naive` disables the
@@ -180,6 +248,29 @@ class Evaluator {
     std::vector<std::vector<uint32_t>> probe_scratch;
     /// When provenance is tracked: the relational rows matched so far.
     std::vector<std::pair<std::string, Tuple>>* premises = nullptr;
+    /// Worker-chunk row-range restriction for the first order position
+    /// (the partitioned leading scan). Inactive unless first_restricted.
+    bool first_restricted = false;
+    size_t first_begin = 0;
+    size_t first_end = 0;
+  };
+
+  /// One (rule, delta position) evaluation within a stratum round.
+  struct RoundTask {
+    CompiledRule* rule = nullptr;
+    int pos = -1;                  ///< delta position, -1 for full order
+    Relation* delta_rel = nullptr;
+  };
+
+  /// Worker output: arity-strided head rows plus their primary-set
+  /// hashes, already filtered against the frozen full relation.
+  struct EmitBuffer {
+    std::vector<ValueId> rows;
+    std::vector<uint64_t> hashes;
+    void clear() {
+      rows.clear();
+      hashes.clear();
+    }
   };
 
   /// Cached by-name relation resolution (see CompiledLiteral).
@@ -213,11 +304,39 @@ class Evaluator {
                            std::map<std::string, Relation>* next_delta,
                            std::map<std::string, Relation>* stratum_new);
 
+  /// Executes one stratum round's tasks. With threads_ == 1 (or when
+  /// nothing in the round is parallel-safe) this is exactly the classic
+  /// sequential loop over RunRuleInto; otherwise parallel-safe tasks run
+  /// the frozen-view worker path (see the class comment) and the merge
+  /// applies all results in deterministic task order.
+  util::Status RunRound(const std::vector<RoundTask>& tasks,
+                        const Limits& limits, size_t* total_tuples,
+                        std::map<std::string, Relation>* next_delta,
+                        std::map<std::string, Relation>* stratum_new);
+
+  /// Worker body: evaluates `rule` (delta-seeded when pos >= 0) with the
+  /// leading literal restricted to rows [begin, end) when `restricted`,
+  /// buffering emissions (pre-hashed, pre-filtered against `full`).
+  util::Status EvalRuleChunk(CompiledRule* rule, int pos, Relation* delta_rel,
+                             bool restricted, size_t begin, size_t end,
+                             const Limits& limits, Relation* full,
+                             EmitBuffer* buf);
+
   const BuiltinRegistry* builtins_;
   RelationStore* store_;
   ProvenanceStore* provenance_;
   ValuePool* pool_;
-  /// Set while a rule is emitting (read by Run's insertion callback).
+  unsigned threads_;
+  /// Worker-pool slot: points at the caller's shared slot when one was
+  /// provided (pool reused across fixpoints), else at owned_workers_.
+  /// Populated lazily on the first round with > 1 chunk and grown to the
+  /// largest concurrent chunk count seen (never beyond threads_ - 1).
+  EvalWorkerPoolHandle* workers_slot_;
+  EvalWorkerPoolHandle owned_workers_;
+  /// Per-chunk emission buffers, recycled across rounds.
+  std::vector<EmitBuffer> emit_bufs_;
+  /// Set while a rule is emitting (read by Run's insertion callback; only
+  /// touched when provenance is tracked, which forces sequential mode).
   const CompiledRule* emitting_rule_ = nullptr;
   const std::vector<std::pair<std::string, Tuple>>* emitting_premises_ =
       nullptr;

@@ -1,7 +1,8 @@
 #include "datalog/relation.h"
 
 #include <algorithm>
-#include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "util/strings.h"
@@ -19,7 +20,77 @@ void RemoveId(std::vector<uint32_t>* ids, uint32_t value) {
   }
 }
 
+#ifndef NDEBUG
+/// RAII entry/exit marker for the lazy-probe single-thread contract.
+class LazyProbeScope {
+ public:
+  explicit LazyProbeScope(std::atomic<int>* depth) : depth_(depth) {
+    if (depth_->fetch_add(1, std::memory_order_acq_rel) != 0) {
+      std::fprintf(stderr,
+                   "lbtrust fatal: concurrent lazy index probes on one "
+                   "Relation (BuildIndex + FreezeForRead before sharing it "
+                   "across threads)\n");
+      std::abort();
+    }
+  }
+  ~LazyProbeScope() { depth_->fetch_sub(1, std::memory_order_acq_rel); }
+
+ private:
+  std::atomic<int>* depth_;
+};
+#endif
+
 }  // namespace
+
+void Relation::Fail(const char* msg) const {
+  std::fprintf(stderr, "lbtrust fatal: %s (relation arity=%zu rows=%zu)\n",
+               msg, arity_, num_rows_);
+  std::abort();
+}
+
+Relation::Relation(size_t arity, ValuePool* pool)
+    : arity_(arity), pool_(pool != nullptr ? pool : ValuePool::Default()) {
+  if (arity_ > kMaxArity) {
+    Fail("relation arity exceeds kMaxArity (64); callers must validate "
+         "before construction");
+  }
+}
+
+Relation::Relation(Relation&& other) noexcept
+    : arity_(other.arity_),
+      pool_(other.pool_),
+      num_rows_(other.num_rows_),
+      append_only_(other.append_only_),
+      frozen_(other.frozen_),
+      data_(std::move(other.data_)),
+      primary_slots_(std::move(other.primary_slots_)),
+      row_hash_(std::move(other.row_hash_)),
+      primary_used_(other.primary_used_),
+      indexes_(std::move(other.indexes_)) {
+  other.num_rows_ = 0;
+  other.primary_used_ = 0;
+  other.append_only_ = false;
+  other.frozen_ = false;
+}
+
+Relation& Relation::operator=(Relation&& other) noexcept {
+  if (this == &other) return *this;
+  arity_ = other.arity_;
+  pool_ = other.pool_;
+  num_rows_ = other.num_rows_;
+  append_only_ = other.append_only_;
+  frozen_ = other.frozen_;
+  data_ = std::move(other.data_);
+  primary_slots_ = std::move(other.primary_slots_);
+  row_hash_ = std::move(other.row_hash_);
+  primary_used_ = other.primary_used_;
+  indexes_ = std::move(other.indexes_);
+  other.num_rows_ = 0;
+  other.primary_used_ = 0;
+  other.append_only_ = false;
+  other.frozen_ = false;
+  return *this;
+}
 
 uint64_t Relation::HashRow(const ValueId* row) const {
   uint64_t h = 0x811C9DC5ULL;
@@ -83,11 +154,15 @@ size_t Relation::FindPrimarySlot(uint32_t row_id) const {
 }
 
 bool Relation::InsertIds(const ValueId* row) {
-  assert(!append_only_ && "checked insert into an AppendUnchecked relation");
+  return InsertIdsHashed(row, HashRow(row));
+}
+
+bool Relation::InsertIdsHashed(const ValueId* row, uint64_t h) {
+  if (frozen_) Fail("InsertIds on a frozen relation");
+  if (append_only_) Fail("checked insert into an AppendUnchecked relation");
   if ((primary_used_ + 1) * 4 >= primary_slots_.size() * 3) {
     GrowPrimary(num_rows_ + 1);
   }
-  const uint64_t h = HashRow(row);
   const size_t mask = primary_slots_.size() - 1;
   size_t slot = static_cast<size_t>(h) & mask;
   size_t insert_at = SIZE_MAX;
@@ -114,6 +189,11 @@ bool Relation::InsertIds(const ValueId* row) {
 }
 
 void Relation::AppendUnchecked(const ValueId* row) {
+  if (frozen_) Fail("AppendUnchecked on a frozen relation");
+  if (!append_only_ && !primary_slots_.empty()) {
+    Fail("AppendUnchecked on a relation with checked rows (mixing breaks "
+         "set semantics)");
+  }
   append_only_ = true;
   ++num_rows_;
   row_hash_.push_back(0);  // never consulted: no primary entry exists
@@ -127,8 +207,11 @@ bool Relation::Insert(Tuple t) {
 }
 
 bool Relation::ContainsIds(const ValueId* row) const {
+  return ContainsIdsHashed(row, HashRow(row));
+}
+
+bool Relation::ContainsIdsHashed(const ValueId* row, uint64_t h) const {
   if (primary_slots_.empty()) return false;
-  const uint64_t h = HashRow(row);
   const size_t mask = primary_slots_.size() - 1;
   size_t slot = static_cast<size_t>(h) & mask;
   for (;;) {
@@ -150,7 +233,8 @@ bool Relation::Contains(const Tuple& t) const {
 }
 
 bool Relation::EraseIds(const ValueId* row) {
-  assert(!append_only_ && "checked erase from an AppendUnchecked relation");
+  if (frozen_) Fail("EraseIds on a frozen relation");
+  if (append_only_) Fail("checked erase from an AppendUnchecked relation");
   if (primary_slots_.empty()) return false;
   const uint64_t h = HashRow(row);
   const size_t pmask = primary_slots_.size() - 1;
@@ -225,6 +309,7 @@ bool Relation::Erase(const Tuple& t) {
 }
 
 void Relation::Clear() {
+  if (frozen_) Fail("Clear on a frozen relation");
   num_rows_ = 0;
   append_only_ = false;
   data_.clear();
@@ -244,13 +329,36 @@ void Relation::ExtendIndex(uint64_t mask, Index* index) const {
   index->built_upto = num_rows_;
 }
 
+void Relation::BuildIndex(uint64_t mask) {
+  if (frozen_) Fail("BuildIndex on a frozen relation (thaw first)");
+  Index& index = indexes_[mask];
+  if (index.built_upto < num_rows_) ExtendIndex(mask, &index);
+}
+
+const Relation::Index* Relation::FrozenIndex(uint64_t mask) const {
+  auto it = indexes_.find(mask);
+  if (it == indexes_.end() || it->second.built_upto != num_rows_) {
+    Fail("index probe on a frozen relation without a pre-built index "
+         "(call BuildIndex(mask) before FreezeForRead)");
+  }
+  return &it->second;
+}
+
+const Relation::Index* Relation::LazyIndex(uint64_t mask) const {
+#ifndef NDEBUG
+  LazyProbeScope scope(&lazy_probes_);
+#endif
+  Index& index = indexes_[mask];
+  if (index.built_upto < num_rows_) ExtendIndex(mask, &index);
+  return &index;
+}
+
 void Relation::LookupIds(uint64_t mask, const ValueId* key,
                          std::vector<uint32_t>* out) const {
-  Index& index = indexes_[mask];
-  ExtendIndex(mask, &index);
-  auto it = index.map.find(
+  const Index* index = frozen_ ? FrozenIndex(mask) : LazyIndex(mask);
+  auto it = index->map.find(
       HashKeySpan(key, static_cast<size_t>(__builtin_popcountll(mask))));
-  if (it == index.map.end()) return;
+  if (it == index->map.end()) return;
   for (uint32_t id : it->second) {
     if (RowMatchesKey(id, mask, key)) out->push_back(id);
   }
@@ -258,11 +366,10 @@ void Relation::LookupIds(uint64_t mask, const ValueId* key,
 
 bool Relation::MatchesIds(uint64_t mask, const ValueId* key) const {
   if (mask == 0) return num_rows_ > 0;
-  Index& index = indexes_[mask];
-  ExtendIndex(mask, &index);
-  auto it = index.map.find(
+  const Index* index = frozen_ ? FrozenIndex(mask) : LazyIndex(mask);
+  auto it = index->map.find(
       HashKeySpan(key, static_cast<size_t>(__builtin_popcountll(mask))));
-  if (it == index.map.end()) return false;
+  if (it == index->map.end()) return false;
   for (uint32_t id : it->second) {
     if (RowMatchesKey(id, mask, key)) return true;
   }

@@ -1,6 +1,7 @@
 #ifndef LBTRUST_DATALOG_RELATION_H_
 #define LBTRUST_DATALOG_RELATION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -11,12 +12,29 @@
 namespace lbtrust::datalog {
 
 /// Set-semantics tuple store over interned values. Rows live in one flat,
-/// arity-strided `ValueId` buffer; the primary set and the lazily built,
-/// incrementally extended per-mask hash indexes key on 64-bit hashes of id
-/// spans (candidates are verified with id compares, so correctness never
-/// depends on hash collision freedom). The evaluator asks for "all rows
-/// whose columns {i: mask bit i set} equal this key"; the first such query
-/// builds the index, later inserts extend it on demand.
+/// arity-strided `ValueId` buffer; the primary set and the per-mask hash
+/// indexes key on 64-bit hashes of id spans (candidates are verified with
+/// id compares, so correctness never depends on hash collision freedom).
+/// The evaluator asks for "all rows whose columns {i: mask bit i set} equal
+/// this key"; by default the first such query builds the index lazily and
+/// later inserts extend it on demand.
+///
+/// ## Threading model
+///
+/// A relation has two read modes:
+///
+///  - **Lazy (default).** `LookupIds`/`MatchesIds` build and extend
+///    `indexes_` on demand. This mutates state from `const` methods and is
+///    therefore strictly single-threaded: one thread at a time may touch
+///    the relation (sequential hand-off between threads is fine). Debug
+///    builds detect concurrent lazy probes and abort.
+///  - **Frozen.** `BuildIndex(mask)` materializes an index explicitly;
+///    `FreezeForRead()` then locks the relation: every mutation hard-fails
+///    and probes require their index to be pre-built, so `LookupIds`,
+///    `MatchesIds`, `ContainsIds` and row reads touch no mutable state and
+///    are safe from any number of concurrent readers. `Thaw()` returns to
+///    lazy mode. The parallel evaluator freezes every relation a worker
+///    can reach for the duration of a round.
 ///
 /// The `Tuple`-taking methods are the boundary API: they intern (inserts)
 /// or probe the pool without inserting (lookups), so a lookup for a value
@@ -25,11 +43,24 @@ namespace lbtrust::datalog {
 /// this relation's pool.
 class Relation {
  public:
+  /// Hard cap on columns: probe masks and projection hashes pack "column i
+  /// is bound" into bit i of a uint64_t, so column indexes beyond 63 would
+  /// shift out of range (UB). Enforced with kInvalidArgument at the API
+  /// boundaries (Workspace::EnsurePredicate, CompileRule) and as a hard
+  /// failure here as the last line of defense.
+  static constexpr size_t kMaxArity = 64;
+
   /// `pool == nullptr` uses the process-wide ValuePool::Default() (for
   /// standalone relations in tests and tools); the engine always passes a
   /// workspace-scoped pool so ids stay comparable across its relations.
-  explicit Relation(size_t arity, ValuePool* pool = nullptr)
-      : arity_(arity), pool_(pool != nullptr ? pool : ValuePool::Default()) {}
+  explicit Relation(size_t arity, ValuePool* pool = nullptr);
+
+  /// Move-only: the debug concurrency guard is not copyable, and nothing
+  /// in the engine copies relations.
+  Relation(Relation&& other) noexcept;
+  Relation& operator=(Relation&& other) noexcept;
+  Relation(const Relation&) = delete;
+  Relation& operator=(const Relation&) = delete;
 
   size_t arity() const { return arity_; }
   size_t size() const { return num_rows_; }
@@ -39,20 +70,31 @@ class Relation {
   /// Returns true if the tuple was new.
   bool Insert(Tuple t);
   bool InsertIds(const ValueId* row);
+  /// InsertIds with the row hash precomputed via RowHash() (the parallel
+  /// merge path hashes rows on worker threads).
+  bool InsertIdsHashed(const ValueId* row, uint64_t hash);
   /// Appends a row WITHOUT the duplicate check or primary-set bookkeeping.
   /// For delta/seed relations whose uniqueness the caller already
   /// guarantees (the evaluator only feeds them rows that were new in the
   /// full store). Contains/Erase are unreliable on such relations; scans
-  /// and mask lookups (which read only row storage) work normally.
+  /// and mask lookups (which read only row storage) work normally. Mixing
+  /// with checked mutations hard-fails in every build mode: the relation
+  /// must either be append-only from birth or never see AppendUnchecked.
   void AppendUnchecked(const ValueId* row);
   bool Contains(const Tuple& t) const;
   bool ContainsIds(const ValueId* row) const;
+  /// ContainsIds with the row hash precomputed via RowHash().
+  bool ContainsIdsHashed(const ValueId* row, uint64_t hash) const;
   /// Removes a tuple (swap-and-pop; built indexes are patched in place, so
   /// removal cost is O(indexes), not O(rows * indexes)). Returns true if
   /// present.
   bool Erase(const Tuple& t);
   bool EraseIds(const ValueId* row);
   void Clear();
+
+  /// The primary-set hash of a row (what InsertIdsHashed/ContainsIdsHashed
+  /// expect). Pure function of the ids; safe from any thread.
+  uint64_t RowHash(const ValueId* row) const { return HashRow(row); }
 
   /// The ids of row `i` (arity() consecutive entries). Invalidated by
   /// Insert/Erase/Clear.
@@ -65,6 +107,11 @@ class Relation {
     return pool_->Get(RowIds(row)[col]);
   }
 
+  /// True if row `i`'s columns selected by `mask` equal `key` (bound
+  /// columns only, in column order). Read-only; used by the parallel
+  /// evaluator's partitioned first-literal scans.
+  bool RowMatchesKey(uint32_t row, uint64_t mask, const ValueId* key) const;
+
   /// Appends the row indexes matching `key` on the columns set in `mask`
   /// (LSB = column 0) to `out`. `key` holds only the bound columns, in
   /// column order — callers keep a scratch buffer, so a probe allocates
@@ -75,6 +122,19 @@ class Relation {
   /// True if at least one row matches (wildcard semantics for negation).
   /// mask == 0 asks "any row at all?".
   bool MatchesIds(uint64_t mask, const ValueId* key) const;
+
+  /// Builds (or incrementally extends) the index for `mask` so that a
+  /// frozen relation can serve LookupIds/MatchesIds on it without
+  /// mutating anything. Idempotent; must not be called while frozen.
+  void BuildIndex(uint64_t mask);
+
+  /// Enters frozen read-only mode: mutations hard-fail and index probes
+  /// require a prior BuildIndex for their mask. Concurrent readers are
+  /// then race-free by construction.
+  void FreezeForRead() { frozen_ = true; }
+  /// Leaves frozen mode (single-threaded again).
+  void Thaw() { frozen_ = false; }
+  bool frozen() const { return frozen_; }
 
   /// Boundary conveniences over the id probes (tests, tools).
   std::vector<uint32_t> Lookup(uint64_t mask, const Tuple& key) const;
@@ -90,12 +150,21 @@ class Relation {
   static constexpr uint32_t kEmptySlot = 0xFFFFFFFF;
   static constexpr uint32_t kTombstone = 0xFFFFFFFE;
 
+  /// Always-on invariant failure: message to stderr, then abort. The
+  /// append-only and frozen guards must hold in Release too — violating
+  /// them silently corrupts set semantics.
+  [[noreturn]] void Fail(const char* msg) const;
+
   uint64_t HashRow(const ValueId* row) const;
   uint64_t HashProjected(const ValueId* row, uint64_t mask) const;
   static uint64_t HashKeySpan(const ValueId* key, size_t n);
   bool RowEquals(uint32_t row, const ValueId* ids) const;
-  bool RowMatchesKey(uint32_t row, uint64_t mask, const ValueId* key) const;
   void ExtendIndex(uint64_t mask, Index* index) const;
+  /// Frozen-mode index fetch: hard-fails unless BuildIndex(mask) ran and
+  /// covers every row.
+  const Index* FrozenIndex(uint64_t mask) const;
+  /// Lazy-mode get-or-build-and-extend (single-threaded contract).
+  const Index* LazyIndex(uint64_t mask) const;
   /// Projects the boundary key into ids via pool Find; false when some key
   /// value was never interned (no row can match).
   bool ProjectKey(const Tuple& key, IdTuple* out) const;
@@ -110,9 +179,11 @@ class Relation {
   ValuePool* pool_;
   size_t num_rows_ = 0;
   /// Set by the first AppendUnchecked: the relation has no primary-set
-  /// bookkeeping and must never see checked mutations again (asserted in
-  /// InsertIds/EraseIds — mixing would silently break set semantics).
+  /// bookkeeping and must never see checked mutations again (hard failure
+  /// in InsertIds/EraseIds — mixing would silently break set semantics).
   bool append_only_ = false;
+  /// FreezeForRead() mode: mutations hard-fail, probes are read-only.
+  bool frozen_ = false;
   std::vector<ValueId> data_;  ///< arity-strided row storage
   /// Set membership: open-addressing table of row ids (linear probing,
   /// power-of-two capacity, tombstoned deletes) — one flat allocation, no
@@ -121,6 +192,12 @@ class Relation {
   std::vector<uint64_t> row_hash_;  ///< cached HashRow per row
   size_t primary_used_ = 0;         ///< occupied slots incl. tombstones
   mutable std::unordered_map<uint64_t, Index> indexes_;
+#ifndef NDEBUG
+  /// Debug detector for the lazy single-threaded contract: entered on
+  /// every lazy (non-frozen) index acquisition; a second concurrent entry
+  /// means two threads are racing the lazy build.
+  mutable std::atomic<int> lazy_probes_{0};
+#endif
 };
 
 }  // namespace lbtrust::datalog

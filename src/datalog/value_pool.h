@@ -133,9 +133,16 @@ static_assert(sizeof(ValueId) == 8, "ValueId must stay an 8-byte handle");
 using IdTuple = std::vector<ValueId>;
 
 /// Deduplicating value store. One pool per Workspace (plus a process-wide
-/// default for standalone Relations); NOT thread-safe — a pool and all
-/// relations over it belong to one evaluation thread, which is exactly the
-/// unit future sharding will distribute.
+/// default for standalone Relations).
+///
+/// Threading: `Intern` mutates and is single-writer; the const reads
+/// (`Find`, `Get`, `generation`, `pooled_count`) are safe from any number
+/// of concurrent threads AS LONG AS no thread is interning. The parallel
+/// evaluator relies on exactly this split: worker threads evaluate
+/// parallel-safe rules that operate purely on ids (they never call Intern
+/// — constants are interned during round prep, and pattern/builtin rules
+/// that could intern run on the merge thread), so during a parallel phase
+/// the pool is read-only by construction.
 class ValuePool {
  public:
   ValuePool();

@@ -1,6 +1,7 @@
 #include "datalog/workspace.h"
 
 #include <algorithm>
+#include <thread>
 
 #include "datalog/parser.h"
 #include "datalog/pretty.h"
@@ -10,6 +11,17 @@ namespace lbtrust::datalog {
 
 using util::Result;
 using util::Status;
+
+namespace {
+
+/// Options::threads == 0 means "one per hardware thread".
+unsigned ResolveThreads(unsigned configured) {
+  if (configured != 0) return configured;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
 
 Workspace::Workspace(Options options)
     : options_(std::move(options)), edb_(&pool_), store_(&pool_) {
@@ -22,6 +34,15 @@ Workspace::Workspace(Options options)
 
 Status Workspace::EnsurePredicate(const std::string& name, size_t arity,
                                   bool partitioned) {
+  if (arity > Relation::kMaxArity) {
+    // Probe masks and projection hashes address columns as uint64_t bits;
+    // column 64+ would shift out of range (UB). Reject here — every
+    // predicate-creating path (AddFact, rule installs, declarations)
+    // funnels through EnsurePredicate.
+    return util::InvalidArgument(util::StrCat(
+        "predicate '", name, "' has ", arity, " columns; the engine caps "
+        "arity at ", Relation::kMaxArity));
+  }
   bool existed = catalog_.Exists(name);
   LB_RETURN_IF_ERROR(catalog_.Declare(name, arity, partitioned));
   edb_.GetOrCreate(name, arity);
@@ -658,7 +679,8 @@ Status Workspace::RunRules() {
   for (const auto& r : rules_) compiled.push_back(r->compiled.get());
   LB_ASSIGN_OR_RETURN(const Stratification* strat, CurrentStratification());
   Evaluator evaluator(&builtins_, &store_,
-                      options_.track_provenance ? &provenance_ : nullptr);
+                      options_.track_provenance ? &provenance_ : nullptr,
+                      ResolveThreads(options_.threads), &worker_pool_);
   return evaluator.Run(compiled, *strat, options_.limits,
                        options_.naive_eval);
 }
@@ -668,7 +690,8 @@ Status Workspace::RunRulesDelta(std::map<std::string, Relation> seed) {
   compiled.reserve(rules_.size());
   for (const auto& r : rules_) compiled.push_back(r->compiled.get());
   LB_ASSIGN_OR_RETURN(const Stratification* strat, CurrentStratification());
-  Evaluator evaluator(&builtins_, &store_);
+  Evaluator evaluator(&builtins_, &store_, /*provenance=*/nullptr,
+                      ResolveThreads(options_.threads), &worker_pool_);
   return evaluator.RunIncremental(compiled, *strat, options_.limits,
                                   std::move(seed));
 }

@@ -184,6 +184,14 @@ class Workspace {
   struct Options {
     /// The principal that `me` denotes.
     std::string principal = "local";
+    /// Worker threads for intra-stratum rule evaluation. 0 = one per
+    /// hardware thread (std::thread::hardware_concurrency); 1 = today's
+    /// exact sequential behavior. With threads > 1, parallel-safe rules
+    /// evaluate concurrently against a frozen store snapshot and a
+    /// sequential merge keeps results deterministic — Workspace dumps are
+    /// byte-identical to sequential evaluation (see README "Parallel
+    /// evaluation"). Provenance tracking and naive_eval force sequential.
+    unsigned threads = 0;
     /// Codegen (active-rule installation) iterations per Fixpoint().
     int max_codegen_rounds = 64;
     /// Evaluator budgets (diverging-program guards).
@@ -398,6 +406,10 @@ class Workspace {
   Options options_;
   Catalog catalog_;
   BuiltinRegistry builtins_;
+  /// Shared worker-pool slot handed to every Evaluator this workspace
+  /// constructs: threads spawn on the first parallel round and are
+  /// reused across fixpoints (see EvalWorkerPoolHandle).
+  EvalWorkerPoolHandle worker_pool_;
   ValuePool pool_;       // interned values; must outlive the stores below
   RelationStore edb_;    // explicit facts
   RelationStore store_;  // visible state (EDB + derived); rebuilt by full

@@ -45,6 +45,11 @@ class TrustRuntime {
     /// to me. Turn off when activation should flow through delegation
     /// rules only.
     bool trusting_activation = true;
+    /// Engine options, including `workspace.threads` — intra-stratum rule
+    /// parallelism for the runtime's fixpoints (0 = hardware concurrency,
+    /// 1 = sequential; see README "Parallel evaluation"). Per-runtime
+    /// stores/pools stay single-owner, so concurrent TrustRuntimes compose
+    /// with per-runtime worker pools.
     datalog::Workspace::Options workspace;
   };
 

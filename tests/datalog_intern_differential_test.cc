@@ -75,6 +75,21 @@ TEST_P(InternDifferentialTest, FactByFactCommitsMatchSeed) {
       << "program: " << prog.name;
 }
 
+TEST_P(InternDifferentialTest, ParallelEvaluationMatchesSeed) {
+  // The worker-pool evaluator (frozen store snapshot + ordered merge)
+  // must reproduce the seed-representation dumps byte-for-byte too:
+  // parallel evaluation is observationally identical to sequential.
+  const auto& prog = lbtrust::testing::kGoldenPrograms[GetParam()];
+  Workspace::Options opts;
+  opts.principal = prog.principal;
+  opts.threads = 4;
+  Workspace ws(opts);
+  ASSERT_TRUE(ws.Load(prog.program).ok());
+  ASSERT_TRUE(ws.Fixpoint().ok());
+  EXPECT_EQ(DumpWorkspace(ws, 0), kGoldenDumps[GetParam()])
+      << "program: " << prog.name;
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Corpus, InternDifferentialTest,
     ::testing::Range<size_t>(0, lbtrust::testing::kNumGoldenPrograms),

@@ -1,5 +1,10 @@
 #include "datalog/relation.h"
 
+#include <algorithm>
+#include <random>
+#include <set>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace lbtrust::datalog {
@@ -139,6 +144,136 @@ TEST(RelationTest, ClearResets) {
   EXPECT_TRUE(rel.empty());
   EXPECT_FALSE(rel.Contains(T(1, 2)));
   EXPECT_TRUE(rel.Insert(T(1, 2)));
+}
+
+// --- Append-only / checked mixing is an always-on hard failure -------------
+// (Previously assert-only, so Release builds silently broke set semantics.)
+
+TEST(RelationAppendOnlyDeathTest, CheckedMutationsAfterAppendHardFail) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Relation rel(2);
+  IdTuple row = InternTuple(rel.pool(), T(1, 2));
+  rel.AppendUnchecked(row.data());
+  EXPECT_EQ(rel.size(), 1u);
+  EXPECT_DEATH(rel.InsertIds(row.data()), "AppendUnchecked");
+  EXPECT_DEATH(rel.EraseIds(row.data()), "AppendUnchecked");
+  // Clear resets the append-only mode; checked use works again.
+  rel.Clear();
+  EXPECT_TRUE(rel.InsertIds(row.data()));
+}
+
+TEST(RelationAppendOnlyDeathTest, AppendAfterCheckedInsertHardFails) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Relation rel(2);
+  ASSERT_TRUE(rel.Insert(T(1, 2)));
+  IdTuple row = InternTuple(rel.pool(), T(3, 4));
+  EXPECT_DEATH(rel.AppendUnchecked(row.data()), "checked rows");
+}
+
+// --- Arity cap (mask bits address columns; 65 columns would shift UB) ------
+
+TEST(RelationTest, ArityAtTheCapWorks) {
+  // 63 and 64 columns are legal: bit 63 is the last addressable column.
+  for (size_t arity : {size_t{63}, size_t{64}}) {
+    Relation rel(arity);
+    Tuple wide;
+    for (size_t i = 0; i < arity; ++i) {
+      wide.push_back(Value::Int(static_cast<int64_t>(i)));
+    }
+    EXPECT_TRUE(rel.Insert(wide));
+    EXPECT_FALSE(rel.Insert(wide));
+    EXPECT_TRUE(rel.Contains(wide));
+    // Probe on the last column alone.
+    uint64_t mask = uint64_t{1} << (arity - 1);
+    EXPECT_EQ(rel.Lookup(mask, {Value::Int(static_cast<int64_t>(arity - 1))})
+                  .size(),
+              1u);
+    wide.back() = Value::Int(-1);
+    EXPECT_FALSE(rel.Contains(wide));
+  }
+}
+
+TEST(RelationArityDeathTest, ArityBeyondCapHardFails) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Relation rel(65);
+        (void)rel;
+      },
+      "kMaxArity");
+}
+
+// --- Randomized churn: differential against a std::set model ---------------
+// Exercises tombstone reuse, swap-and-pop index patch-up and built_upto
+// edges by interleaving inserts, erases and index-building lookups.
+
+TEST(RelationChurnTest, RandomizedInsertEraseLookupMatchesSetModel) {
+  std::mt19937 rng(20260729);
+  Relation rel(2);
+  std::set<std::pair<int, int>> model;
+  std::vector<std::pair<int, int>> live;  // model contents, for erase picks
+
+  auto pick_value = [&](int spread) {
+    return static_cast<int>(rng() % static_cast<unsigned>(spread));
+  };
+
+  for (int step = 0; step < 20000; ++step) {
+    int op = static_cast<int>(rng() % 100);
+    if (op < 55) {
+      // Insert (duplicates on purpose: small value domain).
+      int a = pick_value(24), b = pick_value(24);
+      bool fresh = model.emplace(a, b).second;
+      if (fresh) live.emplace_back(a, b);
+      EXPECT_EQ(rel.Insert(T(a, b)), fresh) << "step " << step;
+    } else if (op < 80) {
+      // Erase: half the time a present row, half the time a random one.
+      if (!live.empty() && op % 2 == 0) {
+        size_t i = rng() % live.size();
+        auto [a, b] = live[i];
+        live[i] = live.back();
+        live.pop_back();
+        model.erase({a, b});
+        EXPECT_TRUE(rel.Erase(T(a, b))) << "step " << step;
+      } else {
+        int a = pick_value(24), b = pick_value(24);
+        bool present = model.erase({a, b}) > 0;
+        if (present) {
+          live.erase(std::find(live.begin(), live.end(),
+                               std::make_pair(a, b)));
+        }
+        EXPECT_EQ(rel.Erase(T(a, b)), present) << "step " << step;
+      }
+    } else if (op < 90) {
+      // Masked lookup (builds/extends indexes mid-churn).
+      int key = pick_value(24);
+      uint64_t mask = (op % 2 == 0) ? 0b01 : 0b10;
+      size_t expected = 0;
+      for (const auto& [a, b] : model) {
+        if ((mask == 0b01 ? a : b) == key) ++expected;
+      }
+      auto hits = rel.Lookup(mask, {Value::Int(key)});
+      EXPECT_EQ(hits.size(), expected) << "step " << step;
+      for (uint32_t id : hits) {
+        int a = static_cast<int>(rel.ValueAt(id, 0).AsInt());
+        int b = static_cast<int>(rel.ValueAt(id, 1).AsInt());
+        EXPECT_EQ((mask == 0b01 ? a : b), key);
+        EXPECT_TRUE(model.count({a, b})) << "step " << step;
+      }
+    } else {
+      // Membership probes.
+      int a = pick_value(24), b = pick_value(24);
+      EXPECT_EQ(rel.Contains(T(a, b)), model.count({a, b}) > 0)
+          << "step " << step;
+    }
+    EXPECT_EQ(rel.size(), model.size());
+  }
+  // Full final sweep: every surviving row matches the model exactly.
+  std::set<std::pair<int, int>> stored;
+  for (size_t i = 0; i < rel.size(); ++i) {
+    stored.emplace(static_cast<int>(rel.ValueAt(i, 0).AsInt()),
+                   static_cast<int>(rel.ValueAt(i, 1).AsInt()));
+  }
+  EXPECT_EQ(stored, model);
 }
 
 }  // namespace

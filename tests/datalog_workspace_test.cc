@@ -46,6 +46,30 @@ TEST(WorkspaceTest, FactArityMismatchRejected) {
   EXPECT_EQ(st.code(), util::StatusCode::kTypeError);
 }
 
+TEST(WorkspaceTest, ArityCapEnforcedAtBoundary) {
+  // Probe masks address columns as uint64_t bits, so arity is capped at
+  // 64; 63 and 64 are legal, 65 is a clean kInvalidArgument (not UB).
+  Workspace ws;
+  EXPECT_TRUE(ws.EnsurePredicate("w63", 63).ok());
+  EXPECT_TRUE(ws.EnsurePredicate("w64", 64).ok());
+  EXPECT_EQ(ws.EnsurePredicate("w65", 65).code(),
+            util::StatusCode::kInvalidArgument);
+  Tuple wide(65, Value::Int(1));
+  EXPECT_EQ(ws.AddFact("w65fact", wide).code(),
+            util::StatusCode::kInvalidArgument);
+  // Boundary facts round-trip through fixpoint + query.
+  Tuple row64;
+  for (int i = 0; i < 64; ++i) row64.push_back(Value::Int(i));
+  ASSERT_TRUE(ws.AddFact("w64", row64).ok());
+  ASSERT_TRUE(ws.Fixpoint().ok());
+  EXPECT_EQ(*ws.Count("w64(A0,A1,A2,A3,A4,A5,A6,A7,A8,A9,A10,A11,A12,A13,"
+                      "A14,A15,A16,A17,A18,A19,A20,A21,A22,A23,A24,A25,A26,"
+                      "A27,A28,A29,A30,A31,A32,A33,A34,A35,A36,A37,A38,A39,"
+                      "A40,A41,A42,A43,A44,A45,A46,A47,A48,A49,A50,A51,A52,"
+                      "A53,A54,A55,A56,A57,A58,A59,A60,A61,A62,A63)"),
+            1u);
+}
+
 TEST(WorkspaceTest, CannotAssertOrDeriveBuiltins) {
   Workspace ws;
   EXPECT_FALSE(ws.AddFact("int64", {Value::Int(1)}).ok());

@@ -2,17 +2,34 @@
 # Tier-1 verification: configure, build every target with
 # -Wall -Wextra -Werror on the library code, and run the test suite.
 #
-# Usage: tools/ci.sh [build-dir] [sanitize]
-#   build-dir  defaults to build-ci (build-asan in sanitize mode)
-#   sanitize   any second argument (or SANITIZE=1 in the environment)
-#              rebuilds with ASan+UBSan and runs the full ctest suite
-#              under the sanitizers (benches skipped: ASan + benchmark
-#              timing is noise).
+# Usage: tools/ci.sh [build-dir] [mode]
+#   build-dir  defaults to build-ci (build-asan / build-tsan in the
+#              sanitizer modes)
+#   mode       "tsan" rebuilds with ThreadSanitizer and runs the full
+#              ctest suite (the parallel-evaluation tests run the worker
+#              pool at threads 2-4, so lazy-index or merge races surface
+#              here); any other non-empty second argument (or SANITIZE=1
+#              in the environment) rebuilds with ASan+UBSan. Benches are
+#              skipped under sanitizers: sanitizer + benchmark timing is
+#              noise.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 MODE="${2:-${SANITIZE:-}}"
+if [[ "${MODE}" == "tsan" ]]; then
+  BUILD_DIR="${1:-build-tsan}"
+  cmake -B "${BUILD_DIR}" -S . \
+    -DLBTRUST_WERROR=ON \
+    -DLBTRUST_SANITIZE_THREAD=ON \
+    -DLBTRUST_BENCH=OFF \
+    -DLBTRUST_EXAMPLES=ON
+  cmake --build "${BUILD_DIR}" -j "$(nproc)"
+  TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
+  ctest --test-dir "${BUILD_DIR}" --output-on-failure --no-tests=error \
+    -j "$(nproc)"
+  exit 0
+fi
 if [[ -n "${MODE}" ]]; then
   BUILD_DIR="${1:-build-asan}"
   cmake -B "${BUILD_DIR}" -S . \
