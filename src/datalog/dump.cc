@@ -46,13 +46,17 @@ std::string DumpRelation(const Workspace& workspace, const std::string& name,
   return out;
 }
 
-std::string DumpWorkspace(const Workspace& workspace, size_t max_rows) {
+std::string DumpWorkspace(const Workspace& workspace, size_t max_rows,
+                          bool sort_rules) {
   std::string out =
       util::StrCat("== workspace of '", workspace.principal(), "' ==\n");
   out += "\n-- active rules --\n";
+  std::vector<std::string> rule_lines;
   for (const Rule* rule : workspace.rules()) {
-    out += util::StrCat("  ", PrintRule(*rule), "\n");
+    rule_lines.push_back(util::StrCat("  ", PrintRule(*rule), "\n"));
   }
+  if (sort_rules) std::sort(rule_lines.begin(), rule_lines.end());
+  for (const std::string& line : rule_lines) out += line;
   out += "\n-- relations --\n";
   for (const auto& [name, info] : workspace.catalog().predicates()) {
     if (info.builtin || IsEngineRelation(name)) continue;

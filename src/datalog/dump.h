@@ -12,7 +12,11 @@ namespace lbtrust::datalog {
 /// at each principal"). Renders the workspace after a Fixpoint():
 /// installed rules (with owners), then every non-engine relation as a
 /// sorted table. `max_rows` truncates large relations (0 = no limit).
-std::string DumpWorkspace(const Workspace& workspace, size_t max_rows = 20);
+/// `sort_rules` prints rules in sorted order instead of install order —
+/// required when comparing dumps across deployments whose rule arrival
+/// order differs (e.g. socket vs simulated cluster convergence checks).
+std::string DumpWorkspace(const Workspace& workspace, size_t max_rows = 20,
+                          bool sort_rules = false);
 
 /// Renders a single relation as a table.
 std::string DumpRelation(const Workspace& workspace, const std::string& name,

@@ -15,6 +15,97 @@ using trust::TrustRuntime;
 using util::Result;
 using util::Status;
 
+Status ConfigureMeshNode(
+    TrustRuntime* runtime,
+    const std::vector<std::pair<std::string, crypto::RsaPublicKey>>&
+        nodes_sorted,
+    const std::string& scheme, bool default_placement) {
+  const std::string& name = runtime->principal();
+  datalog::Workspace* ws = runtime->workspace();
+  LB_RETURN_IF_ERROR(ws->EnsurePredicate("node", 1));
+  LB_RETURN_IF_ERROR(ws->EnsurePredicate("loc", 2));
+  LB_RETURN_IF_ERROR(ws->EnsurePredicate("predNode", 2));
+  for (const auto& [peer, key] : nodes_sorted) {
+    if (peer != name) {
+      LB_RETURN_IF_ERROR(runtime->AddPeer(peer, key));
+      // Pairwise HMAC secret, identical on both endpoints.
+      const std::string& lo = std::min(name, peer);
+      const std::string& hi = std::max(name, peer);
+      LB_RETURN_IF_ERROR(
+          runtime->AddSharedSecret(peer, util::StrCat("secret:", lo, ":", hi)));
+    }
+    if (default_placement) {
+      LB_RETURN_IF_ERROR(ws->AddFact("node", {Value::Sym(peer)}));
+      LB_RETURN_IF_ERROR(
+          ws->AddFact("loc", {Value::Sym(peer), Value::Sym(peer)}));
+    }
+  }
+  if (default_placement) {
+    LB_RETURN_IF_ERROR(ws->Load("ld2: predNode(export[P],N) <- loc(P,N)."));
+  }
+  if (!scheme.empty()) {
+    std::unique_ptr<trust::AuthScheme> auth = trust::MakeScheme(scheme);
+    if (auth == nullptr) {
+      return util::InvalidArgument(
+          util::StrCat("unknown scheme '", scheme, "'"));
+    }
+    LB_RETURN_IF_ERROR(runtime->UseScheme(*auth).status());
+  }
+  return util::OkStatus();
+}
+
+std::vector<PlacedBatch> CollectPlacedBatches(datalog::Workspace* ws,
+                                              const std::string& self,
+                                              std::set<std::string>* sent) {
+  // Placement map computed by the node's own rules: predNode(part, node).
+  const Relation* pred_node = ws->GetRelation("predNode");
+  std::map<std::pair<std::string, std::string>, std::string> placement;
+  if (pred_node != nullptr && pred_node->arity() == 2) {
+    for (size_t i = 0; i < pred_node->size(); ++i) {
+      Tuple t = pred_node->RowTuple(i);
+      if (t[0].kind() != ValueKind::kPart ||
+          t[1].kind() != ValueKind::kSymbol) {
+        continue;
+      }
+      const datalog::PartValue& part = t[0].AsPart();
+      placement[{part.predicate, part.key->ToString()}] = t[1].AsText();
+    }
+  }
+  if (placement.empty()) return {};
+
+  // Batch per (destination, relation): one dictionary-framed block per
+  // group, so a round's worth of tuples for a peer shares one payload and
+  // repeated principals/predicates ship once (per-tuple dedup across
+  // rounds is `sent`, keyed on the row's interned ids).
+  std::map<std::pair<std::string, std::string>, std::vector<Tuple>> batches;
+  for (const auto& [pred_name, info] : ws->catalog().predicates()) {
+    if (!info.partitioned) continue;
+    const Relation* rel = ws->GetRelation(pred_name);
+    if (rel == nullptr || rel->arity() == 0) continue;
+    for (size_t ri = 0; ri < rel->size(); ++ri) {
+      auto it = placement.find({pred_name, rel->ValueAt(ri, 0).ToString()});
+      if (it == placement.end() || it->second == self) continue;
+      // Dedup on the row's interned ids: stable for the workspace's
+      // lifetime (the pool only grows), unique per value, and far cheaper
+      // than serializing the tuple a second time just for the key.
+      std::string dedup_key = util::StrCat(pred_name, "|", it->second);
+      const datalog::ValueId* ids = rel->RowIds(ri);
+      for (size_t c = 0; c < rel->arity(); ++c) {
+        dedup_key.push_back('#');
+        dedup_key.append(std::to_string(ids[c].bits()));
+      }
+      if (!sent->insert(dedup_key).second) continue;
+      batches[{it->second, pred_name}].push_back(rel->RowTuple(ri));
+    }
+  }
+  std::vector<PlacedBatch> out;
+  out.reserve(batches.size());
+  for (auto& [key, tuples] : batches) {
+    out.push_back(PlacedBatch{key.first, key.second, std::move(tuples)});
+  }
+  return out;
+}
+
 Result<TrustRuntime*> Cluster::AddNode(
     const std::string& name, trust::TrustRuntime::Options runtime_options) {
   if (nodes_.count(name) > 0) {
@@ -41,41 +132,17 @@ std::vector<std::string> Cluster::node_names() const {
 }
 
 Status Cluster::Connect() {
+  // nodes_ is name-sorted; ConfigureMeshNode preserves that order, which
+  // the distributed runtime replays so per-node state matches exactly.
+  std::vector<std::pair<std::string, crypto::RsaPublicKey>> mesh;
+  mesh.reserve(nodes_.size());
   for (auto& [name, state] : nodes_) {
-    TrustRuntime* rt = state.runtime.get();
-    datalog::Workspace* ws = rt->workspace();
-    LB_RETURN_IF_ERROR(ws->EnsurePredicate("node", 1));
-    LB_RETURN_IF_ERROR(ws->EnsurePredicate("loc", 2));
-    LB_RETURN_IF_ERROR(ws->EnsurePredicate("predNode", 2));
-    for (auto& [peer, peer_state] : nodes_) {
-      if (peer != name) {
-        LB_RETURN_IF_ERROR(
-            rt->AddPeer(peer, peer_state.runtime->keypair().public_key));
-        // Pairwise HMAC secret, identical on both endpoints.
-        const std::string& lo = std::min(name, peer);
-        const std::string& hi = std::max(name, peer);
-        LB_RETURN_IF_ERROR(rt->AddSharedSecret(
-            peer, util::StrCat("secret:", lo, ":", hi)));
-      }
-      if (options_.default_placement) {
-        LB_RETURN_IF_ERROR(ws->AddFact("node", {Value::Sym(peer)}));
-        LB_RETURN_IF_ERROR(
-            ws->AddFact("loc", {Value::Sym(peer), Value::Sym(peer)}));
-      }
-    }
-    if (options_.default_placement) {
-      LB_RETURN_IF_ERROR(
-          ws->Load("ld2: predNode(export[P],N) <- loc(P,N)."));
-    }
-    if (!options_.scheme.empty()) {
-      std::unique_ptr<trust::AuthScheme> scheme =
-          trust::MakeScheme(options_.scheme);
-      if (scheme == nullptr) {
-        return util::InvalidArgument(
-            util::StrCat("unknown scheme '", options_.scheme, "'"));
-      }
-      LB_RETURN_IF_ERROR(rt->UseScheme(*scheme).status());
-    }
+    mesh.emplace_back(name, state.runtime->keypair().public_key);
+  }
+  for (auto& [name, state] : nodes_) {
+    LB_RETURN_IF_ERROR(ConfigureMeshNode(state.runtime.get(), mesh,
+                                         options_.scheme,
+                                         options_.default_placement));
   }
   return util::OkStatus();
 }
@@ -88,57 +155,14 @@ void Cluster::InjectTamper(const std::string& relation,
 
 Status Cluster::ShipFrom(const std::string& name, NodeState* state,
                          std::vector<Message>* outbox) {
-  datalog::Workspace* ws = state->runtime->workspace();
-  // Placement map computed by the node's own rules: predNode(part, node).
-  const Relation* pred_node = ws->GetRelation("predNode");
-  std::map<std::pair<std::string, std::string>, std::string> placement;
-  if (pred_node != nullptr && pred_node->arity() == 2) {
-    for (size_t i = 0; i < pred_node->size(); ++i) {
-      Tuple t = pred_node->RowTuple(i);
-      if (t[0].kind() != ValueKind::kPart ||
-          t[1].kind() != ValueKind::kSymbol) {
-        continue;
-      }
-      const datalog::PartValue& part = t[0].AsPart();
-      placement[{part.predicate, part.key->ToString()}] = t[1].AsText();
-    }
-  }
-  if (placement.empty()) return util::OkStatus();
-
-  // Batch per (destination, relation): one dictionary-framed block message
-  // per group, so a round's worth of tuples for a peer shares one payload
-  // and repeated principals/predicates ship once (per-tuple dedup across
-  // rounds is unchanged — `sent` is still keyed on the single-tuple wire
-  // form).
-  std::map<std::pair<std::string, std::string>, std::vector<Tuple>> batches;
-  for (const auto& [pred_name, info] : ws->catalog().predicates()) {
-    if (!info.partitioned) continue;
-    const Relation* rel = ws->GetRelation(pred_name);
-    if (rel == nullptr || rel->arity() == 0) continue;
-    for (size_t ri = 0; ri < rel->size(); ++ri) {
-      auto it = placement.find(
-          {pred_name, rel->ValueAt(ri, 0).ToString()});
-      if (it == placement.end() || it->second == name) continue;
-      // Dedup on the row's interned ids: stable for the workspace's
-      // lifetime (the pool only grows), unique per value, and far cheaper
-      // than serializing the tuple a second time just for the key.
-      std::string dedup_key = util::StrCat(pred_name, "|", it->second);
-      const datalog::ValueId* ids = rel->RowIds(ri);
-      for (size_t c = 0; c < rel->arity(); ++c) {
-        dedup_key.push_back('#');
-        dedup_key.append(std::to_string(ids[c].bits()));
-      }
-      if (!state->sent.insert(dedup_key).second) continue;
-      batches[{it->second, pred_name}].push_back(rel->RowTuple(ri));
-    }
-  }
-  for (auto& [key, tuples] : batches) {
+  for (PlacedBatch& batch : CollectPlacedBatches(
+           state->runtime->workspace(), name, &state->sent)) {
     Message msg;
     msg.kind = Message::Kind::kTupleBlock;
     msg.from_node = name;
-    msg.to_node = key.first;
-    msg.relation = key.second;
-    msg.payload = SerializeTupleBlock(tuples);
+    msg.to_node = std::move(batch.dest);
+    msg.relation = std::move(batch.relation);
+    msg.payload = SerializeTupleBlock(batch.tuples);
     outbox->push_back(std::move(msg));
   }
   return util::OkStatus();
@@ -191,18 +215,12 @@ Status Cluster::Deliver(const Message& message, RunStats* stats) {
     LB_ASSIGN_OR_RETURN(Tuple tuple, DeserializeTuple(payload));
     tuples.push_back(std::move(tuple));
   }
-  datalog::Workspace* ws = it->second.runtime->workspace();
-  // Stage into the node's inbox transaction; all messages delivered to
-  // this node in the round commit as one batch with a single fixpoint.
-  for (Tuple& tuple : tuples) {
-    LB_RETURN_IF_ERROR(
-        ws->EnsurePredicate(message.relation, tuple.size(), true));
-    if (!it->second.inbox.has_value()) {
-      it->second.inbox.emplace(ws->Begin());
-    }
-    it->second.inbox->AddFact(message.relation, std::move(tuple));
-    if (stats != nullptr) ++stats->tuples;
-  }
+  if (stats != nullptr) stats->tuples += tuples.size();
+  // Stage into the node's inbox (the same async-import hooks the socket
+  // transport uses); all messages delivered to this node in the round
+  // commit as one batch with a single fixpoint.
+  LB_RETURN_IF_ERROR(
+      it->second.runtime->StageTuples(message.relation, std::move(tuples)));
   it->second.dirty = true;
   return util::OkStatus();
 }
@@ -215,7 +233,9 @@ Result<Cluster::RunStats> Cluster::Run() {
   pending_credentials_.clear();
   for (size_t i = 0; i < credentials.size(); ++i) {
     ++stats.messages;
+    ++stats.credential_messages;
     stats.bytes += credentials[i].ByteSize();
+    stats.credential_bytes += credentials[i].payload.size();
     Status st = Deliver(credentials[i], &stats);
     if (!st.ok()) {
       // The rejected bundle is dropped (retrying it would fail forever),
@@ -237,15 +257,9 @@ Result<Cluster::RunStats> Cluster::Run() {
       if (!state.dirty) continue;
       any_dirty = true;
       state.dirty = false;
-      Status st;
-      if (state.inbox.has_value()) {
-        // Inbound batch: apply every staged tuple, then fixpoint once.
-        datalog::Transaction txn = std::move(*state.inbox);
-        state.inbox.reset();
-        st = txn.Commit();
-      } else {
-        st = state.runtime->Fixpoint();
-      }
+      // Inbound batch: apply every staged tuple, then fixpoint once.
+      Status st = state.runtime->HasInbox() ? state.runtime->CommitInbox()
+                                            : state.runtime->Fixpoint();
       ++stats.fixpoints;
       if (!st.ok()) {
         return Status(st.code(),
@@ -257,6 +271,7 @@ Result<Cluster::RunStats> Cluster::Run() {
     for (const Message& msg : outbox) {
       ++stats.messages;
       stats.bytes += msg.ByteSize();
+      stats.tuple_bytes += msg.payload.size();
       LB_RETURN_IF_ERROR(Deliver(msg, &stats));
     }
     if (outbox.empty() && !any_dirty) break;
@@ -265,10 +280,8 @@ Result<Cluster::RunStats> Cluster::Run() {
   // nodes' EDBs (no fixpoint) so the tuples are durable — as immediate
   // delivery made them — and surface at the node's next fixpoint.
   for (auto& [name, state] : nodes_) {
-    if (!state.inbox.has_value()) continue;
-    datalog::Transaction txn = std::move(*state.inbox);
-    state.inbox.reset();
-    Status st = txn.CommitNoFixpoint();
+    if (!state.runtime->HasInbox()) continue;
+    Status st = state.runtime->CommitInboxNoFixpoint();
     if (!st.ok()) {
       return Status(st.code(),
                     util::StrCat("node '", name, "': ", st.message()));

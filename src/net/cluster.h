@@ -4,9 +4,9 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "net/wire.h"
@@ -14,6 +14,36 @@
 #include "util/status.h"
 
 namespace lbtrust::net {
+
+/// Configures one node of a full mesh, exactly as the simulated cluster's
+/// Connect() does: for every node (sorted by name, self included) register
+/// peer public keys and pairwise HMAC secrets, add `node`/`loc` placement
+/// facts when requested, then install the ld2 placement rule and the
+/// authentication scheme. Shared by Cluster (which passes the real peer
+/// keys) and DistributedCluster (which derives them deterministically), so
+/// per-node state — and therefore converged dumps — are byte-identical
+/// across the two deployments.
+util::Status ConfigureMeshNode(
+    trust::TrustRuntime* runtime,
+    const std::vector<std::pair<std::string, crypto::RsaPublicKey>>&
+        nodes_sorted,
+    const std::string& scheme, bool default_placement);
+
+/// One (destination, relation) batch of placed tuples ready to ship.
+struct PlacedBatch {
+  std::string dest;
+  std::string relation;
+  std::vector<datalog::Tuple> tuples;
+};
+
+/// Scans the node's partitioned relations against its own predNode
+/// placement map and returns the not-yet-shipped tuples batched per
+/// (destination, relation), in sorted order. Shipped tuples are recorded
+/// in `sent` (keyed on interned row ids) — the engine-level cross-round
+/// dedup that makes at-least-once delivery idempotent end-to-end.
+std::vector<PlacedBatch> CollectPlacedBatches(datalog::Workspace* workspace,
+                                              const std::string& self,
+                                              std::set<std::string>* sent);
 
 /// A simulated multi-node deployment (§3.5): each node hosts one
 /// TrustRuntime (a principal's context); partitioned relations are shipped
@@ -57,8 +87,14 @@ class Cluster {
     size_t rounds = 0;
     size_t messages = 0;  ///< network sends (a block message counts once)
     size_t tuples = 0;    ///< tuples delivered across all messages
-    size_t bytes = 0;
+    size_t bytes = 0;     ///< total wire bytes (tuple blocks + credentials)
     size_t fixpoints = 0;
+    /// Per-kind byte accounting, so benches can report wire efficiency
+    /// separately for fact traffic and credential-bundle traffic (the
+    /// socket transport exposes the same split in TransportStats).
+    size_t tuple_bytes = 0;
+    size_t credential_messages = 0;
+    size_t credential_bytes = 0;
   };
 
   /// Runs local fixpoints and ships placed partitions until no node is
@@ -84,11 +120,11 @@ class Cluster {
   struct NodeState {
     std::unique_ptr<trust::TrustRuntime> runtime;
     bool dirty = true;
-    /// Dedup of already-shipped tuples (relation + payload).
+    /// Dedup of already-shipped tuples (interned row ids), shared with
+    /// CollectPlacedBatches. Inbound tuples stage in the runtime's inbox
+    /// (TrustRuntime::StageTuples), the same async-import hooks the socket
+    /// transport uses.
     std::set<std::string> sent;
-    /// Inbound tuples staged between rounds; committed (one batch apply +
-    /// one fixpoint) when the node's next round starts.
-    std::optional<datalog::Transaction> inbox;
   };
 
   util::Status ShipFrom(const std::string& name, NodeState* state,

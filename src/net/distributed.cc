@@ -1,0 +1,341 @@
+#include "net/distributed.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "net/wire.h"
+#include "util/strings.h"
+
+namespace lbtrust::net {
+
+using trust::TrustRuntime;
+using util::Result;
+using util::Status;
+
+Result<std::unique_ptr<DistributedCluster>> DistributedCluster::Create(
+    Options options) {
+  if (options.self.empty()) {
+    return util::InvalidArgument("self node name must not be empty");
+  }
+  std::vector<std::string> nodes = options.nodes;
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  if (!std::binary_search(nodes.begin(), nodes.end(), options.self)) {
+    return util::InvalidArgument(
+        util::StrCat("self '", options.self, "' is not in the mesh"));
+  }
+  std::unique_ptr<DistributedCluster> dc(
+      new DistributedCluster(std::move(options)));
+  dc->options_.nodes = nodes;  // sorted + deduped: termination counts on it
+  dc->options_.runtime.principal = dc->options_.self;
+  LB_ASSIGN_OR_RETURN(dc->runtime_,
+                      TrustRuntime::Create(dc->options_.runtime));
+
+  // Peer public keys are derived from peer names with the same seed rule
+  // Create() used for our own pair — no key exchange, and the resulting
+  // per-node state matches the simulated cluster's Connect() exactly.
+  std::vector<std::pair<std::string, crypto::RsaPublicKey>> mesh;
+  mesh.reserve(nodes.size());
+  for (const std::string& name : nodes) {
+    if (name == dc->options_.self) {
+      mesh.emplace_back(name, dc->runtime_->keypair().public_key);
+      continue;
+    }
+    LB_ASSIGN_OR_RETURN(
+        crypto::RsaKeyPair pair,
+        TrustRuntime::DeriveKeyPair(name, dc->options_.runtime.key_seed,
+                                    dc->options_.runtime.rsa_bits));
+    mesh.emplace_back(name, pair.public_key);
+  }
+  LB_RETURN_IF_ERROR(ConfigureMeshNode(dc->runtime_.get(), mesh,
+                                       dc->options_.scheme,
+                                       dc->options_.default_placement));
+
+  DistributedCluster* self = dc.get();
+  dc->transport_.set_handler(
+      [self](const Frame& frame) { return self->OnFrame(frame); });
+  // A (re)connect may have lost our last status/confirm broadcast; resend
+  // both so the peer's termination state converges without waiting for the
+  // heartbeat (a dropped CONFIRM is otherwise never retransmitted).
+  dc->transport_.set_on_connect([self](const std::string& peer) {
+    self->SendStatus(peer);
+    self->SendConfirm(peer);
+  });
+  LB_RETURN_IF_ERROR(dc->transport_.Listen(dc->options_.listen_host,
+                                           dc->options_.listen_port));
+  dc->node_status_[dc->options_.self] = {0, false};
+  return dc;
+}
+
+Status DistributedCluster::AddPeer(const std::string& name,
+                                   const std::string& host, uint16_t port) {
+  if (std::find(options_.nodes.begin(), options_.nodes.end(), name) ==
+      options_.nodes.end()) {
+    return util::NotFound(util::StrCat("node '", name, "' is not in the mesh"));
+  }
+  if (name == options_.self) {
+    return util::InvalidArgument("cannot peer with self");
+  }
+  transport_.AddPeer(name, host, port);
+  return util::OkStatus();
+}
+
+Status DistributedCluster::ShipCredential(const std::string& to_node,
+                                          const std::string& hash) {
+  if (std::find(options_.nodes.begin(), options_.nodes.end(), to_node) ==
+      options_.nodes.end()) {
+    return util::NotFound(
+        util::StrCat("node '", to_node, "' is not in the mesh"));
+  }
+  Frame frame;
+  frame.kind = Frame::Kind::kCredential;
+  frame.from = options_.self;
+  frame.relation = "credential";
+  LB_ASSIGN_OR_RETURN(frame.payload, runtime_->ExportCredential(hash));
+  SendReliable(to_node, std::move(frame));
+  return util::OkStatus();
+}
+
+Status DistributedCluster::OnFrame(const Frame& frame) {
+  switch (frame.kind) {
+    case Frame::Kind::kHello:
+      // Peer (re)connected to us; push our status and latest confirm so
+      // its termination state fills without waiting for the heartbeat.
+      SendStatus(frame.from);
+      SendConfirm(frame.from);
+      return util::OkStatus();
+    case Frame::Kind::kData: {
+      LB_ASSIGN_OR_RETURN(std::vector<datalog::Tuple> tuples,
+                          DeserializeTupleBlock(frame.payload));
+      stats_.tuples_in += tuples.size();
+      // Stage only: frames arriving in one poll commit as one batch with a
+      // single fixpoint. The inbox keeps us non-quiet until committed, so
+      // acking here (the transport acks after we return OK) is safe for
+      // the termination protocol.
+      LB_RETURN_IF_ERROR(
+          runtime_->StageTuples(frame.relation, std::move(tuples)));
+      dirty_ = true;
+      return util::OkStatus();
+    }
+    case Frame::Kind::kCredential: {
+      // Import runs its own transaction + fixpoint; flush the inbox first
+      // so the two never interleave. Final state is order-independent
+      // (facts are sets, the credential store is content-addressed).
+      LB_RETURN_IF_ERROR(runtime_->CommitInbox());
+      LB_RETURN_IF_ERROR(
+          runtime_->ImportCredentials(frame.payload, options_.credential_now)
+              .status());
+      ++stats_.credential_imports;
+      ++version_;
+      dirty_ = true;
+      return util::OkStatus();
+    }
+    case Frame::Kind::kAck:
+      return util::OkStatus();  // consumed by the transport
+    case Frame::Kind::kStatus: {
+      size_t colon = frame.payload.find(':');
+      if (colon == std::string::npos) {
+        return util::InvalidArgument(
+            util::StrCat("malformed status payload '", frame.payload, "'"));
+      }
+      uint64_t version = std::strtoull(frame.payload.c_str(), nullptr, 10);
+      bool quiet = frame.payload.compare(colon + 1, std::string::npos,
+                                         "1") == 0;
+      node_status_[frame.from] = {version, quiet};
+      return util::OkStatus();
+    }
+    case Frame::Kind::kConfirm:
+      confirms_[frame.from] = frame.payload;
+      return util::OkStatus();
+  }
+  return util::InvalidArgument("unknown frame kind");
+}
+
+void DistributedCluster::ShipPlaced() {
+  for (PlacedBatch& batch :
+       CollectPlacedBatches(runtime_->workspace(), options_.self, &sent_)) {
+    Frame frame;
+    frame.kind = Frame::Kind::kData;
+    frame.from = options_.self;
+    frame.relation = std::move(batch.relation);
+    frame.payload = SerializeTupleBlock(batch.tuples);
+    stats_.tuples_out += batch.tuples.size();
+    SendReliable(batch.dest, std::move(frame));
+  }
+}
+
+void DistributedCluster::SendReliable(const std::string& dest, Frame frame) {
+  // Bounded send queues: a full queue defers the frame (never drops it);
+  // RetryDeferred() retries after the next poll drained the queue.
+  if (!transport_.Send(dest, frame)) {
+    ++stats_.deferred_sends;
+    deferred_.emplace_back(dest, std::move(frame));
+  }
+}
+
+void DistributedCluster::RetryDeferred() {
+  if (deferred_.empty()) return;
+  std::vector<std::pair<std::string, Frame>> retry;
+  retry.swap(deferred_);
+  for (auto& [dest, frame] : retry) {
+    SendReliable(dest, std::move(frame));
+  }
+}
+
+bool DistributedCluster::IsQuiet() const {
+  return !dirty_ && !runtime_->HasInbox() && deferred_.empty() &&
+         transport_.AllAcked() && transport_.SendQueuesEmpty();
+}
+
+std::string DistributedCluster::SnapshotHash() const {
+  // Every mesh node must have reported; a missing entry means "not quiet".
+  std::string snapshot;
+  for (const auto& [name, status] : node_status_) {
+    snapshot += util::StrCat(name, "=", std::to_string(status.first), ":",
+                             status.second ? "1" : "0", ";");
+  }
+  return std::to_string(util::Fnv1a(snapshot));
+}
+
+void DistributedCluster::SendConfirm(const std::string& peer_or_empty) {
+  auto self_confirm = confirms_.find(options_.self);
+  if (self_confirm == confirms_.end()) return;
+  Frame frame;
+  frame.kind = Frame::Kind::kConfirm;
+  frame.from = options_.self;
+  frame.payload = self_confirm->second;
+  if (peer_or_empty.empty()) {
+    transport_.Broadcast(frame);
+  } else {
+    transport_.Send(peer_or_empty, std::move(frame));
+  }
+}
+
+void DistributedCluster::SendStatus(const std::string& peer_or_empty) {
+  auto self_status = node_status_.find(options_.self);
+  if (self_status == node_status_.end()) return;
+  Frame frame;
+  frame.kind = Frame::Kind::kStatus;
+  frame.from = options_.self;
+  frame.payload =
+      util::StrCat(std::to_string(self_status->second.first), ":",
+                   self_status->second.second ? "1" : "0");
+  if (peer_or_empty.empty()) {
+    transport_.Broadcast(frame);
+  } else {
+    transport_.Send(peer_or_empty, std::move(frame));
+  }
+}
+
+Result<DistributedCluster::RunStats> DistributedCluster::RunToConvergence() {
+  const int64_t deadline =
+      EventLoop::NowMs() + options_.convergence_timeout_ms;
+  dirty_ = true;  // local changes since the last run get a first fixpoint
+  std::string last_status_payload;
+  int64_t last_status_ms = 0;
+  while (true) {
+    RetryDeferred();
+    if (dirty_ || runtime_->HasInbox()) {
+      dirty_ = false;
+      Status st = runtime_->HasInbox() ? runtime_->CommitInbox()
+                                       : runtime_->Fixpoint();
+      if (!st.ok()) {
+        return Status(st.code(), util::StrCat("node '", options_.self,
+                                              "': ", st.message()));
+      }
+      ++version_;
+      ++stats_.fixpoints;
+      ShipPlaced();
+    }
+
+    // --- Termination protocol -------------------------------------------
+    const bool quiet = IsQuiet();
+    node_status_[options_.self] = {version_, quiet};
+    std::string status_payload =
+        util::StrCat(std::to_string(version_), ":", quiet ? "1" : "0");
+    int64_t now = EventLoop::NowMs();
+    if (status_payload != last_status_payload ||
+        now - last_status_ms >= options_.status_heartbeat_ms) {
+      SendStatus("");
+      SendConfirm("");  // best-effort frame: heartbeat doubles as resend
+      last_status_payload = status_payload;
+      last_status_ms = now;
+    }
+    if (quiet && node_status_.size() == options_.nodes.size()) {
+      bool all_quiet = true;
+      for (const auto& [name, status] : node_status_) {
+        if (!status.second) all_quiet = false;
+      }
+      if (all_quiet) {
+        std::string hash = SnapshotHash();
+        if (confirms_[options_.self] != hash) {
+          confirms_[options_.self] = hash;
+          SendConfirm("");
+        }
+        bool unanimous = confirms_.size() == options_.nodes.size();
+        for (const auto& [name, confirmed] : confirms_) {
+          if (confirmed != hash) unanimous = false;
+        }
+        // Unanimous confirmation of one identical snapshot: every node was
+        // quiet with these exact versions, so nothing is in flight
+        // anywhere and no node can become dirty again.
+        if (unanimous) break;
+      }
+    }
+
+    // LBTRUST_DIST_DEBUG=1 traces the termination protocol to stderr
+    // (~2 lines/sec per node) — the first thing to reach for when a mesh
+    // hangs instead of converging.
+    if (std::getenv("LBTRUST_DIST_DEBUG") != nullptr) {
+      static thread_local int64_t last_debug_ms = 0;
+      int64_t debug_now = EventLoop::NowMs();
+      if (debug_now - last_debug_ms >= 500) {
+        last_debug_ms = debug_now;
+        std::string table;
+        for (const auto& [name, status] : node_status_) {
+          table += util::StrCat(name, "=", std::to_string(status.first), ":",
+                                status.second ? "1" : "0", " ");
+        }
+        std::string confirm_table;
+        for (const auto& [name, confirmed] : confirms_) {
+          confirm_table += util::StrCat(name, "=", confirmed, " ");
+        }
+        std::fprintf(stderr,
+                     "[%s] quiet=%d dirty=%d inbox=%d deferred=%zu acked=%d "
+                     "queues_empty=%d status{%s} confirms{%s} hash=%s\n",
+                     options_.self.c_str(), quiet ? 1 : 0, dirty_ ? 1 : 0,
+                     runtime_->HasInbox() ? 1 : 0, deferred_.size(),
+                     transport_.AllAcked() ? 1 : 0,
+                     transport_.SendQueuesEmpty() ? 1 : 0, table.c_str(),
+                     confirm_table.c_str(), SnapshotHash().c_str());
+      }
+    }
+
+    Status st = transport_.Poll(options_.poll_interval_ms);
+    if (!st.ok()) {
+      return Status(st.code(), util::StrCat("node '", options_.self,
+                                            "': ", st.message()));
+    }
+    if (EventLoop::NowMs() > deadline) {
+      return util::Internal(util::StrCat(
+          "node '", options_.self, "': no convergence within ",
+          std::to_string(options_.convergence_timeout_ms), "ms"));
+    }
+  }
+  // Linger so peers still deciding receive our CONFIRM: flush buffered
+  // frames, and — the critical case — retry links that were down when we
+  // broadcast it, since on_connect is the only resend path a departed
+  // node still has. Kick the backoff first so a link refused during peer
+  // startup retries now instead of seconds from now.
+  transport_.KickReconnects();
+  const int64_t linger_end = EventLoop::NowMs() + options_.linger_ms;
+  while (EventLoop::NowMs() < linger_end) {
+    Status st = transport_.Poll(5);
+    if (!st.ok()) break;  // peers tearing down concurrently is expected
+  }
+  stats_.transport = transport_.stats();
+  return stats_;
+}
+
+}  // namespace lbtrust::net

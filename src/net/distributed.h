@@ -1,0 +1,164 @@
+#ifndef LBTRUST_NET_DISTRIBUTED_H_
+#define LBTRUST_NET_DISTRIBUTED_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/cluster.h"
+#include "net/transport.h"
+#include "trust/trust_runtime.h"
+#include "util/status.h"
+
+namespace lbtrust::net {
+
+/// One node of a socket-backed distributed deployment: hosts a single
+/// TrustRuntime and drives the semi-naive exchange loop across processes —
+/// local fixpoints, delta shipping per the node's own predNode placement
+/// relation, and coordinator-free termination detection.
+///
+/// Mesh setup mirrors the simulated Cluster exactly (ConfigureMeshNode):
+/// peer public keys are derived deterministically from peer names
+/// (TrustRuntime::DeriveKeyPair), so no key exchange is needed and a
+/// converged node's Workspace dump is byte-identical to the corresponding
+/// simulated node's (compare with DumpWorkspace(..., sort_rules=true);
+/// rule arrival order differs across deployments, tuples are sorted by the
+/// dump itself).
+///
+/// Delivery is at-least-once (transport-level seq/ack + resend after
+/// reconnect) and made idempotent by the engine: tuple facts are sets and
+/// the per-node `sent` dedup never re-ships, credential bundles are
+/// content-addressed. Duplicated or reordered frames therefore converge to
+/// the same store as single, in-order delivery.
+///
+/// Termination (GEM-style, no coordinator): a node is *quiet* when it has
+/// no dirty work, no staged inbox, no deferred sends, empty transport
+/// queues, and every reliable frame it ever sent is acked. Nodes broadcast
+/// STATUS(version, quiet); when a node sees every node quiet it broadcasts
+/// CONFIRM(hash of the full status snapshot). Unanimous confirmation of an
+/// identical snapshot hash terminates the run: an in-flight frame keeps
+/// its sender non-quiet (unacked), and an acked frame was staged at the
+/// receiver, keeping the receiver non-quiet until the commit bumps its
+/// version — which changes the snapshot hash and voids stale confirms.
+class DistributedCluster {
+ public:
+  struct Options {
+    /// This node's principal name; must appear in `nodes`.
+    std::string self;
+    /// Every node of the mesh (self included), in any order. Placement
+    /// facts, peer keys, and shared secrets are configured for all of
+    /// them, identically to Cluster::Connect().
+    std::vector<std::string> nodes;
+    std::string listen_host = "127.0.0.1";
+    /// 0 picks an ephemeral port (see listen_port()); peers then need
+    /// AddPeer() calls with the actual ports.
+    uint16_t listen_port = 0;
+    /// Authentication scheme installed on every node ("plaintext", "rsa",
+    /// "hmac", or "" to skip).
+    std::string scheme = "rsa";
+    bool default_placement = true;
+    /// Wall-clock seconds for credential validity checks at import.
+    int64_t credential_now = 0;
+    /// Abort RunToConvergence() after this much wall time.
+    int64_t convergence_timeout_ms = 30000;
+    /// Event-loop poll granularity inside RunToConvergence().
+    int poll_interval_ms = 10;
+    /// Re-broadcast the node's status at least this often (covers status
+    /// frames dropped while a connection was down).
+    int status_heartbeat_ms = 100;
+    /// How long a terminating node keeps polling after its own decision.
+    /// Status/confirm frames are best-effort: a peer whose link was down
+    /// when we broadcast the final CONFIRM only gets it via the
+    /// resend-on-reconnect path, which needs this window to run.
+    int linger_ms = 300;
+    trust::TrustRuntime::Options runtime;
+    Transport::Options transport;
+  };
+
+  struct RunStats {
+    size_t fixpoints = 0;
+    size_t tuples_in = 0;   ///< tuples delivered to this node
+    size_t tuples_out = 0;  ///< tuples shipped from this node
+    size_t credential_imports = 0;
+    /// Reliable sends refused by the bounded queue and retried later.
+    size_t deferred_sends = 0;
+    /// Wire-level counters (bytes/frames in+out, retries, reconnects,
+    /// duplicates) — satellite 1's byte accounting for the socket path.
+    TransportStats transport;
+  };
+
+  /// Creates the node: builds the runtime, configures the full mesh with
+  /// deterministically derived peer keys, and starts listening.
+  static util::Result<std::unique_ptr<DistributedCluster>> Create(
+      Options options);
+
+  ~DistributedCluster() { transport_.Shutdown(); }
+
+  trust::TrustRuntime* runtime() { return runtime_.get(); }
+  Transport* transport() { return &transport_; }
+  uint16_t listen_port() const { return transport_.listen_port(); }
+
+  /// Registers a peer's transport address (`name` must be in the mesh).
+  util::Status AddPeer(const std::string& name, const std::string& host,
+                       uint16_t port);
+
+  /// Queues credential `hash` (and its link closure) from this node's
+  /// store as a reliable frame to `to_node`; shipped by the next
+  /// RunToConvergence() (or retried under backpressure).
+  util::Status ShipCredential(const std::string& to_node,
+                              const std::string& hash);
+
+  /// Drives the node until the whole mesh terminates: alternates local
+  /// fixpoints + delta shipping with transport polling, then runs the
+  /// status/confirm termination protocol. Every node of the mesh must be
+  /// inside RunToConvergence() concurrently for the run to terminate.
+  util::Result<RunStats> RunToConvergence();
+
+  const RunStats& stats() const { return stats_; }
+
+ private:
+  explicit DistributedCluster(Options options)
+      : options_(std::move(options)),
+        transport_(options_.self, options_.transport) {}
+
+  util::Status OnFrame(const Frame& frame);
+  /// Ships not-yet-sent placed tuples as kData frames (deferred under
+  /// backpressure).
+  void ShipPlaced();
+  void SendReliable(const std::string& dest, Frame frame);
+  void RetryDeferred();
+  bool IsQuiet() const;
+  /// Hash of the full sorted (node, version, quiet) status table; the
+  /// termination protocol's confirmation subject.
+  std::string SnapshotHash() const;
+  void SendStatus(const std::string& peer_or_empty);
+  /// Resends this node's latest CONFIRM (no-op before the first one).
+  /// Confirms are best-effort frames, so every path that revives a link
+  /// (reconnect, hello, heartbeat) pushes the current one again.
+  void SendConfirm(const std::string& peer_or_empty);
+
+  Options options_;
+  std::unique_ptr<trust::TrustRuntime> runtime_;
+  Transport transport_;
+  /// Cross-round dedup of shipped tuples (interned row ids), same as the
+  /// simulated cluster's per-node `sent`.
+  std::set<std::string> sent_;
+  /// Reliable frames that hit send-queue backpressure, retried each loop.
+  std::vector<std::pair<std::string, Frame>> deferred_;
+  bool dirty_ = true;
+  /// Bumped on every commit that may have changed node state; part of the
+  /// broadcast status, so stale CONFIRMs never match a changed snapshot.
+  uint64_t version_ = 0;
+  /// Last known (version, quiet) per node, self included.
+  std::map<std::string, std::pair<uint64_t, bool>> node_status_;
+  /// Latest CONFIRM hash per node, self included.
+  std::map<std::string, std::string> confirms_;
+  RunStats stats_;
+};
+
+}  // namespace lbtrust::net
+
+#endif  // LBTRUST_NET_DISTRIBUTED_H_

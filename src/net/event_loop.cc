@@ -1,0 +1,83 @@
+#include "net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace lbtrust::net {
+
+EventLoop::EventLoop() { epoll_fd_ = epoll_create1(EPOLL_CLOEXEC); }
+
+EventLoop::~EventLoop() {
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+}
+
+util::Status EventLoop::Add(int fd, uint32_t events, Callback cb) {
+  if (!valid()) return util::Internal("event loop not initialized");
+  struct epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = events;
+  ev.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return util::Internal(
+        util::StrCat("epoll_ctl(ADD) fd ", fd, ": ", std::strerror(errno)));
+  }
+  callbacks_[fd] = std::move(cb);
+  return util::OkStatus();
+}
+
+util::Status EventLoop::Modify(int fd, uint32_t events) {
+  struct epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = events;
+  ev.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    return util::Internal(
+        util::StrCat("epoll_ctl(MOD) fd ", fd, ": ", std::strerror(errno)));
+  }
+  return util::OkStatus();
+}
+
+void EventLoop::Remove(int fd) {
+  // The kernel auto-deregisters closed fds; EPOLL_CTL_DEL on one returns
+  // EBADF/ENOENT, which is fine either way.
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  callbacks_.erase(fd);
+}
+
+util::Result<int> EventLoop::PollOnce(int timeout_ms) {
+  if (!valid()) return util::Internal("event loop not initialized");
+  struct epoll_event ready[64];
+  int n = epoll_wait(epoll_fd_, ready, 64, timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) return 0;
+    return util::Internal(util::StrCat("epoll_wait: ", std::strerror(errno)));
+  }
+  int dispatched = 0;
+  for (int i = 0; i < n; ++i) {
+    int fd = ready[i].data.fd;
+    // A callback earlier in this batch may have closed/removed this fd
+    // (e.g. a peer connection torn down while processing another); look it
+    // up fresh each time instead of holding an iterator.
+    auto it = callbacks_.find(fd);
+    if (it == callbacks_.end()) continue;
+    Callback cb = it->second;  // copy: callback may Remove(fd) itself
+    cb(ready[i].events);
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+int64_t EventLoop::NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace lbtrust::net

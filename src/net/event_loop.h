@@ -1,0 +1,56 @@
+#ifndef LBTRUST_NET_EVENT_LOOP_H_
+#define LBTRUST_NET_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "util/status.h"
+
+namespace lbtrust::net {
+
+/// Thin non-blocking epoll wrapper: register file descriptors with an
+/// interest mask and a callback, then drive the loop with PollOnce().
+/// Single-threaded by design — the distributed node runtime drives its
+/// transport (and therefore this loop) from its own run loop, so no
+/// callback ever races another. Timers are the caller's job (PollOnce
+/// takes a timeout; the transport computes its own deadlines).
+class EventLoop {
+ public:
+  using Callback = std::function<void(uint32_t epoll_events)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  bool valid() const { return epoll_fd_ >= 0; }
+
+  /// Registers `fd` for `events` (EPOLLIN/EPOLLOUT/...); `cb` fires from
+  /// PollOnce with the ready mask. The loop does NOT own the fd.
+  util::Status Add(int fd, uint32_t events, Callback cb);
+  /// Replaces the interest mask for a registered fd.
+  util::Status Modify(int fd, uint32_t events);
+  /// Deregisters; safe to call for fds the kernel already dropped.
+  void Remove(int fd);
+
+  /// Waits up to `timeout_ms` (0 = non-blocking poll, <0 = block) and
+  /// dispatches ready callbacks. Returns the number of fds dispatched.
+  /// Callbacks may Add/Remove fds (including their own) re-entrantly.
+  util::Result<int> PollOnce(int timeout_ms);
+
+  size_t watched() const { return callbacks_.size(); }
+
+  /// Monotonic clock in milliseconds (steady_clock), shared so transport
+  /// deadlines and backoff schedules use one time base.
+  static int64_t NowMs();
+
+ private:
+  int epoll_fd_ = -1;
+  std::map<int, Callback> callbacks_;
+};
+
+}  // namespace lbtrust::net
+
+#endif  // LBTRUST_NET_EVENT_LOOP_H_

@@ -1,0 +1,134 @@
+#include "net/frame.h"
+
+#include "util/strings.h"
+
+namespace lbtrust::net {
+
+namespace {
+
+bool ValidKind(char c) {
+  switch (static_cast<Frame::Kind>(c)) {
+    case Frame::Kind::kHello:
+    case Frame::Kind::kData:
+    case Frame::Kind::kCredential:
+    case Frame::Kind::kAck:
+    case Frame::Kind::kStatus:
+    case Frame::Kind::kConfirm:
+      return true;
+  }
+  return false;
+}
+
+/// Longest well-formed outer prefix: 19 decimal digits (the size_t cap the
+/// shared codecs use) plus the ':' terminator.
+constexpr size_t kMaxHeaderBytes = 20;
+
+}  // namespace
+
+std::string EncodeFrame(const Frame& frame) {
+  std::string body(1, static_cast<char>(frame.kind));
+  body.push_back(':');
+  body += std::to_string(frame.seq);
+  body.push_back(':');
+  util::AppendLengthPrefixed(&body, frame.from);
+  util::AppendLengthPrefixed(&body, frame.relation);
+  util::AppendLengthPrefixed(&body, frame.payload);
+  std::string out = std::to_string(body.size());
+  out.push_back(':');
+  out += body;
+  return out;
+}
+
+util::Result<Frame> DecodeFrameBody(std::string_view body) {
+  if (body.size() < 2 || body[1] != ':') {
+    return util::ParseError("frame: truncated kind");
+  }
+  if (!ValidKind(body[0])) {
+    return util::ParseError(
+        util::StrCat("frame: unknown kind '", body[0], "'"));
+  }
+  Frame frame;
+  frame.kind = static_cast<Frame::Kind>(body[0]);
+  body.remove_prefix(2);
+  size_t seq = 0;
+  if (!util::ReadDecimalCount(&body, &seq, 19)) {
+    return util::ParseError("frame: bad sequence number");
+  }
+  frame.seq = seq;
+  std::string_view from, relation, payload;
+  if (!util::ReadLengthPrefixed(&body, &from) ||
+      !util::ReadLengthPrefixed(&body, &relation) ||
+      !util::ReadLengthPrefixed(&body, &payload)) {
+    return util::ParseError("frame: truncated field");
+  }
+  if (!body.empty()) {
+    return util::ParseError("frame: trailing bytes");
+  }
+  frame.from = std::string(from);
+  frame.relation = std::string(relation);
+  frame.payload = std::string(payload);
+  return frame;
+}
+
+bool FrameParser::Append(std::string_view bytes) {
+  if (failed_) return false;
+  // While reading the header, scan incrementally so a peer streaming
+  // digits (or junk) forever is cut off at kMaxHeaderBytes — and an
+  // oversize declared length is rejected before `buffer_` ever holds body
+  // bytes beyond what already arrived in this chunk.
+  buffer_.append(bytes.data(), bytes.size());
+  if (expected_ == 0) {
+    size_t colon = buffer_.find(':');
+    if (colon == std::string::npos) {
+      if (buffer_.size() > kMaxHeaderBytes) {
+        failed_ = true;
+        error_ = "frame header missing length delimiter";
+      }
+      return !failed_;
+    }
+    std::string_view view(buffer_);
+    size_t len = 0;
+    if (!util::ReadDecimalCount(&view, &len, 19) || len == 0) {
+      failed_ = true;
+      error_ = "malformed frame length prefix";
+      return false;
+    }
+    if (len > max_frame_bytes_) {
+      failed_ = true;
+      error_ = util::StrCat("frame of ", len, " bytes exceeds cap ",
+                            max_frame_bytes_);
+      return false;
+    }
+    expected_ = len;
+    header_len_ = colon + 1;
+  }
+  return true;
+}
+
+util::Result<std::optional<Frame>> FrameParser::Next() {
+  if (failed_) return util::ParseError(error_);
+  if (expected_ == 0 || buffer_.size() < header_len_ + expected_) {
+    return std::optional<Frame>(std::nullopt);
+  }
+  std::string_view body(buffer_.data() + header_len_, expected_);
+  util::Result<Frame> frame = DecodeFrameBody(body);
+  if (!frame.ok()) {
+    failed_ = true;
+    error_ = frame.status().message();
+    return frame.status();
+  }
+  Frame out = std::move(*frame);
+  buffer_.erase(0, header_len_ + expected_);
+  expected_ = 0;
+  header_len_ = 0;
+  // The next frame's header may already be buffered; re-run the header
+  // scan so mid_frame()/caps stay accurate without waiting for new bytes.
+  if (!buffer_.empty()) {
+    std::string pending;
+    pending.swap(buffer_);
+    if (!Append(pending)) return util::ParseError(error_);
+  }
+  return std::optional<Frame>(std::move(out));
+}
+
+}  // namespace lbtrust::net

@@ -1,0 +1,97 @@
+#ifndef LBTRUST_NET_FRAME_H_
+#define LBTRUST_NET_FRAME_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace lbtrust::net {
+
+/// One transport frame — the socket-layer envelope around the existing
+/// payload formats (SerializeTupleBlock "B:" blocks, LBCB2 credential
+/// bundles) plus the control traffic the distributed runtime needs
+/// (acks for at-least-once delivery, status/confirm for termination
+/// detection).
+///
+/// Stream encoding (all-text, same length-prefixed framing as the wire
+/// and credential codecs):
+///
+///   stream frame := <decimal-body-length> ':' body
+///   body         := <kind-char> ':' <seq-decimal> ':'
+///                   lp(from) lp(relation) lp(payload)
+///   lp(x)        := <decimal-byte-length> ':' <bytes>   (util framing)
+///
+/// The outer decimal length lets a receiver learn the full frame size —
+/// and reject oversize frames — before buffering or allocating for the
+/// body (see FrameParser).
+struct Frame {
+  enum class Kind : char {
+    kHello = 'H',       ///< first frame on a connection; from = sender node
+    kData = 'D',        ///< payload = SerializeTupleBlock for `relation`
+    kCredential = 'C',  ///< payload = cred::SerializeBundle output
+    kAck = 'A',         ///< seq = acknowledged data/credential frame seq
+    kStatus = 'S',      ///< termination protocol: payload = version:quiet
+    kConfirm = 'K',     ///< termination protocol: payload = snapshot hash
+  };
+
+  Kind kind = Kind::kData;
+  /// Per-peer sender sequence number for kData/kCredential (at-least-once
+  /// bookkeeping); the acknowledged sequence for kAck; 0 otherwise.
+  uint64_t seq = 0;
+  std::string from;      ///< sender node name
+  std::string relation;  ///< target relation for kData ("" otherwise)
+  std::string payload;
+
+  /// True for frame kinds that are acked, retained until acknowledged, and
+  /// retransmitted after a reconnect.
+  bool reliable() const { return kind == Kind::kData || kind == Kind::kCredential; }
+};
+
+/// Serializes `frame` into its stream encoding (outer length included).
+std::string EncodeFrame(const Frame& frame);
+
+/// Parses one frame body (the bytes after the outer length prefix).
+util::Result<Frame> DecodeFrameBody(std::string_view body);
+
+/// Incremental frame reader for one connection. Feed raw socket bytes with
+/// Append(); pull complete frames with Next(). Enforces `max_frame_bytes`
+/// on the declared body length BEFORE the body is buffered or allocated,
+/// and caps the header itself (a peer streaming garbage without ever
+/// completing a length prefix is rejected after ~20 bytes, not buffered
+/// forever). Any error is sticky: the connection must be closed.
+class FrameParser {
+ public:
+  explicit FrameParser(size_t max_frame_bytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Appends raw bytes. Returns false (sticky) if the declared frame size
+  /// exceeds the cap or the header is malformed.
+  bool Append(std::string_view bytes);
+
+  /// Extracts the next complete frame: a frame, std::nullopt when more
+  /// bytes are needed, or a (sticky) error for a malformed body.
+  util::Result<std::optional<Frame>> Next();
+
+  /// True if a partially received frame (or header) is pending — the
+  /// slow-loris read-deadline trigger.
+  bool mid_frame() const { return !buffer_.empty(); }
+
+  bool failed() const { return failed_; }
+  const std::string& error() const { return error_; }
+
+ private:
+  size_t max_frame_bytes_;
+  std::string buffer_;
+  /// Body length parsed from the outer prefix; 0 = still reading header.
+  size_t expected_ = 0;
+  size_t header_len_ = 0;  ///< bytes of outer prefix (for trimming)
+  bool failed_ = false;
+  std::string error_;
+};
+
+}  // namespace lbtrust::net
+
+#endif  // LBTRUST_NET_FRAME_H_

@@ -1,0 +1,207 @@
+#ifndef LBTRUST_NET_TRANSPORT_H_
+#define LBTRUST_NET_TRANSPORT_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "net/event_loop.h"
+#include "net/frame.h"
+#include "util/status.h"
+
+namespace lbtrust::net {
+
+/// Wire-level counters, exposed verbatim through DistributedCluster's
+/// RunStats so benches can report wire efficiency (bytes/tuple etc.).
+struct TransportStats {
+  uint64_t bytes_out = 0, bytes_in = 0;    ///< raw socket bytes
+  uint64_t frames_out = 0, frames_in = 0;  ///< all frame kinds
+  uint64_t data_frames_out = 0, data_frames_in = 0;
+  uint64_t tuple_bytes_out = 0, tuple_bytes_in = 0;  ///< kData payloads
+  uint64_t credential_bytes_out = 0, credential_bytes_in = 0;
+  uint64_t acks_out = 0, acks_in = 0;
+  /// Reliable frames re-enqueued after a reconnect (at-least-once resend).
+  uint64_t retries = 0;
+  /// Successful connection re-establishments (beyond each peer's first).
+  uint64_t reconnects = 0;
+  /// Reliable frames received more than once (same peer, same seq) —
+  /// harmless by construction: the engine's per-tuple cross-round dedup
+  /// and the content-addressed credential store are idempotent.
+  uint64_t duplicate_frames_in = 0;
+  uint64_t oversize_rejects = 0;  ///< connections dropped for oversize frames
+  uint64_t deadline_closes = 0;   ///< connections dropped for read stalls
+};
+
+/// Async socket transport for one node: a non-blocking TCP listener plus
+/// one outbound connection per peer, multiplexed on an epoll EventLoop and
+/// driven by the owner's thread via Poll().
+///
+///  - Outbound frames batch per peer into one contiguous write buffer, so
+///    a round's worth of frames for a peer flushes in O(1) syscalls.
+///  - Send queues are bounded (`send_queue_limit_bytes`); a full queue
+///    makes Send() return false — backpressure the caller absorbs by
+///    retrying after the next Poll().
+///  - Reliable frames (kData/kCredential) carry per-peer sequence numbers,
+///    are retained until the peer acks them, and are retransmitted after a
+///    reconnect: at-least-once delivery. Receivers ack AFTER the handler
+///    accepts the frame, so an ack implies the payload was staged.
+///  - Outbound connections reconnect with exponential backoff.
+///  - Inbound hardening: the declared frame length is checked against
+///    `max_frame_bytes` before body bytes are buffered, and a connection
+///    stalled mid-frame longer than `read_deadline_ms` is closed
+///    (slow-loris defense).
+///
+/// Single-threaded: every method (including handler callbacks, which fire
+/// inside Poll()) runs on the owner's thread.
+class Transport {
+ public:
+  struct Options {
+    size_t max_frame_bytes = 16u << 20;
+    size_t send_queue_limit_bytes = 4u << 20;  ///< per peer
+    int read_deadline_ms = 5000;
+    int reconnect_backoff_min_ms = 10;
+    int reconnect_backoff_max_ms = 1000;
+    // --- Fault-injection knobs (tests only) -------------------------------
+    /// Transmit every reliable frame twice (same seq): injected duplicate
+    /// delivery, exercising end-to-end idempotency.
+    bool duplicate_data_frames = false;
+    /// Reverse the order of frames staged within one flush: injected
+    /// reordering across relations/batches.
+    bool reorder_flush = false;
+    /// After this many reliable frames have been queued, drop the carrying
+    /// connection once (unflushed bytes are lost) to force a reconnect and
+    /// at-least-once resend. 0 = never.
+    uint64_t drop_connection_after_data_frames = 0;
+  };
+
+  /// Handler for inbound kHello/kData/kCredential/kStatus/kConfirm frames.
+  /// Returning non-OK is fatal for the node (the error is surfaced from
+  /// Poll()); reliable frames are acked only after an OK return.
+  using FrameHandler = std::function<util::Status(const Frame& frame)>;
+  /// Fired when an outbound connection (re)establishes, after unacked
+  /// frames were re-queued — the runtime rebroadcasts its protocol status.
+  using ConnectHandler = std::function<void(const std::string& peer)>;
+
+  Transport(std::string self, Options options);
+  ~Transport();
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  void set_handler(FrameHandler handler) { handler_ = std::move(handler); }
+  void set_on_connect(ConnectHandler handler) {
+    on_connect_ = std::move(handler);
+  }
+
+  /// Binds and listens (port 0 picks an ephemeral port; see listen_port()).
+  util::Status Listen(const std::string& host, uint16_t port);
+  uint16_t listen_port() const { return listen_port_; }
+
+  /// Registers a peer; the first Poll() starts connecting.
+  void AddPeer(const std::string& name, const std::string& host,
+               uint16_t port);
+  std::vector<std::string> peer_names() const;
+
+  /// Queues `frame` for `peer`. Reliable frames get a sequence number and
+  /// at-least-once retention; unreliable frames (status/confirm/hello) are
+  /// sent best-effort and dropped while disconnected. Returns false only
+  /// for reliable frames when the peer's send queue is full.
+  bool Send(const std::string& peer, Frame frame);
+
+  /// Best-effort send of an unreliable frame to every peer.
+  void Broadcast(const Frame& frame);
+
+  /// True when every reliable frame ever sent has been acked.
+  bool AllAcked() const;
+  /// True when no queued bytes remain unflushed (all peers).
+  bool SendQueuesEmpty() const;
+
+  /// Clears the reconnect backoff of every disconnected peer so the next
+  /// Poll() retries immediately. Used by the termination protocol: a node
+  /// about to exit must get its final status/confirm onto links that were
+  /// still backing off, or peers wait for a resend that never comes.
+  void KickReconnects();
+
+  /// Runs connection housekeeping (reconnects, deadlines, fault knobs),
+  /// polls the event loop once for up to `timeout_ms`, and dispatches
+  /// inbound frames to the handler. Returns the first fatal error a
+  /// handler reported, or a socket-layer internal error.
+  util::Status Poll(int timeout_ms);
+
+  const TransportStats& stats() const { return stats_; }
+
+  /// Closes every connection and the listener (idempotent).
+  void Shutdown();
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::string peer;  ///< outbound: target; inbound: set by kHello
+    bool outbound = false;
+    bool connected = false;  ///< outbound: TCP handshake completed
+    std::string out;         ///< flush buffer (encoded frames)
+    std::unique_ptr<FrameParser> parser;
+    int64_t stalled_since_ms = -1;  ///< mid-frame since (read deadline)
+    uint32_t mask = 0;              ///< current epoll interest
+  };
+
+  struct Unacked {
+    std::string bytes;        ///< encoded frame
+    bool transmitted = false; ///< handed to the socket at least once
+  };
+
+  struct Peer {
+    std::string host;
+    uint16_t port = 0;
+    int fd = -1;  ///< current outbound connection (-1 = down)
+    uint64_t next_seq = 1;
+    /// Reliable frames retained until acked (seq order). Untransmitted
+    /// entries are the outbound batch the next flush ships; a reconnect
+    /// marks every entry untransmitted again (at-least-once resend).
+    std::map<uint64_t, Unacked> unacked;
+    size_t pending_bytes = 0;  ///< bytes of untransmitted unacked frames
+    int backoff_ms = 0;
+    int64_t next_connect_ms = 0;
+    bool ever_connected = false;
+  };
+
+  void StartConnect(const std::string& name, Peer* peer);
+  void OnConnectWritable(int fd);
+  void OnListenerReadable();
+  void OnConnReadable(int fd);
+  void FlushConn(int fd);
+  void CloseConn(int fd, bool schedule_reconnect);
+  void UpdateMask(Conn* conn, uint32_t mask);
+  void FlushStaged(const std::string& name, Peer* peer);
+  void HousekeepConnections();
+  util::Status HandleFrame(int fd, Frame frame);
+  Conn* FindConn(int fd);
+
+  std::string self_;
+  Options options_;
+  EventLoop loop_;
+  FrameHandler handler_;
+  ConnectHandler on_connect_;
+  int listen_fd_ = -1;
+  uint16_t listen_port_ = 0;
+  std::map<std::string, Peer> peers_;
+  std::map<int, Conn> conns_;
+  /// Sequence numbers already delivered per sending peer (duplicate
+  /// detection for stats; duplicates are still delivered to the handler to
+  /// exercise end-to-end idempotency).
+  std::map<std::string, std::unordered_set<uint64_t>> delivered_in_;
+  TransportStats stats_;
+  util::Status deferred_error_;
+  uint64_t reliable_frames_queued_ = 0;  ///< for the forced-drop knob
+  std::string drop_pending_peer_;        ///< armed forced drop (knob)
+  bool drop_done_ = false;
+};
+
+}  // namespace lbtrust::net
+
+#endif  // LBTRUST_NET_TRANSPORT_H_

@@ -15,6 +15,13 @@ using datalog::Value;
 using util::Result;
 using util::Status;
 
+Result<crypto::RsaKeyPair> TrustRuntime::DeriveKeyPair(
+    const std::string& principal, uint64_t key_seed, size_t rsa_bits) {
+  uint64_t seed = key_seed != 0 ? key_seed : util::Fnv1a(principal) | 1;
+  crypto::SecureRandom rng(seed);
+  return crypto::RsaGenerateKeyPair(rsa_bits, &rng);
+}
+
 Result<std::unique_ptr<TrustRuntime>> TrustRuntime::Create(Options options) {
   if (options.principal.empty()) {
     return util::InvalidArgument("principal name must not be empty");
@@ -25,13 +32,9 @@ Result<std::unique_ptr<TrustRuntime>> TrustRuntime::Create(Options options) {
       std::make_unique<datalog::Workspace>(rt->options_.workspace);
   datalog::Workspace* ws = rt->workspace_.get();
 
-  // Deterministic key material.
-  uint64_t seed = options.key_seed != 0
-                      ? options.key_seed
-                      : util::Fnv1a(options.principal) | 1;
-  crypto::SecureRandom rng(seed);
-  LB_ASSIGN_OR_RETURN(rt->keypair_,
-                      crypto::RsaGenerateKeyPair(options.rsa_bits, &rng));
+  LB_ASSIGN_OR_RETURN(
+      rt->keypair_,
+      DeriveKeyPair(options.principal, options.key_seed, options.rsa_bits));
   std::string priv_handle =
       rt->keystore_.AddRsaPrivateKey(rt->keypair_.private_key);
   std::string pub_handle =
@@ -231,6 +234,31 @@ Result<cred::ImportStats> TrustRuntime::ImportCredentials(
     }
   }
   return result;
+}
+
+Status TrustRuntime::StageTuples(const std::string& relation,
+                                 std::vector<datalog::Tuple> tuples) {
+  for (datalog::Tuple& tuple : tuples) {
+    LB_RETURN_IF_ERROR(workspace_->EnsurePredicate(relation, tuple.size(),
+                                                   /*partitioned=*/true));
+    if (!inbox_.has_value()) inbox_.emplace(workspace_->Begin());
+    inbox_->AddFact(relation, std::move(tuple));
+  }
+  return util::OkStatus();
+}
+
+Status TrustRuntime::CommitInbox() {
+  if (!inbox_.has_value()) return util::OkStatus();
+  datalog::Transaction txn = std::move(*inbox_);
+  inbox_.reset();
+  return txn.Commit();
+}
+
+Status TrustRuntime::CommitInboxNoFixpoint() {
+  if (!inbox_.has_value()) return util::OkStatus();
+  datalog::Transaction txn = std::move(*inbox_);
+  inbox_.reset();
+  return txn.CommitNoFixpoint();
 }
 
 }  // namespace lbtrust::trust

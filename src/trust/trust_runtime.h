@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -54,6 +55,14 @@ class TrustRuntime {
   };
 
   static util::Result<std::unique_ptr<TrustRuntime>> Create(Options options);
+
+  /// The deterministic key material Create() gives a principal: generated
+  /// from `key_seed` (0 = derive from the principal name). Exposed so a
+  /// remote process can compute a peer's public key without ever seeing
+  /// the peer — the distributed runtime registers full-mesh peer keys this
+  /// way, byte-identical to the simulated cluster's Connect().
+  static util::Result<crypto::RsaKeyPair> DeriveKeyPair(
+      const std::string& principal, uint64_t key_seed, size_t rsa_bits);
 
   /// Session API (re-exported from the workspace): a prepared read handle
   /// and a batch write handle.
@@ -123,6 +132,23 @@ class TrustRuntime {
   /// verification, codegen and constraint checks).
   util::Status Fixpoint() { return workspace_->Fixpoint(); }
 
+  // --- Async import hooks (net transports) --------------------------------
+  // A network runtime stages inbound tuple blocks between fixpoints and
+  // commits them as one batch; calls must come from the thread driving the
+  // runtime (the transports are single-threaded by design).
+
+  /// Stages inbound tuples for `relation` into the runtime's inbox
+  /// transaction (created on first use; the predicate is created
+  /// partitioned if unknown). No fixpoint runs until CommitInbox().
+  util::Status StageTuples(const std::string& relation,
+                           std::vector<datalog::Tuple> tuples);
+  bool HasInbox() const { return inbox_.has_value(); }
+  /// Applies every staged tuple as one batch, then runs one fixpoint.
+  util::Status CommitInbox();
+  /// Applies staged tuples without a fixpoint (durable; they surface at
+  /// the node's next fixpoint) — for runs cut off mid-exchange.
+  util::Status CommitInboxNoFixpoint();
+
  private:
   explicit TrustRuntime(Options options) : options_(std::move(options)) {}
 
@@ -137,6 +163,8 @@ class TrustRuntime {
   /// Trust anchors for credential import: principal -> key fingerprint,
   /// populated by Create() (self) and AddPeer().
   std::map<std::string, std::string> peer_key_fingerprints_;
+  /// Inbound tuples staged between fixpoints (async import hooks).
+  std::optional<datalog::Transaction> inbox_;
 };
 
 }  // namespace lbtrust::trust

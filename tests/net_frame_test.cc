@@ -1,0 +1,216 @@
+#include "net/frame.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace lbtrust::net {
+namespace {
+
+Frame MakeFrame(Frame::Kind kind, uint64_t seq) {
+  Frame frame;
+  frame.kind = kind;
+  frame.seq = seq;
+  frame.from = "alice";
+  frame.relation = "export";
+  frame.payload = "B:0:0:";
+  return frame;
+}
+
+TEST(FrameCodecTest, AllKindsRoundTrip) {
+  for (Frame::Kind kind :
+       {Frame::Kind::kHello, Frame::Kind::kData, Frame::Kind::kCredential,
+        Frame::Kind::kAck, Frame::Kind::kStatus, Frame::Kind::kConfirm}) {
+    Frame frame = MakeFrame(kind, 42);
+    std::string encoded = EncodeFrame(frame);
+    // Strip the outer length prefix by hand, as the stream reader would.
+    size_t colon = encoded.find(':');
+    ASSERT_NE(colon, std::string::npos);
+    auto back = DecodeFrameBody(
+        std::string_view(encoded).substr(colon + 1));
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(back->kind, frame.kind);
+    EXPECT_EQ(back->seq, frame.seq);
+    EXPECT_EQ(back->from, frame.from);
+    EXPECT_EQ(back->relation, frame.relation);
+    EXPECT_EQ(back->payload, frame.payload);
+  }
+}
+
+TEST(FrameCodecTest, BinaryPayloadSurvives) {
+  Frame frame = MakeFrame(Frame::Kind::kData, 7);
+  frame.payload = std::string("\x00\x01:\xff\n:junk", 11);
+  std::string encoded = EncodeFrame(frame);
+  FrameParser parser(1 << 20);
+  ASSERT_TRUE(parser.Append(encoded));
+  auto next = parser.Next();
+  ASSERT_TRUE(next.ok());
+  ASSERT_TRUE(next->has_value());
+  EXPECT_EQ((*next)->payload, frame.payload);
+}
+
+TEST(FrameCodecTest, MalformedBodiesReturnStatusNotCrash) {
+  // Table-driven adversarial bodies: every case must produce a non-OK
+  // status — never a crash, over-read, or runaway allocation.
+  struct Case {
+    const char* name;
+    const char* body;
+  };
+  const Case kCases[] = {
+      {"empty", ""},
+      {"kind only", "D"},
+      {"kind without separator", "Dx"},
+      {"unknown kind", "Z:1:5:alice0:0:"},
+      {"missing seq", "D:"},
+      {"non-numeric seq", "D:xx:5:alice0:0:0:"},
+      {"seq overflows cap", "D:99999999999999999999:5:alice0:0:0:"},
+      {"truncated after seq", "D:1:"},
+      {"from length past end", "D:1:99:alice"},
+      {"missing relation", "D:1:5:alice"},
+      {"relation length past end", "D:1:5:alice99:x"},
+      {"missing payload", "D:1:5:alice6:export"},
+      {"payload length past end", "D:1:5:alice6:export99:zz"},
+      {"non-numeric field length", "D:1:zz:alice"},
+      {"trailing bytes", "D:1:5:alice6:export2:okXX"},
+  };
+  for (const Case& c : kCases) {
+    EXPECT_FALSE(DecodeFrameBody(c.body).ok())
+        << "case '" << c.name << "' should reject";
+  }
+}
+
+TEST(FrameParserTest, ByteAtATimeDelivery) {
+  // TCP offers no message boundaries; the parser must reassemble frames
+  // from arbitrarily small chunks.
+  Frame a = MakeFrame(Frame::Kind::kData, 1);
+  Frame b = MakeFrame(Frame::Kind::kCredential, 2);
+  std::string stream = EncodeFrame(a) + EncodeFrame(b);
+  FrameParser parser(1 << 20);
+  std::vector<Frame> got;
+  for (char c : stream) {
+    ASSERT_TRUE(parser.Append(std::string_view(&c, 1)));
+    for (;;) {
+      auto next = parser.Next();
+      ASSERT_TRUE(next.ok()) << next.status().ToString();
+      if (!next->has_value()) break;
+      got.push_back(std::move(**next));
+    }
+  }
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].seq, 1u);
+  EXPECT_EQ(got[0].kind, Frame::Kind::kData);
+  EXPECT_EQ(got[1].seq, 2u);
+  EXPECT_EQ(got[1].kind, Frame::Kind::kCredential);
+  EXPECT_FALSE(parser.mid_frame());
+}
+
+TEST(FrameParserTest, CoalescedFramesInOneChunk) {
+  std::string stream;
+  for (uint64_t seq = 1; seq <= 5; ++seq) {
+    stream += EncodeFrame(MakeFrame(Frame::Kind::kData, seq));
+  }
+  FrameParser parser(1 << 20);
+  ASSERT_TRUE(parser.Append(stream));
+  for (uint64_t seq = 1; seq <= 5; ++seq) {
+    auto next = parser.Next();
+    ASSERT_TRUE(next.ok());
+    ASSERT_TRUE(next->has_value());
+    EXPECT_EQ((*next)->seq, seq);
+  }
+  auto done = parser.Next();
+  ASSERT_TRUE(done.ok());
+  EXPECT_FALSE(done->has_value());
+}
+
+TEST(FrameParserTest, OversizeFrameRejectedBeforeBodyBuffering) {
+  // The declared length exceeds the cap: rejection must happen from the
+  // header alone — the attacker never gets the parser to buffer (let alone
+  // allocate) a body of the declared size.
+  FrameParser parser(/*max_frame_bytes=*/1024);
+  EXPECT_FALSE(parser.Append("1048576:"));
+  EXPECT_TRUE(parser.failed());
+  EXPECT_NE(parser.error().find("exceeds cap"), std::string::npos);
+  // Sticky: nothing revives the parser.
+  EXPECT_FALSE(parser.Append("4:D:1:"));
+  EXPECT_FALSE(parser.Next().ok());
+}
+
+TEST(FrameParserTest, OversizeFrameWithinChunkRejected) {
+  // Header and (partial) body arrive in one chunk; still rejected.
+  FrameParser parser(/*max_frame_bytes=*/16);
+  std::string encoded = EncodeFrame(MakeFrame(Frame::Kind::kData, 1));
+  ASSERT_GT(encoded.size(), 16u);
+  EXPECT_FALSE(parser.Append(encoded));
+  EXPECT_TRUE(parser.failed());
+}
+
+TEST(FrameParserTest, HeaderGarbageCutOffAtCap) {
+  // A peer streaming digits (or junk) without ever completing a length
+  // prefix is rejected after ~20 bytes, not buffered forever.
+  FrameParser digits(1 << 20);
+  EXPECT_FALSE(digits.Append("999999999999999999999999999999"));
+  EXPECT_TRUE(digits.failed());
+
+  FrameParser junk(1 << 20);
+  EXPECT_FALSE(junk.Append("this is not a frame header at all"));
+  EXPECT_TRUE(junk.failed());
+
+  FrameParser nonnumeric(1 << 20);
+  EXPECT_FALSE(nonnumeric.Append("abc:D:1:"));
+  EXPECT_TRUE(nonnumeric.failed());
+
+  FrameParser zero(1 << 20);
+  EXPECT_FALSE(zero.Append("0:"));
+  EXPECT_TRUE(zero.failed());
+}
+
+TEST(FrameParserTest, TruncatedFrameStaysMidFrame) {
+  std::string encoded = EncodeFrame(MakeFrame(Frame::Kind::kData, 9));
+  FrameParser parser(1 << 20);
+  ASSERT_TRUE(parser.Append(encoded.substr(0, encoded.size() - 3)));
+  auto next = parser.Next();
+  ASSERT_TRUE(next.ok());
+  EXPECT_FALSE(next->has_value());
+  // The read-deadline trigger: a partial frame is pending.
+  EXPECT_TRUE(parser.mid_frame());
+  // The remainder completes it.
+  ASSERT_TRUE(parser.Append(encoded.substr(encoded.size() - 3)));
+  next = parser.Next();
+  ASSERT_TRUE(next.ok());
+  ASSERT_TRUE(next->has_value());
+  EXPECT_EQ((*next)->seq, 9u);
+  EXPECT_FALSE(parser.mid_frame());
+}
+
+TEST(FrameParserTest, MalformedBodyIsStickyError) {
+  // Correct outer length, garbage body: the error must stick (the stream
+  // is unrecoverable once framing trust is gone).
+  std::string body = "Z:1:0:0:0:";
+  std::string stream = std::to_string(body.size()) + ":" + body;
+  FrameParser parser(1 << 20);
+  ASSERT_TRUE(parser.Append(stream));
+  EXPECT_FALSE(parser.Next().ok());
+  EXPECT_TRUE(parser.failed());
+  // A valid frame appended afterwards is not parsed.
+  EXPECT_FALSE(parser.Append(EncodeFrame(MakeFrame(Frame::Kind::kData, 1))));
+  EXPECT_FALSE(parser.Next().ok());
+}
+
+TEST(FrameParserTest, LengthPrefixMustMatchBody) {
+  // Declared length splits mid-field: body decode fails (truncated field),
+  // and the over-long remainder is treated as the next frame's header —
+  // which then fails too. Either way: sticky error, no silent resync.
+  Frame frame = MakeFrame(Frame::Kind::kData, 3);
+  std::string encoded = EncodeFrame(frame);
+  size_t colon = encoded.find(':');
+  std::string body = encoded.substr(colon + 1);
+  std::string lying = std::to_string(body.size() - 4) + ":" + body;
+  FrameParser parser(1 << 20);
+  if (parser.Append(lying)) {
+    EXPECT_FALSE(parser.Next().ok());
+  }
+  EXPECT_TRUE(parser.failed());
+}
+
+}  // namespace
+}  // namespace lbtrust::net

@@ -1,29 +1,31 @@
 #!/usr/bin/env bash
-# Runs the engine/relation benchmarks and merges the results into one
-# machine-readable "name -> ns/op" JSON, so the performance trajectory is
-# diffable across PRs (BENCH_PR5.json is the current capture — it now
-# includes the thread-scaling series: BM_TransitiveClosureSemiNaive/128/T
-# and BM_TransitiveClosureWide/24/T at T = 1, 2, 4 worker threads; CI
-# regenerates the report on every push and uploads it as an artifact).
+# Runs the engine/relation/distributed benchmarks and merges the results
+# into one machine-readable "name -> ns/op" JSON, so the performance
+# trajectory is diffable across PRs (BENCH_PR6.json is the current
+# capture — it adds the socket-path convergence series
+# BM_DistributedConvergence/N, a real 3-node localhost TCP mesh reporting
+# tuples/s and bytes/tuple, next to its in-memory baseline
+# BM_SimulatedConvergence/N; CI regenerates the report on every push and
+# uploads it as an artifact).
 #
 # Usage: tools/bench_report.sh [build-dir] [out-json]
 #   build-dir  defaults to build-bench (configured Release + benches if it
 #              does not exist yet; an existing build dir is reused as-is,
 #              so you can point it at a RelWithDebInfo tree for
 #              apples-to-apples before/after runs)
-#   out-json   defaults to BENCH_PR5.json in the repo root
+#   out-json   defaults to BENCH_PR6.json in the repo root
 # Environment:
 #   BENCH_BUILD_TYPE   CMake build type for a fresh build dir (Release)
 #   BENCH_TARGETS      space-separated bench binaries (bench_engine
-#                      bench_relation)
+#                      bench_relation bench_dist)
 #   BENCH_MIN_TIME     --benchmark_min_time per bench (0.2)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build-bench}"
-OUT="${2:-BENCH_PR5.json}"
-TARGETS=(${BENCH_TARGETS:-bench_engine bench_relation})
+OUT="${2:-BENCH_PR6.json}"
+TARGETS=(${BENCH_TARGETS:-bench_engine bench_relation bench_dist})
 MIN_TIME="${BENCH_MIN_TIME:-0.2}"
 
 if [[ ! -f "${BUILD_DIR}/CMakeCache.txt" ]]; then

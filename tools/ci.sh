@@ -52,3 +52,7 @@ cmake -B "${BUILD_DIR}" -S . \
   -DLBTRUST_EXAMPLES=ON
 cmake --build "${BUILD_DIR}" -j "$(nproc)"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure --no-tests=error -j "$(nproc)"
+
+# Multi-process distributed smoke: a real 3-node localhost socket mesh per
+# scenario, every converged dump diffed against the simulated cluster.
+tools/dist_smoke.sh "${BUILD_DIR}"

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Multi-process distributed smoke: runs each scenario on a real 3-node
+# localhost socket mesh (one lbtrust_node process per node) and diffs every
+# node's converged workspace dump against the simulated in-memory cluster.
+# Any byte of divergence fails the script.
+#
+# Usage: tools/dist_smoke.sh [build-dir]
+#   build-dir  must contain the lbtrust_node binary (defaults to build-ci,
+#              matching tools/ci.sh)
+# Environment:
+#   DIST_SMOKE_BASE_PORT   first listen port (default 46100; each scenario
+#                          uses three consecutive ports from there)
+#   DIST_SMOKE_TIMEOUT_MS  per-node convergence deadline (default 30000)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-ci}"
+NODE_BIN="${BUILD_DIR}/lbtrust_node"
+BASE_PORT="${DIST_SMOKE_BASE_PORT:-46100}"
+TIMEOUT_MS="${DIST_SMOKE_TIMEOUT_MS:-30000}"
+
+if [[ ! -x "${NODE_BIN}" ]]; then
+  echo "dist_smoke: ${NODE_BIN} not found (build the lbtrust_node target first)" >&2
+  exit 1
+fi
+
+WORK="$(mktemp -d)"
+NODE_PIDS=()
+trap 'kill "${NODE_PIDS[@]}" 2>/dev/null || true; rm -rf "${WORK}"' EXIT
+
+run_scenario() {
+  local scenario="$1" port="$2"
+  local sim="${WORK}/${scenario}/sim" dist="${WORK}/${scenario}/dist"
+  mkdir -p "${sim}" "${dist}"
+
+  echo "== dist_smoke: ${scenario} (ports ${port}-$((port + 2)))"
+  "${NODE_BIN}" --mode=sim --scenario="${scenario}" --outdir="${sim}"
+
+  local pa=$port pb=$((port + 1)) pc=$((port + 2))
+  "${NODE_BIN}" --mode=node --self=a --scenario="${scenario}" --port="${pa}" \
+    --peers="b=127.0.0.1:${pb},c=127.0.0.1:${pc}" \
+    --out="${dist}/a.dump" --timeout-ms="${TIMEOUT_MS}" &
+  local pid_a=$!
+  "${NODE_BIN}" --mode=node --self=b --scenario="${scenario}" --port="${pb}" \
+    --peers="a=127.0.0.1:${pa},c=127.0.0.1:${pc}" \
+    --out="${dist}/b.dump" --timeout-ms="${TIMEOUT_MS}" &
+  local pid_b=$!
+  "${NODE_BIN}" --mode=node --self=c --scenario="${scenario}" --port="${pc}" \
+    --peers="a=127.0.0.1:${pa},b=127.0.0.1:${pb}" \
+    --out="${dist}/c.dump" --timeout-ms="${TIMEOUT_MS}" &
+  local pid_c=$!
+  NODE_PIDS+=("${pid_a}" "${pid_b}" "${pid_c}")
+
+  local failed=0
+  wait "${pid_a}" || failed=1
+  wait "${pid_b}" || failed=1
+  wait "${pid_c}" || failed=1
+  if [[ "${failed}" -ne 0 ]]; then
+    echo "dist_smoke: ${scenario}: a node failed to converge" >&2
+    return 1
+  fi
+
+  for n in a b c; do
+    if ! diff -u "${sim}/${n}.dump" "${dist}/${n}.dump"; then
+      echo "dist_smoke: ${scenario}: node ${n} diverged from simulated" >&2
+      return 1
+    fi
+  done
+  echo "== dist_smoke: ${scenario}: 3/3 nodes byte-identical to simulated"
+}
+
+run_scenario delegation "${BASE_PORT}"
+run_scenario linked "$((BASE_PORT + 10))"
+echo "dist_smoke: OK"
