@@ -132,13 +132,22 @@ void EvalWorkerPoolDeleter::operator()(EvalWorkerPool* pool) const {
 
 Evaluator::Evaluator(const BuiltinRegistry* builtins, RelationStore* store,
                      ProvenanceStore* provenance, unsigned threads,
-                     EvalWorkerPoolHandle* shared_pool)
+                     EvalWorkerPoolHandle* shared_pool,
+                     obs::MetricsRegistry* metrics, obs::Tracer* tracer)
     : builtins_(builtins),
       store_(store),
       provenance_(provenance),
       pool_(store->pool()),
       threads_(threads == 0 ? 1 : threads),
-      workers_slot_(shared_pool != nullptr ? shared_pool : &owned_workers_) {}
+      metrics_(metrics),
+      tracer_(tracer),
+      workers_slot_(shared_pool != nullptr ? shared_pool : &owned_workers_) {
+  if (metrics_ != nullptr) {
+    tuples_derived_ = metrics_->GetCounter("lbtrust_tuples_derived_total");
+    rounds_total_ = metrics_->GetCounter("lbtrust_eval_rounds_total");
+    delta_rows_ = metrics_->GetHistogram("lbtrust_fixpoint_delta_rows");
+  }
+}
 
 Evaluator::~Evaluator() = default;
 
@@ -844,6 +853,9 @@ Status Evaluator::EvalRelation(ExecContext* ctx, size_t oi,
     return st;
   };
 
+  // Probe tallies are plain context-owned counters (see ExecContext);
+  // `hits` counts rows the probe yielded, so hits/probes is the literal's
+  // observed selectivity at this order position.
   if (oi == 0 && ctx->first_restricted) {
     // Worker-chunk enumeration: this task's leading literal is split into
     // row ranges. Constants filter with direct id compares instead of an
@@ -851,13 +863,19 @@ Status Evaluator::EvalRelation(ExecContext* ctx, size_t oi,
     // delta relations never get one).
     const size_t limit = std::min(ctx->first_end, rel->size());
     ValueId row[64];
+    uint64_t matched = 0;
     for (size_t i = ctx->first_begin; i < limit; ++i) {
       if (mask != 0 &&
           !rel->RowMatchesKey(static_cast<uint32_t>(i), mask, key)) {
         continue;
       }
+      ++matched;
       if (arity > 0) std::memcpy(row, rel->RowIds(i), arity * sizeof(ValueId));
       LB_RETURN_IF_ERROR(try_row(row));
+    }
+    if (ctx->probe_tally != nullptr) {
+      ctx->probe_tally[body_idx] += 1;
+      ctx->hit_tally[body_idx] += matched;
     }
     return util::OkStatus();
   }
@@ -866,13 +884,22 @@ Status Evaluator::EvalRelation(ExecContext* ctx, size_t oi,
     // Fully bound probe: a primary-set membership check, no index at all.
     // (Delta relations skip this: they are append-only and carry no
     // primary set.)
-    if (!rel->ContainsIds(key)) return util::OkStatus();
+    const bool hit = rel->ContainsIds(key);
+    if (ctx->probe_tally != nullptr) {
+      ctx->probe_tally[body_idx] += 1;
+      ctx->hit_tally[body_idx] += hit ? 1 : 0;
+    }
+    if (!hit) return util::OkStatus();
     return try_row(key);
   }
   if (mask != 0) {
     std::vector<uint32_t>& ids = ctx->probe_scratch[oi];
     ids.clear();
     rel->LookupIds(mask, key, &ids);
+    if (ctx->probe_tally != nullptr) {
+      ctx->probe_tally[body_idx] += 1;
+      ctx->hit_tally[body_idx] += ids.size();
+    }
     ValueId row[64];
     for (uint32_t id : ids) {
       if (arity > 0) std::memcpy(row, rel->RowIds(id), arity * sizeof(ValueId));
@@ -881,6 +908,10 @@ Status Evaluator::EvalRelation(ExecContext* ctx, size_t oi,
   } else {
     size_t n = rel->size();  // snapshot: rows appended during recursion are
                              // handled by later semi-naive rounds
+    if (ctx->probe_tally != nullptr) {
+      ctx->probe_tally[body_idx] += 1;
+      ctx->hit_tally[body_idx] += n;
+    }
     ValueId row[64];
     for (size_t i = 0; i < n; ++i) {
       if (arity > 0) std::memcpy(row, rel->RowIds(i), arity * sizeof(ValueId));
@@ -1059,13 +1090,16 @@ Status Evaluator::EvalBuiltin(ExecContext* ctx, size_t oi,
 
 Status Evaluator::EvalRuleOnce(
     CompiledRule* rule, int delta_pos, Relation* delta_rel,
-    const std::function<Status(const ValueId*)>& emit) {
+    const std::function<Status(const ValueId*)>& emit,
+    uint64_t* probe_tally, uint64_t* hit_tally) {
   ExecContext ctx;
   ctx.rule = rule;
   ctx.delta_pos = delta_pos;
   ctx.delta_rel = delta_rel;
   ctx.order = (delta_pos >= 0) ? &rule->order_delta.at(delta_pos)
                                : &rule->order_full;
+  ctx.probe_tally = probe_tally;
+  ctx.hit_tally = hit_tally;
   ctx.bindings.pool = pool_;
   ctx.bindings.EnsureSize(rule->vars.size());
   // Sized up front: frames hold references into it, so it must never
@@ -1189,6 +1223,57 @@ Status Evaluator::EvalRuleOnce(
   return Step(&ctx, 0);
 }
 
+Evaluator::RuleCounters* Evaluator::CountersFor(const CompiledRule* rule) {
+  auto [it, inserted] = rule_counters_.try_emplace(rule);
+  if (inserted) {
+    std::string labels =
+        util::StrCat("head=\"", obs::LabelEscape(rule->head_pred),
+                     "\",rule=\"", rule->id, "\"");
+    it->second.evals = metrics_->GetCounter("lbtrust_rule_evals_total", labels);
+    it->second.derived =
+        metrics_->GetCounter("lbtrust_rule_tuples_derived_total", labels);
+    it->second.probes =
+        metrics_->GetCounter("lbtrust_rule_probes_total", labels);
+  }
+  return &it->second;
+}
+
+void Evaluator::FoldRuleMetrics(const CompiledRule* rule, uint64_t derived,
+                                const uint64_t* probe_tally,
+                                const uint64_t* hit_tally) {
+  if (metrics_ == nullptr) return;
+  RuleCounters* rc = CountersFor(rule);
+  uint64_t probes_total = 0;
+  for (size_t bi = 0; bi < rule->body.size(); ++bi) {
+    if (probe_tally[bi] == 0 && hit_tally[bi] == 0) continue;
+    const CompiledLiteral& lit = rule->body[bi];
+    auto [it, inserted] = relation_counters_.try_emplace(lit.pred);
+    if (inserted) {
+      std::string labels =
+          util::StrCat("relation=\"", obs::LabelEscape(lit.pred), "\"");
+      it->second.probes =
+          metrics_->GetCounter("lbtrust_relation_probes_total", labels);
+      it->second.hits =
+          metrics_->GetCounter("lbtrust_relation_probe_hits_total", labels);
+    }
+    it->second.probes->Add(probe_tally[bi]);
+    it->second.hits->Add(hit_tally[bi]);
+    probes_total += probe_tally[bi];
+  }
+  rc->evals->Add(1);
+  rc->derived->Add(derived);
+  rc->probes->Add(probes_total);
+  tuples_derived_->Add(derived);
+}
+
+void Evaluator::RecordRoundDelta(const std::map<std::string, Relation>& delta) {
+  if (metrics_ == nullptr) return;
+  rounds_total_->Add(1);
+  uint64_t rows = 0;
+  for (const auto& [pred, rel] : delta) rows += rel.size();
+  delta_rows_->Observe(rows);
+}
+
 Status Evaluator::RunRuleInto(CompiledRule* rule, int pos,
                               Relation* delta_rel, const Limits& limits,
                               size_t* total_tuples,
@@ -1200,9 +1285,21 @@ Status Evaluator::RunRuleInto(CompiledRule* rule, int pos,
     return util::TypeError(
         util::StrCat("arity mismatch inserting into '", rule->head_pred, "'"));
   }
+  uint64_t* probe_tally = nullptr;
+  uint64_t* hit_tally = nullptr;
+  if (metrics_ != nullptr) {
+    tally_probes_.assign(rule->body.size(), 0);
+    tally_hits_.assign(rule->body.size(), 0);
+    probe_tally = tally_probes_.data();
+    hit_tally = tally_hits_.data();
+  }
+  const size_t tuples_before = *total_tuples;
+  obs::ScopedSpan span(tracer_, "rule");
   Relation* dnext = nullptr;
   Relation* snext = nullptr;
-  return EvalRuleOnce(rule, pos, delta_rel, [&](const ValueId* row) -> Status {
+  Status result = EvalRuleOnce(
+      rule, pos, delta_rel,
+      [&](const ValueId* row) -> Status {
     if (provenance_ != nullptr && emitting_rule_ != nullptr) {
       Derivation d;
       d.kind = emitting_rule_->agg.has_value() ? Derivation::Kind::kAggregate
@@ -1234,7 +1331,20 @@ Status Evaluator::RunRuleInto(CompiledRule* rule, int pos,
       }
     }
     return util::OkStatus();
-  });
+      },
+      probe_tally, hit_tally);
+  const uint64_t derived =
+      static_cast<uint64_t>(*total_tuples - tuples_before);
+  if (result.ok() && metrics_ != nullptr) {
+    FoldRuleMetrics(rule, derived, probe_tally, hit_tally);
+  }
+  if (span.enabled()) {
+    span.set_args(util::StrCat("\"head\":\"", obs::LabelEscape(rule->head_pred),
+                               "\",\"rule\":", rule->id,
+                               ",\"delta_pos\":", pos,
+                               ",\"derived\":", derived));
+  }
+  return result;
 }
 
 namespace {
@@ -1294,6 +1404,14 @@ Status Evaluator::EvalRuleChunk(CompiledRule* rule, int pos,
   ctx.first_restricted = restricted;
   ctx.first_begin = begin;
   ctx.first_end = end;
+  if (metrics_ != nullptr) {
+    // Chunk-local tallies ride the emit buffer; the sequential merge sums
+    // them, so concurrent workers never touch a shared counter.
+    buf->probes.assign(rule->body.size(), 0);
+    buf->hits.assign(rule->body.size(), 0);
+    ctx.probe_tally = buf->probes.data();
+    ctx.hit_tally = buf->hits.data();
+  }
   const size_t arity = rule->head_cols.size();
   IdTuple out(arity);
   size_t budget_check_at = limits.max_tuples + 1;
@@ -1508,15 +1626,28 @@ Status Evaluator::RunRound(const std::vector<RoundTask>& tasks,
     }
     Relation* full = plan.head;
     const size_t arity = t.rule->head_cols.size();
+    obs::ScopedSpan span(tracer_, "rule");
+    uint64_t task_derived = 0;
+    if (metrics_ != nullptr) {
+      tally_probes_.assign(t.rule->body.size(), 0);
+      tally_hits_.assign(t.rule->body.size(), 0);
+    }
     Relation* dnext = nullptr;
     Relation* snext = nullptr;
     for (size_t ci = plan.chunk_begin; ci < plan.chunk_end; ++ci) {
       LB_RETURN_IF_ERROR(chunk_status[ci]);
       const EmitBuffer& buf = emit_bufs_[ci];
+      if (metrics_ != nullptr) {
+        for (size_t bi = 0; bi < buf.probes.size(); ++bi) {
+          tally_probes_[bi] += buf.probes[bi];
+          tally_hits_[bi] += buf.hits[bi];
+        }
+      }
       for (size_t r = 0; r < buf.hashes.size(); ++r) {
         const ValueId* row = buf.rows.data() + r * arity;
         if (!full->InsertIdsHashed(row, buf.hashes[r])) continue;
         ++*total_tuples;
+        ++task_derived;
         if (*total_tuples > limits.max_tuples) {
           return util::Internal(
               "fixpoint exceeded tuple budget (diverging program?)");
@@ -1538,6 +1669,16 @@ Status Evaluator::RunRound(const std::vector<RoundTask>& tasks,
         }
       }
     }
+    if (metrics_ != nullptr) {
+      FoldRuleMetrics(t.rule, task_derived, tally_probes_.data(),
+                      tally_hits_.data());
+    }
+    if (span.enabled()) {
+      span.set_args(util::StrCat(
+          "\"head\":\"", obs::LabelEscape(t.rule->head_pred),
+          "\",\"rule\":", t.rule->id, ",\"delta_pos\":", t.pos,
+          ",\"derived\":", task_derived));
+    }
   }
   return util::OkStatus();
 }
@@ -1557,6 +1698,7 @@ Status Evaluator::Run(const std::vector<CompiledRule*>& rules,
       }
     }
     if (stratum_rules.empty()) continue;
+    obs::ScopedSpan stratum_span(tracer_, "stratum");
 
     // Delta per in-stratum predicate.
     std::map<std::string, Relation> delta;
@@ -1583,6 +1725,7 @@ Status Evaluator::Run(const std::vector<CompiledRule*>& rules,
       LB_RETURN_IF_ERROR(RunRound(tasks, limits, &total_tuples, &delta,
                                   /*stratum_new=*/nullptr));
     }
+    RecordRoundDelta(delta);
 
     // Recursive rounds.
     size_t rounds = 0;
@@ -1621,7 +1764,13 @@ Status Evaluator::Run(const std::vector<CompiledRule*>& rules,
         LB_RETURN_IF_ERROR(RunRound(tasks, limits, &total_tuples, &next_delta,
                                     /*stratum_new=*/nullptr));
       }
+      RecordRoundDelta(next_delta);
       delta = std::move(next_delta);
+    }
+    if (stratum_span.enabled()) {
+      stratum_span.set_args(util::StrCat("\"level\":", level,
+                                         ",\"rules\":", stratum_rules.size(),
+                                         ",\"rounds\":", rounds));
     }
   }
   return util::OkStatus();
@@ -1653,6 +1802,7 @@ Status Evaluator::RunIncremental(const std::vector<CompiledRule*>& rules,
       return it != strat.level.end() &&
              it->second == static_cast<int>(level);
     };
+    obs::ScopedSpan stratum_span(tracer_, "stratum");
 
     // Everything this stratum derives, for the benefit of higher strata.
     std::map<std::string, Relation> stratum_new;
@@ -1679,6 +1829,7 @@ Status Evaluator::RunIncremental(const std::vector<CompiledRule*>& rules,
       LB_RETURN_IF_ERROR(
           RunRound(tasks, limits, &total_tuples, &delta, &stratum_new));
     }
+    RecordRoundDelta(delta);
 
     // In-stratum recursion: identical to Run()'s semi-naive rounds.
     size_t rounds = 0;
@@ -1700,7 +1851,14 @@ Status Evaluator::RunIncremental(const std::vector<CompiledRule*>& rules,
       }
       LB_RETURN_IF_ERROR(RunRound(tasks, limits, &total_tuples, &next_delta,
                                   &stratum_new));
+      RecordRoundDelta(next_delta);
       delta = std::move(next_delta);
+    }
+    if (stratum_span.enabled()) {
+      stratum_span.set_args(util::StrCat("\"level\":", level,
+                                         ",\"rules\":", stratum_rules.size(),
+                                         ",\"rounds\":", rounds,
+                                         ",\"incremental\":true"));
     }
 
     // Stratum-new rows are disjoint from the rows already accumulated (they

@@ -15,6 +15,8 @@
 #include "datalog/relation.h"
 #include "datalog/unify.h"
 #include "datalog/value_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/status.h"
 
 namespace lbtrust::datalog {
@@ -202,9 +204,16 @@ class Evaluator {
   /// for its own lifetime. Either way the pool is created lazily, sized
   /// to the largest parallel round actually seen, and never spawns more
   /// than `threads - 1` workers.
+  /// `metrics` (nullable) receives per-rule/per-relation evaluation
+  /// counters — probes, probe hits, tuples derived, round/delta sizes (the
+  /// selectivity feed for cost-based join ordering). `tracer` (nullable)
+  /// receives per-stratum and per-rule spans. Both default off; a null
+  /// pointer keeps every hot path at a single predictable branch.
   Evaluator(const BuiltinRegistry* builtins, RelationStore* store,
             ProvenanceStore* provenance = nullptr, unsigned threads = 1,
-            EvalWorkerPoolHandle* shared_pool = nullptr);
+            EvalWorkerPoolHandle* shared_pool = nullptr,
+            obs::MetricsRegistry* metrics = nullptr,
+            obs::Tracer* tracer = nullptr);
   ~Evaluator();
 
   /// Runs all rules to fixpoint. The store must already be seeded with EDB
@@ -253,6 +262,12 @@ class Evaluator {
     bool first_restricted = false;
     size_t first_begin = 0;
     size_t first_end = 0;
+    /// Per-body-literal probe tallies (indexed by body position; null =
+    /// not collecting). Plain counters owned by the single thread running
+    /// this context; folded into registry counters after the rule
+    /// evaluation completes, so the probe loop never touches an atomic.
+    uint64_t* probe_tally = nullptr;
+    uint64_t* hit_tally = nullptr;
   };
 
   /// One (rule, delta position) evaluation within a stratum round.
@@ -267,9 +282,15 @@ class Evaluator {
   struct EmitBuffer {
     std::vector<ValueId> rows;
     std::vector<uint64_t> hashes;
+    /// Chunk-local probe tallies (sized to the rule's body when metrics
+    /// are on); summed by the merge so workers never share counters.
+    std::vector<uint64_t> probes;
+    std::vector<uint64_t> hits;
     void clear() {
       rows.clear();
       hashes.clear();
+      probes.clear();
+      hits.clear();
     }
   };
 
@@ -287,10 +308,13 @@ class Evaluator {
                            const CompiledLiteral& lit);
 
   /// `emit` receives the head row as rule->head_cols.size() interned ids
-  /// (valid only for the duration of the call).
+  /// (valid only for the duration of the call). `probe_tally`/`hit_tally`
+  /// (nullable) are per-body-literal arrays the evaluation accumulates
+  /// probe statistics into.
   util::Status EvalRuleOnce(
       CompiledRule* rule, int delta_pos, Relation* delta_rel,
-      const std::function<util::Status(const ValueId*)>& emit);
+      const std::function<util::Status(const ValueId*)>& emit,
+      uint64_t* probe_tally = nullptr, uint64_t* hit_tally = nullptr);
 
   /// Shared rule-evaluation driver for Run/RunIncremental: resolves the
   /// head relation once (not per emitted tuple), evaluates the rule
@@ -322,11 +346,43 @@ class Evaluator {
                              const Limits& limits, Relation* full,
                              EmitBuffer* buf);
 
+  /// Registry handles for one rule, resolved lazily (registry mutex) on
+  /// the rule's first evaluation by this Evaluator, then reused across
+  /// rounds and strata.
+  struct RuleCounters {
+    obs::Counter* evals = nullptr;
+    obs::Counter* derived = nullptr;
+    obs::Counter* probes = nullptr;
+  };
+  struct RelationCounters {
+    obs::Counter* probes = nullptr;
+    obs::Counter* hits = nullptr;
+  };
+  RuleCounters* CountersFor(const CompiledRule* rule);
+  /// Folds one rule evaluation's plain tallies into registry counters:
+  /// per-relation probes/hits (selectivity feed) and per-rule totals.
+  /// No-op when metrics are off.
+  void FoldRuleMetrics(const CompiledRule* rule, uint64_t derived,
+                       const uint64_t* probe_tally, const uint64_t* hit_tally);
+  /// Observes the row count of every relation in `delta` on the delta-size
+  /// histogram and counts one evaluation round.
+  void RecordRoundDelta(const std::map<std::string, Relation>& delta);
+
   const BuiltinRegistry* builtins_;
   RelationStore* store_;
   ProvenanceStore* provenance_;
   ValuePool* pool_;
   unsigned threads_;
+  obs::MetricsRegistry* metrics_;
+  obs::Tracer* tracer_;
+  obs::Counter* tuples_derived_ = nullptr;
+  obs::Counter* rounds_total_ = nullptr;
+  obs::Histogram* delta_rows_ = nullptr;
+  std::unordered_map<const CompiledRule*, RuleCounters> rule_counters_;
+  std::unordered_map<std::string, RelationCounters> relation_counters_;
+  /// Sequential-path tally scratch (RunRuleInto), reused across calls.
+  std::vector<uint64_t> tally_probes_;
+  std::vector<uint64_t> tally_hits_;
   /// Worker-pool slot: points at the caller's shared slot when one was
   /// provided (pool reused across fixpoints), else at owned_workers_.
   /// Populated lazily on the first round with > 1 chunk and grown to the

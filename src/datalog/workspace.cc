@@ -25,6 +25,19 @@ unsigned ResolveThreads(unsigned configured) {
 
 Workspace::Workspace(Options options)
     : options_(std::move(options)), edb_(&pool_), store_(&pool_) {
+  if (options_.metrics) {
+    metrics_ = std::make_unique<obs::MetricsRegistry>();
+    fixpoints_full_ =
+        metrics_->GetCounter("lbtrust_fixpoints_total", "path=\"full\"");
+    fixpoints_delta_ =
+        metrics_->GetCounter("lbtrust_fixpoints_total", "path=\"delta\"");
+    fixpoint_latency_us_ =
+        metrics_->GetHistogram("lbtrust_fixpoint_latency_microseconds");
+    commit_latency_us_ =
+        metrics_->GetHistogram("lbtrust_commit_latency_microseconds");
+    query_latency_us_ =
+        metrics_->GetHistogram("lbtrust_query_latency_microseconds");
+  }
   RegisterStandardBuiltins(&builtins_);
   // Meta relations maintained by the workspace itself.
   (void)EnsurePredicate("active", 1);
@@ -680,7 +693,8 @@ Status Workspace::RunRules() {
   LB_ASSIGN_OR_RETURN(const Stratification* strat, CurrentStratification());
   Evaluator evaluator(&builtins_, &store_,
                       options_.track_provenance ? &provenance_ : nullptr,
-                      ResolveThreads(options_.threads), &worker_pool_);
+                      ResolveThreads(options_.threads), &worker_pool_,
+                      metrics_.get(), tracer_);
   return evaluator.Run(compiled, *strat, options_.limits,
                        options_.naive_eval);
 }
@@ -691,7 +705,8 @@ Status Workspace::RunRulesDelta(std::map<std::string, Relation> seed) {
   for (const auto& r : rules_) compiled.push_back(r->compiled.get());
   LB_ASSIGN_OR_RETURN(const Stratification* strat, CurrentStratification());
   Evaluator evaluator(&builtins_, &store_, /*provenance=*/nullptr,
-                      ResolveThreads(options_.threads), &worker_pool_);
+                      ResolveThreads(options_.threads), &worker_pool_,
+                      metrics_.get(), tracer_);
   return evaluator.RunIncremental(compiled, *strat, options_.limits,
                                   std::move(seed));
 }
@@ -827,6 +842,29 @@ void Workspace::CheckConstraints() {
 }
 
 Status Workspace::Fixpoint() {
+  obs::ScopedSpan span(tracer_, "fixpoint");
+  const uint64_t start_us =
+      metrics_ != nullptr ? obs::Tracer::NowMicros() : 0;
+  const int full_before = full_eval_rounds_;
+  const int delta_before = delta_eval_rounds_;
+  Status status = FixpointImpl();
+  if (metrics_ != nullptr) {
+    fixpoint_latency_us_->Observe(obs::Tracer::NowMicros() - start_us);
+    fixpoints_full_->Add(
+        static_cast<uint64_t>(full_eval_rounds_ - full_before));
+    fixpoints_delta_->Add(
+        static_cast<uint64_t>(delta_eval_rounds_ - delta_before));
+  }
+  if (span.enabled()) {
+    span.set_args(util::StrCat(
+        "\"path\":\"", last_fixpoint_incremental_ ? "delta" : "full",
+        "\",\"codegen_rounds\":", last_codegen_rounds_,
+        ",\"ok\":", status.ok() ? "true" : "false"));
+  }
+  return status;
+}
+
+Status Workspace::FixpointImpl() {
   violations_.clear();
   last_codegen_rounds_ = 0;
   if (options_.track_provenance) provenance_.Clear();
@@ -885,6 +923,19 @@ Status Workspace::Fixpoint() {
                         "meta-rules?)");
 }
 
+std::string Workspace::DumpMetrics() {
+  if (metrics_ == nullptr) return "# metrics disabled\n";
+  // Refresh point-in-time gauges from the visible store before rendering;
+  // counters and histograms are already live.
+  for (const auto& [name, rel] : store_.relations()) {
+    metrics_
+        ->GetGauge("lbtrust_relation_rows",
+                   util::StrCat("relation=\"", obs::LabelEscape(name), "\""))
+        ->Set(static_cast<int64_t>(rel.size()));
+  }
+  return metrics_->RenderText();
+}
+
 // ---------------------------------------------------------------------------
 // Queries
 // ---------------------------------------------------------------------------
@@ -908,10 +959,13 @@ size_t PreparedQuery::num_columns() const {
 }
 
 Status PreparedQuery::ForEach(const std::function<bool(const Tuple&)>& cb) {
+  obs::Histogram* latency = workspace_->query_latency_us_;
+  const uint64_t start_us =
+      latency != nullptr ? obs::Tracer::NowMicros() : 0;
   CompiledRule* rule = compiled_.get();
   Evaluator evaluator(&workspace_->builtins_, &workspace_->store_);
   Tuple row;
-  return evaluator.EvalQueryUntil(rule, [&](const Bindings& b) {
+  Status status = evaluator.EvalQueryUntil(rule, [&](const Bindings& b) {
     row.clear();
     row.reserve(rule->head_cols.size());
     for (const CompiledArg& col : rule->head_cols) {
@@ -921,6 +975,10 @@ Status PreparedQuery::ForEach(const std::function<bool(const Tuple&)>& cb) {
     }
     return cb(row);
   });
+  if (latency != nullptr) {
+    latency->Observe(obs::Tracer::NowMicros() - start_us);
+  }
+  return status;
 }
 
 Result<std::vector<Tuple>> PreparedQuery::Run() {
@@ -945,6 +1003,9 @@ Result<bool> PreparedQuery::Exists() {
   // Dedicated path: no output-tuple materialization. The groundability
   // check mirrors ForEach (a solution whose output columns cannot ground
   // is not a result row), but discards the values.
+  obs::Histogram* latency = workspace_->query_latency_us_;
+  const uint64_t start_us =
+      latency != nullptr ? obs::Tracer::NowMicros() : 0;
   CompiledRule* rule = compiled_.get();
   Evaluator evaluator(&workspace_->builtins_, &workspace_->store_);
   bool found = false;
@@ -955,6 +1016,9 @@ Result<bool> PreparedQuery::Exists() {
     found = true;
     return false;  // stop at the first match
   }));
+  if (latency != nullptr) {
+    latency->Observe(obs::Tracer::NowMicros() - start_us);
+  }
   return found;
 }
 
@@ -1100,8 +1164,15 @@ void Transaction::Abort() {
 }
 
 Status Transaction::Commit() {
-  LB_RETURN_IF_ERROR(Apply());
-  return workspace_->Fixpoint();
+  obs::Histogram* latency = workspace_->commit_latency_us_;
+  const uint64_t start_us =
+      latency != nullptr ? obs::Tracer::NowMicros() : 0;
+  Status status = Apply();
+  if (status.ok()) status = workspace_->Fixpoint();
+  if (latency != nullptr) {
+    latency->Observe(obs::Tracer::NowMicros() - start_us);
+  }
+  return status;
 }
 
 Status Transaction::CommitNoFixpoint() { return Apply(); }

@@ -210,6 +210,11 @@ class Workspace {
     /// Disables the delta-aware fixpoint path (witnesses are rebuilt
     /// per full evaluation).
     bool track_provenance = false;
+    /// Own a metrics registry and instrument evaluation, commits and
+    /// prepared queries. When false every hot-path instrumentation site
+    /// collapses to one null-pointer test and DumpMetrics() reports the
+    /// registry as disabled.
+    bool metrics = true;
   };
 
   Workspace() : Workspace(Options()) {}
@@ -331,6 +336,24 @@ class Workspace {
   int full_eval_rounds() const { return full_eval_rounds_; }
   int delta_eval_rounds() const { return delta_eval_rounds_; }
 
+  // --- Observability --------------------------------------------------------
+
+  /// The workspace-owned metrics registry, or nullptr when
+  /// Options::metrics is false. Other layers (trust runtime, transports)
+  /// register their counters here so one DumpMetrics() call covers the
+  /// whole node.
+  obs::MetricsRegistry* metrics() const { return metrics_.get(); }
+
+  /// Attaches a span tracer (not owned; pass nullptr to detach). Fixpoint,
+  /// stratum and rule spans are emitted while attached.
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
+
+  /// Prometheus-style text exposition of every registered metric, with
+  /// per-relation row-count gauges refreshed from the current store.
+  /// Returns a "# metrics disabled" stub when Options::metrics is false.
+  std::string DumpMetrics();
+
  private:
   friend class PreparedQuery;
   friend class Transaction;
@@ -378,6 +401,7 @@ class Workspace {
   util::Status CompileConstraint(Constraint constraint);
   util::Status DeclareAtomPredicate(const Atom& atom);
   util::Status PrepareStore();
+  util::Status FixpointImpl();
   util::Status RunRules();
   util::Status RunRulesDelta(std::map<std::string, Relation> seed);
   util::Result<int> ScanAndInstallActive();
@@ -435,6 +459,17 @@ class Workspace {
   bool last_fixpoint_incremental_ = false;
   int full_eval_rounds_ = 0;
   int delta_eval_rounds_ = 0;
+
+  /// Observability. The registry is heap-owned so handles held by other
+  /// layers stay stable; all handle pointers below are registry-owned and
+  /// null iff metrics_ is null.
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* fixpoints_full_ = nullptr;
+  obs::Counter* fixpoints_delta_ = nullptr;
+  obs::Histogram* fixpoint_latency_us_ = nullptr;
+  obs::Histogram* commit_latency_us_ = nullptr;
+  obs::Histogram* query_latency_us_ = nullptr;
 };
 
 }  // namespace lbtrust::datalog

@@ -163,6 +163,7 @@ Status Cluster::ShipFrom(const std::string& name, NodeState* state,
     msg.to_node = std::move(batch.dest);
     msg.relation = std::move(batch.relation);
     msg.payload = SerializeTupleBlock(batch.tuples);
+    state->tuples_out += batch.tuples.size();
     outbox->push_back(std::move(msg));
   }
   return util::OkStatus();
@@ -205,6 +206,7 @@ Status Cluster::Deliver(const Message& message, RunStats* stats) {
                            ->ImportCredentials(payload,
                                                options_.credential_now)
                            .status());
+    ++it->second.credential_imports;
     it->second.dirty = true;
     return util::OkStatus();
   }
@@ -216,6 +218,7 @@ Status Cluster::Deliver(const Message& message, RunStats* stats) {
     tuples.push_back(std::move(tuple));
   }
   if (stats != nullptr) stats->tuples += tuples.size();
+  it->second.tuples_in += tuples.size();
   // Stage into the node's inbox (the same async-import hooks the socket
   // transport uses); all messages delivered to this node in the round
   // commit as one batch with a single fixpoint.
@@ -261,6 +264,7 @@ Result<Cluster::RunStats> Cluster::Run() {
       Status st = state.runtime->HasInbox() ? state.runtime->CommitInbox()
                                             : state.runtime->Fixpoint();
       ++stats.fixpoints;
+      ++state.fixpoints;
       if (!st.ok()) {
         return Status(st.code(),
                       util::StrCat("node '", name, "': ", st.message()));
@@ -288,7 +292,24 @@ Result<Cluster::RunStats> Cluster::Run() {
     }
   }
   last_stats_ = stats;
+  SyncMetrics();
   return stats;
+}
+
+void Cluster::SyncMetrics() {
+  for (auto& [name, state] : nodes_) {
+    obs::MetricsRegistry* reg = state.runtime->workspace()->metrics();
+    if (reg == nullptr) continue;
+    auto set = [reg](const char* counter, size_t value) {
+      reg->GetCounter(counter)->Set(static_cast<uint64_t>(value));
+    };
+    set("lbtrust_node_fixpoints_total", state.fixpoints);
+    set("lbtrust_node_tuples_in_total", state.tuples_in);
+    set("lbtrust_node_tuples_out_total", state.tuples_out);
+    set("lbtrust_node_credential_imports_total", state.credential_imports);
+    set("lbtrust_node_deferred_sends_total", 0);
+    state.runtime->SyncMetrics();
+  }
 }
 
 }  // namespace lbtrust::net

@@ -116,6 +116,14 @@ class Cluster {
   void InjectTamper(const std::string& relation,
                     std::function<void(std::string*)> mutate);
 
+  /// Mirrors every node's per-node counters (fixpoints, tuples shipped and
+  /// delivered, credential imports) plus its trust-runtime counters into
+  /// that node's workspace metrics registry, under the same
+  /// `lbtrust_node_*` names the socket deployment exposes — the oracle
+  /// side of dist_smoke.sh's counter reconciliation. Run() calls this
+  /// before returning; it is public for tools that dump between runs.
+  void SyncMetrics();
+
  private:
   struct NodeState {
     std::unique_ptr<trust::TrustRuntime> runtime;
@@ -125,6 +133,12 @@ class Cluster {
     /// (TrustRuntime::StageTuples), the same async-import hooks the socket
     /// transport uses.
     std::set<std::string> sent;
+    /// Per-node counters mirroring DistributedCluster::RunStats, so sim
+    /// and socket nodes expose identical lbtrust_node_* metrics.
+    size_t fixpoints = 0;
+    size_t tuples_in = 0;
+    size_t tuples_out = 0;
+    size_t credential_imports = 0;
   };
 
   util::Status ShipFrom(const std::string& name, NodeState* state,

@@ -1,10 +1,10 @@
 #include "net/distributed.h"
 
 #include <algorithm>
-#include <cstdio>
 #include <cstdlib>
 
 #include "net/wire.h"
+#include "util/log.h"
 #include "util/strings.h"
 
 namespace lbtrust::net {
@@ -284,10 +284,10 @@ Result<DistributedCluster::RunStats> DistributedCluster::RunToConvergence() {
       }
     }
 
-    // LBTRUST_DIST_DEBUG=1 traces the termination protocol to stderr
-    // (~2 lines/sec per node) — the first thing to reach for when a mesh
-    // hangs instead of converging.
-    if (std::getenv("LBTRUST_DIST_DEBUG") != nullptr) {
+    // Debug-level tracing of the termination protocol (~2 lines/sec per
+    // node; LBTRUST_LOG=debug or the legacy LBTRUST_DIST_DEBUG=1) — the
+    // first thing to reach for when a mesh hangs instead of converging.
+    if (util::LogEnabled(util::LogLevel::kDebug)) {
       static thread_local int64_t last_debug_ms = 0;
       int64_t debug_now = EventLoop::NowMs();
       if (debug_now - last_debug_ms >= 500) {
@@ -301,16 +301,19 @@ Result<DistributedCluster::RunStats> DistributedCluster::RunToConvergence() {
         for (const auto& [name, confirmed] : confirms_) {
           confirm_table += util::StrCat(name, "=", confirmed, " ");
         }
-        std::fprintf(stderr,
-                     "[%s] quiet=%d dirty=%d inbox=%d deferred=%zu acked=%d "
-                     "queues_empty=%d status{%s} confirms{%s} hash=%s\n",
-                     options_.self.c_str(), quiet ? 1 : 0, dirty_ ? 1 : 0,
-                     runtime_->HasInbox() ? 1 : 0, deferred_.size(),
-                     transport_.AllAcked() ? 1 : 0,
-                     transport_.SendQueuesEmpty() ? 1 : 0, table.c_str(),
-                     confirm_table.c_str(), SnapshotHash().c_str());
+        util::LogMessage(
+            util::LogLevel::kDebug,
+            "[%s] quiet=%d dirty=%d inbox=%d deferred=%zu acked=%d "
+            "queues_empty=%d status{%s} confirms{%s} hash=%s",
+            options_.self.c_str(), quiet ? 1 : 0, dirty_ ? 1 : 0,
+            runtime_->HasInbox() ? 1 : 0, deferred_.size(),
+            transport_.AllAcked() ? 1 : 0,
+            transport_.SendQueuesEmpty() ? 1 : 0, table.c_str(),
+            confirm_table.c_str(), SnapshotHash().c_str());
       }
     }
+
+    if (options_.on_tick) options_.on_tick();
 
     Status st = transport_.Poll(options_.poll_interval_ms);
     if (!st.ok()) {
@@ -336,6 +339,26 @@ Result<DistributedCluster::RunStats> DistributedCluster::RunToConvergence() {
   }
   stats_.transport = transport_.stats();
   return stats_;
+}
+
+void DistributedCluster::SyncMetrics() {
+  obs::MetricsRegistry* reg = runtime_->workspace()->metrics();
+  if (reg == nullptr) return;
+  auto set = [reg](const char* name, size_t value) {
+    reg->GetCounter(name)->Set(static_cast<uint64_t>(value));
+  };
+  set("lbtrust_node_fixpoints_total", stats_.fixpoints);
+  set("lbtrust_node_tuples_in_total", stats_.tuples_in);
+  set("lbtrust_node_tuples_out_total", stats_.tuples_out);
+  set("lbtrust_node_credential_imports_total", stats_.credential_imports);
+  set("lbtrust_node_deferred_sends_total", stats_.deferred_sends);
+  SyncTransportMetrics(transport_.stats(), reg);
+  runtime_->SyncMetrics();
+}
+
+std::string DistributedCluster::DumpMetrics() {
+  SyncMetrics();
+  return runtime_->workspace()->DumpMetrics();
 }
 
 }  // namespace lbtrust::net

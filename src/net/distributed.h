@@ -76,6 +76,10 @@ class DistributedCluster {
     int linger_ms = 300;
     trust::TrustRuntime::Options runtime;
     Transport::Options transport;
+    /// Invoked once per RunToConvergence() loop iteration, on the driving
+    /// thread. tools/lbtrust_node uses it to honor SIGUSR1 metric dumps
+    /// while a run is in flight.
+    std::function<void()> on_tick;
   };
 
   struct RunStats {
@@ -101,6 +105,13 @@ class DistributedCluster {
   Transport* transport() { return &transport_; }
   uint16_t listen_port() const { return transport_.listen_port(); }
 
+  /// Installs the per-iteration tick callback after construction (callers
+  /// usually need the constructed node in the closure, which rules out the
+  /// Options field).
+  void set_on_tick(std::function<void()> cb) {
+    options_.on_tick = std::move(cb);
+  }
+
   /// Registers a peer's transport address (`name` must be in the mesh).
   util::Status AddPeer(const std::string& name, const std::string& host,
                        uint16_t port);
@@ -118,6 +129,17 @@ class DistributedCluster {
   util::Result<RunStats> RunToConvergence();
 
   const RunStats& stats() const { return stats_; }
+
+  /// Mirrors this node's run counters (lbtrust_node_*), its transport's
+  /// wire counters (lbtrust_transport_*), and the trust runtime's
+  /// credential/crypto counters into the node's workspace metrics registry.
+  /// No-op when the runtime's workspace has metrics disabled.
+  void SyncMetrics();
+
+  /// SyncMetrics() + the workspace exposition: the full per-node metrics
+  /// page a scraper (or SIGUSR1 dump) sees. Socket nodes and the simulated
+  /// cluster expose identical metric names, so dist_smoke.sh can diff them.
+  std::string DumpMetrics();
 
  private:
   explicit DistributedCluster(Options options)

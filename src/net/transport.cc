@@ -13,10 +13,12 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "util/log.h"
 #include "util/strings.h"
 
 namespace lbtrust::net {
 
+using util::LogLevel;
 using util::Status;
 
 namespace {
@@ -258,11 +260,9 @@ bool Transport::Send(const std::string& peer_name, Frame frame) {
     // Best-effort control traffic: drop while disconnected.
     Conn* conn = peer.fd >= 0 ? FindConn(peer.fd) : nullptr;
     if (conn == nullptr || !conn->connected) {
-      if (std::getenv("LBTRUST_DIST_DEBUG") != nullptr) {
-        std::fprintf(stderr, "[%s] drop kind=%c to %s (disconnected)\n",
-                     self_.c_str(), static_cast<char>(frame.kind),
-                     peer_name.c_str());
-      }
+      LBTRUST_LOG(LogLevel::kDebug, "[%s] drop kind=%c to %s (disconnected)",
+                  self_.c_str(), static_cast<char>(frame.kind),
+                  peer_name.c_str());
       return true;
     }
     conn->out += EncodeFrame(frame);
@@ -544,6 +544,40 @@ Status Transport::Poll(int timeout_ms) {
     return st;
   }
   return util::OkStatus();
+}
+
+void SyncTransportMetrics(const TransportStats& stats,
+                          obs::MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  auto set = [registry](const char* name, const char* labels,
+                        uint64_t value) {
+    registry->GetCounter(name, labels)->Set(value);
+  };
+  set("lbtrust_transport_bytes_total", "direction=\"out\"", stats.bytes_out);
+  set("lbtrust_transport_bytes_total", "direction=\"in\"", stats.bytes_in);
+  set("lbtrust_transport_frames_total", "direction=\"out\"",
+      stats.frames_out);
+  set("lbtrust_transport_frames_total", "direction=\"in\"", stats.frames_in);
+  set("lbtrust_transport_data_frames_total", "direction=\"out\"",
+      stats.data_frames_out);
+  set("lbtrust_transport_data_frames_total", "direction=\"in\"",
+      stats.data_frames_in);
+  set("lbtrust_transport_tuple_bytes_total", "direction=\"out\"",
+      stats.tuple_bytes_out);
+  set("lbtrust_transport_tuple_bytes_total", "direction=\"in\"",
+      stats.tuple_bytes_in);
+  set("lbtrust_transport_credential_bytes_total", "direction=\"out\"",
+      stats.credential_bytes_out);
+  set("lbtrust_transport_credential_bytes_total", "direction=\"in\"",
+      stats.credential_bytes_in);
+  set("lbtrust_transport_acks_total", "direction=\"out\"", stats.acks_out);
+  set("lbtrust_transport_acks_total", "direction=\"in\"", stats.acks_in);
+  set("lbtrust_transport_retries_total", "", stats.retries);
+  set("lbtrust_transport_reconnects_total", "", stats.reconnects);
+  set("lbtrust_transport_duplicate_frames_in_total", "",
+      stats.duplicate_frames_in);
+  set("lbtrust_transport_oversize_rejects_total", "", stats.oversize_rejects);
+  set("lbtrust_transport_deadline_closes_total", "", stats.deadline_closes);
 }
 
 }  // namespace lbtrust::net

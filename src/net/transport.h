@@ -12,6 +12,7 @@
 
 #include "net/event_loop.h"
 #include "net/frame.h"
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace lbtrust::net {
@@ -36,6 +37,14 @@ struct TransportStats {
   uint64_t oversize_rejects = 0;  ///< connections dropped for oversize frames
   uint64_t deadline_closes = 0;   ///< connections dropped for read stalls
 };
+
+/// Mirrors `stats` into `registry` as `lbtrust_transport_*` counters
+/// (mirror-on-dump: the transport keeps its plain struct on the hot path
+/// and this copies it into registry handles at exposition time). No-op on
+/// a null registry. DistributedCluster and the sim-vs-socket tooling call
+/// this so every deployment exposes the same metric names.
+void SyncTransportMetrics(const TransportStats& stats,
+                          obs::MetricsRegistry* registry);
 
 /// Async socket transport for one node: a non-blocking TCP listener plus
 /// one outbound connection per peer, multiplexed on an epoll EventLoop and

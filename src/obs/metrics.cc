@@ -1,0 +1,125 @@
+#include "obs/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+namespace lbtrust::obs {
+
+namespace {
+
+/// Appends one exposition sample line: `name{labels,extra="..."} value`.
+/// `extra_label` (used for histogram `le`) may be null.
+void AppendSample(std::string* out, const std::string& name,
+                  const std::string& labels, const char* extra_label,
+                  bool extra_is_inf, uint64_t extra_value, long long value) {
+  out->append(name);
+  if (!labels.empty() || extra_label != nullptr) {
+    out->push_back('{');
+    out->append(labels);
+    if (extra_label != nullptr) {
+      if (!labels.empty()) out->push_back(',');
+      out->append(extra_label);
+      out->append("=\"");
+      if (extra_is_inf) {
+        out->append("+Inf");
+      } else {
+        char buf[24];
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, extra_value);
+        out->append(buf);
+      }
+      out->append("\"");
+    }
+    out->push_back('}');
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), " %lld\n", value);
+  out->append(buf);
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& fam = families_[std::string(name)];
+  auto [it, inserted] = fam.counters.emplace(labels, counters_.size());
+  if (inserted) counters_.emplace_back();
+  return &counters_[it->second];
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name,
+                                 std::string_view labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& fam = families_[std::string(name)];
+  auto [it, inserted] = fam.gauges.emplace(labels, gauges_.size());
+  if (inserted) gauges_.emplace_back();
+  return &gauges_[it->second];
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::string_view labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& fam = families_[std::string(name)];
+  auto [it, inserted] = fam.histograms.emplace(labels, histograms_.size());
+  if (inserted) histograms_.emplace_back();
+  return &histograms_[it->second];
+}
+
+std::string MetricsRegistry::RenderText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, fam] : families_) {
+    if (!fam.counters.empty()) {
+      out.append("# TYPE ").append(name).append(" counter\n");
+      for (const auto& [labels, idx] : fam.counters) {
+        AppendSample(&out, name, labels, nullptr, false, 0,
+                     static_cast<long long>(counters_[idx].value()));
+      }
+    }
+    if (!fam.gauges.empty()) {
+      out.append("# TYPE ").append(name).append(" gauge\n");
+      for (const auto& [labels, idx] : fam.gauges) {
+        AppendSample(&out, name, labels, nullptr, false, 0,
+                     static_cast<long long>(gauges_[idx].value()));
+      }
+    }
+    if (!fam.histograms.empty()) {
+      out.append("# TYPE ").append(name).append(" histogram\n");
+      for (const auto& [labels, idx] : fam.histograms) {
+        const Histogram& h = histograms_[idx];
+        uint64_t cumulative = 0;
+        for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+          cumulative += h.bucket(b);
+          bool inf = b == Histogram::kBuckets - 1;
+          AppendSample(&out, name + "_bucket", labels, "le", inf,
+                       Histogram::BucketUpper(b),
+                       static_cast<long long>(cumulative));
+        }
+        AppendSample(&out, name + "_sum", labels, nullptr, false, 0,
+                     static_cast<long long>(h.sum()));
+        AppendSample(&out, name + "_count", labels, nullptr, false, 0,
+                     static_cast<long long>(cumulative));
+      }
+    }
+  }
+  return out;
+}
+
+std::string LabelEscape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\' || c == '"') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out.append("\\n");
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace lbtrust::obs

@@ -1,0 +1,99 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace lbtrust::obs {
+
+namespace {
+uint64_t NextTracerId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
+
+Tracer::Tracer() : id_(NextTracerId()), epoch_us_(NowMicros()) {}
+
+uint64_t Tracer::NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Tracer::Buffer* Tracer::ThreadBuffer() {
+  // One cached (tracer id, buffer) pair per thread: the common case is a
+  // single live tracer, so repeat lookups are an integer compare. A thread
+  // alternating between tracers re-registers, which only costs the mutex.
+  // Keying on the never-reused id (not `this`) means a tracer allocated
+  // at a destroyed tracer's address can never hit a stale entry.
+  thread_local uint64_t cached_owner = 0;
+  thread_local Buffer* cached_buffer = nullptr;
+  if (cached_owner == id_) return cached_buffer;
+  std::lock_guard<std::mutex> lock(mu_);
+  buffers_.push_back(std::make_unique<Buffer>());
+  Buffer* buf = buffers_.back().get();
+  buf->tid = static_cast<uint32_t>(buffers_.size());
+  cached_owner = id_;
+  cached_buffer = buf;
+  return buf;
+}
+
+void Tracer::Record(const char* name, uint64_t start_us, uint64_t dur_us,
+                    std::string args_json) {
+  Buffer* buf = ThreadBuffer();
+  Event event;
+  event.name = name;
+  event.ts_us = start_us;
+  event.dur_us = dur_us;
+  event.args = std::move(args_json);
+  std::lock_guard<std::mutex> lock(buf->mu);
+  buf->events.push_back(std::move(event));
+}
+
+size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    total += buf->events.size();
+  }
+  return total;
+}
+
+std::string Tracer::ExportJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char buf[160];
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buffer->mu);
+    for (const Event& event : buffer->events) {
+      if (!first) out.push_back(',');
+      first = false;
+      uint64_t ts = event.ts_us >= epoch_us_ ? event.ts_us - epoch_us_ : 0;
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\":\"X\",\"pid\":1,\"tid\":%" PRIu32
+                    ",\"ts\":%" PRIu64 ",\"dur\":%" PRIu64 ",\"name\":\"",
+                    buffer->tid, ts, event.dur_us);
+      out.append(buf);
+      out.append(LabelEscape(event.name));
+      out.push_back('"');
+      if (!event.args.empty()) {
+        out.append(",\"args\":{");
+        out.append(event.args);
+        out.push_back('}');
+      }
+      out.push_back('}');
+    }
+  }
+  out.append("]}");
+  return out;
+}
+
+}  // namespace lbtrust::obs

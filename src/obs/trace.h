@@ -1,0 +1,101 @@
+#ifndef LBTRUST_OBS_TRACE_H_
+#define LBTRUST_OBS_TRACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lbtrust::obs {
+
+/// Span tracer: named timed events recorded into per-thread buffers
+/// (registration takes the tracer mutex once per thread; every Record()
+/// after that appends to the calling thread's own vector with no
+/// synchronization), exported as Chrome trace-event JSON — load the file
+/// in chrome://tracing or Perfetto. Tracing is opt-in: instrumented code
+/// holds a `Tracer*` that is null by default, and ScopedSpan is a no-op
+/// on a null tracer.
+///
+/// Spans recorded on one thread nest properly by construction (RAII:
+/// inner spans destruct first), which tools/ci.sh asserts on exported
+/// traces.
+class Tracer {
+ public:
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Records one complete ("ph":"X") event on the calling thread's buffer.
+  /// `args_json` is either empty or a JSON object body, e.g.
+  /// `"tuples":12,"rounds":3`.
+  void Record(const char* name, uint64_t start_us, uint64_t dur_us,
+              std::string args_json = "");
+
+  /// Monotonic microseconds (steady clock).
+  static uint64_t NowMicros();
+
+  /// Renders `{"traceEvents":[...]}` with ts rebased to the tracer's
+  /// construction time. Safe to call while other threads keep recording
+  /// (buffers are snapshotted under the mutex), though callers normally
+  /// export after the traced work quiesced.
+  std::string ExportJson() const;
+
+  /// Total events recorded so far (tests).
+  size_t event_count() const;
+
+ private:
+  struct Event {
+    std::string name;
+    uint64_t ts_us = 0;
+    uint64_t dur_us = 0;
+    std::string args;
+  };
+  struct Buffer {
+    uint32_t tid = 0;
+    std::vector<Event> events;
+    std::mutex mu;  ///< export-vs-record only; uncontended on the hot path
+  };
+
+  Buffer* ThreadBuffer();
+
+  /// Process-unique, never reused: the per-thread buffer cache keys on
+  /// this rather than `this`, so a new tracer allocated at a destroyed
+  /// tracer's address cannot hit a stale cache entry (use-after-free).
+  const uint64_t id_;
+  uint64_t epoch_us_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+};
+
+/// RAII span: measures construction-to-destruction and records it on the
+/// tracer (no-op when `tracer` is null). Args can be attached before the
+/// scope closes.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, const char* name)
+      : tracer_(tracer), name_(name),
+        start_us_(tracer != nullptr ? Tracer::NowMicros() : 0) {}
+  ~ScopedSpan() {
+    if (tracer_ != nullptr) {
+      tracer_->Record(name_, start_us_, Tracer::NowMicros() - start_us_,
+                      std::move(args_));
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  bool enabled() const { return tracer_ != nullptr; }
+  /// Sets the span's JSON args body (e.g. `"tuples":12`).
+  void set_args(std::string args_json) { args_ = std::move(args_json); }
+
+ private:
+  Tracer* tracer_;
+  const char* name_;
+  uint64_t start_us_;
+  std::string args_;
+};
+
+}  // namespace lbtrust::obs
+
+#endif  // LBTRUST_OBS_TRACE_H_

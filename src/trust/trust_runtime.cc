@@ -261,4 +261,31 @@ Status TrustRuntime::CommitInboxNoFixpoint() {
   return txn.CommitNoFixpoint();
 }
 
+void TrustRuntime::SyncMetrics() {
+  obs::MetricsRegistry* reg = workspace_->metrics();
+  if (reg == nullptr) return;
+  auto set = [reg](const char* name, const char* labels, size_t value) {
+    reg->GetCounter(name, labels)->Set(static_cast<uint64_t>(value));
+  };
+  const cred::CredentialStore::Stats& cs = credstore_.stats();
+  set("lbtrust_credential_store_puts_total", "", cs.puts);
+  set("lbtrust_credential_store_dedup_hits_total", "", cs.dedup_hits);
+  set("lbtrust_credential_verify_total", "cache=\"miss\"", cs.rsa_verifies);
+  set("lbtrust_credential_verify_total", "cache=\"hit\"",
+      cs.verify_cache_hits);
+  set("lbtrust_credential_store_swept_total", "", cs.swept);
+  const CryptoStats& crypto = *stats_;
+  set("lbtrust_crypto_ops_total", "op=\"rsa_sign\"", crypto.rsa_signs);
+  set("lbtrust_crypto_ops_total", "op=\"rsa_verify\"", crypto.rsa_verifies);
+  set("lbtrust_crypto_ops_total", "op=\"hmac_sign\"", crypto.hmac_signs);
+  set("lbtrust_crypto_ops_total", "op=\"hmac_verify\"",
+      crypto.hmac_verifies);
+  set("lbtrust_crypto_cache_hits_total", "", crypto.cache_hits);
+}
+
+std::string TrustRuntime::DumpMetrics() {
+  SyncMetrics();
+  return workspace_->DumpMetrics();
+}
+
 }  // namespace lbtrust::trust

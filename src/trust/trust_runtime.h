@@ -132,6 +132,18 @@ class TrustRuntime {
   /// verification, codegen and constraint checks).
   util::Status Fixpoint() { return workspace_->Fixpoint(); }
 
+  // --- Observability -------------------------------------------------------
+
+  /// Mirrors the credential-store and crypto-builtin counters into the
+  /// workspace metrics registry (no-op when Options::workspace.metrics is
+  /// off). Counters are mirrored on demand — the crypto hot paths keep
+  /// their plain size_t stats and pay nothing per operation.
+  void SyncMetrics();
+
+  /// SyncMetrics() + the workspace's Prometheus-style exposition: one call
+  /// covers engine, trust and credential metrics for this principal.
+  std::string DumpMetrics();
+
   // --- Async import hooks (net transports) --------------------------------
   // A network runtime stages inbound tuple blocks between fixpoints and
   // commits them as one batch; calls must come from the thread driving the

@@ -1,0 +1,105 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <utility>
+
+namespace lbtrust::util {
+
+namespace {
+
+int LevelFromEnv() {
+  const char* spec = std::getenv("LBTRUST_LOG");
+  if (spec != nullptr) {
+    if (std::strcmp(spec, "error") == 0) return 0;
+    if (std::strcmp(spec, "warn") == 0) return 1;
+    if (std::strcmp(spec, "info") == 0) return 2;
+    if (std::strcmp(spec, "debug") == 0) return 3;
+  }
+  // Back-compat: the old ad-hoc tracing flag maps to debug.
+  const char* dist = std::getenv("LBTRUST_DIST_DEBUG");
+  if (dist != nullptr && dist[0] != '\0' && dist[0] != '0') return 3;
+  return 1;  // warn
+}
+
+std::atomic<int>& ActiveLevel() {
+  static std::atomic<int> level{LevelFromEnv()};
+  return level;
+}
+
+std::mutex& SinkMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+LogSink& ActiveSink() {
+  static LogSink sink;
+  return sink;
+}
+
+char LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return 'E';
+    case LogLevel::kWarn:
+      return 'W';
+    case LogLevel::kInfo:
+      return 'I';
+    default:
+      return 'D';
+  }
+}
+
+}  // namespace
+
+bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) <=
+         ActiveLevel().load(std::memory_order_relaxed);
+}
+
+void SetLogLevel(LogLevel level) {
+  ActiveLevel().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  ActiveSink() = std::move(sink);
+}
+
+void LogMessage(LogLevel level, const char* fmt, ...) {
+  if (!LogEnabled(level)) return;
+  char stack_buf[512];
+  va_list args;
+  va_start(args, fmt);
+  int n = std::vsnprintf(stack_buf, sizeof(stack_buf), fmt, args);
+  va_end(args);
+  if (n < 0) return;
+  std::string line = "[lbtrust ";
+  line.push_back(LevelTag(level));
+  line.append("] ");
+  if (static_cast<size_t>(n) < sizeof(stack_buf)) {
+    line.append(stack_buf, static_cast<size_t>(n));
+  } else {
+    std::string big(static_cast<size_t>(n) + 1, '\0');
+    va_start(args, fmt);
+    std::vsnprintf(&big[0], big.size(), fmt, args);
+    va_end(args);
+    big.resize(static_cast<size_t>(n));
+    line.append(big);
+  }
+  line.push_back('\n');
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  if (ActiveSink()) {
+    ActiveSink()(level, line);
+  } else {
+    // One fwrite per line: concurrent writers do not interleave.
+    std::fwrite(line.data(), 1, line.size(), stderr);
+  }
+}
+
+}  // namespace lbtrust::util

@@ -1,0 +1,43 @@
+#ifndef LBTRUST_UTIL_LOG_H_
+#define LBTRUST_UTIL_LOG_H_
+
+#include <functional>
+#include <string_view>
+
+namespace lbtrust::util {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// True when `level` is at or below the active threshold. The threshold
+/// initializes once from the environment: `LBTRUST_LOG` =
+/// error|warn|info|debug (default: warn), with `LBTRUST_DIST_DEBUG=1`
+/// accepted as a back-compat alias for debug. Cheap enough to guard
+/// format-argument evaluation (one relaxed atomic load).
+bool LogEnabled(LogLevel level);
+
+/// Overrides the threshold at runtime (tests; tools with -v flags).
+void SetLogLevel(LogLevel level);
+
+/// Formats printf-style and emits exactly one sink call (one stderr write)
+/// per message: `[lbtrust E] message\n`. Concurrent callers never
+/// interleave within a line. No-op when the level is disabled.
+void LogMessage(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/// Replaces the output sink (default: single fwrite of the full line,
+/// trailing newline included, to stderr). Pass nullptr to restore the
+/// default. The sink runs under the log mutex — keep it fast.
+using LogSink = std::function<void(LogLevel level, std::string_view line)>;
+void SetLogSink(LogSink sink);
+
+}  // namespace lbtrust::util
+
+/// Call-site macro: arguments are not evaluated when the level is off.
+#define LBTRUST_LOG(level, ...)                                      \
+  do {                                                               \
+    if (::lbtrust::util::LogEnabled(level)) {                        \
+      ::lbtrust::util::LogMessage(level, __VA_ARGS__);               \
+    }                                                                \
+  } while (0)
+
+#endif  // LBTRUST_UTIL_LOG_H_

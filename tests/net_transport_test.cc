@@ -174,6 +174,85 @@ TEST(TransportTest, ForcedDropTriggersReconnectAndResend) {
   for (const Frame& frame : b.received) EXPECT_EQ(frame.seq, 1u);
 }
 
+TEST(TransportTest, ReconnectStatsReconcileAcrossRegistry) {
+  // Satellite 3: after a forced mid-run reconnect, the sender's and
+  // receiver's TransportStats must reconcile with each other and with the
+  // metrics registry they are mirrored into. Fixed-size payloads make the
+  // byte equations exact: tuple_bytes_out counts each frame once (at
+  // Send), tuple_bytes_in counts every delivery (duplicates included).
+  Transport::Options drop;
+  drop.drop_connection_after_data_frames = 3;
+  drop.reconnect_backoff_min_ms = 1;
+  Endpoint a("a", drop), b("b");
+  a.transport.AddPeer("b", "127.0.0.1", b.transport.listen_port());
+  b.transport.AddPeer("a", "127.0.0.1", a.transport.listen_port());
+
+  constexpr uint64_t kFrames = 6;
+  const std::string payload = "0123456789";  // 10 bytes, all frames
+  for (uint64_t i = 0; i < kFrames; ++i) {
+    ASSERT_TRUE(a.transport.Send("b", DataFrame("export", payload)));
+  }
+  ASSERT_TRUE(Pump({&a.transport, &b.transport}, [&] {
+    return a.transport.AllAcked() && b.received.size() >= kFrames;
+  }));
+
+  const TransportStats& out = a.transport.stats();
+  const TransportStats& in = b.transport.stats();
+  // The forced drop happened mid-run and the mesh recovered from it.
+  EXPECT_GE(out.reconnects, 1u);
+  EXPECT_GE(out.retries, 1u);
+
+  // Sender-side: each unique frame's payload counted exactly once, every
+  // transmission (first sends + post-reconnect resends) counted in
+  // data_frames_out.
+  EXPECT_EQ(out.tuple_bytes_out, kFrames * payload.size());
+  EXPECT_GE(out.data_frames_out, kFrames);
+
+  // Receiver-side: every delivery (duplicates included) counted in both
+  // data_frames_in and tuple_bytes_in; duplicates are exactly the
+  // deliveries beyond the unique kFrames.
+  EXPECT_EQ(in.data_frames_in, static_cast<uint64_t>(b.received.size()));
+  EXPECT_EQ(in.tuple_bytes_in, in.data_frames_in * payload.size());
+  EXPECT_EQ(in.duplicate_frames_in, in.data_frames_in - kFrames);
+  // Cross-side reconciliation: the inbound byte surplus is exactly the
+  // duplicated payload bytes.
+  EXPECT_EQ(in.tuple_bytes_in - out.tuple_bytes_out,
+            in.duplicate_frames_in * payload.size());
+  // Acks: the drop may lose acks in flight toward the sender, never the
+  // other direction.
+  EXPECT_GE(in.acks_out, out.acks_in);
+
+  // Registry mirror: every struct field lands under its lbtrust_transport_*
+  // name, and re-syncing is idempotent (Set, not Add).
+  obs::MetricsRegistry sender_reg, receiver_reg;
+  SyncTransportMetrics(out, &sender_reg);
+  SyncTransportMetrics(out, &sender_reg);
+  SyncTransportMetrics(in, &receiver_reg);
+  EXPECT_EQ(sender_reg
+                .GetCounter("lbtrust_transport_tuple_bytes_total",
+                            "direction=\"out\"")
+                ->value(),
+            out.tuple_bytes_out);
+  EXPECT_EQ(sender_reg.GetCounter("lbtrust_transport_retries_total")->value(),
+            out.retries);
+  EXPECT_EQ(
+      sender_reg.GetCounter("lbtrust_transport_reconnects_total")->value(),
+      out.reconnects);
+  EXPECT_EQ(receiver_reg
+                .GetCounter("lbtrust_transport_tuple_bytes_total",
+                            "direction=\"in\"")
+                ->value(),
+            in.tuple_bytes_in);
+  EXPECT_EQ(receiver_reg
+                .GetCounter("lbtrust_transport_duplicate_frames_in_total")
+                ->value(),
+            in.duplicate_frames_in);
+  std::string text = sender_reg.RenderText();
+  EXPECT_NE(text.find("lbtrust_transport_tuple_bytes_total{direction=\"out\"} "),
+            std::string::npos);
+  EXPECT_NE(text.find("lbtrust_transport_retries_total "), std::string::npos);
+}
+
 TEST(TransportTest, BoundedSendQueueBackpressure) {
   Transport::Options tiny;
   tiny.send_queue_limit_bytes = 220;

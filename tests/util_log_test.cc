@@ -1,0 +1,78 @@
+#include "util/log.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lbtrust::util {
+namespace {
+
+/// Captures log lines for the duration of a test; restores the default
+/// stderr sink on destruction.
+class SinkCapture {
+ public:
+  SinkCapture() {
+    SetLogSink([this](LogLevel level, std::string_view line) {
+      levels_.push_back(level);
+      lines_.emplace_back(line);
+    });
+  }
+  ~SinkCapture() { SetLogSink(nullptr); }
+
+  const std::vector<std::string>& lines() const { return lines_; }
+  const std::vector<LogLevel>& levels() const { return levels_; }
+
+ private:
+  std::vector<LogLevel> levels_;
+  std::vector<std::string> lines_;
+};
+
+TEST(LogTest, ThresholdFiltersLevels) {
+  SinkCapture capture;
+  SetLogLevel(LogLevel::kWarn);
+  EXPECT_TRUE(LogEnabled(LogLevel::kError));
+  EXPECT_TRUE(LogEnabled(LogLevel::kWarn));
+  EXPECT_FALSE(LogEnabled(LogLevel::kInfo));
+  EXPECT_FALSE(LogEnabled(LogLevel::kDebug));
+
+  LBTRUST_LOG(LogLevel::kError, "boom %d", 1);
+  LBTRUST_LOG(LogLevel::kDebug, "invisible");
+  ASSERT_EQ(capture.lines().size(), 1u);
+  EXPECT_EQ(capture.lines()[0], "[lbtrust E] boom 1\n");
+  EXPECT_EQ(capture.levels()[0], LogLevel::kError);
+}
+
+TEST(LogTest, FormatsPrintfStyleOneLinePerMessage) {
+  SinkCapture capture;
+  SetLogLevel(LogLevel::kDebug);
+  LBTRUST_LOG(LogLevel::kDebug, "[%s] quiet=%d deferred=%zu", "a", 1,
+              static_cast<size_t>(3));
+  ASSERT_EQ(capture.lines().size(), 1u);
+  EXPECT_EQ(capture.lines()[0], "[lbtrust D] [a] quiet=1 deferred=3\n");
+}
+
+TEST(LogTest, OversizedMessageIsNotTruncated) {
+  SinkCapture capture;
+  SetLogLevel(LogLevel::kInfo);
+  std::string big(2000, 'x');  // larger than the 512-byte stack buffer
+  LBTRUST_LOG(LogLevel::kInfo, "%s", big.c_str());
+  ASSERT_EQ(capture.lines().size(), 1u);
+  EXPECT_EQ(capture.lines()[0], "[lbtrust I] " + big + "\n");
+}
+
+TEST(LogTest, DisabledLevelSkipsArgumentEvaluation) {
+  SinkCapture capture;
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&]() {
+    ++evaluations;
+    return "computed";
+  };
+  LBTRUST_LOG(LogLevel::kDebug, "%s", expensive());
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_TRUE(capture.lines().empty());
+}
+
+}  // namespace
+}  // namespace lbtrust::util

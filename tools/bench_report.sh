@@ -1,11 +1,11 @@
 #!/usr/bin/env bash
-# Runs the engine/relation/distributed benchmarks and merges the results
-# into one machine-readable "name -> ns/op" JSON, so the performance
-# trajectory is diffable across PRs (BENCH_PR6.json is the current
-# capture — it adds the socket-path convergence series
-# BM_DistributedConvergence/N, a real 3-node localhost TCP mesh reporting
-# tuples/s and bytes/tuple, next to its in-memory baseline
-# BM_SimulatedConvergence/N; CI regenerates the report on every push and
+# Runs the engine/relation/distributed/observability benchmarks and merges
+# the results into one machine-readable "name -> ns/op" JSON, so the
+# performance trajectory is diffable across PRs (BENCH_PR7.json is the
+# current capture — it adds the metrics-registry series: raw instrument
+# update cost (BM_CounterAdd, BM_HistogramObserve, BM_ScopedSpan) and the
+# instrumented-vs-off fixpoint A/B BM_FixpointMetrics/N/{0,1} plus
+# BM_FixpointTraced/N; CI regenerates the report on every push and
 # uploads it as an artifact).
 #
 # Usage: tools/bench_report.sh [build-dir] [out-json]
@@ -13,19 +13,19 @@
 #              does not exist yet; an existing build dir is reused as-is,
 #              so you can point it at a RelWithDebInfo tree for
 #              apples-to-apples before/after runs)
-#   out-json   defaults to BENCH_PR6.json in the repo root
+#   out-json   defaults to BENCH_PR7.json in the repo root
 # Environment:
 #   BENCH_BUILD_TYPE   CMake build type for a fresh build dir (Release)
 #   BENCH_TARGETS      space-separated bench binaries (bench_engine
-#                      bench_relation bench_dist)
+#                      bench_relation bench_dist bench_obs)
 #   BENCH_MIN_TIME     --benchmark_min_time per bench (0.2)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build-bench}"
-OUT="${2:-BENCH_PR6.json}"
-TARGETS=(${BENCH_TARGETS:-bench_engine bench_relation bench_dist})
+OUT="${2:-BENCH_PR7.json}"
+TARGETS=(${BENCH_TARGETS:-bench_engine bench_relation bench_dist bench_obs})
 MIN_TIME="${BENCH_MIN_TIME:-0.2}"
 
 if [[ ! -f "${BUILD_DIR}/CMakeCache.txt" ]]; then

@@ -54,5 +54,43 @@ cmake --build "${BUILD_DIR}" -j "$(nproc)"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure --no-tests=error -j "$(nproc)"
 
 # Multi-process distributed smoke: a real 3-node localhost socket mesh per
-# scenario, every converged dump diffed against the simulated cluster.
+# scenario, every converged dump diffed against the simulated cluster, and
+# every node's metrics dump reconciled against the sim oracle's counters.
 tools/dist_smoke.sh "${BUILD_DIR}"
+
+# Trace export validity: run a sim scenario with the span tracer attached,
+# then check the Chrome trace-event JSON parses and spans nest properly
+# (same-thread spans are RAII scopes, so sorted by start time each span's
+# [ts, ts+dur] interval must nest within — never straddle — open ancestors).
+TRACE_TMP="$(mktemp -d)"
+trap 'rm -rf "${TRACE_TMP}"' EXIT
+"${BUILD_DIR}/lbtrust_node" --mode=sim --scenario=delegation \
+  --outdir="${TRACE_TMP}" --trace-out="${TRACE_TMP}/trace.json"
+python3 - "${TRACE_TMP}/trace.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+assert events, "trace is empty"
+names = {e["name"] for e in events}
+for expected in ("fixpoint", "stratum", "rule"):
+    assert expected in names, f"no '{expected}' span in {sorted(names)}"
+
+by_tid = {}
+for e in events:
+    assert e["ph"] == "X", e
+    by_tid.setdefault(e["tid"], []).append((e["ts"], e["ts"] + e["dur"]))
+for tid, spans in by_tid.items():
+    spans.sort(key=lambda s: (s[0], -s[1]))
+    stack = []
+    for start, end in spans:
+        while stack and start >= stack[-1]:
+            stack.pop()
+        if stack and end > stack[-1]:
+            sys.exit(f"tid {tid}: span [{start},{end}] straddles "
+                     f"enclosing span ending at {stack[-1]}")
+        stack.append(end)
+print(f"ci: trace OK ({len(events)} spans, {len(by_tid)} threads)")
+EOF

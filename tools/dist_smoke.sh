@@ -4,6 +4,13 @@
 # node's converged workspace dump against the simulated in-memory cluster.
 # Any byte of divergence fails the script.
 #
+# Each node (sim and socket) also dumps its metrics registry
+# (Prometheus text via Workspace::DumpMetrics), and the script reconciles
+# the per-node counters: tuples_out must match the sim oracle exactly
+# (per-destination dedup makes shipping deterministic), while inbound-side
+# counters may exceed it only by transport-level duplicates, which are
+# themselves counted.
+#
 # Usage: tools/dist_smoke.sh [build-dir]
 #   build-dir  must contain the lbtrust_node binary (defaults to build-ci,
 #              matching tools/ci.sh)
@@ -40,15 +47,18 @@ run_scenario() {
   local pa=$port pb=$((port + 1)) pc=$((port + 2))
   "${NODE_BIN}" --mode=node --self=a --scenario="${scenario}" --port="${pa}" \
     --peers="b=127.0.0.1:${pb},c=127.0.0.1:${pc}" \
-    --out="${dist}/a.dump" --timeout-ms="${TIMEOUT_MS}" &
+    --out="${dist}/a.dump" --metrics-out="${dist}/a.metrics" \
+    --timeout-ms="${TIMEOUT_MS}" &
   local pid_a=$!
   "${NODE_BIN}" --mode=node --self=b --scenario="${scenario}" --port="${pb}" \
     --peers="a=127.0.0.1:${pa},c=127.0.0.1:${pc}" \
-    --out="${dist}/b.dump" --timeout-ms="${TIMEOUT_MS}" &
+    --out="${dist}/b.dump" --metrics-out="${dist}/b.metrics" \
+    --timeout-ms="${TIMEOUT_MS}" &
   local pid_b=$!
   "${NODE_BIN}" --mode=node --self=c --scenario="${scenario}" --port="${pc}" \
     --peers="a=127.0.0.1:${pa},b=127.0.0.1:${pb}" \
-    --out="${dist}/c.dump" --timeout-ms="${TIMEOUT_MS}" &
+    --out="${dist}/c.dump" --metrics-out="${dist}/c.metrics" \
+    --timeout-ms="${TIMEOUT_MS}" &
   local pid_c=$!
   NODE_PIDS+=("${pid_a}" "${pid_b}" "${pid_c}")
 
@@ -68,6 +78,61 @@ run_scenario() {
     fi
   done
   echo "== dist_smoke: ${scenario}: 3/3 nodes byte-identical to simulated"
+
+  # Counter reconciliation against the sim oracle, per node:
+  #   - tuples_out is exact: both paths ship through the same
+  #     per-destination dedup, so the count is a function of the converged
+  #     store, which the dump diff above already proved identical.
+  #   - tuples_in / credential_imports may exceed the oracle (a reconnect
+  #     during startup can resend an unacked frame; delivery is idempotent
+  #     but counted), never undershoot — and when the transport saw zero
+  #     duplicate frames they must be exact too.
+  #   - relation cardinality gauges must match exactly.
+  python3 - "${sim}" "${dist}" <<'EOF'
+import sys
+
+sim_dir, dist_dir = sys.argv[1], sys.argv[2]
+
+def scrape(path):
+    metrics = {}
+    with open(path) as f:
+        for line in f:
+            if line.startswith("#") or not line.strip():
+                continue
+            name, value = line.rsplit(None, 1)
+            metrics[name] = int(float(value))
+    return metrics
+
+failed = False
+def check(node, label, ok, sim_v, dist_v):
+    global failed
+    if not ok:
+        print(f"dist_smoke: node {node}: {label}: sim={sim_v} dist={dist_v}",
+              file=sys.stderr)
+        failed = True
+
+for n in "abc":
+    sim = scrape(f"{sim_dir}/{n}.metrics")
+    dist = scrape(f"{dist_dir}/{n}.metrics")
+    exact = "lbtrust_node_tuples_out_total"
+    check(n, exact, sim[exact] == dist[exact], sim[exact], dist[exact])
+    dups = dist.get("lbtrust_transport_duplicate_frames_in_total", 0)
+    for counter in ("lbtrust_node_tuples_in_total",
+                    "lbtrust_node_credential_imports_total"):
+        if dups == 0:
+            check(n, counter, sim[counter] == dist[counter], sim[counter],
+                  dist[counter])
+        else:
+            check(n, f"{counter} (>=, {dups} dup frames)",
+                  dist[counter] >= sim[counter], sim[counter], dist[counter])
+    for name in sim:
+        if name.startswith("lbtrust_relation_rows{"):
+            check(n, name, sim[name] == dist.get(name), sim[name],
+                  dist.get(name))
+
+sys.exit(1 if failed else 0)
+EOF
+  echo "== dist_smoke: ${scenario}: per-node counters reconcile with sim"
 }
 
 run_scenario delegation "${BASE_PORT}"

@@ -24,6 +24,7 @@
 //               signed export tuple per says fact, which credential-imported
 //               facts do not have)
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -33,6 +34,7 @@
 #include "datalog/dump.h"
 #include "net/cluster.h"
 #include "net/distributed.h"
+#include "obs/trace.h"
 #include "trust/trust_runtime.h"
 #include "util/status.h"
 #include "util/strings.h"
@@ -47,15 +49,23 @@ using lbtrust::util::Status;
 
 constexpr const char* kNodes[] = {"a", "b", "c"};
 
+/// Set by the SIGUSR1 handler; the run loop's on_tick drains it by writing
+/// a fresh metrics dump (async-signal-safe: the handler only flips a flag).
+volatile std::sig_atomic_t g_dump_requested = 0;
+
+void OnDumpSignal(int) { g_dump_requested = 1; }
+
 struct Args {
-  std::string mode;        // "sim" | "node"
-  std::string scenario;    // "delegation" | "linked"
-  std::string self;        // node mode: this node's name
-  std::string peers;       // node mode: name=host:port,name=host:port
-  std::string out;         // node mode: dump file
-  std::string outdir;      // sim mode: dump directory
-  uint16_t port = 0;       // node mode: listen port
-  int timeout_ms = 30000;  // node mode: convergence deadline
+  std::string mode;         // "sim" | "node"
+  std::string scenario;     // "delegation" | "linked"
+  std::string self;         // node mode: this node's name
+  std::string peers;        // node mode: name=host:port,name=host:port
+  std::string out;          // node mode: dump file
+  std::string outdir;       // sim mode: dump directory
+  std::string metrics_out;  // node mode: Prometheus-text metrics dump file
+  std::string trace_out;    // Chrome trace-event JSON export file
+  uint16_t port = 0;        // node mode: listen port
+  int timeout_ms = 30000;   // node mode: convergence deadline
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -70,7 +80,9 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     std::string value;
     if (take("mode", &args->mode) || take("scenario", &args->scenario) ||
         take("self", &args->self) || take("peers", &args->peers) ||
-        take("out", &args->out) || take("outdir", &args->outdir)) {
+        take("out", &args->out) || take("outdir", &args->outdir) ||
+        take("metrics-out", &args->metrics_out) ||
+        take("trace-out", &args->trace_out)) {
       continue;
     }
     if (take("port", &value)) {
@@ -149,6 +161,15 @@ Status RunSim(const Args& args) {
     LB_RETURN_IF_ERROR(cluster.AddNode(n, small).status());
   }
   LB_RETURN_IF_ERROR(cluster.Connect());
+  // One tracer across all sim nodes: everything runs on this thread, so
+  // fixpoint/stratum/rule spans from the three workspaces nest in one
+  // per-thread buffer.
+  lbtrust::obs::Tracer tracer;
+  if (!args.trace_out.empty()) {
+    for (const char* n : kNodes) {
+      cluster.node(n)->workspace()->SetTracer(&tracer);
+    }
+  }
   for (const char* n : kNodes) {
     LB_RETURN_IF_ERROR(SetupNode(args.scenario, n, cluster.node(n)));
   }
@@ -162,6 +183,14 @@ Status RunSim(const Args& args) {
         *cluster.node(n)->workspace(), /*max_rows=*/0, /*sort_rules=*/true);
     LB_RETURN_IF_ERROR(
         WriteFile(lbtrust::util::StrCat(args.outdir, "/", n, ".dump"), dump));
+    // The oracle half of dist_smoke.sh's counter reconciliation: same
+    // lbtrust_node_* names the socket nodes dump via --metrics-out.
+    LB_RETURN_IF_ERROR(
+        WriteFile(lbtrust::util::StrCat(args.outdir, "/", n, ".metrics"),
+                  cluster.node(n)->DumpMetrics()));
+  }
+  if (!args.trace_out.empty()) {
+    LB_RETURN_IF_ERROR(WriteFile(args.trace_out, tracer.ExportJson()));
   }
   std::fprintf(stderr,
                "sim: rounds=%zu messages=%zu tuples=%zu tuple_bytes=%zu "
@@ -188,6 +217,25 @@ Status RunNode(const Args& args) {
   opts.transport.reconnect_backoff_min_ms = 5;
   LB_ASSIGN_OR_RETURN(std::unique_ptr<DistributedCluster> node,
                       DistributedCluster::Create(std::move(opts)));
+  DistributedCluster* node_ptr = node.get();
+  lbtrust::obs::Tracer tracer;
+  if (!args.trace_out.empty()) {
+    node->runtime()->workspace()->SetTracer(&tracer);
+  }
+  if (!args.metrics_out.empty()) {
+    // SIGUSR1 requests a mid-run metrics dump; the handler only flips a
+    // flag and the run loop's tick callback does the actual write.
+    std::signal(SIGUSR1, OnDumpSignal);
+    node->set_on_tick([node_ptr, &args]() {
+      if (g_dump_requested == 0) return;
+      g_dump_requested = 0;
+      Status st = WriteFile(args.metrics_out, node_ptr->DumpMetrics());
+      if (!st.ok()) {
+        std::fprintf(stderr, "metrics dump failed: %s\n",
+                     st.ToString().c_str());
+      }
+    });
+  }
 
   // --peers=b=127.0.0.1:47102,c=127.0.0.1:47103
   for (const std::string& spec : lbtrust::util::Split(args.peers, ',')) {
@@ -216,6 +264,12 @@ Status RunNode(const Args& args) {
   std::string dump = lbtrust::datalog::DumpWorkspace(
       *node->runtime()->workspace(), /*max_rows=*/0, /*sort_rules=*/true);
   LB_RETURN_IF_ERROR(WriteFile(args.out, dump));
+  if (!args.metrics_out.empty()) {
+    LB_RETURN_IF_ERROR(WriteFile(args.metrics_out, node->DumpMetrics()));
+  }
+  if (!args.trace_out.empty()) {
+    LB_RETURN_IF_ERROR(WriteFile(args.trace_out, tracer.ExportJson()));
+  }
   std::fprintf(stderr,
                "node %s: fixpoints=%zu tuples_in=%zu tuples_out=%zu "
                "bytes_in=%llu bytes_out=%llu frames_in=%llu frames_out=%llu "
