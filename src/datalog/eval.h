@@ -34,6 +34,13 @@ class RelationStore {
         generation_(NextGeneration()) {}
 
   Relation* GetOrCreate(const std::string& name, size_t arity);
+
+  /// Shard count for relations this store creates from now on (existing
+  /// relations keep their layout). The evaluator creates its delta
+  /// relations with the same count, so hash-routed parallel merges see a
+  /// consistent shard topology across every relation they touch.
+  void set_default_shards(size_t shards) { default_shards_ = shards; }
+  size_t default_shards() const { return default_shards_; }
   Relation* Get(const std::string& name);
   const Relation* Get(const std::string& name) const;
   std::unordered_map<std::string, Relation>& relations() { return rels_; }
@@ -56,6 +63,7 @@ class RelationStore {
 
   ValuePool* pool_;
   uint64_t generation_;
+  size_t default_shards_ = 1;
   std::unordered_map<std::string, Relation> rels_;
 };
 
@@ -177,12 +185,18 @@ using EvalWorkerPoolHandle =
 /// FreezeForRead()-locked, so workers touch no shared mutable state at
 /// all. Each task's leading literal enumeration is partitioned into row
 /// ranges (chunks); workers emit pre-hashed head rows — already filtered
-/// against the frozen full relation — into per-chunk buffers. A
-/// sequential merge then replays the buffers in deterministic chunk
-/// order: deduplicating full-store inserts, delta construction and the
-/// tuple budget exactly as the sequential path, while non-safe rules
-/// (builtins, patterns, aggregates) evaluate inline at their task
-/// position. The fixpoint SET is identical to sequential evaluation
+/// against the frozen full relation — into per-chunk buffers. The merge
+/// then replays the buffers in deterministic (task, chunk, row) order:
+/// deduplicating full-store inserts, delta construction and the tuple
+/// budget exactly as the sequential path, while non-safe rules (builtins,
+/// patterns, aggregates) evaluate inline at their task position. When the
+/// store is sharded (shards > 1) the merge itself is parallel: each
+/// worker owns a disjoint set of shards and replays only the buffered
+/// rows whose hash routes to its shards, so dedup insert, delta appends
+/// and per-task derived counts all happen shard-locally with no
+/// synchronization beyond the end-of-merge barrier (budget totals are
+/// summed there, preserving the sequential accept/reject decision). The
+/// fixpoint SET is identical to sequential evaluation
 /// (rounds are confluent; a consequence skipped under the frozen view is
 /// derived from the next round's delta), so Workspace::Dump — which
 /// sorts rows — is byte-identical across thread counts. threads == 1
@@ -378,6 +392,16 @@ class Evaluator {
   obs::Counter* tuples_derived_ = nullptr;
   obs::Counter* rounds_total_ = nullptr;
   obs::Histogram* delta_rows_ = nullptr;
+  /// Merge-path instrumentation: parallel vs sequential merge counts, the
+  /// per-parallel-segment merge latency distribution (sequential inline
+  /// replays skip the clock entirely), and per-shard replayed-row counters
+  /// (`lbtrust_merge_shard_rows_total{shard=...}`, resolved lazily per
+  /// shard index) so shard skew shows up in every metrics dump.
+  obs::Counter* merge_parallel_ = nullptr;
+  obs::Counter* merge_sequential_ = nullptr;
+  obs::Histogram* merge_latency_ = nullptr;
+  std::vector<obs::Counter*> merge_shard_rows_;
+  obs::Counter* MergeShardCounter(size_t shard);
   std::unordered_map<const CompiledRule*, RuleCounters> rule_counters_;
   std::unordered_map<std::string, RelationCounters> relation_counters_;
   /// Sequential-path tally scratch (RunRuleInto), reused across calls.

@@ -1,19 +1,21 @@
 #!/usr/bin/env bash
 # Runs the engine/relation/distributed/observability benchmarks and merges
 # the results into one machine-readable "name -> ns/op" JSON, so the
-# performance trajectory is diffable across PRs (BENCH_PR7.json is the
-# current capture — it adds the metrics-registry series: raw instrument
-# update cost (BM_CounterAdd, BM_HistogramObserve, BM_ScopedSpan) and the
-# instrumented-vs-off fixpoint A/B BM_FixpointMetrics/N/{0,1} plus
-# BM_FixpointTraced/N; CI regenerates the report on every push and
-# uploads it as an artifact).
+# performance trajectory is diffable across PRs (BENCH_PR8.json is the
+# current capture — it adds the sharded-merge series: the (threads, shards)
+# grid BM_ParallelMergeScaling/{1,2,4}/{1,2,4,8} plus the carried-forward
+# BM_TransitiveClosureSemiNaive/128/{1,2,4} trajectory, where threads > 1
+# derives shards = min(threads, cores) and so runs the parallel per-shard
+# merge on multi-core hosts (the scaling grid forces its shard counts
+# explicitly, so the sharded merge is exercised even on a 1-core runner);
+# CI regenerates the report on every push and uploads it as an artifact).
 #
 # Usage: tools/bench_report.sh [build-dir] [out-json]
 #   build-dir  defaults to build-bench (configured Release + benches if it
 #              does not exist yet; an existing build dir is reused as-is,
 #              so you can point it at a RelWithDebInfo tree for
 #              apples-to-apples before/after runs)
-#   out-json   defaults to BENCH_PR7.json in the repo root
+#   out-json   defaults to BENCH_PR8.json in the repo root
 # Environment:
 #   BENCH_BUILD_TYPE   CMake build type for a fresh build dir (Release)
 #   BENCH_TARGETS      space-separated bench binaries (bench_engine
@@ -24,7 +26,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build-bench}"
-OUT="${2:-BENCH_PR7.json}"
+OUT="${2:-BENCH_PR8.json}"
 TARGETS=(${BENCH_TARGETS:-bench_engine bench_relation bench_dist bench_obs})
 MIN_TIME="${BENCH_MIN_TIME:-0.2}"
 
