@@ -8,6 +8,7 @@
 
 #include "datalog/value.h"
 #include "datalog/workspace.h"
+#include "obs/http_exporter.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -121,5 +122,42 @@ void BM_FixpointTraced(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n);
 }
 BENCHMARK(BM_FixpointTraced)->Arg(64)->Arg(128);
+
+// The live-introspection acceptance gate: the same instrumented fixpoint
+// as BM_FixpointMetrics/N/1, but with an HTTP exporter listening (no
+// clients connected) and polled once per iteration — exactly the idle
+// per-wave cost DistributedCluster pays for having /metrics attached.
+// Must bench within noise of BM_FixpointMetrics.
+void BM_FixpointWithHttpExporter(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  lbtrust::obs::HttpExporter exporter(nullptr);
+  exporter.Handle("/metrics", [] {
+    lbtrust::obs::HttpExporter::Response r;
+    r.body = "lbtrust_up 1\n";
+    return r;
+  });
+  if (!exporter.Listen("127.0.0.1", 0).ok()) {
+    state.SkipWithError("exporter listen failed");
+    return;
+  }
+  for (auto _ : state) {
+    Workspace::Options opts;
+    opts.threads = 1;
+    opts.metrics = true;
+    Workspace ws(opts);
+    (void)ws.Load("path(X,Y) <- edge(X,Y).\n"
+                  "path(X,Z) <- path(X,Y), edge(Y,Z).");
+    for (int i = 0; i + 1 < n; ++i) {
+      (void)ws.AddFact("edge", {Value::Int(i), Value::Int(i + 1)});
+    }
+    (void)ws.AddFact("edge", {Value::Int(n - 1), Value::Int(0)});
+    auto st = ws.Fixpoint();
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    (void)exporter.Poll(0);
+    benchmark::DoNotOptimize(ws.GetRelation("path"));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_FixpointWithHttpExporter)->Arg(64)->Arg(128);
 
 }  // namespace

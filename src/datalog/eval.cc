@@ -1290,13 +1290,16 @@ Evaluator::RuleCounters* Evaluator::CountersFor(const CompiledRule* rule) {
         metrics_->GetCounter("lbtrust_rule_tuples_derived_total", labels);
     it->second.probes =
         metrics_->GetCounter("lbtrust_rule_probes_total", labels);
+    it->second.eval_us =
+        metrics_->GetCounter("lbtrust_rule_eval_us_total", labels);
   }
   return &it->second;
 }
 
 void Evaluator::FoldRuleMetrics(const CompiledRule* rule, uint64_t derived,
                                 const uint64_t* probe_tally,
-                                const uint64_t* hit_tally) {
+                                const uint64_t* hit_tally,
+                                uint64_t elapsed_us) {
   if (metrics_ == nullptr) return;
   RuleCounters* rc = CountersFor(rule);
   uint64_t probes_total = 0;
@@ -1319,6 +1322,7 @@ void Evaluator::FoldRuleMetrics(const CompiledRule* rule, uint64_t derived,
   rc->evals->Add(1);
   rc->derived->Add(derived);
   rc->probes->Add(probes_total);
+  rc->eval_us->Add(elapsed_us);
   tuples_derived_->Add(derived);
 }
 
@@ -1351,6 +1355,8 @@ Status Evaluator::RunRuleInto(CompiledRule* rule, int pos,
   }
   const size_t tuples_before = *total_tuples;
   obs::ScopedSpan span(tracer_, "rule");
+  const uint64_t eval_start_us =
+      metrics_ != nullptr ? obs::Tracer::NowMicros() : 0;
   Relation* dnext = nullptr;
   Relation* snext = nullptr;
   Status result = EvalRuleOnce(
@@ -1398,7 +1404,8 @@ Status Evaluator::RunRuleInto(CompiledRule* rule, int pos,
   const uint64_t derived =
       static_cast<uint64_t>(*total_tuples - tuples_before);
   if (result.ok() && metrics_ != nullptr) {
-    FoldRuleMetrics(rule, derived, probe_tally, hit_tally);
+    FoldRuleMetrics(rule, derived, probe_tally, hit_tally,
+                    obs::Tracer::NowMicros() - eval_start_us);
   }
   if (span.enabled()) {
     span.set_args(util::StrCat("\"head\":\"", obs::LabelEscape(rule->head_pred),
@@ -1513,7 +1520,11 @@ Status Evaluator::EvalRuleChunk(CompiledRule* rule, int pos,
     }
     return util::OkStatus();
   };
-  return Step(&ctx, 0);
+  if (metrics_ == nullptr) return Step(&ctx, 0);
+  const uint64_t start_us = obs::Tracer::NowMicros();
+  Status result = Step(&ctx, 0);
+  buf->eval_us = obs::Tracer::NowMicros() - start_us;
+  return result;
 }
 
 Status Evaluator::RunRound(const std::vector<RoundTask>& tasks,
@@ -1698,6 +1709,7 @@ Status Evaluator::RunRound(const std::vector<RoundTask>& tasks,
     const size_t arity = t.rule->head_cols.size();
     obs::ScopedSpan span(tracer_, "rule");
     uint64_t task_derived = 0;
+    uint64_t task_eval_us = 0;
     if (metrics_ != nullptr) {
       tally_probes_.assign(t.rule->body.size(), 0);
       tally_hits_.assign(t.rule->body.size(), 0);
@@ -1708,6 +1720,7 @@ Status Evaluator::RunRound(const std::vector<RoundTask>& tasks,
       LB_RETURN_IF_ERROR(chunk_status[ci]);
       const EmitBuffer& buf = emit_bufs_[ci];
       if (metrics_ != nullptr) {
+        task_eval_us += buf.eval_us;
         for (size_t bi = 0; bi < buf.probes.size(); ++bi) {
           tally_probes_[bi] += buf.probes[bi];
           tally_hits_[bi] += buf.hits[bi];
@@ -1747,7 +1760,7 @@ Status Evaluator::RunRound(const std::vector<RoundTask>& tasks,
     }
     if (metrics_ != nullptr) {
       FoldRuleMetrics(t.rule, task_derived, tally_probes_.data(),
-                      tally_hits_.data());
+                      tally_hits_.data(), task_eval_us);
     }
     if (span.enabled()) {
       span.set_args(util::StrCat(
@@ -1896,16 +1909,18 @@ Status Evaluator::RunRound(const std::vector<RoundTask>& tasks,
       if (metrics_ != nullptr) {
         tally_probes_.assign(t.rule->body.size(), 0);
         tally_hits_.assign(t.rule->body.size(), 0);
+        uint64_t task_eval_us = 0;
         for (size_t ci = plans[ti].chunk_begin; ci < plans[ti].chunk_end;
              ++ci) {
           const EmitBuffer& buf = emit_bufs_[ci];
+          task_eval_us += buf.eval_us;
           for (size_t bi = 0; bi < buf.probes.size(); ++bi) {
             tally_probes_[bi] += buf.probes[bi];
             tally_hits_[bi] += buf.hits[bi];
           }
         }
         FoldRuleMetrics(t.rule, task_derived, tally_probes_.data(),
-                        tally_hits_.data());
+                        tally_hits_.data(), task_eval_us);
       }
       if (span.enabled()) {
         span.set_args(util::StrCat(

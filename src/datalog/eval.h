@@ -300,11 +300,15 @@ class Evaluator {
     /// are on); summed by the merge so workers never share counters.
     std::vector<uint64_t> probes;
     std::vector<uint64_t> hits;
+    /// Wall time this chunk's evaluation took on its worker; summed at
+    /// fold time into the rule's cumulative eval-time counter.
+    uint64_t eval_us = 0;
     void clear() {
       rows.clear();
       hashes.clear();
       probes.clear();
       hits.clear();
+      eval_us = 0;
     }
   };
 
@@ -367,6 +371,7 @@ class Evaluator {
     obs::Counter* evals = nullptr;
     obs::Counter* derived = nullptr;
     obs::Counter* probes = nullptr;
+    obs::Counter* eval_us = nullptr;  ///< cumulative evaluation wall time
   };
   struct RelationCounters {
     obs::Counter* probes = nullptr;
@@ -374,10 +379,12 @@ class Evaluator {
   };
   RuleCounters* CountersFor(const CompiledRule* rule);
   /// Folds one rule evaluation's plain tallies into registry counters:
-  /// per-relation probes/hits (selectivity feed) and per-rule totals.
+  /// per-relation probes/hits (selectivity feed), per-rule totals, and
+  /// `elapsed_us` of evaluation wall time (the EXPLAIN cost column).
   /// No-op when metrics are off.
   void FoldRuleMetrics(const CompiledRule* rule, uint64_t derived,
-                       const uint64_t* probe_tally, const uint64_t* hit_tally);
+                       const uint64_t* probe_tally, const uint64_t* hit_tally,
+                       uint64_t elapsed_us);
   /// Observes the row count of every relation in `delta` on the delta-size
   /// histogram and counts one evaluation round.
   void RecordRoundDelta(const std::map<std::string, Relation>& delta);

@@ -1,0 +1,271 @@
+#include "datalog/explain.h"
+
+#include <cstdio>
+#include <set>
+#include <utility>
+
+#include "datalog/pretty.h"
+#include "util/strings.h"
+
+namespace lbtrust::datalog {
+
+namespace {
+
+const char* LiteralKindName(CompiledLiteral::Kind kind) {
+  switch (kind) {
+    case CompiledLiteral::Kind::kRelation: return "relation";
+    case CompiledLiteral::Kind::kNegation: return "negation";
+    case CompiledLiteral::Kind::kBuiltin: return "builtin";
+    case CompiledLiteral::Kind::kEquality: return "equality";
+  }
+  return "?";
+}
+
+/// A column is bound at its scheduled position iff it is a constant or
+/// every variable it carries was bound by an earlier literal — the same
+/// static replay CompiledRule::OrderProbes is derived from.
+uint64_t ProbeMaskAt(const CompiledLiteral& lit, const std::set<int>& bound) {
+  uint64_t mask = 0;
+  for (size_t ci = 0; ci < lit.cols.size(); ++ci) {
+    const CompiledArg& col = lit.cols[ci];
+    bool is_bound = false;
+    switch (col.kind) {
+      case CompiledArg::Kind::kConst:
+        is_bound = true;
+        break;
+      case CompiledArg::Kind::kVar:
+        is_bound = bound.count(col.slot) != 0;
+        break;
+      case CompiledArg::Kind::kPattern:
+      case CompiledArg::Kind::kExpr: {
+        is_bound = true;
+        for (int slot : col.term_slots) {
+          if (bound.count(slot) == 0) {
+            is_bound = false;
+            break;
+          }
+        }
+        break;
+      }
+    }
+    if (is_bound) mask |= uint64_t{1} << ci;
+  }
+  return mask;
+}
+
+/// Marks every slot the literal can bind. Exact for relation literals;
+/// for builtins this covers output modes, and for negations/equalities it
+/// re-marks already-bound slots (harmless).
+void BindSlots(const CompiledLiteral& lit, std::set<int>* bound) {
+  for (const CompiledArg& col : lit.cols) {
+    if (col.kind == CompiledArg::Kind::kVar) {
+      bound->insert(col.slot);
+    } else {
+      for (int slot : col.term_slots) bound->insert(slot);
+    }
+  }
+}
+
+/// One scheduled position: body index, mask, literal text.
+struct ScheduleEntry {
+  int body_idx = 0;
+  uint64_t probe_mask = 0;
+  std::string literal;
+  const char* kind = "";
+};
+
+std::vector<ScheduleEntry> ReplaySchedule(const CompiledRule& rule,
+                                          const std::vector<int>& order) {
+  std::vector<ScheduleEntry> out;
+  out.reserve(order.size());
+  std::set<int> bound;
+  for (int bi : order) {
+    const CompiledLiteral& lit = rule.body[bi];
+    ScheduleEntry entry;
+    entry.body_idx = bi;
+    entry.probe_mask = ProbeMaskAt(lit, bound);
+    entry.literal = static_cast<size_t>(bi) < rule.source.body.size()
+                        ? PrintLiteral(rule.source.body[bi])
+                        : lit.pred;
+    entry.kind = LiteralKindName(lit.kind);
+    BindSlots(lit, &bound);
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+std::string RuleLabels(const CompiledRule& rule) {
+  return util::StrCat("head=\"", obs::LabelEscape(rule.head_pred),
+                      "\",rule=\"", rule.id, "\"");
+}
+
+/// Measured counters for one rule. Reads go through GetCounter, which
+/// creates-if-missing — an unevaluated rule reads as zeros, never errors.
+struct Measured {
+  uint64_t evals = 0, derived = 0, probes = 0, eval_us = 0;
+  struct RelationStats {
+    std::string relation;
+    uint64_t probes = 0, hits = 0;
+  };
+  std::vector<RelationStats> relations;
+};
+
+Measured ReadMeasured(const CompiledRule& rule,
+                      obs::MetricsRegistry* metrics) {
+  Measured m;
+  const std::string labels = RuleLabels(rule);
+  m.evals = metrics->GetCounter("lbtrust_rule_evals_total", labels)->value();
+  m.derived =
+      metrics->GetCounter("lbtrust_rule_tuples_derived_total", labels)->value();
+  m.probes = metrics->GetCounter("lbtrust_rule_probes_total", labels)->value();
+  m.eval_us =
+      metrics->GetCounter("lbtrust_rule_eval_us_total", labels)->value();
+  std::set<std::string> seen;
+  for (const CompiledLiteral& lit : rule.body) {
+    if (lit.kind != CompiledLiteral::Kind::kRelation &&
+        lit.kind != CompiledLiteral::Kind::kNegation) {
+      continue;
+    }
+    if (!seen.insert(lit.pred).second) continue;
+    const std::string rel_labels =
+        util::StrCat("relation=\"", obs::LabelEscape(lit.pred), "\"");
+    Measured::RelationStats stats;
+    stats.relation = lit.pred;
+    stats.probes =
+        metrics->GetCounter("lbtrust_relation_probes_total", rel_labels)
+            ->value();
+    stats.hits =
+        metrics->GetCounter("lbtrust_relation_probe_hits_total", rel_labels)
+            ->value();
+    m.relations.push_back(std::move(stats));
+  }
+  return m;
+}
+
+std::string Ratio(uint64_t hits, uint64_t probes) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f",
+                probes == 0 ? 0.0
+                            : static_cast<double>(hits) /
+                                  static_cast<double>(probes));
+  return buf;
+}
+
+std::string RenderText(const CompiledRule& rule,
+                       obs::MetricsRegistry* metrics) {
+  std::string out = util::StrCat("rule ", rule.id, " [head=", rule.head_pred,
+                                 rule.parallel_safe ? ", parallel-safe" : "",
+                                 "]: ", PrintRule(rule.source), "\n");
+  out += "  schedule (full):\n";
+  for (const ScheduleEntry& e : ReplaySchedule(rule, rule.order_full)) {
+    out += util::StrCat("    body[", e.body_idx, "] ", e.literal,
+                        "  kind=", e.kind, " probe_mask=0x");
+    char hex[24];
+    std::snprintf(hex, sizeof(hex), "%llx",
+                  static_cast<unsigned long long>(e.probe_mask));
+    out += hex;
+    if (e.probe_mask == 0) out += " (leading scan)";
+    out.push_back('\n');
+  }
+  for (const auto& [pos, order] : rule.order_delta) {
+    out += util::StrCat("  schedule (delta@", pos, "):");
+    for (int bi : order) out += util::StrCat(" ", bi);
+    out.push_back('\n');
+  }
+  if (metrics == nullptr) {
+    out += "  measured: (metrics disabled)\n";
+    return out;
+  }
+  Measured m = ReadMeasured(rule, metrics);
+  out += util::StrCat("  measured: evals=", m.evals, " derived=", m.derived,
+                      " probes=", m.probes, " eval_us=", m.eval_us, "\n");
+  for (const auto& rel : m.relations) {
+    out += util::StrCat("    ", rel.relation, ": probes=", rel.probes,
+                        " hits=", rel.hits, " selectivity=",
+                        Ratio(rel.hits, rel.probes), "\n");
+  }
+  return out;
+}
+
+std::string RenderJson(const CompiledRule& rule,
+                       obs::MetricsRegistry* metrics) {
+  std::string out = util::StrCat("{\"rule\":", rule.id, ",\"head\":\"",
+                                 obs::LabelEscape(rule.head_pred),
+                                 "\",\"source\":\"",
+                                 obs::LabelEscape(PrintRule(rule.source)),
+                                 "\",\"parallel_safe\":",
+                                 rule.parallel_safe ? "true" : "false",
+                                 ",\"schedule\":[");
+  bool first = true;
+  for (const ScheduleEntry& e : ReplaySchedule(rule, rule.order_full)) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += util::StrCat("{\"body\":", e.body_idx, ",\"literal\":\"",
+                        obs::LabelEscape(e.literal), "\",\"kind\":\"", e.kind,
+                        "\",\"probe_mask\":", e.probe_mask, "}");
+  }
+  out += "],\"delta_orders\":[";
+  first = true;
+  for (const auto& [pos, order] : rule.order_delta) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += util::StrCat("{\"pos\":", pos, ",\"order\":[");
+    for (size_t i = 0; i < order.size(); ++i) {
+      if (i != 0) out.push_back(',');
+      out += std::to_string(order[i]);
+    }
+    out += "]}";
+  }
+  out += "]";
+  if (metrics != nullptr) {
+    Measured m = ReadMeasured(rule, metrics);
+    out += util::StrCat(",\"measured\":{\"evals\":", m.evals,
+                        ",\"derived\":", m.derived, ",\"probes\":", m.probes,
+                        ",\"eval_us\":", m.eval_us, ",\"selectivity\":[");
+    first = true;
+    for (const auto& rel : m.relations) {
+      if (!first) out.push_back(',');
+      first = false;
+      out += util::StrCat("{\"relation\":\"", obs::LabelEscape(rel.relation),
+                          "\",\"probes\":", rel.probes, ",\"hits\":", rel.hits,
+                          ",\"ratio\":", Ratio(rel.hits, rel.probes), "}");
+    }
+    out += "]}";
+  }
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace
+
+std::string ExplainCompiledRule(const CompiledRule& rule,
+                                obs::MetricsRegistry* metrics,
+                                ExplainFormat format) {
+  return format == ExplainFormat::kJson ? RenderJson(rule, metrics)
+                                        : RenderText(rule, metrics);
+}
+
+std::string ExplainCompiledRules(const std::vector<const CompiledRule*>& rules,
+                                 obs::MetricsRegistry* metrics,
+                                 ExplainFormat format) {
+  if (format == ExplainFormat::kText) {
+    std::string out;
+    for (const CompiledRule* rule : rules) {
+      if (rule == nullptr) continue;
+      out += RenderText(*rule, metrics);
+    }
+    return out;
+  }
+  std::string out = "{\"rules\":[";
+  bool first = true;
+  for (const CompiledRule* rule : rules) {
+    if (rule == nullptr) continue;
+    if (!first) out.push_back(',');
+    first = false;
+    out += RenderJson(*rule, metrics);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace lbtrust::datalog

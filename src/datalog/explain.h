@@ -1,0 +1,38 @@
+#ifndef LBTRUST_DATALOG_EXPLAIN_H_
+#define LBTRUST_DATALOG_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "datalog/eval.h"
+#include "obs/metrics.h"
+
+namespace lbtrust::datalog {
+
+/// EXPLAIN output formats: human text (one indented block per rule) or a
+/// JSON document (`{"rules":[...]}`; a single rule renders as one object).
+enum class ExplainFormat { kText, kJson };
+
+/// Renders one compiled rule's plan: the literal schedule actually
+/// executed (full order plus each per-delta-position order), the static
+/// probe mask at every scheduled position (a column counts as bound iff it
+/// is a constant or was bound by an earlier literal — the same replay the
+/// parallel evaluator derives its index masks from), and — when `metrics`
+/// is non-null — the measured side: per-rule cumulative
+/// evals/derived/probes/eval-time counters and per-relation probe/hit
+/// selectivities (`lbtrust_relation_{probes,probe_hits}_total`). This is
+/// the Prepare()-time stats feed cost-based join ordering consumes
+/// (ROADMAP item 5): plan = what the static scheduler chose, selectivity =
+/// what the workload measured, disagreement = reorder opportunity.
+std::string ExplainCompiledRule(const CompiledRule& rule,
+                                obs::MetricsRegistry* metrics,
+                                ExplainFormat format);
+
+/// Renders a rule set: JSON `{"rules":[...]}` or concatenated text blocks.
+std::string ExplainCompiledRules(const std::vector<const CompiledRule*>& rules,
+                                 obs::MetricsRegistry* metrics,
+                                 ExplainFormat format);
+
+}  // namespace lbtrust::datalog
+
+#endif  // LBTRUST_DATALOG_EXPLAIN_H_

@@ -959,6 +959,26 @@ std::string Workspace::DumpMetrics() {
   return metrics_->RenderText();
 }
 
+std::string Workspace::ExplainRules(ExplainFormat format) {
+  std::vector<const CompiledRule*> compiled;
+  compiled.reserve(rules_.size());
+  for (const auto& rule : rules_) {
+    if (rule->compiled != nullptr) compiled.push_back(rule->compiled.get());
+  }
+  return ExplainCompiledRules(compiled, metrics_.get(), format);
+}
+
+std::vector<std::pair<std::string, size_t>> Workspace::RelationRowCounts()
+    const {
+  std::vector<std::pair<std::string, size_t>> out;
+  out.reserve(store_.relations().size());
+  for (const auto& [name, rel] : store_.relations()) {
+    out.emplace_back(name, rel.size());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // Queries
 // ---------------------------------------------------------------------------
@@ -979,6 +999,10 @@ Result<PreparedQuery> Workspace::Prepare(std::string_view atom_text) {
 
 size_t PreparedQuery::num_columns() const {
   return compiled_->head_cols.size();
+}
+
+std::string PreparedQuery::Explain(ExplainFormat format) const {
+  return ExplainCompiledRule(*compiled_, workspace_->metrics(), format);
 }
 
 Status PreparedQuery::ForEach(const std::function<bool(const Tuple&)>& cb) {

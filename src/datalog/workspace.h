@@ -7,12 +7,14 @@
 #include <set>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "datalog/ast.h"
 #include "datalog/builtins.h"
 #include "datalog/catalog.h"
 #include "datalog/eval.h"
+#include "datalog/explain.h"
 #include "util/status.h"
 
 namespace lbtrust::datalog {
@@ -47,6 +49,11 @@ class PreparedQuery {
   util::Result<size_t> Count();
   /// True iff at least one tuple matches (stops at the first match).
   util::Result<bool> Exists();
+
+  /// Renders this query's compiled plan + measured selectivities (see
+  /// ExplainCompiledRule). Distinct from Workspace::Explain(), which
+  /// renders provenance derivation trees.
+  std::string Explain(ExplainFormat format = ExplainFormat::kText) const;
 
  private:
   friend class Workspace;
@@ -363,6 +370,16 @@ class Workspace {
   /// per-relation row-count gauges refreshed from the current store.
   /// Returns a "# metrics disabled" stub when Options::metrics is false.
   std::string DumpMetrics();
+
+  /// EXPLAIN over every installed rule (install order; hidden constraint
+  /// aux rules included — they execute like any other rule): compiled
+  /// literal schedules, static probe masks, and measured selectivities
+  /// when metrics are on. Served at /explainz by the HTTP exporter.
+  std::string ExplainRules(ExplainFormat format = ExplainFormat::kText);
+
+  /// Name-sorted (relation, row count) snapshot of the visible store
+  /// (post-Fixpoint state), for /statusz.
+  std::vector<std::pair<std::string, size_t>> RelationRowCounts() const;
 
  private:
   friend class PreparedQuery;

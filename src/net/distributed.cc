@@ -4,6 +4,8 @@
 #include <cstdlib>
 
 #include "net/wire.h"
+#include "obs/build_info.h"
+#include "obs/trace.h"
 #include "util/log.h"
 #include "util/strings.h"
 
@@ -65,7 +67,82 @@ Result<std::unique_ptr<DistributedCluster>> DistributedCluster::Create(
   LB_RETURN_IF_ERROR(dc->transport_.Listen(dc->options_.listen_host,
                                            dc->options_.listen_port));
   dc->node_status_[dc->options_.self] = {0, false};
+  dc->start_ms_ = EventLoop::NowMs();
+  LB_RETURN_IF_ERROR(dc->StartHttp());
   return dc;
+}
+
+Status DistributedCluster::StartHttp() {
+  if (options_.http_port < 0) return util::OkStatus();
+  // Share the transport's loop: every page renders on the fixpoint thread
+  // between waves, so handlers read engine state with no synchronization.
+  http_ = std::make_unique<obs::HttpExporter>(transport_.loop());
+  http_->Handle("/metrics", [this] {
+    obs::HttpExporter::Response r;
+    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    r.body = DumpMetrics();
+    return r;
+  });
+  http_->Handle("/statusz", [this] {
+    obs::HttpExporter::Response r;
+    r.content_type = "application/json";
+    r.body = StatusJson();
+    return r;
+  });
+  http_->Handle("/explainz", [this] {
+    obs::HttpExporter::Response r;
+    r.content_type = "application/json";
+    r.body = runtime_->workspace()->ExplainRules(datalog::ExplainFormat::kJson);
+    return r;
+  });
+  http_->Handle("/explainz.txt", [this] {
+    obs::HttpExporter::Response r;
+    r.body = runtime_->workspace()->ExplainRules(datalog::ExplainFormat::kText);
+    return r;
+  });
+  http_->Handle("/trace", [this] {
+    obs::HttpExporter::Response r;
+    r.content_type = "application/json";
+    obs::Tracer* tracer = runtime_->workspace()->tracer();
+    r.body = tracer != nullptr ? tracer->DrainJson()
+                               : std::string("{\"traceEvents\":[]}");
+    return r;
+  });
+  return http_->Listen(options_.listen_host,
+                       static_cast<uint16_t>(options_.http_port));
+}
+
+std::string DistributedCluster::StatusJson() {
+  const int64_t uptime_ms = EventLoop::NowMs() - start_ms_;
+  std::string out = util::StrCat(
+      "{\"node\":\"", obs::LabelEscape(options_.self), "\",\"version\":\"",
+      obs::kBuildVersion, "\",\"compiler\":\"",
+      obs::LabelEscape(obs::BuildCompiler()), "\",\"uptime_seconds\":",
+      uptime_ms / 1000, ".", (uptime_ms / 100) % 10,
+      ",\"fixpoints\":", stats_.fixpoints, ",\"tuples_in\":", stats_.tuples_in,
+      ",\"tuples_out\":", stats_.tuples_out, ",\"peers\":[");
+  bool first = true;
+  for (const Transport::PeerState& peer : transport_.peer_states()) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += util::StrCat(
+        "{\"name\":\"", obs::LabelEscape(peer.name), "\",\"address\":\"",
+        obs::LabelEscape(peer.host), ":", peer.port, "\",\"state\":\"",
+        peer.connected ? "connected"
+                       : (peer.ever_connected ? "reconnecting" : "pending"),
+        "\",\"unacked\":", peer.unacked, "}");
+  }
+  out += "],\"relations\":[";
+  first = true;
+  for (const auto& [name, rows] :
+       runtime_->workspace()->RelationRowCounts()) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += util::StrCat("{\"relation\":\"", obs::LabelEscape(name),
+                        "\",\"rows\":", rows, "}");
+  }
+  out += "]}";
+  return out;
 }
 
 Status DistributedCluster::AddPeer(const std::string& name,
@@ -93,6 +170,17 @@ Status DistributedCluster::ShipCredential(const std::string& to_node,
   frame.from = options_.self;
   frame.relation = "credential";
   LB_ASSIGN_OR_RETURN(frame.payload, runtime_->ExportCredential(hash));
+  if (obs::Tracer* tracer = runtime_->workspace()->tracer()) {
+    frame.trace = util::StrCat(options_.self, ":", stats_.fixpoints, ":",
+                               ++flow_seq_);
+    const uint64_t now_us = obs::Tracer::NowMicros();
+    obs::ScopedSpan ship(tracer, "ship");
+    ship.set_args(util::StrCat("\"credential\":\"", obs::LabelEscape(hash),
+                               "\",\"dest\":\"", obs::LabelEscape(to_node),
+                               "\",\"trace\":\"",
+                               obs::LabelEscape(frame.trace), "\""));
+    tracer->RecordFlow("credential", 's', frame.trace, now_us);
+  }
   SendReliable(to_node, std::move(frame));
   return util::OkStatus();
 }
@@ -106,9 +194,24 @@ Status DistributedCluster::OnFrame(const Frame& frame) {
       SendConfirm(frame.from);
       return util::OkStatus();
     case Frame::Kind::kData: {
+      obs::Tracer* tracer = runtime_->workspace()->tracer();
+      obs::ScopedSpan stage(tracer, "stage");
+      if (tracer != nullptr && !frame.trace.empty()) {
+        // Close the sender's flow inside this staging slice ("bp":"e"
+        // binds the arrow to the enclosing span in the merged trace).
+        tracer->RecordFlow("delta", 'f', frame.trace,
+                           obs::Tracer::NowMicros());
+      }
       LB_ASSIGN_OR_RETURN(std::vector<datalog::Tuple> tuples,
                           DeserializeTupleBlock(frame.payload));
       stats_.tuples_in += tuples.size();
+      if (stage.enabled()) {
+        stage.set_args(util::StrCat(
+            "\"relation\":\"", obs::LabelEscape(frame.relation),
+            "\",\"from\":\"", obs::LabelEscape(frame.from),
+            "\",\"tuples\":", tuples.size(), ",\"trace\":\"",
+            obs::LabelEscape(frame.trace), "\""));
+      }
       // Stage only: frames arriving in one poll commit as one batch with a
       // single fixpoint. The inbox keeps us non-quiet until committed, so
       // acking here (the transport acks after we return OK) is safe for
@@ -119,6 +222,12 @@ Status DistributedCluster::OnFrame(const Frame& frame) {
       return util::OkStatus();
     }
     case Frame::Kind::kCredential: {
+      obs::Tracer* tracer = runtime_->workspace()->tracer();
+      obs::ScopedSpan import_span(tracer, "import");
+      if (tracer != nullptr && !frame.trace.empty()) {
+        tracer->RecordFlow("credential", 'f', frame.trace,
+                           obs::Tracer::NowMicros());
+      }
       // Import runs its own transaction + fixpoint; flush the inbox first
       // so the two never interleave. Final state is order-independent
       // (facts are sets, the credential store is content-addressed).
@@ -153,6 +262,7 @@ Status DistributedCluster::OnFrame(const Frame& frame) {
 }
 
 void DistributedCluster::ShipPlaced() {
+  obs::Tracer* tracer = runtime_->workspace()->tracer();
   for (PlacedBatch& batch :
        CollectPlacedBatches(runtime_->workspace(), options_.self, &sent_)) {
     Frame frame;
@@ -161,6 +271,22 @@ void DistributedCluster::ShipPlaced() {
     frame.relation = std::move(batch.relation);
     frame.payload = SerializeTupleBlock(batch.tuples);
     stats_.tuples_out += batch.tuples.size();
+    if (tracer != nullptr) {
+      // Stamp the frame with a mesh-unique correlation id and open the
+      // flow inside a "ship" span: after dist_smoke merges the per-node
+      // trace files, this links the sender's fixpoint wave to the
+      // receiver's import slice. The wave number is stats_.fixpoints
+      // (incremented just before ShipPlaced runs).
+      frame.trace = util::StrCat(options_.self, ":", stats_.fixpoints, ":",
+                                 ++flow_seq_);
+      const uint64_t now_us = obs::Tracer::NowMicros();
+      obs::ScopedSpan ship(tracer, "ship");
+      ship.set_args(util::StrCat(
+          "\"relation\":\"", obs::LabelEscape(frame.relation),
+          "\",\"dest\":\"", obs::LabelEscape(batch.dest), "\",\"trace\":\"",
+          obs::LabelEscape(frame.trace), "\""));
+      tracer->RecordFlow("delta", 's', frame.trace, now_us);
+    }
     SendReliable(batch.dest, std::move(frame));
   }
 }
@@ -314,6 +440,10 @@ Result<DistributedCluster::RunStats> DistributedCluster::RunToConvergence() {
     }
 
     if (options_.on_tick) options_.on_tick();
+    // The HTTP fds live on the transport's loop, so the poll below serves
+    // any buffered scrape between waves; only deadline enforcement needs
+    // an explicit nudge.
+    if (http_ != nullptr) http_->Housekeep();
 
     Status st = transport_.Poll(options_.poll_interval_ms);
     if (!st.ok()) {
@@ -352,7 +482,16 @@ void DistributedCluster::SyncMetrics() {
   set("lbtrust_node_tuples_out_total", stats_.tuples_out);
   set("lbtrust_node_credential_imports_total", stats_.credential_imports);
   set("lbtrust_node_deferred_sends_total", stats_.deferred_sends);
+  // Build identity + uptime: the two gauges every scraper alerts on.
+  reg->GetGauge("lbtrust_build_info",
+                util::StrCat("version=\"", obs::kBuildVersion,
+                             "\",compiler=\"",
+                             obs::LabelEscape(obs::BuildCompiler()), "\""))
+      ->Set(1);
+  reg->GetGauge("lbtrust_uptime_seconds")
+      ->Set((EventLoop::NowMs() - start_ms_) / 1000);
   SyncTransportMetrics(transport_.stats(), reg);
+  if (http_ != nullptr) http_->SyncMetrics(reg);
   runtime_->SyncMetrics();
 }
 

@@ -10,6 +10,7 @@
 
 #include "net/cluster.h"
 #include "net/transport.h"
+#include "obs/http_exporter.h"
 #include "trust/trust_runtime.h"
 #include "util/status.h"
 
@@ -56,6 +57,12 @@ class DistributedCluster {
     /// 0 picks an ephemeral port (see listen_port()); peers then need
     /// AddPeer() calls with the actual ports.
     uint16_t listen_port = 0;
+    /// Port for the live-introspection HTTP server (/metrics, /statusz,
+    /// /explainz, /trace), bound on `listen_host`. -1 disables it; 0 picks
+    /// an ephemeral port (see http_port()). The server shares the
+    /// transport's epoll loop, so pages render on the fixpoint thread
+    /// between waves — no locking against the engine.
+    int http_port = -1;
     /// Authentication scheme installed on every node ("plaintext", "rsa",
     /// "hmac", or "" to skip).
     std::string scheme = "rsa";
@@ -104,6 +111,17 @@ class DistributedCluster {
   trust::TrustRuntime* runtime() { return runtime_.get(); }
   Transport* transport() { return &transport_; }
   uint16_t listen_port() const { return transport_.listen_port(); }
+
+  /// The introspection server, or nullptr when Options::http_port is -1.
+  obs::HttpExporter* http() { return http_.get(); }
+  uint16_t http_port() const {
+    return http_ != nullptr ? http_->listen_port() : 0;
+  }
+
+  /// The /statusz JSON document (node id, uptime, build info, rounds,
+  /// peers + connection states, per-relation row counts). Public so tools
+  /// can dump it without going through a socket.
+  std::string StatusJson();
 
   /// Installs the per-iteration tick callback after construction (callers
   /// usually need the constructed node in the closure, which rules out the
@@ -162,9 +180,19 @@ class DistributedCluster {
   /// (reconnect, hello, heartbeat) pushes the current one again.
   void SendConfirm(const std::string& peer_or_empty);
 
+  /// Registers the /metrics, /statusz, /explainz and /trace handlers and
+  /// starts listening on options_.http_port (no-op when -1).
+  util::Status StartHttp();
+
   Options options_;
   std::unique_ptr<trust::TrustRuntime> runtime_;
   Transport transport_;
+  /// Declared after transport_: the exporter's fds live on the
+  /// transport's loop, so it must shut down first.
+  std::unique_ptr<obs::HttpExporter> http_;
+  int64_t start_ms_ = 0;  ///< construction time (uptime base)
+  /// Per-node sequence for trace-correlation ids ("self:wave:seq").
+  uint64_t flow_seq_ = 0;
   /// Cross-round dedup of shipped tuples (interned row ids), same as the
   /// simulated cluster's per-node `sent`.
   std::set<std::string> sent_;

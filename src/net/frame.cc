@@ -33,6 +33,10 @@ std::string EncodeFrame(const Frame& frame) {
   util::AppendLengthPrefixed(&body, frame.from);
   util::AppendLengthPrefixed(&body, frame.relation);
   util::AppendLengthPrefixed(&body, frame.payload);
+  // Optional 4th field: byte layout is unchanged for untraced frames.
+  if (!frame.trace.empty()) {
+    util::AppendLengthPrefixed(&body, frame.trace);
+  }
   std::string out = std::to_string(body.size());
   out.push_back(':');
   out += body;
@@ -61,12 +65,17 @@ util::Result<Frame> DecodeFrameBody(std::string_view body) {
       !util::ReadLengthPrefixed(&body, &payload)) {
     return util::ParseError("frame: truncated field");
   }
+  std::string_view trace;
+  if (!body.empty() && !util::ReadLengthPrefixed(&body, &trace)) {
+    return util::ParseError("frame: truncated trace field");
+  }
   if (!body.empty()) {
     return util::ParseError("frame: trailing bytes");
   }
   frame.from = std::string(from);
   frame.relation = std::string(relation);
   frame.payload = std::string(payload);
+  frame.trace = std::string(trace);
   return frame;
 }
 

@@ -21,8 +21,13 @@ namespace lbtrust::net {
 ///
 ///   stream frame := <decimal-body-length> ':' body
 ///   body         := <kind-char> ':' <seq-decimal> ':'
-///                   lp(from) lp(relation) lp(payload)
+///                   lp(from) lp(relation) lp(payload) [lp(trace)]
 ///   lp(x)        := <decimal-byte-length> ':' <bytes>   (util framing)
+///
+/// The trailing lp(trace) is optional: it is emitted only when the frame
+/// carries a trace-correlation id (sender "node:wave:seq"), and decoders
+/// accept both the 3-field and 4-field body, so traced and untraced nodes
+/// interoperate on one mesh.
 ///
 /// The outer decimal length lets a receiver learn the full frame size —
 /// and reject oversize frames — before buffering or allocating for the
@@ -44,6 +49,9 @@ struct Frame {
   std::string from;      ///< sender node name
   std::string relation;  ///< target relation for kData ("" otherwise)
   std::string payload;
+  /// Trace-correlation id ("node:wave:seq") stamped on outbound
+  /// kData/kCredential frames when the sender traces; "" = untraced.
+  std::string trace;
 
   /// True for frame kinds that are acked, retained until acknowledged, and
   /// retransmitted after a reconnect.

@@ -100,6 +100,25 @@ std::vector<std::string> Transport::peer_names() const {
   return out;
 }
 
+std::vector<Transport::PeerState> Transport::peer_states() const {
+  std::vector<PeerState> out;
+  out.reserve(peers_.size());
+  for (const auto& [name, peer] : peers_) {
+    PeerState state;
+    state.name = name;
+    state.host = peer.host;
+    state.port = peer.port;
+    if (peer.fd != -1) {
+      auto it = conns_.find(peer.fd);
+      state.connected = it != conns_.end() && it->second.connected;
+    }
+    state.ever_connected = peer.ever_connected;
+    state.unacked = peer.unacked.size();
+    out.push_back(std::move(state));
+  }
+  return out;
+}
+
 Transport::Conn* Transport::FindConn(int fd) {
   auto it = conns_.find(fd);
   return it == conns_.end() ? nullptr : &it->second;

@@ -116,6 +116,22 @@ class Transport {
                uint16_t port);
   std::vector<std::string> peer_names() const;
 
+  /// Point-in-time connection state per registered peer (for /statusz).
+  struct PeerState {
+    std::string name;
+    std::string host;
+    uint16_t port = 0;
+    bool connected = false;       ///< outbound link currently up
+    bool ever_connected = false;  ///< handshake completed at least once
+    size_t unacked = 0;           ///< reliable frames awaiting ack
+  };
+  std::vector<PeerState> peer_states() const;
+
+  /// The epoll loop every transport fd is registered on. Exposed so
+  /// same-thread companions (the HTTP exporter) can share the one
+  /// Poll() call instead of running a second loop.
+  EventLoop* loop() { return &loop_; }
+
   /// Queues `frame` for `peer`. Reliable frames get a sequence number and
   /// at-least-once retention; unreliable frames (status/confirm/hello) are
   /// sent best-effort and dropped while disconnected. Returns false only

@@ -1,0 +1,25 @@
+#ifndef LBTRUST_OBS_BUILD_INFO_H_
+#define LBTRUST_OBS_BUILD_INFO_H_
+
+namespace lbtrust::obs {
+
+/// Build identity surfaced through `lbtrust_build_info` and /statusz. The
+/// version is the PR-stacked repo's coarse line — bump when the wire or
+/// dump formats change shape, not per commit.
+inline constexpr const char* kBuildVersion = "0.9.0";
+
+/// Compiler tag, e.g. "14.2.0 20240910" (from the predefined macro so the
+/// exporter reports what actually built the binary).
+inline const char* BuildCompiler() {
+#if defined(__clang__)
+  return "clang " __clang_version__;
+#elif defined(__VERSION__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace lbtrust::obs
+
+#endif  // LBTRUST_OBS_BUILD_INFO_H_

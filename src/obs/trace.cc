@@ -56,6 +56,18 @@ void Tracer::Record(const char* name, uint64_t start_us, uint64_t dur_us,
   buf->events.push_back(std::move(event));
 }
 
+void Tracer::RecordFlow(const char* name, char ph, std::string flow_id,
+                        uint64_t ts_us) {
+  Buffer* buf = ThreadBuffer();
+  Event event;
+  event.name = name;
+  event.ts_us = ts_us;
+  event.ph = ph;
+  event.flow_id = std::move(flow_id);
+  std::lock_guard<std::mutex> lock(buf->mu);
+  buf->events.push_back(std::move(event));
+}
+
 size_t Tracer::event_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   size_t total = 0;
@@ -66,31 +78,70 @@ size_t Tracer::event_count() const {
   return total;
 }
 
+/// Renders one event; `ts` is already rebased to the tracer epoch.
+void Tracer::AppendEventJson(std::string* out, const Buffer& buffer,
+                             const Event& event, uint64_t ts) {
+  char buf[160];
+  if (event.ph == 'X') {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"X\",\"pid\":1,\"tid\":%" PRIu32
+                  ",\"ts\":%" PRIu64 ",\"dur\":%" PRIu64 ",\"name\":\"",
+                  buffer.tid, ts, event.dur_us);
+    out->append(buf);
+    out->append(LabelEscape(event.name));
+    out->push_back('"');
+    if (!event.args.empty()) {
+      out->append(",\"args\":{");
+      out->append(event.args);
+      out->push_back('}');
+    }
+    out->push_back('}');
+    return;
+  }
+  // Flow event: "s" starts a flow inside the enclosing slice; "f" with
+  // "bp":"e" binds the finish to the enclosing slice on the receiver.
+  std::snprintf(buf, sizeof(buf),
+                "{\"ph\":\"%c\",%s\"cat\":\"flow\",\"pid\":1,\"tid\":%" PRIu32
+                ",\"ts\":%" PRIu64 ",\"name\":\"",
+                event.ph, event.ph == 'f' ? "\"bp\":\"e\"," : "", buffer.tid,
+                ts);
+  out->append(buf);
+  out->append(LabelEscape(event.name));
+  out->append("\",\"id\":\"");
+  out->append(LabelEscape(event.flow_id));
+  out->append("\"}");
+}
+
 std::string Tracer::ExportJson() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out = "{\"traceEvents\":[";
   bool first = true;
-  char buf[160];
   for (const auto& buffer : buffers_) {
     std::lock_guard<std::mutex> buf_lock(buffer->mu);
     for (const Event& event : buffer->events) {
       if (!first) out.push_back(',');
       first = false;
       uint64_t ts = event.ts_us >= epoch_us_ ? event.ts_us - epoch_us_ : 0;
-      std::snprintf(buf, sizeof(buf),
-                    "{\"ph\":\"X\",\"pid\":1,\"tid\":%" PRIu32
-                    ",\"ts\":%" PRIu64 ",\"dur\":%" PRIu64 ",\"name\":\"",
-                    buffer->tid, ts, event.dur_us);
-      out.append(buf);
-      out.append(LabelEscape(event.name));
-      out.push_back('"');
-      if (!event.args.empty()) {
-        out.append(",\"args\":{");
-        out.append(event.args);
-        out.push_back('}');
-      }
-      out.push_back('}');
+      AppendEventJson(&out, *buffer, event, ts);
     }
+  }
+  out.append("]}");
+  return out;
+}
+
+std::string Tracer::DrainJson() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buffer->mu);
+    for (const Event& event : buffer->events) {
+      if (!first) out.push_back(',');
+      first = false;
+      uint64_t ts = event.ts_us >= epoch_us_ ? event.ts_us - epoch_us_ : 0;
+      AppendEventJson(&out, *buffer, event, ts);
+    }
+    buffer->events.clear();
   }
   out.append("]}");
   return out;

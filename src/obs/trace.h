@@ -32,6 +32,15 @@ class Tracer {
   void Record(const char* name, uint64_t start_us, uint64_t dur_us,
               std::string args_json = "");
 
+  /// Records a flow event linking spans across threads or (after the
+  /// dist_smoke merge rewrites pids) across processes. `ph` is 's' for the
+  /// flow start — emit it inside the sending span — or 'f' for the finish,
+  /// emitted inside the receiving span ("bp":"e" binds it to the enclosing
+  /// slice). `flow_id` is the correlation key; both ends must use the same
+  /// string (we use "node:wave:seq" for shipped deltas).
+  void RecordFlow(const char* name, char ph, std::string flow_id,
+                  uint64_t ts_us);
+
   /// Monotonic microseconds (steady clock).
   static uint64_t NowMicros();
 
@@ -41,6 +50,12 @@ class Tracer {
   /// export after the traced work quiesced.
   std::string ExportJson() const;
 
+  /// ExportJson + clears every buffer: each event is returned exactly once
+  /// across repeated drains, so a live `/trace` endpoint can be scraped
+  /// periodically without re-serving history. Thread-safe against
+  /// concurrent Record().
+  std::string DrainJson();
+
   /// Total events recorded so far (tests).
   size_t event_count() const;
 
@@ -49,6 +64,8 @@ class Tracer {
     std::string name;
     uint64_t ts_us = 0;
     uint64_t dur_us = 0;
+    char ph = 'X';
+    std::string flow_id;  ///< only for ph 's'/'f'
     std::string args;
   };
   struct Buffer {
@@ -58,6 +75,8 @@ class Tracer {
   };
 
   Buffer* ThreadBuffer();
+  static void AppendEventJson(std::string* out, const Buffer& buffer,
+                              const Event& event, uint64_t ts);
 
   /// Process-unique, never reused: the per-thread buffer cache keys on
   /// this rather than `this`, so a new tracer allocated at a destroyed

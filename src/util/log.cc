@@ -1,6 +1,7 @@
 #include "util/log.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -42,6 +43,37 @@ LogSink& ActiveSink() {
   return sink;
 }
 
+/// Epoch for the per-line monotonic timestamp. Initialized on the first
+/// log-related call of the process, so timestamps across one process are
+/// comparable (cross-process ordering needs the node tag + merge script).
+int64_t EpochUs() {
+  static const int64_t epoch =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  return epoch;
+}
+
+/// Node tag storage. Env wins over SetLogNodeTag (operator override); both
+/// are read/written under the sink mutex — tag changes are rare (startup).
+struct NodeTagState {
+  bool env_set = false;
+  std::string tag;
+};
+
+NodeTagState& NodeTag() {
+  static NodeTagState state = [] {
+    NodeTagState s;
+    const char* env = std::getenv("LBTRUST_LOG_NODE");
+    if (env != nullptr && env[0] != '\0') {
+      s.env_set = true;
+      s.tag = env;
+    }
+    return s;
+  }();
+  return state;
+}
+
 char LevelTag(LogLevel level) {
   switch (level) {
     case LogLevel::kError:
@@ -71,15 +103,41 @@ void SetLogSink(LogSink sink) {
   ActiveSink() = std::move(sink);
 }
 
+void SetLogNodeTag(std::string_view tag) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  NodeTagState& state = NodeTag();
+  if (state.env_set) return;  // explicit LBTRUST_LOG_NODE wins
+  state.tag.assign(tag.data(), tag.size());
+}
+
 void LogMessage(LogLevel level, const char* fmt, ...) {
   if (!LogEnabled(level)) return;
+  const int64_t elapsed_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count() -
+      EpochUs();
   char stack_buf[512];
   va_list args;
   va_start(args, fmt);
   int n = std::vsnprintf(stack_buf, sizeof(stack_buf), fmt, args);
   va_end(args);
   if (n < 0) return;
-  std::string line = "[lbtrust ";
+  char prefix[64];
+  std::snprintf(prefix, sizeof(prefix), "[lbtrust %lld.%03lld ",
+                static_cast<long long>(elapsed_us / 1000000),
+                static_cast<long long>((elapsed_us / 1000) % 1000));
+  std::string line = prefix;
+  {
+    // The tag is read under the sink mutex (it may be set concurrently at
+    // startup); the format buffer above was built lock-free.
+    std::lock_guard<std::mutex> lock(SinkMutex());
+    const std::string& tag = NodeTag().tag;
+    if (!tag.empty()) {
+      line.append(tag);
+      line.push_back(' ');
+    }
+  }
   line.push_back(LevelTag(level));
   line.append("] ");
   if (static_cast<size_t>(n) < sizeof(stack_buf)) {

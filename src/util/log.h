@@ -18,8 +18,20 @@ bool LogEnabled(LogLevel level);
 /// Overrides the threshold at runtime (tests; tools with -v flags).
 void SetLogLevel(LogLevel level);
 
+/// Sets the node tag included in every log line (see LogMessage). The tag
+/// initializes once from the environment (`LBTRUST_LOG_NODE`); tools that
+/// know their node name (lbtrust_node --self) call this so interleaved
+/// multi-process logs are attributable without env plumbing. An explicit
+/// env setting wins over the runtime call (operators overriding a tool).
+/// Empty = no tag.
+void SetLogNodeTag(std::string_view tag);
+
 /// Formats printf-style and emits exactly one sink call (one stderr write)
-/// per message: `[lbtrust E] message\n`. Concurrent callers never
+/// per message: `[lbtrust <seconds>.<millis> [<node> ]E] message\n`, where
+/// the timestamp is monotonic seconds since process start (steady clock),
+/// so interleaved multi-process smoke logs can be ordered per process and
+/// correlated by eye or by script, and `<node>` is the optional node tag
+/// (`LBTRUST_LOG_NODE` / SetLogNodeTag). Concurrent callers never
 /// interleave within a line. No-op when the level is disabled.
 void LogMessage(LogLevel level, const char* fmt, ...)
     __attribute__((format(printf, 2, 3)));

@@ -37,6 +37,33 @@ TEST(FrameCodecTest, AllKindsRoundTrip) {
   }
 }
 
+TEST(FrameCodecTest, TraceFieldRoundTrips) {
+  Frame frame = MakeFrame(Frame::Kind::kData, 11);
+  frame.trace = "a:3:7";
+  std::string encoded = EncodeFrame(frame);
+  size_t colon = encoded.find(':');
+  ASSERT_NE(colon, std::string::npos);
+  auto back = DecodeFrameBody(std::string_view(encoded).substr(colon + 1));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->trace, "a:3:7");
+  EXPECT_EQ(back->payload, frame.payload);
+}
+
+TEST(FrameCodecTest, EmptyTraceKeepsLegacyLayout) {
+  // Untraced frames stay on the original 3-field body — byte-identical to
+  // the pre-trace encoding — and the decoder accepts both layouts.
+  Frame frame = MakeFrame(Frame::Kind::kData, 12);
+  std::string untraced = EncodeFrame(frame);
+  Frame traced_frame = frame;
+  traced_frame.trace = "a:1:1";
+  EXPECT_LT(untraced.size(), EncodeFrame(traced_frame).size());
+  size_t colon = untraced.find(':');
+  ASSERT_NE(colon, std::string::npos);
+  auto back = DecodeFrameBody(std::string_view(untraced).substr(colon + 1));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(back->trace.empty());
+}
+
 TEST(FrameCodecTest, BinaryPayloadSurvives) {
   Frame frame = MakeFrame(Frame::Kind::kData, 7);
   frame.payload = std::string("\x00\x01:\xff\n:junk", 11);
@@ -72,6 +99,7 @@ TEST(FrameCodecTest, MalformedBodiesReturnStatusNotCrash) {
       {"payload length past end", "D:1:5:alice6:export99:zz"},
       {"non-numeric field length", "D:1:zz:alice"},
       {"trailing bytes", "D:1:5:alice6:export2:okXX"},
+      {"trace length past end", "D:1:5:alice6:export2:ok99:x"},
   };
   for (const Case& c : kCases) {
     EXPECT_FALSE(DecodeFrameBody(c.body).ok())

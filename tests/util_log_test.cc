@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include <gmock/gmock.h>
 #include <gtest/gtest.h>
 
 namespace lbtrust::util {
@@ -39,7 +40,11 @@ TEST(LogTest, ThresholdFiltersLevels) {
   LBTRUST_LOG(LogLevel::kError, "boom %d", 1);
   LBTRUST_LOG(LogLevel::kDebug, "invisible");
   ASSERT_EQ(capture.lines().size(), 1u);
-  EXPECT_EQ(capture.lines()[0], "[lbtrust E] boom 1\n");
+  // Every line carries a monotonic `<seconds>.<millis>` prefix so
+  // interleaved multi-process logs can be ordered per process.
+  EXPECT_THAT(capture.lines()[0],
+              testing::MatchesRegex(R"(\[lbtrust [0-9]+\.[0-9]{3} E\] boom 1
+)"));
   EXPECT_EQ(capture.levels()[0], LogLevel::kError);
 }
 
@@ -49,7 +54,10 @@ TEST(LogTest, FormatsPrintfStyleOneLinePerMessage) {
   LBTRUST_LOG(LogLevel::kDebug, "[%s] quiet=%d deferred=%zu", "a", 1,
               static_cast<size_t>(3));
   ASSERT_EQ(capture.lines().size(), 1u);
-  EXPECT_EQ(capture.lines()[0], "[lbtrust D] [a] quiet=1 deferred=3\n");
+  EXPECT_THAT(capture.lines()[0],
+              testing::MatchesRegex(
+                  R"(\[lbtrust [0-9]+\.[0-9]{3} D\] \[a\] quiet=1 deferred=3
+)"));
 }
 
 TEST(LogTest, OversizedMessageIsNotTruncated) {
@@ -58,7 +66,38 @@ TEST(LogTest, OversizedMessageIsNotTruncated) {
   std::string big(2000, 'x');  // larger than the 512-byte stack buffer
   LBTRUST_LOG(LogLevel::kInfo, "%s", big.c_str());
   ASSERT_EQ(capture.lines().size(), 1u);
-  EXPECT_EQ(capture.lines()[0], "[lbtrust I] " + big + "\n");
+  const std::string& line = capture.lines()[0];
+  EXPECT_TRUE(line.size() > big.size()) << line.size();
+  EXPECT_EQ(line.substr(line.size() - big.size() - 1), big + "\n");
+}
+
+TEST(LogTest, NodeTagAppearsInEveryLine) {
+  SinkCapture capture;
+  SetLogLevel(LogLevel::kInfo);
+  SetLogNodeTag("nodeb");
+  LBTRUST_LOG(LogLevel::kInfo, "tagged");
+  SetLogNodeTag("");  // restore for the other tests
+  ASSERT_EQ(capture.lines().size(), 1u);
+  EXPECT_THAT(capture.lines()[0],
+              testing::MatchesRegex(
+                  R"(\[lbtrust [0-9]+\.[0-9]{3} nodeb I\] tagged
+)"));
+}
+
+TEST(LogTest, TimestampsAreMonotonic) {
+  SinkCapture capture;
+  SetLogLevel(LogLevel::kInfo);
+  LBTRUST_LOG(LogLevel::kInfo, "first");
+  LBTRUST_LOG(LogLevel::kInfo, "second");
+  ASSERT_EQ(capture.lines().size(), 2u);
+  auto stamp = [](const std::string& line) {
+    size_t start = line.find(' ') + 1;
+    size_t end = line.find(' ', start);
+    std::string ts = line.substr(start, end - start);
+    size_t dot = ts.find('.');
+    return std::stoll(ts.substr(0, dot)) * 1000 + std::stoll(ts.substr(dot + 1));
+  };
+  EXPECT_LE(stamp(capture.lines()[0]), stamp(capture.lines()[1]));
 }
 
 TEST(LogTest, DisabledLevelSkipsArgumentEvaluation) {

@@ -1,13 +1,13 @@
 #!/usr/bin/env bash
 # Runs the engine/relation/distributed/observability benchmarks and merges
 # the results into one machine-readable "name -> ns/op" JSON, so the
-# performance trajectory is diffable across PRs (BENCH_PR8.json is the
-# current capture — it adds the sharded-merge series: the (threads, shards)
-# grid BM_ParallelMergeScaling/{1,2,4}/{1,2,4,8} plus the carried-forward
-# BM_TransitiveClosureSemiNaive/128/{1,2,4} trajectory, where threads > 1
-# derives shards = min(threads, cores) and so runs the parallel per-shard
-# merge on multi-core hosts (the scaling grid forces its shard counts
-# explicitly, so the sharded merge is exercised even on a 1-core runner);
+# performance trajectory is diffable across PRs (BENCH_PR9.json is the
+# current capture — it adds the live-introspection series
+# BM_FixpointWithHttpExporter/{64,128}: the instrumented TC fixpoint with
+# an idle HTTP exporter attached and polled per wave, gating that the
+# /metrics endpoint is free when nobody scrapes; the sharded-merge grid
+# BM_ParallelMergeScaling/{1,2,4}/{1,2,4,8} and the
+# BM_TransitiveClosureSemiNaive/128/{1,2,4} trajectory carry forward;
 # CI regenerates the report on every push and uploads it as an artifact).
 #
 # Usage: tools/bench_report.sh [build-dir] [out-json]
@@ -15,7 +15,7 @@
 #              does not exist yet; an existing build dir is reused as-is,
 #              so you can point it at a RelWithDebInfo tree for
 #              apples-to-apples before/after runs)
-#   out-json   defaults to BENCH_PR8.json in the repo root
+#   out-json   defaults to BENCH_PR9.json in the repo root
 # Environment:
 #   BENCH_BUILD_TYPE   CMake build type for a fresh build dir (Release)
 #   BENCH_TARGETS      space-separated bench binaries (bench_engine
@@ -26,7 +26,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build-bench}"
-OUT="${2:-BENCH_PR8.json}"
+OUT="${2:-BENCH_PR9.json}"
 TARGETS=(${BENCH_TARGETS:-bench_engine bench_relation bench_dist bench_obs})
 MIN_TIME="${BENCH_MIN_TIME:-0.2}"
 

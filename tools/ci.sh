@@ -106,3 +106,57 @@ for tid, spans in by_tid.items():
         stack.append(end)
 print(f"ci: trace OK ({len(events)} spans, {len(by_tid)} threads)")
 EOF
+
+# Cross-node trace validity: dist_smoke merged each scenario's three
+# per-node traces (pid = node) into one Chrome trace. Check the merged
+# files are well-formed — X spans still nest per (pid, tid), every flow
+# event is a complete s/f pair joining two different nodes, and the
+# shipping spans that anchor the flows are present.
+for scenario in delegation linked; do
+  python3 - "${BUILD_DIR}/dist_smoke_trace_${scenario}.json" <<'EOF'
+import json
+import sys
+
+path = sys.argv[1]
+with open(path) as f:
+    events = json.load(f)["traceEvents"]
+assert events, f"{path}: empty merged trace"
+
+names = {e["name"] for e in events if e.get("ph") == "X"}
+for expected in ("fixpoint", "ship", "stage"):
+    assert expected in names, f"{path}: no '{expected}' span in {sorted(names)}"
+
+spans_by_lane = {}
+flows = {}
+for e in events:
+    ph = e.get("ph")
+    if ph == "X":
+        lane = (e["pid"], e["tid"])
+        spans_by_lane.setdefault(lane, []).append((e["ts"], e["ts"] + e["dur"]))
+    elif ph in ("s", "f"):
+        assert e.get("cat") == "flow" and e.get("id"), e
+        flows.setdefault(e["id"], {}).setdefault(ph, set()).add(e["pid"])
+    else:
+        assert ph == "M", f"{path}: unexpected phase {e}"
+
+for lane, spans in spans_by_lane.items():
+    spans.sort(key=lambda s: (s[0], -s[1]))
+    stack = []
+    for start, end in spans:
+        while stack and start >= stack[-1]:
+            stack.pop()
+        if stack and end > stack[-1]:
+            sys.exit(f"{path}: lane {lane}: span [{start},{end}] straddles "
+                     f"enclosing span ending at {stack[-1]}")
+        stack.append(end)
+
+cross = 0
+for fid, sides in flows.items():
+    assert sides.get("s"), f"{path}: flow {fid} has no start"
+    if sides.get("f") and sides["s"] != sides["f"]:
+        cross += 1
+assert cross, f"{path}: no flow joins two nodes"
+print(f"ci: merged {path.rsplit('/', 1)[-1]} OK "
+      f"({len(events)} events, {cross} cross-node flows)")
+EOF
+done

@@ -11,12 +11,21 @@
 # counters may exceed it only by transport-level duplicates, which are
 # themselves counted.
 #
+# Live introspection (ISSUE 9): socket nodes serve HTTP on port+3..port+5
+# and keep serving after convergence until /quitquitquit. The script
+# scrapes every node's /metrics over HTTP and diffs it against the file
+# dump (identical modulo uptime and the scrape's own lbtrust_http_*
+# counters), sanity-checks /statusz, then merges the per-node Chrome
+# traces into ${BUILD_DIR}/dist_smoke_trace_<scenario>.json and asserts at
+# least one sender-fixpoint -> receiver-import flow link crossed nodes.
+#
 # Usage: tools/dist_smoke.sh [build-dir]
 #   build-dir  must contain the lbtrust_node binary (defaults to build-ci,
 #              matching tools/ci.sh)
 # Environment:
 #   DIST_SMOKE_BASE_PORT   first listen port (default 46100; each scenario
-#                          uses three consecutive ports from there)
+#                          uses six consecutive ports from there: three
+#                          transport, three HTTP)
 #   DIST_SMOKE_TIMEOUT_MS  per-node convergence deadline (default 30000)
 set -euo pipefail
 
@@ -41,26 +50,93 @@ run_scenario() {
   local sim="${WORK}/${scenario}/sim" dist="${WORK}/${scenario}/dist"
   mkdir -p "${sim}" "${dist}"
 
-  echo "== dist_smoke: ${scenario} (ports ${port}-$((port + 2)))"
+  echo "== dist_smoke: ${scenario} (ports ${port}-$((port + 5)))"
   "${NODE_BIN}" --mode=sim --scenario="${scenario}" --outdir="${sim}"
 
   local pa=$port pb=$((port + 1)) pc=$((port + 2))
+  local ha=$((port + 3)) hb=$((port + 4)) hc=$((port + 5))
   "${NODE_BIN}" --mode=node --self=a --scenario="${scenario}" --port="${pa}" \
     --peers="b=127.0.0.1:${pb},c=127.0.0.1:${pc}" \
     --out="${dist}/a.dump" --metrics-out="${dist}/a.metrics" \
+    --http-port="${ha}" --trace-out="${dist}/a.trace.json" \
     --timeout-ms="${TIMEOUT_MS}" &
   local pid_a=$!
   "${NODE_BIN}" --mode=node --self=b --scenario="${scenario}" --port="${pb}" \
     --peers="a=127.0.0.1:${pa},c=127.0.0.1:${pc}" \
     --out="${dist}/b.dump" --metrics-out="${dist}/b.metrics" \
+    --http-port="${hb}" --trace-out="${dist}/b.trace.json" \
     --timeout-ms="${TIMEOUT_MS}" &
   local pid_b=$!
   "${NODE_BIN}" --mode=node --self=c --scenario="${scenario}" --port="${pc}" \
     --peers="a=127.0.0.1:${pa},b=127.0.0.1:${pb}" \
     --out="${dist}/c.dump" --metrics-out="${dist}/c.metrics" \
+    --http-port="${hc}" --trace-out="${dist}/c.trace.json" \
     --timeout-ms="${TIMEOUT_MS}" &
   local pid_c=$!
   NODE_PIDS+=("${pid_a}" "${pid_b}" "${pid_c}")
+
+  # A converged node writes dump -> metrics -> trace, then serves HTTP
+  # until /quitquitquit. The trace file is written last, so its presence
+  # means every other file of that node is complete.
+  local deadline=$(($(date +%s) + TIMEOUT_MS / 1000 + 10))
+  for n in a b c; do
+    while [[ ! -s "${dist}/${n}.trace.json" ]]; do
+      if (($(date +%s) > deadline)); then
+        echo "dist_smoke: ${scenario}: node ${n} did not converge in time" >&2
+        return 1
+      fi
+      sleep 0.1
+    done
+  done
+
+  # Scrape every node's live /metrics and diff against its file dump:
+  # identical except uptime and the scrape's own lbtrust_http_* counters.
+  # /statusz must be valid JSON naming the node and both peers. Finally
+  # ask each node to quit.
+  python3 - "${dist}" "${ha}" "${hb}" "${hc}" <<'EOF'
+import json
+import sys
+import urllib.request
+
+dist_dir = sys.argv[1]
+ports = dict(zip("abc", map(int, sys.argv[2:5])))
+
+def get(port, path):
+    with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}",
+                                timeout=10) as resp:
+        return resp.read().decode()
+
+def stable(page):
+    return [line for line in page.splitlines()
+            if "lbtrust_uptime_seconds" not in line
+            and "lbtrust_http_" not in line]
+
+failed = False
+for n, port in ports.items():
+    scraped = get(port, "/metrics")
+    with open(f"{dist_dir}/{n}.metrics") as f:
+        dumped = f.read()
+    if stable(scraped) != stable(dumped):
+        import difflib
+        print(f"dist_smoke: node {n}: /metrics scrape != file dump:",
+              file=sys.stderr)
+        sys.stderr.writelines(difflib.unified_diff(
+            stable(dumped), stable(scraped), "file", "scrape", lineterm=""))
+        failed = True
+    status = json.loads(get(port, "/statusz"))
+    if status["node"] != n or len(status["peers"]) != 2:
+        print(f"dist_smoke: node {n}: bad /statusz: {status}",
+              file=sys.stderr)
+        failed = True
+    json.loads(get(port, "/explainz"))  # must parse
+for n, port in ports.items():
+    try:
+        get(port, "/quitquitquit")
+    except OSError:
+        pass  # the node may close before the response is read
+sys.exit(1 if failed else 0)
+EOF
+  echo "== dist_smoke: ${scenario}: live /metrics matches file dump on 3/3 nodes"
 
   local failed=0
   wait "${pid_a}" || failed=1
@@ -133,6 +209,42 @@ for n in "abc":
 sys.exit(1 if failed else 0)
 EOF
   echo "== dist_smoke: ${scenario}: per-node counters reconcile with sim"
+
+  # Cross-node trace correlation: merge the three per-node Chrome traces
+  # into one file (pid = node), keyed so a sender's ship flow ('s', id
+  # "node:wave:seq", stamped on the wire frame) binds to the receiver's
+  # stage/import flow ('f', same id) in another process. At least one flow
+  # must actually cross nodes, or the correlation plane is dead.
+  python3 - "${dist}" "${BUILD_DIR}/dist_smoke_trace_${scenario}.json" <<'EOF'
+import json
+import sys
+
+dist_dir, out_path = sys.argv[1], sys.argv[2]
+merged = []
+for pid, node in enumerate("abc", start=1):
+    with open(f"{dist_dir}/{node}.trace.json") as f:
+        events = json.load(f)["traceEvents"]
+    for e in events:
+        e["pid"] = pid
+    merged.extend(events)
+    merged.append({"ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+                   "args": {"name": f"node {node}"}})
+
+flows = {}
+for e in merged:
+    if e.get("ph") in ("s", "f"):
+        flows.setdefault(e["id"], {}).setdefault(e["ph"], set()).add(e["pid"])
+cross = [fid for fid, sides in flows.items()
+         if sides.get("s") and sides.get("f")
+         and sides["s"] != sides["f"]]
+if not cross:
+    sys.exit(f"dist_smoke: no cross-node flow link in {len(flows)} flows")
+
+with open(out_path, "w") as f:
+    json.dump({"traceEvents": merged}, f)
+print(f"dist_smoke: merged trace -> {out_path} "
+      f"({len(merged)} events, {len(cross)} cross-node flows)")
+EOF
 }
 
 run_scenario delegation "${BASE_PORT}"

@@ -34,8 +34,11 @@
 #include "datalog/dump.h"
 #include "net/cluster.h"
 #include "net/distributed.h"
+#include "net/event_loop.h"
+#include "obs/http_exporter.h"
 #include "obs/trace.h"
 #include "trust/trust_runtime.h"
+#include "util/log.h"
 #include "util/status.h"
 #include "util/strings.h"
 
@@ -55,6 +58,10 @@ volatile std::sig_atomic_t g_dump_requested = 0;
 
 void OnDumpSignal(int) { g_dump_requested = 1; }
 
+/// Flipped by the /quitquitquit handler (which runs on the loop thread, so
+/// a plain bool suffices); ends the post-convergence HTTP serve window.
+bool g_quit_requested = false;
+
 struct Args {
   std::string mode;         // "sim" | "node"
   std::string scenario;     // "delegation" | "linked"
@@ -65,6 +72,7 @@ struct Args {
   std::string metrics_out;  // node mode: Prometheus-text metrics dump file
   std::string trace_out;    // Chrome trace-event JSON export file
   uint16_t port = 0;        // node mode: listen port
+  int http_port = -1;       // node mode: introspection server (-1 = off)
   int timeout_ms = 30000;   // node mode: convergence deadline
 };
 
@@ -87,6 +95,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     }
     if (take("port", &value)) {
       args->port = static_cast<uint16_t>(std::strtoul(value.c_str(), nullptr, 10));
+      continue;
+    }
+    if (take("http-port", &value)) {
+      args->http_port = static_cast<int>(std::strtol(value.c_str(), nullptr, 10));
       continue;
     }
     if (take("timeout-ms", &value)) {
@@ -205,10 +217,14 @@ Status RunNode(const Args& args) {
     return lbtrust::util::InvalidArgument(
         "--mode=node needs --self=NAME --port=PORT --out=FILE");
   }
+  // Tag every log line with the node name: interleaved stderr from the
+  // three dist_smoke processes stays attributable.
+  lbtrust::util::SetLogNodeTag(args.self);
   DistributedCluster::Options opts;
   opts.self = args.self;
   opts.nodes = {"a", "b", "c"};
   opts.listen_port = args.port;
+  opts.http_port = args.http_port;
   opts.scheme = SchemeFor(args.scenario);
   opts.runtime.rsa_bits = 512;
   opts.convergence_timeout_ms = args.timeout_ms;
@@ -218,6 +234,18 @@ Status RunNode(const Args& args) {
   LB_ASSIGN_OR_RETURN(std::unique_ptr<DistributedCluster> node,
                       DistributedCluster::Create(std::move(opts)));
   DistributedCluster* node_ptr = node.get();
+  if (node->http() != nullptr) {
+    // Ends the post-convergence serve window below; dist_smoke.sh hits it
+    // on every node once it has scraped /metrics.
+    node->http()->Handle("/quitquitquit", [] {
+      g_quit_requested = true;
+      lbtrust::obs::HttpExporter::Response r;
+      r.body = "bye\n";
+      return r;
+    });
+    std::fprintf(stderr, "node %s: http on port %u\n", args.self.c_str(),
+                 node->http_port());
+  }
   lbtrust::obs::Tracer tracer;
   if (!args.trace_out.empty()) {
     node->runtime()->workspace()->SetTracer(&tracer);
@@ -282,6 +310,19 @@ Status RunNode(const Args& args) {
                static_cast<unsigned long long>(stats.transport.frames_out),
                static_cast<unsigned long long>(stats.transport.retries),
                static_cast<unsigned long long>(stats.transport.reconnects));
+  if (node_ptr->http() != nullptr) {
+    // Post-convergence serve window: the dump/metrics files above are the
+    // script's readiness signal, after which it scrapes /metrics (and
+    // friends) over HTTP and finally requests /quitquitquit. The exporter
+    // shares the transport's loop, so polling it here drives the server.
+    const int64_t deadline =
+        lbtrust::net::EventLoop::NowMs() + args.timeout_ms;
+    while (!g_quit_requested &&
+           lbtrust::net::EventLoop::NowMs() < deadline) {
+      node_ptr->transport()->loop()->PollOnce(20);
+      node_ptr->http()->Housekeep();
+    }
+  }
   return lbtrust::util::OkStatus();
 }
 
