@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "datalog/ast.h"
+#include "datalog/lint.h"
 #include "datalog/parser.h"
 #include "util/strings.h"
 
@@ -49,6 +50,29 @@ Result<ImportStats> ImportCredentialSet(const std::string& root_hash,
     if (!parsed.ok()) {
       txn.Abort();
       return parsed.status();
+    }
+    // Static analysis BEFORE anything stages: a hostile bundle carrying an
+    // unsafe/unstratifiable/ill-typed program is rejected with the lint
+    // diagnostic (naming the unbound variable or cycle) and zero
+    // workspace/store mutation — not discovered later by a failing
+    // fixpoint over partially-applied state. The payload speaks from the
+    // issuer's context, so says-attribution is checked against the issuer.
+    {
+      datalog::LintOptions lint_opts;
+      lint_opts.builtins = workspace->builtins();
+      lint_opts.says_check = true;
+      lint_opts.says_principal = cred->issuer;
+      datalog::LintReport lint =
+          datalog::LintProgram(cred->payload, cred->issuer, lint_opts);
+      if (lint.has_errors()) {
+        txn.Abort();
+        util::Status status = lint.ToStatus();
+        return util::Status(
+            status.code(),
+            util::StrCat("credential ", hash, " from '", cred->issuer,
+                         "' carries an ill-formed program: ",
+                         status.message()));
+      }
     }
     for (ParsedClause& clause : *parsed) {
       if (clause.kind == ParsedClause::Kind::kConstraint) {

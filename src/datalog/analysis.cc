@@ -1,6 +1,7 @@
 #include "datalog/analysis.h"
 
 #include <algorithm>
+#include <deque>
 #include <map>
 #include <set>
 
@@ -126,13 +127,40 @@ Result<Stratification> Stratify(const std::vector<const Rule*>& rules,
   std::vector<std::vector<std::string>> sccs = finder.Run();
 
   // Reject negative edges inside an SCC (negation/aggregation through
-  // recursion).
+  // recursion), spelling out the offending cycle as a predicate path:
+  // the negative edge, then a BFS inside the SCC closing dst back to src.
   for (const auto& [src, succs] : g.edges) {
     for (const auto& [dst, neg] : succs) {
       if (neg && finder.SccOf(src) == finder.SccOf(dst)) {
+        const int scc = finder.SccOf(src);
+        std::map<std::string, std::string> parent;
+        std::deque<std::string> queue{dst};
+        parent[dst] = dst;
+        while (!queue.empty() && parent.find(src) == parent.end()) {
+          std::string v = queue.front();
+          queue.pop_front();
+          auto it = g.edges.find(v);
+          if (it == g.edges.end()) continue;
+          for (const auto& [w, unused] : it->second) {
+            (void)unused;
+            if (finder.SccOf(w) != scc || parent.count(w)) continue;
+            parent[w] = v;
+            queue.push_back(w);
+          }
+        }
+        std::string cycle = util::StrCat(src, " -!-> ", dst);
+        if (parent.count(src) && src != dst) {
+          std::vector<std::string> path;
+          for (std::string v = src; v != dst; v = parent[v]) {
+            path.push_back(v);
+          }
+          for (auto it2 = path.rbegin(); it2 != path.rend(); ++it2) {
+            cycle += util::StrCat(" -> ", *it2);
+          }
+        }
         return util::NotStratifiable(util::StrCat(
             "negation or aggregation through recursion between '", src,
-            "' and '", dst, "'"));
+            "' and '", dst, "' (cycle: ", cycle, ")"));
       }
     }
   }

@@ -1677,7 +1677,7 @@ Status Evaluator::RunRound(const std::vector<RoundTask>& tasks,
   // caller participates, so chunks - 1 saturates the round); a shared
   // slot keeps the threads alive across fixpoints.
   const unsigned want_workers = static_cast<unsigned>(std::min<size_t>(
-      threads_ - 1, chunks.size() > 0 ? chunks.size() - 1 : 0));
+      threads_ - 1, chunks.empty() ? 0 : chunks.size() - 1));
   if (want_workers > 0) {
     EvalWorkerPoolHandle& pool = *workers_slot_;
     if (pool == nullptr) {

@@ -151,8 +151,8 @@ std::string Ratio(uint64_t hits, uint64_t probes) {
   return buf;
 }
 
-std::string RenderText(const CompiledRule& rule,
-                       obs::MetricsRegistry* metrics) {
+std::string RenderText(const CompiledRule& rule, obs::MetricsRegistry* metrics,
+                       const std::vector<Diagnostic>* diagnostics) {
   std::string out = util::StrCat("rule ", rule.id, " [head=", rule.head_pred,
                                  rule.parallel_safe ? ", parallel-safe" : "",
                                  "]: ", PrintRule(rule.source), "\n");
@@ -174,21 +174,28 @@ std::string RenderText(const CompiledRule& rule,
   }
   if (metrics == nullptr) {
     out += "  measured: (metrics disabled)\n";
-    return out;
+  } else {
+    Measured m = ReadMeasured(rule, metrics);
+    out += util::StrCat("  measured: evals=", m.evals, " derived=", m.derived,
+                        " probes=", m.probes, " eval_us=", m.eval_us, "\n");
+    for (const auto& rel : m.relations) {
+      out += util::StrCat("    ", rel.relation, ": probes=", rel.probes,
+                          " hits=", rel.hits, " selectivity=",
+                          Ratio(rel.hits, rel.probes), "\n");
+    }
   }
-  Measured m = ReadMeasured(rule, metrics);
-  out += util::StrCat("  measured: evals=", m.evals, " derived=", m.derived,
-                      " probes=", m.probes, " eval_us=", m.eval_us, "\n");
-  for (const auto& rel : m.relations) {
-    out += util::StrCat("    ", rel.relation, ": probes=", rel.probes,
-                        " hits=", rel.hits, " selectivity=",
-                        Ratio(rel.hits, rel.probes), "\n");
+  if (diagnostics != nullptr && !diagnostics->empty()) {
+    out += "  diagnostics:\n";
+    for (const Diagnostic& d : *diagnostics) {
+      out += util::StrCat("    ", d.code, " ", LintSeverityName(d.severity),
+                          ": ", d.message, "\n");
+    }
   }
   return out;
 }
 
-std::string RenderJson(const CompiledRule& rule,
-                       obs::MetricsRegistry* metrics) {
+std::string RenderJson(const CompiledRule& rule, obs::MetricsRegistry* metrics,
+                       const std::vector<Diagnostic>* diagnostics) {
   std::string out = util::StrCat("{\"rule\":", rule.id, ",\"head\":\"",
                                  obs::LabelEscape(rule.head_pred),
                                  "\",\"source\":\"",
@@ -232,7 +239,16 @@ std::string RenderJson(const CompiledRule& rule,
     }
     out += "]}";
   }
-  out.push_back('}');
+  out += ",\"diagnostics\":[";
+  if (diagnostics != nullptr) {
+    first = true;
+    for (const Diagnostic& d : *diagnostics) {
+      if (!first) out.push_back(',');
+      first = false;
+      out += d.ToJson();
+    }
+  }
+  out += "]}";
   return out;
 }
 
@@ -240,29 +256,36 @@ std::string RenderJson(const CompiledRule& rule,
 
 std::string ExplainCompiledRule(const CompiledRule& rule,
                                 obs::MetricsRegistry* metrics,
-                                ExplainFormat format) {
-  return format == ExplainFormat::kJson ? RenderJson(rule, metrics)
-                                        : RenderText(rule, metrics);
+                                ExplainFormat format,
+                                const std::vector<Diagnostic>* diagnostics) {
+  return format == ExplainFormat::kJson
+             ? RenderJson(rule, metrics, diagnostics)
+             : RenderText(rule, metrics, diagnostics);
 }
 
-std::string ExplainCompiledRules(const std::vector<const CompiledRule*>& rules,
-                                 obs::MetricsRegistry* metrics,
-                                 ExplainFormat format) {
+std::string ExplainCompiledRules(
+    const std::vector<const CompiledRule*>& rules,
+    obs::MetricsRegistry* metrics, ExplainFormat format,
+    const std::vector<std::vector<Diagnostic>>* diagnostics) {
+  auto rule_diags = [&](size_t i) -> const std::vector<Diagnostic>* {
+    if (diagnostics == nullptr || i >= diagnostics->size()) return nullptr;
+    return &(*diagnostics)[i];
+  };
   if (format == ExplainFormat::kText) {
     std::string out;
-    for (const CompiledRule* rule : rules) {
-      if (rule == nullptr) continue;
-      out += RenderText(*rule, metrics);
+    for (size_t i = 0; i < rules.size(); ++i) {
+      if (rules[i] == nullptr) continue;
+      out += RenderText(*rules[i], metrics, rule_diags(i));
     }
     return out;
   }
   std::string out = "{\"rules\":[";
   bool first = true;
-  for (const CompiledRule* rule : rules) {
-    if (rule == nullptr) continue;
+  for (size_t i = 0; i < rules.size(); ++i) {
+    if (rules[i] == nullptr) continue;
     if (!first) out.push_back(',');
     first = false;
-    out += RenderJson(*rule, metrics);
+    out += RenderJson(*rules[i], metrics, rule_diags(i));
   }
   out += "]}";
   return out;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "datalog/eval.h"
+#include "datalog/lint.h"
 #include "obs/metrics.h"
 
 namespace lbtrust::datalog {
@@ -24,14 +25,23 @@ enum class ExplainFormat { kText, kJson };
 /// the Prepare()-time stats feed cost-based join ordering consumes
 /// (ROADMAP item 5): plan = what the static scheduler chose, selectivity =
 /// what the workload measured, disagreement = reorder opportunity.
+/// `diagnostics` (optional) are this rule's lint findings: the JSON form
+/// always carries a `"diagnostics"` array (empty when null/none) so
+/// consumers can rely on the shape; text prints a `diagnostics:` section
+/// only when non-empty.
 std::string ExplainCompiledRule(const CompiledRule& rule,
                                 obs::MetricsRegistry* metrics,
-                                ExplainFormat format);
+                                ExplainFormat format,
+                                const std::vector<Diagnostic>* diagnostics =
+                                    nullptr);
 
 /// Renders a rule set: JSON `{"rules":[...]}` or concatenated text blocks.
-std::string ExplainCompiledRules(const std::vector<const CompiledRule*>& rules,
-                                 obs::MetricsRegistry* metrics,
-                                 ExplainFormat format);
+/// `diagnostics`, when non-null, is aligned with `rules` (per-rule lint
+/// findings; shorter is fine — missing entries render empty).
+std::string ExplainCompiledRules(
+    const std::vector<const CompiledRule*>& rules,
+    obs::MetricsRegistry* metrics, ExplainFormat format,
+    const std::vector<std::vector<Diagnostic>>* diagnostics = nullptr);
 
 }  // namespace lbtrust::datalog
 

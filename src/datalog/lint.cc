@@ -1,0 +1,1388 @@
+#include "datalog/lint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "datalog/analysis.h"
+#include "datalog/parser.h"
+#include "datalog/pretty.h"
+#include "obs/metrics.h"
+#include "util/strings.h"
+
+namespace lbtrust::datalog {
+
+namespace {
+
+const BuiltinRegistry& StandardBuiltins() {
+  static const BuiltinRegistry* reg = [] {
+    auto* r = new BuiltinRegistry;
+    RegisterStandardBuiltins(r);
+    return r;
+  }();
+  return *reg;
+}
+
+const char* ValueKindName(ValueKind kind) {
+  switch (kind) {
+    case ValueKind::kNil: return "nil";
+    case ValueKind::kBool: return "bool";
+    case ValueKind::kInt: return "int";
+    case ValueKind::kDouble: return "float";
+    case ValueKind::kString: return "string";
+    case ValueKind::kSymbol: return "symbol";
+    case ValueKind::kCode: return "code";
+    case ValueKind::kPart: return "partition";
+  }
+  return "?";
+}
+
+/// Allocation-free early-exit twin of CollectTermVars: does the term bind
+/// any variable (same shallow visibility — quoted code stays opaque)?
+bool TermHasVars(const Term& t) {
+  switch (t.kind) {
+    case Term::Kind::kVariable:
+    case Term::Kind::kStarVar:
+      return true;
+    case Term::Kind::kExpr:
+      return TermHasVars(*t.lhs) || TermHasVars(*t.rhs);
+    case Term::Kind::kPartRef:
+      return TermHasVars(*t.part_key);
+    default:
+      return false;  // constants (incl. quoted code) and `me` bind nothing
+  }
+}
+
+bool AtomHasVars(const Atom& a) {
+  if (a.partition && TermHasVars(*a.partition)) return true;
+  for (const Term& t : a.args) {
+    if (TermHasVars(t)) return true;
+  }
+  return false;
+}
+
+/// A clause whose heads are ground routes to the EDB, not the rule set
+/// (mirrors the workspace's IsGroundFactRule).
+bool IsEdbFact(const Rule& rule) {
+  if (!rule.IsFact()) return false;
+  for (const Atom& h : rule.heads) {
+    if (h.meta_atom || h.meta_functor || AtomHasVars(h)) return false;
+  }
+  return true;
+}
+
+// --- Per-rule binding-flow analysis ---------------------------------------
+//
+// Mirrors eval.cc's greedy scheduler at the AST level (same shallow
+// variable visibility as CompileRule's slot interning): a literal is
+// schedulable under the same conditions ScheduleScore accepts it, and
+// binds the same variables BindLiteralOutputs binds. Because binding is
+// monotone, "repeat: schedule any schedulable literal" reaches the same
+// stuck-or-done verdict as the engine's scored greedy walk — so a lint
+// error here is exactly a CompileRule rejection, but with the offending
+// variable and position attached.
+
+/// Per-rule variable interner: analysis runs on small integer ids (bound
+/// state is a flat bitset, not a std::set<std::string>), names are kept
+/// only for diagnostics. Rules have a handful of variables, so linear
+/// search beats any hash map here.
+struct VarTable {
+  std::vector<std::string> names;
+  std::vector<std::string> scratch;  ///< reused by Collect below
+
+  int Intern(const std::string& v) {
+    for (size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == v) return static_cast<int>(i);
+    }
+    names.push_back(v);
+    return static_cast<int>(names.size()) - 1;
+  }
+  int Find(const std::string& v) const {
+    for (size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == v) return static_cast<int>(i);
+    }
+    return -1;
+  }
+  const std::string& name(int id) const {
+    return names[static_cast<size_t>(id)];
+  }
+};
+
+/// Flat bitset over interned variable ids.
+using BoundSet = std::vector<char>;
+
+bool IsBound(const BoundSet& bound, int id) {
+  return bound[static_cast<size_t>(id)] != 0;
+}
+
+struct LintCol {
+  uint32_t vars_first = 0;  ///< offset into RuleScratch::var_pool
+  uint32_t vars_len = 0;    ///< shallow variable count (quoted code opaque)
+  bool is_expr = false;     ///< arithmetic: check-only, never inverted
+};
+
+struct LintLit {
+  enum class Kind { kRelation, kNegation, kBuiltin, kEquality };
+  Kind kind = Kind::kRelation;
+  int body_idx = 0;
+  const Literal* src = nullptr;
+  const BuiltinDef* builtin = nullptr;
+  bool negated_builtin = false;   ///< negated non-equality builtin
+  uint32_t cols_first = 0;        ///< offset into RuleScratch::col_pool,
+  uint32_t cols_len = 0;          ///< partition key first, like the engine
+  uint32_t elsewhere_first = 0;   ///< negation only: offset into
+                                  ///< elsewhere_pool (num_vars flags)
+};
+
+/// Per-rule analysis state, pooled so one Linter run performs a constant
+/// number of allocations regardless of rule count: variable ids, columns
+/// and negation masks all live in flat arrays keyed by (offset, length),
+/// and Reset() keeps every pool's capacity for the next rule.
+struct RuleScratch {
+  VarTable table;
+  std::vector<int> var_pool;         ///< LintCol -> variable ids
+  std::vector<LintCol> col_pool;     ///< LintLit / head -> columns
+  std::vector<char> elsewhere_pool;  ///< negation masks, num_vars each
+  std::vector<LintLit> body;
+  BoundSet bound;
+  std::vector<char> done;
+
+  void Reset() {
+    table.names.clear();
+    var_pool.clear();
+    col_pool.clear();
+    elsewhere_pool.clear();
+    body.clear();
+  }
+  const int* vars(const LintCol& c) const {
+    return var_pool.data() + c.vars_first;
+  }
+  const LintCol* cols(const LintLit& l) const {
+    return col_pool.data() + l.cols_first;
+  }
+  const char* elsewhere(const LintLit& l) const {
+    return elsewhere_pool.data() + l.elsewhere_first;
+  }
+};
+
+LintCol MakeCol(const Term& t, RuleScratch& s) {
+  LintCol col;
+  col.vars_first = static_cast<uint32_t>(s.var_pool.size());
+  col.is_expr = t.kind == Term::Kind::kExpr;
+  // Fast paths for the two dominant shapes — a bare variable and a
+  // var-free term — skip the string-copying CollectTermVars round trip.
+  switch (t.kind) {
+    case Term::Kind::kVariable:
+    case Term::Kind::kStarVar:
+      s.var_pool.push_back(s.table.Intern(t.var));
+      col.vars_len = 1;
+      return col;
+    case Term::Kind::kConstant:
+    case Term::Kind::kMe:
+      return col;  // binds nothing (quoted code stays opaque)
+    default:
+      break;
+  }
+  s.table.scratch.clear();
+  CollectTermVars(t, &s.table.scratch);
+  for (const std::string& v : s.table.scratch) {
+    s.var_pool.push_back(s.table.Intern(v));
+  }
+  col.vars_len = static_cast<uint32_t>(s.var_pool.size()) - col.vars_first;
+  return col;
+}
+
+/// Appends the atom's columns to the column pool; returns (first, count).
+std::pair<uint32_t, uint32_t> AtomCols(const Atom& atom, RuleScratch& s) {
+  uint32_t first = static_cast<uint32_t>(s.col_pool.size());
+  if (atom.partition) s.col_pool.push_back(MakeCol(*atom.partition, s));
+  for (const Term& t : atom.args) s.col_pool.push_back(MakeCol(t, s));
+  return {first, static_cast<uint32_t>(s.col_pool.size()) - first};
+}
+
+bool ColGround(const RuleScratch& s, const LintCol& col,
+               const BoundSet& bound) {
+  const int* vs = s.vars(col);
+  for (uint32_t i = 0; i < col.vars_len; ++i) {
+    if (!IsBound(bound, vs[i])) return false;
+  }
+  return true;
+}
+
+std::vector<int> ColUnbound(const RuleScratch& s, const LintCol& col,
+                            const BoundSet& bound) {
+  std::vector<int> out;
+  const int* vs = s.vars(col);
+  for (uint32_t i = 0; i < col.vars_len; ++i) {
+    if (!IsBound(bound, vs[i])) out.push_back(vs[i]);
+  }
+  return out;
+}
+
+/// Fills the literal's elsewhere mask with the variables occurring in
+/// literals other than `skip` or in the head — the wildcard-negation rule
+/// from eval.cc's SlotsUsedElsewhere. Computed once per negation literal
+/// per rule (the mask never changes as the schedule progresses).
+void FillVarsUsedElsewhere(RuleScratch& s, uint32_t head_first,
+                           uint32_t head_len, size_t skip, size_t num_vars,
+                           LintLit* lit) {
+  lit->elsewhere_first = static_cast<uint32_t>(s.elsewhere_pool.size());
+  s.elsewhere_pool.resize(s.elsewhere_pool.size() + num_vars, 0);
+  char* mask = s.elsewhere_pool.data() + lit->elsewhere_first;
+  for (size_t i = 0; i < s.body.size(); ++i) {
+    if (i == skip) continue;
+    const LintCol* cs = s.cols(s.body[i]);
+    for (uint32_t c = 0; c < s.body[i].cols_len; ++c) {
+      const int* vs = s.vars(cs[c]);
+      for (uint32_t v = 0; v < cs[c].vars_len; ++v) {
+        mask[vs[v]] = 1;
+      }
+    }
+  }
+  for (uint32_t c = 0; c < head_len; ++c) {
+    const LintCol& col = s.col_pool[head_first + c];
+    const int* vs = s.vars(col);
+    for (uint32_t v = 0; v < col.vars_len; ++v) mask[vs[v]] = 1;
+  }
+}
+
+bool LitSchedulable(const RuleScratch& s, size_t idx, const BoundSet& bound) {
+  const LintLit& lit = s.body[idx];
+  const LintCol* cs = s.cols(lit);
+  switch (lit.kind) {
+    case LintLit::Kind::kEquality: {
+      bool g0 = ColGround(s, cs[0], bound);
+      bool g1 = ColGround(s, cs[1], bound);
+      if (g0 && g1) return true;
+      if (g0 && !cs[1].is_expr) return true;
+      if (g1 && !cs[0].is_expr) return true;
+      return false;
+    }
+    case LintLit::Kind::kBuiltin: {
+      if (lit.negated_builtin) {
+        for (uint32_t c = 0; c < lit.cols_len; ++c) {
+          if (!ColGround(s, cs[c], bound)) return false;
+        }
+        return true;
+      }
+      for (const std::string& mode : lit.builtin->modes) {
+        bool ok = true;
+        for (size_t i = 0; i < mode.size() && i < lit.cols_len; ++i) {
+          if (mode[i] == 'b' && !ColGround(s, cs[i], bound)) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) return true;
+      }
+      return false;
+    }
+    case LintLit::Kind::kNegation: {
+      const char* mask = s.elsewhere(lit);
+      for (uint32_t c = 0; c < lit.cols_len; ++c) {
+        const int* vs = s.vars(cs[c]);
+        for (uint32_t v = 0; v < cs[c].vars_len; ++v) {
+          if (!IsBound(bound, vs[v]) && mask[vs[v]]) return false;
+        }
+      }
+      return true;
+    }
+    case LintLit::Kind::kRelation: {
+      for (uint32_t c = 0; c < lit.cols_len; ++c) {
+        if (cs[c].is_expr && !ColGround(s, cs[c], bound)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+void BindLitOutputs(const RuleScratch& s, const LintLit& lit,
+                    BoundSet* bound) {
+  const LintCol* cs = s.cols(lit);
+  switch (lit.kind) {
+    case LintLit::Kind::kRelation:
+      for (uint32_t c = 0; c < lit.cols_len; ++c) {
+        // Relation columns bind unless they are check-only arithmetic.
+        if (!cs[c].is_expr) {
+          const int* vs = s.vars(cs[c]);
+          for (uint32_t v = 0; v < cs[c].vars_len; ++v) {
+            (*bound)[static_cast<size_t>(vs[v])] = 1;
+          }
+        }
+      }
+      return;
+    case LintLit::Kind::kEquality:
+    case LintLit::Kind::kBuiltin:
+      for (uint32_t c = 0; c < lit.cols_len; ++c) {
+        const int* vs = s.vars(cs[c]);
+        for (uint32_t v = 0; v < cs[c].vars_len; ++v) {
+          (*bound)[static_cast<size_t>(vs[v])] = 1;
+        }
+      }
+      return;
+    case LintLit::Kind::kNegation:
+      return;
+  }
+}
+
+std::string JoinVars(const std::vector<int>& vars, const VarTable& table) {
+  std::string out;
+  for (size_t i = 0; i < vars.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += util::StrCat("'", table.name(vars[i]), "'");
+  }
+  return out;
+}
+
+// --- The analyzer ---------------------------------------------------------
+
+constexpr size_t kNoArity = ~static_cast<size_t>(0);
+constexpr int kEqPred = -1;
+
+/// Predicate interner entry shared by every pass: one builtin-registry
+/// lookup per distinct predicate for the whole run, and integer ids instead
+/// of string-keyed maps in the graph passes. Programs have a handful of
+/// predicates, so linear search allocates nothing and beats hashing.
+struct PredInfo {
+  std::string name;
+  const BuiltinDef* builtin = nullptr;
+  size_t arity = kNoArity;        ///< first seen arity (CheckArities)
+  const Atom* first_use = nullptr;
+  bool is_head = false;           ///< appears as a rule/fact head
+  bool is_derived = false;        ///< head of a non-fact rule
+  bool is_read = false;           ///< appears in a rule body
+};
+
+/// Interned view of one atom, cached per rule by CheckArities so the
+/// graph passes never re-run the string search. `id` is kEqPred for the
+/// '=' pseudo-predicate, a preds index otherwise (meta atoms included).
+struct AtomId {
+  int id = kEqPred;
+  bool meta = false;
+};
+
+/// A head<-body dependency edge in the stratification graph.
+struct DepEdge {
+  int src, dst;
+  bool negative;
+  int rule_index;
+};
+
+/// Reusable whole-run storage. A run fills these and leaves the capacity
+/// behind for the next run on the same thread, so steady-state ingress
+/// linting performs no per-run pool allocations at all.
+struct LintArena {
+  std::vector<const Rule*> rules;
+  std::vector<const Constraint*> constraints;
+  std::vector<PredInfo> preds;
+  std::vector<AtomId> atom_ids;
+  std::vector<uint32_t> rule_ids_first;
+  RuleScratch scratch;
+
+  // Graph-pass scratch. Each pass re-initializes exactly what it uses, so
+  // Reset() leaves these alone; the two vector-of-vectors never shrink,
+  // keeping their inner capacity too.
+  std::vector<char> is_edb;                           ///< per rule index
+  std::vector<DepEdge> strat_edges;
+  std::vector<std::vector<std::pair<int, bool>>> strat_adj;
+  std::vector<int> scc_of, tarjan_index, tarjan_lowlink, tarjan_stack;
+  std::vector<char> tarjan_on_stack;
+  std::vector<std::vector<uint16_t>> drift_masks;     ///< per pred id
+  std::vector<char> roots, reachable;                 ///< per pred id
+
+  void Reset() {
+    rules.clear();
+    constraints.clear();
+    preds.clear();
+    atom_ids.clear();
+    rule_ids_first.clear();
+    scratch.Reset();
+  }
+};
+
+class Linter {
+ public:
+  Linter(const LintOptions& opts, std::vector<std::string> self_names,
+         LintArena* arena)
+      : opts_(opts),
+        builtins_(opts.builtins != nullptr ? *opts.builtins
+                                           : StandardBuiltins()),
+        self_names_(std::move(self_names)),
+        arena_(*arena),
+        rules_(arena->rules),
+        constraints_(arena->constraints),
+        preds_(arena->preds),
+        atom_ids_(arena->atom_ids),
+        rule_ids_first_(arena->rule_ids_first),
+        scratch_(arena->scratch) {
+    arena->Reset();
+    // Typical programs stay under these; at most one allocation per pool
+    // per thread, ever (the arena keeps capacity across runs).
+    preds_.reserve(48);
+    scratch_.table.names.reserve(16);
+    scratch_.var_pool.reserve(32);
+    scratch_.col_pool.reserve(32);
+    scratch_.body.reserve(16);
+  }
+
+  void AddRule(const Rule& rule) { rules_.push_back(&rule); }
+  void AddConstraint(const Constraint& constraint) {
+    constraints_.push_back(&constraint);
+  }
+
+  int PredId(const std::string& name) {
+    for (size_t i = 0; i < preds_.size(); ++i) {
+      if (preds_[i].name == name) return static_cast<int>(i);
+    }
+    PredInfo info;
+    info.name = name;
+    info.builtin = builtins_.Find(name);
+    preds_.push_back(std::move(info));
+    return static_cast<int>(preds_.size()) - 1;
+  }
+
+  const BuiltinDef* FindBuiltin(const std::string& name) {
+    return preds_[static_cast<size_t>(PredId(name))].builtin;
+  }
+
+  const std::string& PredName(int id) const {
+    return preds_[static_cast<size_t>(id)].name;
+  }
+
+  // One flat pool, heads then body per rule; rule_ids_first_[i] is rule
+  // i's offset. Lengths come from the rule itself, so no per-rule vectors.
+  AtomId HeadId(size_t rule, size_t h) const {
+    return atom_ids_[rule_ids_first_[rule] + h];
+  }
+  AtomId BodyId(size_t rule, size_t b) const {
+    return atom_ids_[rule_ids_first_[rule] + rules_[rule]->heads.size() + b];
+  }
+
+  AtomId IdFor(const Atom& atom) {
+    AtomId out;
+    out.meta = atom.meta_atom || atom.meta_functor;
+    if (atom.predicate != "=") out.id = PredId(atom.predicate);
+    return out;
+  }
+
+  bool IsEdb(size_t rule) const { return arena_.is_edb[rule] != 0; }
+
+  LintReport Run() {
+    CheckArities();  // also fills arena_.is_edb and the dead-code flags
+    for (size_t i = 0; i < rules_.size(); ++i) {
+      if (!IsEdb(i)) CheckRule(static_cast<int>(i), *rules_[i]);
+      if (opts_.says_check) CheckSays(static_cast<int>(i), *rules_[i]);
+    }
+    CheckStratification();
+    CheckConstantDrift();
+    CheckDeadCode();
+    return std::move(report_);
+  }
+
+ private:
+  // Cold + noinline: clean programs never emit, and the attribute lets the
+  // compiler move every diagnostic-formatting block (the StrCat chains at
+  // the call sites) out of the hot analysis loops' instruction stream.
+#if defined(__GNUC__)
+  __attribute__((cold, noinline))
+#endif
+  void Emit(LintSeverity severity, const char* code, int rule_index,
+            const Rule* rule, std::string predicate, std::string variable,
+            int position, std::string message) {
+    Diagnostic d;
+    d.severity = severity;
+    d.code = code;
+    d.rule_index = rule_index;
+    if (rule != nullptr) d.rule = PrintRule(*rule);
+    d.predicate = std::move(predicate);
+    d.variable = std::move(variable);
+    d.position = position;
+    d.message = std::move(message);
+    report_.diagnostics.push_back(std::move(d));
+  }
+
+  // L030: one predicate, one arity — across heads, bodies, facts and
+  // constraints; builtins against their registered arity. Doubles as the
+  // interning sweep: every atom's predicate id is cached in rule_ids_ for
+  // the stratification/drift/dead-code passes.
+  void CheckArities() {
+    auto check = [&](const Atom& atom, AtomId aid, int rule_index,
+                     const Rule* rule, int position) {
+      if (aid.meta || aid.id == kEqPred) return;
+      const std::string& pred = atom.predicate;
+      size_t arity = atom.Arity();
+      PredInfo& info = preds_[static_cast<size_t>(aid.id)];
+      if (info.builtin != nullptr) {
+        if (arity != info.builtin->arity) {
+          Emit(LintSeverity::kError, "L030", rule_index, rule, pred, "",
+               position,
+               util::StrCat("builtin '", pred, "' expects ",
+                            info.builtin->arity, " arguments, got ", arity,
+                            " in ", PrintAtom(atom)));
+        }
+        return;
+      }
+      if (info.arity == kNoArity) {
+        info.arity = arity;
+        info.first_use = &atom;
+      } else if (info.arity != arity) {
+        Emit(LintSeverity::kError, "L030", rule_index, rule, pred, "",
+             position,
+             util::StrCat("predicate '", pred, "' used at arity ", arity,
+                          " in ", PrintAtom(atom), " but at arity ",
+                          info.arity, " in ", PrintAtom(*info.first_use)));
+      }
+    };
+    size_t total_atoms = 0;
+    for (const Rule* rule : rules_) {
+      total_atoms += rule->heads.size() + rule->body.size();
+    }
+    atom_ids_.reserve(total_atoms);
+    rule_ids_first_.reserve(rules_.size());
+    arena_.is_edb.assign(rules_.size(), 0);
+    for (size_t i = 0; i < rules_.size(); ++i) {
+      const Rule& rule = *rules_[i];
+      const bool fact = IsEdbFact(rule);
+      arena_.is_edb[i] = fact ? 1 : 0;
+      rule_ids_first_.push_back(static_cast<uint32_t>(atom_ids_.size()));
+      for (const Atom& h : rule.heads) {
+        atom_ids_.push_back(IdFor(h));
+        const AtomId aid = atom_ids_.back();
+        if (aid.id != kEqPred) {
+          // Dead-code flags ride the interning sweep; CheckDeadCode only
+          // reads them.
+          PredInfo& info = preds_[static_cast<size_t>(aid.id)];
+          info.is_head = true;
+          if (!fact) info.is_derived = true;
+        }
+        check(h, aid, static_cast<int>(i), &rule, -1);
+      }
+      for (size_t b = 0; b < rule.body.size(); ++b) {
+        atom_ids_.push_back(IdFor(rule.body[b].atom));
+        const AtomId aid = atom_ids_.back();
+        if (aid.id != kEqPred &&
+            preds_[static_cast<size_t>(aid.id)].builtin == nullptr) {
+          preds_[static_cast<size_t>(aid.id)].is_read = true;
+        }
+        check(rule.body[b].atom, aid, static_cast<int>(i), &rule,
+              static_cast<int>(b));
+      }
+    }
+    for (const Constraint* c : constraints_) {
+      for (const Literal& l : c->lhs) check(l.atom, IdFor(l.atom), -1, nullptr, -1);
+      for (const auto& alt : c->rhs_dnf) {
+        for (const Literal& l : alt) check(l.atom, IdFor(l.atom), -1, nullptr, -1);
+      }
+    }
+  }
+
+  // Safety / range restriction: L001-L005.
+  void CheckRule(int rule_index, const Rule& rule) {
+    if (rule.heads.size() != 1) return;  // split upstream; defensive
+    util::Status installable = ValidateInstallableRule(rule);
+    if (!installable.ok()) {
+      Emit(LintSeverity::kError, "L005", rule_index, &rule,
+           rule.heads[0].predicate, "", -1, installable.message());
+      return;
+    }
+
+    // Classify body literals; a misclassified (bad-arity builtin) literal
+    // already carries an L030, so skip the schedule to avoid noise.
+    RuleScratch& s = scratch_;
+    s.Reset();
+    for (size_t b = 0; b < rule.body.size(); ++b) {
+      const Literal& lit = rule.body[b];
+      LintLit ll;
+      ll.body_idx = static_cast<int>(b);
+      ll.src = &lit;
+      std::tie(ll.cols_first, ll.cols_len) = AtomCols(lit.atom, s);
+      const AtomId aid = BodyId(static_cast<size_t>(rule_index), b);
+      const BuiltinDef* def =
+          aid.id == kEqPred ? nullptr
+                            : preds_[static_cast<size_t>(aid.id)].builtin;
+      if (aid.id == kEqPred && !lit.negated) {
+        ll.kind = LintLit::Kind::kEquality;
+      } else if (aid.id == kEqPred || def != nullptr) {
+        ll.kind = LintLit::Kind::kBuiltin;
+        if (aid.id == kEqPred) {
+          ll.builtin = FindBuiltin("!=");  // negated '=' runs as '!='
+        } else {
+          ll.builtin = def;
+          ll.negated_builtin = lit.negated;
+        }
+        if (ll.builtin == nullptr || ll.cols_len != ll.builtin->arity) {
+          return;  // L030 already emitted by CheckArities
+        }
+      } else if (lit.negated) {
+        ll.kind = LintLit::Kind::kNegation;
+      } else {
+        ll.kind = LintLit::Kind::kRelation;
+      }
+      s.body.push_back(ll);
+    }
+    const auto [head_first, head_len] = AtomCols(rule.heads[0], s);
+    const size_t num_vars = s.table.names.size();
+    for (size_t i = 0; i < s.body.size(); ++i) {
+      if (s.body[i].kind == LintLit::Kind::kNegation) {
+        FillVarsUsedElsewhere(s, head_first, head_len, i, num_vars,
+                              &s.body[i]);
+      }
+    }
+
+    // Monotone schedule replay: keep binding until stuck or done.
+    s.bound.assign(num_vars, 0);
+    s.done.assign(s.body.size(), 0);
+    size_t scheduled = 0;
+    bool progress = true;
+    while (progress && scheduled < s.body.size()) {
+      progress = false;
+      for (size_t i = 0; i < s.body.size(); ++i) {
+        if (s.done[i]) continue;
+        if (!LitSchedulable(s, i, s.bound)) continue;
+        BindLitOutputs(s, s.body[i], &s.bound);
+        s.done[i] = true;
+        ++scheduled;
+        progress = true;
+      }
+    }
+
+    if (scheduled < s.body.size()) {
+      ExplainStuck(rule_index, rule, s, scheduled);
+      return;  // head/aggregate failures would be downstream noise
+    }
+
+    auto bound_by_name = [&](const std::string& v) {
+      int id = s.table.Find(v);
+      return id >= 0 && IsBound(s.bound, id);
+    };
+    if (rule.aggregate.has_value()) {
+      const Aggregate& agg = *rule.aggregate;
+      if (!bound_by_name(agg.input_var)) {
+        Emit(LintSeverity::kError, "L004", rule_index, &rule,
+             rule.heads[0].predicate, agg.input_var, -1,
+             util::StrCat("aggregate input variable '", agg.input_var,
+                          "' is not bound by the body of ", PrintRule(rule)));
+      }
+      if (bound_by_name(agg.result_var)) {
+        Emit(LintSeverity::kError, "L004", rule_index, &rule,
+             rule.heads[0].predicate, agg.result_var, -1,
+             util::StrCat("aggregate result variable '", agg.result_var,
+                          "' must not be bound by the body of ",
+                          PrintRule(rule)));
+      }
+    }
+    std::vector<char> head_reported(num_vars, 0);
+    for (uint32_t c = 0; c < head_len; ++c) {
+      const LintCol& col = s.col_pool[head_first + c];
+      const int* vs = s.vars(col);
+      for (uint32_t vi = 0; vi < col.vars_len; ++vi) {
+        const int v = vs[vi];
+        const std::string& name = s.table.name(v);
+        if (rule.aggregate.has_value() &&
+            name == rule.aggregate->result_var) {
+          continue;
+        }
+        if (head_reported[static_cast<size_t>(v)]) continue;
+        head_reported[static_cast<size_t>(v)] = 1;
+        if (!IsBound(s.bound, v)) {
+          Emit(LintSeverity::kError, "L001", rule_index, &rule,
+               rule.heads[0].predicate, name, -1,
+               util::StrCat("head variable '", name,
+                            "' is not bound by any positive body literal in ",
+                            PrintRule(rule)));
+        }
+      }
+    }
+  }
+
+  // Why each remaining literal cannot be scheduled, with the exact
+  // unbound variables and the position the schedule stalled at.
+  void ExplainStuck(int rule_index, const Rule& rule, const RuleScratch& s,
+                    size_t scheduled) {
+    const VarTable& table = s.table;
+    const BoundSet& bound = s.bound;
+    const std::string at = util::StrCat(
+        " (schedule stuck after ", scheduled, " of ", s.body.size(),
+        " body literals)");
+    for (size_t i = 0; i < s.body.size(); ++i) {
+      if (s.done[i]) continue;
+      const LintLit& lit = s.body[i];
+      const LintCol* cs = s.cols(lit);
+      const std::string text = PrintLiteral(*lit.src);
+      switch (lit.kind) {
+        case LintLit::Kind::kNegation: {
+          std::vector<int> blocking;
+          const char* mask = s.elsewhere(lit);
+          for (uint32_t c = 0; c < lit.cols_len; ++c) {
+            const int* vs = s.vars(cs[c]);
+            for (uint32_t vi = 0; vi < cs[c].vars_len; ++vi) {
+              const int v = vs[vi];
+              if (!IsBound(bound, v) && mask[v] &&
+                  std::find(blocking.begin(), blocking.end(), v) ==
+                      blocking.end()) {
+                blocking.push_back(v);
+              }
+            }
+          }
+          Emit(LintSeverity::kError, "L002", rule_index, &rule,
+               lit.src->atom.predicate,
+               blocking.empty() ? "" : table.name(blocking[0]), lit.body_idx,
+               util::StrCat("variable(s) ", JoinVars(blocking, table),
+                            " in negated literal ", text,
+                            " are shared with the rest of the rule but no "
+                            "positive literal can bind them",
+                            at));
+          break;
+        }
+        case LintLit::Kind::kEquality:
+        case LintLit::Kind::kBuiltin: {
+          std::vector<int> unbound;
+          for (uint32_t c = 0; c < lit.cols_len; ++c) {
+            for (int v : ColUnbound(s, cs[c], bound)) {
+              if (std::find(unbound.begin(), unbound.end(), v) ==
+                  unbound.end()) {
+                unbound.push_back(v);
+              }
+            }
+          }
+          Emit(LintSeverity::kError, "L003", rule_index, &rule,
+               lit.src->atom.predicate,
+               unbound.empty() ? "" : table.name(unbound[0]), lit.body_idx,
+               util::StrCat(lit.kind == LintLit::Kind::kEquality
+                                ? "neither side of "
+                                : "no instantiation mode of ",
+                            text, " is evaluable: variable(s) ",
+                            JoinVars(unbound, table), " cannot be bound", at));
+          break;
+        }
+        case LintLit::Kind::kRelation: {
+          std::vector<int> unbound;
+          for (uint32_t c = 0; c < lit.cols_len; ++c) {
+            if (!cs[c].is_expr) continue;
+            for (int v : ColUnbound(s, cs[c], bound)) {
+              unbound.push_back(v);
+            }
+          }
+          Emit(LintSeverity::kError, "L005", rule_index, &rule,
+               lit.src->atom.predicate,
+               unbound.empty() ? "" : table.name(unbound[0]), lit.body_idx,
+               util::StrCat("relation literal ", text,
+                            " matches through arithmetic over unbound "
+                            "variable(s) ",
+                            JoinVars(unbound, table), at));
+          break;
+        }
+      }
+    }
+  }
+
+  // L060: speech attribution. A term denotes "self" if it is `me` or a
+  // constant symbol naming one of self_names_.
+  bool IsSelf(const Term& t) const {
+    if (t.kind == Term::Kind::kMe) return true;
+    if (t.kind == Term::Kind::kConstant &&
+        t.value.kind() == ValueKind::kSymbol) {
+      for (const std::string& name : self_names_) {
+        if (!name.empty() && t.value.AsText() == name) return true;
+      }
+    }
+    return false;
+  }
+
+  void CheckSays(int rule_index, const Rule& rule) {
+    for (const Atom& h : rule.heads) {
+      if (h.predicate != "says" || h.Arity() != 3 || h.partition) continue;
+      const Term& speaker = h.args[0];
+      if (IsSelf(speaker)) continue;
+      if (speaker.kind == Term::Kind::kVariable) {
+        Emit(LintSeverity::kWarning, "L060", rule_index, &rule, "says",
+             speaker.var, -1,
+             util::StrCat("rule re-attributes speech to variable speaker '",
+                          speaker.var, "' in ", PrintAtom(h),
+                          "; only the local principal can speak for itself"));
+      } else {
+        Emit(LintSeverity::kError, "L060", rule_index, &rule, "says", "", -1,
+             util::StrCat("rule attributes speech to '", PrintTerm(speaker),
+                          "' in ", PrintAtom(h),
+                          ", a principal this context cannot speak for"));
+      }
+    }
+    for (size_t b = 0; b < rule.body.size(); ++b) {
+      const Atom& a = rule.body[b].atom;
+      if (a.predicate != "says" || a.Arity() != 3 || a.partition) continue;
+      const Term& dest = a.args[1];
+      if (dest.kind == Term::Kind::kVariable || IsSelf(dest)) continue;
+      Emit(LintSeverity::kError, "L060", rule_index, &rule, "says", "",
+           static_cast<int>(b),
+           util::StrCat("body literal ", PrintAtom(a),
+                        " imports a message addressed to '", PrintTerm(dest),
+                        "', which this context cannot receive"));
+    }
+  }
+
+  // L010: negation/aggregation through recursion, reported as the full
+  // predicate cycle instead of analysis.cc's bare edge. All graph state is
+  // keyed by interned predicate id — flat vectors, no string maps.
+  void CheckStratification() {
+    std::vector<DepEdge>& edge_list = arena_.strat_edges;
+    edge_list.clear();
+    for (size_t i = 0; i < rules_.size(); ++i) {
+      const Rule& rule = *rules_[i];
+      if (rule.IsFact() || rule.heads.size() != 1) continue;
+      const int head = HeadId(i, 0).id;
+      if (head == kEqPred) continue;
+      for (size_t b = 0; b < rule.body.size(); ++b) {
+        const int pid = BodyId(i, b).id;
+        if (pid == kEqPred ||
+            preds_[static_cast<size_t>(pid)].builtin != nullptr) {
+          continue;
+        }
+        bool negative = rule.body[b].negated || rule.aggregate.has_value();
+        edge_list.push_back({pid, head, negative, static_cast<int>(i)});
+      }
+    }
+    if (edge_list.empty()) return;
+
+    const size_t n = preds_.size();
+    auto& edges = arena_.strat_adj;
+    if (edges.size() < n) edges.resize(n);
+    for (size_t i = 0; i < n; ++i) edges[i].clear();
+    for (const DepEdge& e : edge_list) {
+      auto& succs = edges[static_cast<size_t>(e.src)];
+      bool dup = false;
+      for (auto& [dst, neg] : succs) {
+        if (dst == e.dst) {
+          neg = neg || e.negative;  // any negative occurrence taints the edge
+          dup = true;
+        }
+      }
+      if (!dup) succs.push_back({e.dst, e.negative});
+    }
+
+    // Tarjan SCC (iterative not needed: programs are small and the
+    // engine's own Stratify recurses the same way).
+    auto& scc_of = arena_.scc_of;
+    auto& index = arena_.tarjan_index;
+    auto& lowlink = arena_.tarjan_lowlink;
+    scc_of.assign(n, -1);
+    index.assign(n, -1);
+    lowlink.assign(n, -1);
+    {
+      auto& stack = arena_.tarjan_stack;
+      auto& on_stack = arena_.tarjan_on_stack;
+      stack.clear();
+      on_stack.assign(n, 0);
+      int next_index = 0, next_scc = 0;
+      auto connect = [&](auto&& self, int v) -> void {
+        index[v] = lowlink[v] = next_index++;
+        stack.push_back(v);
+        on_stack[static_cast<size_t>(v)] = 1;
+        for (const auto& [w, neg] : edges[static_cast<size_t>(v)]) {
+          (void)neg;
+          if (index[w] < 0) {
+            self(self, w);
+            lowlink[v] = std::min(lowlink[v], lowlink[w]);
+          } else if (on_stack[static_cast<size_t>(w)]) {
+            lowlink[v] = std::min(lowlink[v], index[w]);
+          }
+        }
+        if (lowlink[v] == index[v]) {
+          while (true) {
+            int w = stack.back();
+            stack.pop_back();
+            on_stack[static_cast<size_t>(w)] = 0;
+            scc_of[static_cast<size_t>(w)] = next_scc;
+            if (w == v) break;
+          }
+          ++next_scc;
+        }
+      };
+      for (size_t v = 0; v < n; ++v) {
+        if (!edges[v].empty() && index[v] < 0) {
+          connect(connect, static_cast<int>(v));
+        }
+      }
+    }
+
+    std::set<std::pair<int, int>> reported;
+    for (const DepEdge& e : edge_list) {
+      if (!e.negative) continue;
+      if (scc_of[static_cast<size_t>(e.src)] < 0 ||
+          scc_of[static_cast<size_t>(e.src)] !=
+              scc_of[static_cast<size_t>(e.dst)]) {
+        continue;
+      }
+      if (!reported.insert({e.src, e.dst}).second) continue;
+      // BFS dst -> src inside the SCC closes the cycle.
+      std::vector<int> path = FindPath(edges, scc_of, e.dst, e.src);
+      std::string cycle = util::StrCat(PredName(e.src), " -!-> ",
+                                       PredName(e.dst));
+      for (size_t p = 1; p < path.size(); ++p) {
+        cycle += util::StrCat(" -> ", PredName(path[p]));
+      }
+      Emit(LintSeverity::kError, "L010", e.rule_index,
+           rules_[static_cast<size_t>(e.rule_index)], PredName(e.src), "",
+           -1,
+           util::StrCat("not stratifiable: negation or aggregation "
+                        "through the recursive cycle ",
+                        cycle));
+    }
+  }
+
+  static std::vector<int> FindPath(
+      const std::vector<std::vector<std::pair<int, bool>>>& edges,
+      const std::vector<int>& scc_of, int from, int to) {
+    std::vector<int> parent(edges.size(), -1);
+    std::deque<int> queue{from};
+    parent[static_cast<size_t>(from)] = from;
+    int scc = scc_of[static_cast<size_t>(from)];
+    while (!queue.empty()) {
+      int v = queue.front();
+      queue.pop_front();
+      if (v == to) break;
+      for (const auto& [w, neg] : edges[static_cast<size_t>(v)]) {
+        (void)neg;
+        if (scc_of[static_cast<size_t>(w)] != scc ||
+            parent[static_cast<size_t>(w)] >= 0) {
+          continue;
+        }
+        parent[static_cast<size_t>(w)] = v;
+        queue.push_back(w);
+      }
+    }
+    std::vector<int> path;
+    if (parent[static_cast<size_t>(to)] < 0) {
+      return {from};  // self-loop (from == to handled)
+    }
+    for (int v = to; v != from; v = parent[static_cast<size_t>(v)]) {
+      path.push_back(v);
+    }
+    path.push_back(from);
+    std::reverse(path.begin(), path.end());
+    return path;
+  }
+
+  // L031: a body constant of a kind no producer of that column can emit.
+  // Per (pred id, column) a uint16 mask: bit 1<<kind per ValueKind seen,
+  // kAnyProducer when a variable can put anything there, 0 = no producer
+  // info at all (EDB fed from elsewhere: stay silent).
+  void CheckConstantDrift() {
+    static constexpr uint16_t kAnyProducer = 0x8000;
+    auto& produced = arena_.drift_masks;
+    if (produced.size() < preds_.size()) produced.resize(preds_.size());
+    for (size_t i = 0; i < preds_.size(); ++i) produced[i].clear();
+    auto term_mask = [](const Term& t) -> uint16_t {
+      if (t.kind == Term::Kind::kConstant) {
+        return static_cast<uint16_t>(1u << static_cast<int>(t.value.kind()));
+      }
+      if (t.kind == Term::Kind::kMe) {
+        return static_cast<uint16_t>(1u
+                                     << static_cast<int>(ValueKind::kSymbol));
+      }
+      return kAnyProducer;
+    };
+    auto record_producer = [&](const Atom& atom, AtomId aid) {
+      if (aid.meta || aid.id == kEqPred) return;
+      auto& cols = produced[static_cast<size_t>(aid.id)];
+      if (cols.size() < atom.Arity()) cols.resize(atom.Arity(), 0);
+      size_t ci = 0;
+      if (atom.partition) cols[ci++] |= term_mask(*atom.partition);
+      for (const Term& t : atom.args) cols[ci++] |= term_mask(t);
+    };
+    for (size_t i = 0; i < rules_.size(); ++i) {
+      const Rule& rule = *rules_[i];
+      for (size_t h = 0; h < rule.heads.size(); ++h) {
+        record_producer(rule.heads[h], HeadId(i, h));
+      }
+    }
+    for (size_t i = 0; i < rules_.size(); ++i) {
+      const Rule& rule = *rules_[i];
+      for (size_t b = 0; b < rule.body.size(); ++b) {
+        const Atom& a = rule.body[b].atom;
+        const AtomId aid = BodyId(i, b);
+        if (aid.meta || aid.id == kEqPred ||
+            preds_[static_cast<size_t>(aid.id)].builtin != nullptr) {
+          continue;
+        }
+        const std::vector<uint16_t>& masks =
+            produced[static_cast<size_t>(aid.id)];
+        const Term* partition = a.partition.get();
+        const size_t ncols = a.args.size() + (partition != nullptr ? 1 : 0);
+        for (size_t ci = 0; ci < ncols; ++ci) {
+          const Term& t = (partition != nullptr)
+                              ? (ci == 0 ? *partition : a.args[ci - 1])
+                              : a.args[ci];
+          if (t.kind != Term::Kind::kConstant) continue;
+          if (ci >= masks.size()) continue;  // EDB elsewhere: unknown
+          uint16_t mask = masks[ci];
+          if (mask == 0 || (mask & kAnyProducer) != 0) continue;
+          ValueKind kind = t.value.kind();
+          if ((mask & (1u << static_cast<int>(kind))) != 0) continue;
+          std::string kinds;
+          for (int k = 0; k < 16; ++k) {
+            if ((mask & (1u << k)) == 0) continue;
+            if (!kinds.empty()) kinds += "/";
+            kinds += ValueKindName(static_cast<ValueKind>(k));
+          }
+          Emit(LintSeverity::kWarning, "L031", static_cast<int>(i), &rule,
+               a.predicate, "", static_cast<int>(b),
+               util::StrCat("constant ", PrintTerm(t), " (",
+                            ValueKindName(kind), ") in ", PrintAtom(a),
+                            " can never unify: every '", a.predicate,
+                            "' producer emits ", kinds, " at column ", ci));
+        }
+      }
+    }
+  }
+
+  // L020/L021 roots: exported predicates, constraints, and side-effecting
+  // predicates the engine itself consumes.
+  static bool SideEffecting(const std::string& pred) {
+    return pred == "says" || pred == "active" || pred == "export" ||
+           pred == "fail" || (!pred.empty() && pred[0] == '$');
+  }
+
+  void CheckDeadCode() {
+    // Meta programs opt out wholesale; everything below runs on the atom
+    // ids cached by CheckArities, so 'roots' from exports are the only
+    // lookups that can still intern a new predicate.
+    for (const AtomId& aid : atom_ids_) {
+      if (aid.meta) return;  // meta program: skip
+    }
+    auto& roots = arena_.roots;
+    roots.assign(preds_.size(), 0);
+    auto mark_root = [&](const std::string& pred) {
+      const size_t pid = static_cast<size_t>(PredId(pred));
+      if (roots.size() <= pid) roots.resize(preds_.size(), 0);
+      roots[pid] = 1;
+    };
+    for (const Constraint* c : constraints_) {
+      for (const Literal& l : c->lhs) mark_root(l.atom.predicate);
+      for (const auto& alt : c->rhs_dnf) {
+        for (const Literal& l : alt) mark_root(l.atom.predicate);
+      }
+    }
+    for (size_t pid = 0; pid < preds_.size(); ++pid) {
+      if (preds_[pid].is_head && SideEffecting(preds_[pid].name)) {
+        roots[pid] = 1;
+      }
+    }
+    if (!opts_.exports.empty()) {
+      for (const std::string& e : opts_.exports) mark_root(e);
+    } else {
+      // No declared query surface: sink predicates (derived but read by
+      // nobody) ARE the query surface.
+      for (size_t pid = 0; pid < preds_.size(); ++pid) {
+        if (preds_[pid].is_derived && !preds_[pid].is_read) roots[pid] = 1;
+      }
+    }
+    roots.resize(preds_.size(), 0);  // exports may have interned new ids
+    if (std::find(roots.begin(), roots.end(), 1) == roots.end()) {
+      return;  // nothing to anchor reachability on
+    }
+
+    // reachable = predicates some root depends on (transitively).
+    auto& reachable = arena_.reachable;
+    reachable.assign(roots.begin(), roots.end());
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (size_t i = 0; i < rules_.size(); ++i) {
+        if (rules_[i]->IsFact()) continue;
+        const int head = HeadId(i, 0).id;
+        if (head == kEqPred || !reachable[static_cast<size_t>(head)]) {
+          continue;
+        }
+        for (size_t b = 0; b < rules_[i]->body.size(); ++b) {
+          const AtomId aid = BodyId(i, b);
+          if (aid.id == kEqPred ||
+              preds_[static_cast<size_t>(aid.id)].builtin != nullptr) {
+            continue;
+          }
+          char& flag = reachable[static_cast<size_t>(aid.id)];
+          if (!flag) {
+            flag = 1;
+            changed = true;
+          }
+        }
+      }
+    }
+
+    for (size_t i = 0; i < rules_.size(); ++i) {
+      const Rule& rule = *rules_[i];
+      if (IsEdb(i) || rule.heads.size() != 1) continue;
+      const int head = HeadId(i, 0).id;
+      if (head == kEqPred || reachable[static_cast<size_t>(head)]) continue;
+      Emit(LintSeverity::kWarning, "L020", static_cast<int>(i), &rule,
+           rule.heads[0].predicate, "", -1,
+           util::StrCat("dead rule: '", rule.heads[0].predicate,
+                        "' is unreachable from any exported, constrained or "
+                        "side-effecting predicate"));
+    }
+    if (!opts_.exports.empty()) {
+      for (size_t pid = 0; pid < preds_.size(); ++pid) {
+        const PredInfo& info = preds_[pid];
+        if (!info.is_derived || info.is_read || roots[pid]) continue;
+        Emit(LintSeverity::kWarning, "L021", -1, nullptr, info.name, "", -1,
+             util::StrCat("predicate '", info.name,
+                          "' is derived but never read by any rule, "
+                          "constraint or export"));
+      }
+    }
+  }
+
+  const LintOptions& opts_;
+  const BuiltinRegistry& builtins_;
+  std::vector<std::string> self_names_;
+  // Pooled in the per-thread LintArena; cleared at construction, capacity
+  // reused across runs.
+  LintArena& arena_;
+  std::vector<const Rule*>& rules_;
+  std::vector<const Constraint*>& constraints_;
+  std::vector<PredInfo>& preds_;
+  std::vector<AtomId>& atom_ids_;
+  std::vector<uint32_t>& rule_ids_first_;
+  RuleScratch& scratch_;
+  LintReport report_;
+};
+
+std::string JsonStr(const std::string& s) {
+  return util::StrCat("\"", obs::LabelEscape(s), "\"");
+}
+
+}  // namespace
+
+const char* LintSeverityName(LintSeverity severity) {
+  switch (severity) {
+    case LintSeverity::kError: return "error";
+    case LintSeverity::kWarning: return "warning";
+    case LintSeverity::kInfo: return "info";
+  }
+  return "?";
+}
+
+std::string Diagnostic::ToJson() const {
+  return util::StrCat(
+      "{\"code\":", JsonStr(code), ",\"severity\":\"",
+      LintSeverityName(severity), "\",\"rule\":", rule_index,
+      ",\"source\":", JsonStr(rule), ",\"predicate\":", JsonStr(predicate),
+      ",\"variable\":", JsonStr(variable), ",\"position\":", position,
+      ",\"message\":", JsonStr(message), "}");
+}
+
+size_t LintReport::errors() const {
+  size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == LintSeverity::kError) ++n;
+  }
+  return n;
+}
+
+size_t LintReport::warnings() const {
+  size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == LintSeverity::kWarning) ++n;
+  }
+  return n;
+}
+
+std::string LintReport::ToText() const {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    out += util::StrCat(d.code, " ", LintSeverityName(d.severity), ": ",
+                        d.message, "\n");
+  }
+  return out;
+}
+
+std::string LintReport::ToJson() const {
+  std::string out = "{\"diagnostics\":[";
+  for (size_t i = 0; i < diagnostics.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    out += diagnostics[i].ToJson();
+  }
+  out += util::StrCat("],\"errors\":", errors(), ",\"warnings\":", warnings(),
+                      "}");
+  return out;
+}
+
+util::Status LintReport::ToStatus() const {
+  const Diagnostic* first = nullptr;
+  size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity != LintSeverity::kError) continue;
+    if (first == nullptr) first = &d;
+    ++n;
+  }
+  if (first == nullptr) return util::OkStatus();
+  std::string msg = util::StrCat("lint ", first->code, ": ", first->message);
+  if (n > 1) msg += util::StrCat(" (and ", n - 1, " more error(s))");
+  if (first->code == "L010") return util::NotStratifiable(msg);
+  if (first->code == "L030") return util::TypeError(msg);
+  return util::UnsafeProgram(msg);
+}
+
+LintReport LintRules(const std::vector<const Rule*>& rules,
+                     const LintOptions& opts) {
+  return LintResolved(rules, {}, opts);
+}
+
+LintReport LintResolved(const std::vector<const Rule*>& rules,
+                        const std::vector<const Constraint*>& constraints,
+                        const LintOptions& opts) {
+  static thread_local LintArena arena;
+  Linter linter(opts, {opts.says_principal}, &arena);
+  std::vector<Rule> owned;  // multi-head rules, split like install
+  for (const Rule* rule : rules) {
+    if (rule->heads.size() != 1) {
+      for (const Atom& head : rule->heads) {
+        Rule single;
+        single.label = rule->label;
+        single.heads = {CloneAtom(head)};
+        single.body = rule->body;
+        single.aggregate = rule->aggregate;
+        owned.push_back(std::move(single));
+      }
+    }
+  }
+  size_t next_owned = 0;
+  for (const Rule* rule : rules) {
+    if (rule->heads.size() == 1) {
+      linter.AddRule(*rule);
+    } else {
+      for (size_t h = 0; h < rule->heads.size(); ++h) {
+        linter.AddRule(owned[next_owned++]);
+      }
+    }
+  }
+  for (const Constraint* c : constraints) linter.AddConstraint(*c);
+  return linter.Run();
+}
+
+LintReport LintProgram(std::string_view program, const std::string& principal,
+                       const LintOptions& opts) {
+  auto clauses = ParseProgram(program);
+  if (!clauses.ok()) {
+    LintReport report;
+    Diagnostic d;
+    d.severity = LintSeverity::kError;
+    d.code = "L000";
+    d.message = clauses.status().message();
+    report.diagnostics.push_back(std::move(d));
+    return report;
+  }
+  // Mirror Workspace::RouteProgramClauses: me-resolve, convert raw
+  // `fail() <- body.` constraints, split multi-head rules.
+  std::vector<Rule> rules;
+  std::vector<Constraint> constraints;
+  for (ParsedClause& clause : *clauses) {
+    if (clause.kind == ParsedClause::Kind::kRule) {
+      for (Rule& rule : clause.rules) {
+        Rule resolved = ResolveMeRule(rule, principal);
+        if (resolved.heads.size() == 1 &&
+            resolved.heads[0].predicate == "fail" &&
+            resolved.heads[0].args.empty() && !resolved.body.empty()) {
+          Constraint c;
+          c.label = resolved.label;
+          c.lhs = resolved.body;
+          c.display = PrintRule(resolved);
+          constraints.push_back(std::move(c));
+          continue;
+        }
+        for (const Atom& head : resolved.heads) {
+          Rule single;
+          single.label = resolved.label;
+          single.heads = {CloneAtom(head)};
+          single.body = resolved.body;
+          single.aggregate = resolved.aggregate;
+          rules.push_back(std::move(single));
+        }
+      }
+    } else {
+      for (Constraint& c : clause.constraints) {
+        Constraint resolved;
+        resolved.label = c.label;
+        resolved.display = c.display;
+        for (const Literal& l : c.lhs) {
+          resolved.lhs.push_back(
+              Literal{ResolveMeAtom(l.atom, principal), l.negated});
+        }
+        for (const auto& alt : c.rhs_dnf) {
+          std::vector<Literal> out;
+          for (const Literal& l : alt) {
+            out.push_back(Literal{ResolveMeAtom(l.atom, principal),
+                                  l.negated});
+          }
+          resolved.rhs_dnf.push_back(std::move(out));
+        }
+        constraints.push_back(std::move(resolved));
+      }
+    }
+  }
+  static thread_local LintArena arena;
+  Linter linter(opts, {principal, opts.says_principal}, &arena);
+  for (const Rule& r : rules) linter.AddRule(r);
+  for (const Constraint& c : constraints) linter.AddConstraint(c);
+  return linter.Run();
+}
+
+void LintJoinOrder(const CompiledRule& rule, int rule_index,
+                   const std::function<size_t(const std::string&)>& rows,
+                   std::vector<Diagnostic>* out) {
+  if (rule.order_full.empty() || rows == nullptr) return;
+  const int lead_idx = rule.order_full[0];
+  const CompiledLiteral& lead = rule.body[static_cast<size_t>(lead_idx)];
+  if (lead.kind != CompiledLiteral::Kind::kRelation) return;
+  for (const CompiledArg& col : lead.cols) {
+    if (col.kind == CompiledArg::Kind::kConst) return;  // not a blind scan
+  }
+  // Semi-naive evaluation drives recursive rules from the delta orders;
+  // the full order only runs on the first round.
+  if (lead.pred == rule.head_pred) return;
+  const size_t lead_rows = rows(lead.pred);
+  if (lead_rows == kUnknownRows || lead_rows < 16) return;
+
+  const CompiledLiteral* best = nullptr;
+  size_t best_rows = kUnknownRows;
+  for (size_t b = 0; b < rule.body.size(); ++b) {
+    if (static_cast<int>(b) == lead_idx) continue;
+    const CompiledLiteral& lit = rule.body[b];
+    if (lit.kind != CompiledLiteral::Kind::kRelation) continue;
+    if (lit.pred == lead.pred) continue;  // same relation: no better lead
+    const size_t r = rows(lit.pred);
+    if (r == kUnknownRows) continue;
+    if (best == nullptr || r < best_rows) {
+      best = &lit;
+      best_rows = r;
+    }
+  }
+  if (best == nullptr || best_rows * 4 > lead_rows) return;
+
+  char ratio[32];
+  std::snprintf(ratio, sizeof(ratio), "%.1f",
+                best_rows == 0
+                    ? static_cast<double>(lead_rows)
+                    : static_cast<double>(lead_rows) /
+                          static_cast<double>(best_rows));
+  Diagnostic d;
+  d.severity = LintSeverity::kWarning;
+  d.code = "L050";
+  d.rule_index = rule_index;
+  d.rule = PrintRule(rule.source);
+  d.predicate = lead.pred;
+  d.position = lead_idx;
+  d.message = util::StrCat(
+      "cardinality-blind leading scan: the schedule leads with a full scan "
+      "of '",
+      lead.pred, "' (", lead_rows, " rows) while '", best->pred, "' (",
+      best_rows, " rows) is ", ratio,
+      "x smaller; the greedy scheduler cannot see cardinalities — consider "
+      "reordering or cost-based ordering (ROADMAP item 5)");
+  out->push_back(std::move(d));
+}
+
+}  // namespace lbtrust::datalog

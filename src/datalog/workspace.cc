@@ -151,6 +151,16 @@ Status Workspace::RouteProgramClauses(
     const std::function<Status(Constraint)>& on_constraint) {
   LB_ASSIGN_OR_RETURN(std::vector<ParsedClause> clauses,
                       ParseProgram(program));
+  // Materialize the routed view first (one parse, one me-resolve), so the
+  // linter sees the whole program before the first clause installs — an
+  // enforced lint error rejects the program with zero workspace mutation.
+  struct RoutedItem {
+    enum class Kind { kRule, kFailConstraint, kConstraint };
+    Kind kind = Kind::kRule;
+    Rule rule;
+    Constraint constraint;
+  };
+  std::vector<RoutedItem> routed;
   for (ParsedClause& clause : clauses) {
     if (clause.kind == ParsedClause::Kind::kRule) {
       for (Rule& rule : clause.rules) {
@@ -159,30 +169,32 @@ Status Workspace::RouteProgramClauses(
         if (resolved.heads.size() == 1 &&
             resolved.heads[0].predicate == "fail" &&
             resolved.heads[0].args.empty() && !resolved.body.empty()) {
-          Constraint c;
-          c.label = resolved.label;
-          c.lhs = resolved.body;
-          c.display = PrintRule(resolved);
-          LB_RETURN_IF_ERROR(on_fail_constraint(std::move(c)));
+          RoutedItem item;
+          item.kind = RoutedItem::Kind::kFailConstraint;
+          item.constraint.label = resolved.label;
+          item.constraint.lhs = resolved.body;
+          item.constraint.display = PrintRule(resolved);
+          routed.push_back(std::move(item));
           continue;
         }
         // Split multi-head rules.
         for (const Atom& head : resolved.heads) {
-          Rule single;
-          single.label = resolved.label;
-          single.heads = {CloneAtom(head)};
-          single.body = resolved.body;
-          single.aggregate = resolved.aggregate;
-          LB_RETURN_IF_ERROR(on_rule(std::move(single)));
+          RoutedItem item;
+          item.rule.label = resolved.label;
+          item.rule.heads = {CloneAtom(head)};
+          item.rule.body = resolved.body;
+          item.rule.aggregate = resolved.aggregate;
+          routed.push_back(std::move(item));
         }
       }
     } else {
       for (Constraint& c : clause.constraints) {
-        Constraint resolved;
-        resolved.label = c.label;
-        resolved.display = c.display;
+        RoutedItem item;
+        item.kind = RoutedItem::Kind::kConstraint;
+        item.constraint.label = c.label;
+        item.constraint.display = c.display;
         for (const Literal& l : c.lhs) {
-          resolved.lhs.push_back(
+          item.constraint.lhs.push_back(
               Literal{ResolveMeAtom(l.atom, principal), l.negated});
         }
         for (const auto& alt : c.rhs_dnf) {
@@ -190,10 +202,43 @@ Status Workspace::RouteProgramClauses(
           for (const Literal& l : alt) {
             out.push_back(Literal{ResolveMeAtom(l.atom, principal), l.negated});
           }
-          resolved.rhs_dnf.push_back(std::move(out));
+          item.constraint.rhs_dnf.push_back(std::move(out));
         }
-        LB_RETURN_IF_ERROR(on_constraint(std::move(resolved)));
+        routed.push_back(std::move(item));
       }
+    }
+  }
+
+  if (options_.lint != Options::LintMode::kOff) {
+    std::vector<const Rule*> lint_rules;
+    std::vector<const Constraint*> lint_constraints;
+    for (const RoutedItem& item : routed) {
+      if (item.kind == RoutedItem::Kind::kRule) {
+        lint_rules.push_back(&item.rule);
+      } else {
+        lint_constraints.push_back(&item.constraint);
+      }
+    }
+    LintOptions lint_opts;
+    lint_opts.builtins = &builtins_;
+    last_lint_ = LintResolved(lint_rules, lint_constraints, lint_opts);
+    if (options_.lint == Options::LintMode::kEnforce &&
+        last_lint_.has_errors()) {
+      return last_lint_.ToStatus();
+    }
+  }
+
+  for (RoutedItem& item : routed) {
+    switch (item.kind) {
+      case RoutedItem::Kind::kRule:
+        LB_RETURN_IF_ERROR(on_rule(std::move(item.rule)));
+        break;
+      case RoutedItem::Kind::kFailConstraint:
+        LB_RETURN_IF_ERROR(on_fail_constraint(std::move(item.constraint)));
+        break;
+      case RoutedItem::Kind::kConstraint:
+        LB_RETURN_IF_ERROR(on_constraint(std::move(item.constraint)));
+        break;
     }
   }
   return util::OkStatus();
@@ -959,13 +1004,60 @@ std::string Workspace::DumpMetrics() {
   return metrics_->RenderText();
 }
 
+LintReport Workspace::LintRules() const {
+  // Lint the visible rule set; hidden constraint aux rules are
+  // synthesized shapes the user never wrote, so they are excluded from
+  // per-rule checks (their source constraints participate instead).
+  std::vector<const Rule*> rules;
+  std::vector<int> installed_pos;
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    if (rules_[i]->hidden) continue;
+    rules.push_back(&rules_[i]->rule);
+    installed_pos.push_back(static_cast<int>(i));
+  }
+  std::vector<const Constraint*> constraints;
+  constraints.reserve(constraints_.size());
+  for (const auto& c : constraints_) constraints.push_back(&c->source);
+  LintOptions opts;
+  opts.builtins = &builtins_;
+  LintReport report = LintResolved(rules, constraints, opts);
+  // Re-anchor rule indexes onto the installed-rule list so they line up
+  // with EXPLAIN's rule ids, then add the measured join-order smells.
+  for (Diagnostic& d : report.diagnostics) {
+    if (d.rule_index >= 0 &&
+        d.rule_index < static_cast<int>(installed_pos.size())) {
+      d.rule_index = installed_pos[static_cast<size_t>(d.rule_index)];
+    }
+  }
+  auto rows = [this](const std::string& pred) -> size_t {
+    const auto& rels = store_.relations();
+    auto it = rels.find(pred);
+    return it == rels.end() ? kUnknownRows : it->second.size();
+  };
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    if (rules_[i]->hidden || rules_[i]->compiled == nullptr) continue;
+    LintJoinOrder(*rules_[i]->compiled, static_cast<int>(i), rows,
+                  &report.diagnostics);
+  }
+  return report;
+}
+
 std::string Workspace::ExplainRules(ExplainFormat format) {
   std::vector<const CompiledRule*> compiled;
+  std::vector<std::vector<Diagnostic>> diagnostics;
   compiled.reserve(rules_.size());
-  for (const auto& rule : rules_) {
-    if (rule->compiled != nullptr) compiled.push_back(rule->compiled.get());
+  LintReport lint = LintRules();
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    if (rules_[i]->compiled == nullptr) continue;
+    compiled.push_back(rules_[i]->compiled.get());
+    diagnostics.emplace_back();
+    for (const Diagnostic& d : lint.diagnostics) {
+      if (d.rule_index == static_cast<int>(i)) {
+        diagnostics.back().push_back(d);
+      }
+    }
   }
-  return ExplainCompiledRules(compiled, metrics_.get(), format);
+  return ExplainCompiledRules(compiled, metrics_.get(), format, &diagnostics);
 }
 
 std::vector<std::pair<std::string, size_t>> Workspace::RelationRowCounts()

@@ -15,6 +15,7 @@
 #include "datalog/catalog.h"
 #include "datalog/eval.h"
 #include "datalog/explain.h"
+#include "datalog/lint.h"
 #include "util/status.h"
 
 namespace lbtrust::datalog {
@@ -232,6 +233,16 @@ class Workspace {
     /// collapses to one null-pointer test and DumpMetrics() reports the
     /// registry as disabled.
     bool metrics = true;
+    /// Static analysis at program ingress (Load/LoadAs and
+    /// Transaction::AddProgram). kWarn (default) lints every routed
+    /// program and collects the report in last_lint() without changing
+    /// behavior; kEnforce additionally rejects programs with lint
+    /// *errors* (the same programs CompileRule/Stratify would reject,
+    /// but diagnosed before any rule installs); kOff skips the analysis
+    /// entirely. AddRule/AddFact bypass the linter — they carry single
+    /// clauses, not programs.
+    enum class LintMode { kOff, kWarn, kEnforce };
+    LintMode lint = LintMode::kWarn;
   };
 
   Workspace() : Workspace(Options()) {}
@@ -377,6 +388,18 @@ class Workspace {
   /// when metrics are on. Served at /explainz by the HTTP exporter.
   std::string ExplainRules(ExplainFormat format = ExplainFormat::kText);
 
+  /// Lints the installed rule set (visible rules + constraints) against
+  /// the live store: the full static analysis plus L050 join-order
+  /// smells measured against current relation cardinalities. Hidden
+  /// constraint aux rules are skipped (their shapes are synthesized).
+  /// Served at /lintz by the HTTP exporter.
+  LintReport LintRules() const;
+
+  /// The report from the most recent linted program ingress (Load /
+  /// LoadAs / Transaction::AddProgram). Empty when Options::lint is kOff
+  /// or nothing was loaded yet.
+  const LintReport& last_lint() const { return last_lint_; }
+
   /// Name-sorted (relation, row count) snapshot of the visible store
   /// (post-Fixpoint state), for /statusz.
   std::vector<std::pair<std::string, size_t>> RelationRowCounts() const;
@@ -472,6 +495,7 @@ class Workspace {
   std::vector<std::string> violations_;
   InstallHook install_hook_;
   RemoveHook remove_hook_;
+  LintReport last_lint_;  ///< from the most recent program ingress
   int next_rule_id_ = 1;
   int next_hidden_id_ = 1;
   int next_constraint_id_ = 0;

@@ -100,6 +100,19 @@ Status DistributedCluster::StartHttp() {
     r.body = runtime_->workspace()->ExplainRules(datalog::ExplainFormat::kText);
     return r;
   });
+  http_->Handle("/lintz", [this] {
+    obs::HttpExporter::Response r;
+    r.content_type = "application/json";
+    r.body = runtime_->workspace()->LintRules().ToJson();
+    return r;
+  });
+  http_->Handle("/lintz.txt", [this] {
+    obs::HttpExporter::Response r;
+    datalog::LintReport report = runtime_->workspace()->LintRules();
+    r.body = report.diagnostics.empty() ? "no diagnostics\n"
+                                        : report.ToText();
+    return r;
+  });
   http_->Handle("/trace", [this] {
     obs::HttpExporter::Response r;
     r.content_type = "application/json";

@@ -3,6 +3,7 @@
 #include <map>
 #include <memory>
 
+#include "datalog/lint.h"
 #include "datalog/parser.h"
 #include "datalog/pretty.h"
 #include "util/strings.h"
@@ -85,9 +86,21 @@ std::string UnitToText(const SurfaceUnit& unit) {
   return out;
 }
 
+/// Lints one lowered core text. SeNDlog's translation makes the local
+/// context `me`, so the says-context checks run against a placeholder
+/// self principal: a unit attributing speech to anyone but its own
+/// context is an error the paper's semantics never produce.
+datalog::LintReport LintLoweredCore(const std::string& core) {
+  datalog::LintOptions opts;
+  opts.says_check = true;
+  opts.says_principal = "local";
+  return datalog::LintProgram(core, "local", opts);
+}
+
 }  // namespace
 
-Result<std::string> CompileSendlog(std::string_view sendlog_program) {
+Result<std::string> CompileSendlog(std::string_view sendlog_program,
+                                   datalog::LintReport* lint) {
   LB_ASSIGN_OR_RETURN(std::vector<SurfaceUnit> units,
                       datalog::ParseSurfaceProgram(sendlog_program));
   std::string out;
@@ -99,6 +112,9 @@ Result<std::string> CompileSendlog(std::string_view sendlog_program) {
     }
     out += UnitToText(unit);
   }
+  datalog::LintReport report = LintLoweredCore(out);
+  if (lint != nullptr) *lint = report;
+  if (report.has_errors()) return report.ToStatus();
   return out;
 }
 
@@ -124,6 +140,18 @@ Status LoadSendlogOnCluster(net::Cluster* cluster,
     }
     for (const std::string& name : cluster->node_names()) {
       per_node[name] += text;
+    }
+  }
+  // Lint every node's lowered clauses before the first transaction
+  // commits, so a bad unit rejects the whole program with zero mutation
+  // on any node.
+  for (const auto& [name, text] : per_node) {
+    datalog::LintReport report = LintLoweredCore(text);
+    if (report.has_errors()) {
+      util::Status status = report.ToStatus();
+      return util::Status(status.code(),
+                          util::StrCat("SeNDlog program for node '", name,
+                                       "': ", status.message()));
     }
   }
   for (const auto& [name, text] : per_node) {

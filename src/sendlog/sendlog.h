@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "datalog/lint.h"
 #include "net/cluster.h"
 #include "util/status.h"
 
@@ -25,10 +26,18 @@ namespace lbtrust::sendlog {
 /// Returns core program text (one clause per line) for a unit with a
 /// variable context; units with constant contexts are returned per node by
 /// CompileSendlogPerNode.
-util::Result<std::string> CompileSendlog(std::string_view sendlog_program);
+///
+/// The lowered core is statically analyzed (says-context checks on: a
+/// SeNDlog unit may only attribute speech to its own context) — lint
+/// *errors* fail the compile with the diagnostic as the status message.
+/// Pass `lint` to also receive the full report (warnings included).
+util::Result<std::string> CompileSendlog(std::string_view sendlog_program,
+                                         datalog::LintReport* lint = nullptr);
 
 /// Loads a SeNDlog program onto every node of a cluster (variable-context
 /// units go everywhere, constant-context units only to the named node).
+/// Each node's lowered clauses are linted before any node's transaction
+/// commits; lint errors reject the whole program untouched.
 util::Status LoadSendlogOnCluster(net::Cluster* cluster,
                                   std::string_view sendlog_program);
 

@@ -14,6 +14,22 @@ namespace lbtrust::util {
 
 namespace {
 
+/// A non-empty `LBTRUST_LOG` value that matched no known level. Recorded
+/// during threshold initialization (which may run inside a static
+/// initializer — too early to emit anything) and surfaced exactly once by
+/// the next LogMessage call, so a typo like `LBTRUST_LOG=vebose` is named
+/// instead of silently falling back to the default.
+struct BadLevelSpec {
+  std::atomic<bool> pending{false};
+  std::mutex mu;
+  std::string value;
+};
+
+BadLevelSpec& BadSpec() {
+  static BadLevelSpec state;
+  return state;
+}
+
 int LevelFromEnv() {
   const char* spec = std::getenv("LBTRUST_LOG");
   if (spec != nullptr) {
@@ -21,11 +37,35 @@ int LevelFromEnv() {
     if (std::strcmp(spec, "warn") == 0) return 1;
     if (std::strcmp(spec, "info") == 0) return 2;
     if (std::strcmp(spec, "debug") == 0) return 3;
+    if (spec[0] != '\0') {
+      BadLevelSpec& bad = BadSpec();
+      std::lock_guard<std::mutex> lock(bad.mu);
+      bad.value = spec;
+      bad.pending.store(true, std::memory_order_release);
+    }
   }
   // Back-compat: the old ad-hoc tracing flag maps to debug.
   const char* dist = std::getenv("LBTRUST_DIST_DEBUG");
   if (dist != nullptr && dist[0] != '\0' && dist[0] != '0') return 3;
   return 1;  // warn
+}
+
+/// One-shot: warn about an unrecognized LBTRUST_LOG value the first time a
+/// message is actually logged. The pending flag is cleared before the
+/// nested LogMessage call, so the recursion terminates after one level.
+void WarnBadLevelSpecOnce() {
+  BadLevelSpec& bad = BadSpec();
+  if (!bad.pending.load(std::memory_order_acquire)) return;
+  std::string value;
+  {
+    std::lock_guard<std::mutex> lock(bad.mu);
+    if (!bad.pending.exchange(false, std::memory_order_acq_rel)) return;
+    value = bad.value;
+  }
+  LogMessage(LogLevel::kWarn,
+             "unrecognized LBTRUST_LOG value '%s' (accepted: error, warn, "
+             "info, debug); using default 'warn'",
+             value.c_str());
 }
 
 std::atomic<int>& ActiveLevel() {
@@ -98,6 +138,10 @@ void SetLogLevel(LogLevel level) {
   ActiveLevel().store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
+void ReinitLogLevelFromEnvForTest() {
+  ActiveLevel().store(LevelFromEnv(), std::memory_order_relaxed);
+}
+
 void SetLogSink(LogSink sink) {
   std::lock_guard<std::mutex> lock(SinkMutex());
   ActiveSink() = std::move(sink);
@@ -112,6 +156,7 @@ void SetLogNodeTag(std::string_view tag) {
 
 void LogMessage(LogLevel level, const char* fmt, ...) {
   if (!LogEnabled(level)) return;
+  WarnBadLevelSpecOnce();
   const int64_t elapsed_us =
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now().time_since_epoch())

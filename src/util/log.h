@@ -18,6 +18,11 @@ bool LogEnabled(LogLevel level);
 /// Overrides the threshold at runtime (tests; tools with -v flags).
 void SetLogLevel(LogLevel level);
 
+/// Re-reads `LBTRUST_LOG` / `LBTRUST_DIST_DEBUG` and resets the threshold,
+/// re-arming the one-shot unrecognized-value warning. Test-only: the
+/// production threshold initializes exactly once per process.
+void ReinitLogLevelFromEnvForTest();
+
 /// Sets the node tag included in every log line (see LogMessage). The tag
 /// initializes once from the environment (`LBTRUST_LOG_NODE`); tools that
 /// know their node name (lbtrust_node --self) call this so interleaved

@@ -355,6 +355,44 @@ TEST(ImportTest, OutOfClosureBundleMembersArePruned) {
   EXPECT_FALSE(bob->credentials()->Contains(CredentialHash(freight)));
 }
 
+TEST(ImportTest, IllFormedPayloadRejectedBeforeAnyMutation) {
+  // A hostile (but validly signed) bundle carrying a non-range-restricted
+  // program must be rejected by the static analyzer BEFORE anything
+  // stages: the diagnostic names the unbound variable, and neither the
+  // receiver's workspace nor its credential store changes at all.
+  auto alice = MakeRuntime("alice");
+  auto bob = MakeRuntime("bob");
+  ASSERT_TRUE(bob->AddPeer("alice", alice->keypair().public_key).ok());
+
+  // Head variable F never bound by a positive body literal: the engine
+  // could derive infinitely many grants. Issue() only parses, so a
+  // compromised issuer can sign this; the importer must still refuse it.
+  auto hash = alice->Issue(
+      "grant(carol,file1,read).\n"
+      "grant(P,F,write) <- grant(P,file1,read).");
+  ASSERT_TRUE(hash.ok()) << hash.status().ToString();
+  auto bundle = alice->ExportCredential(*hash);
+  ASSERT_TRUE(bundle.ok());
+
+  std::string before = Snapshot(*bob->workspace());
+  ASSERT_EQ(bob->credentials()->size(), 0u);
+
+  auto stats = bob->ImportCredentials(*bundle);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_NE(stats.status().message().find("ill-formed program"),
+            std::string::npos)
+      << stats.status().ToString();
+  EXPECT_NE(stats.status().message().find("L001"), std::string::npos)
+      << stats.status().ToString();
+  EXPECT_NE(stats.status().message().find("'F'"), std::string::npos)
+      << stats.status().ToString();
+
+  // Zero mutation: no says-facts, no derived state, no staged credentials.
+  EXPECT_EQ(Snapshot(*bob->workspace()), before);
+  EXPECT_EQ(*bob->workspace()->Count("says(alice,bob,R)"), 0u);
+  EXPECT_EQ(bob->credentials()->size(), 0u);
+}
+
 TEST(ImportTest, ReimportIsIdempotentAndSkipsRsa) {
   auto alice = MakeRuntime("alice");
   auto bob = MakeRuntime("bob");

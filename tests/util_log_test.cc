@@ -1,5 +1,6 @@
 #include "util/log.h"
 
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -98,6 +99,42 @@ TEST(LogTest, TimestampsAreMonotonic) {
     return std::stoll(ts.substr(0, dot)) * 1000 + std::stoll(ts.substr(dot + 1));
   };
   EXPECT_LE(stamp(capture.lines()[0]), stamp(capture.lines()[1]));
+}
+
+TEST(LogTest, UnrecognizedEnvLevelWarnsOnceNamingValueAndAcceptedSet) {
+  SinkCapture capture;
+  ::setenv("LBTRUST_LOG", "vebose", /*overwrite=*/1);
+  ReinitLogLevelFromEnvForTest();
+  ::unsetenv("LBTRUST_LOG");
+
+  // Typo falls back to the default threshold (warn).
+  EXPECT_TRUE(LogEnabled(LogLevel::kWarn));
+  EXPECT_FALSE(LogEnabled(LogLevel::kInfo));
+
+  LBTRUST_LOG(LogLevel::kError, "first message");
+  LBTRUST_LOG(LogLevel::kError, "second message");
+  ASSERT_EQ(capture.lines().size(), 3u);
+  // The one-shot warning precedes the message that triggered it, names
+  // the bad value, and lists the accepted set; it is not repeated.
+  EXPECT_EQ(capture.levels()[0], LogLevel::kWarn);
+  EXPECT_THAT(capture.lines()[0],
+              testing::HasSubstr("unrecognized LBTRUST_LOG value 'vebose'"));
+  EXPECT_THAT(capture.lines()[0],
+              testing::HasSubstr("accepted: error, warn, info, debug"));
+  EXPECT_THAT(capture.lines()[1], testing::HasSubstr("first message"));
+  EXPECT_THAT(capture.lines()[2], testing::HasSubstr("second message"));
+}
+
+TEST(LogTest, RecognizedEnvLevelDoesNotWarn) {
+  SinkCapture capture;
+  ::setenv("LBTRUST_LOG", "debug", /*overwrite=*/1);
+  ReinitLogLevelFromEnvForTest();
+  ::unsetenv("LBTRUST_LOG");
+  EXPECT_TRUE(LogEnabled(LogLevel::kDebug));
+  LBTRUST_LOG(LogLevel::kInfo, "hello");
+  ASSERT_EQ(capture.lines().size(), 1u);
+  EXPECT_THAT(capture.lines()[0], testing::HasSubstr("hello"));
+  SetLogLevel(LogLevel::kWarn);  // restore the default for other tests
 }
 
 TEST(LogTest, DisabledLevelSkipsArgumentEvaluation) {

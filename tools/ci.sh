@@ -4,8 +4,13 @@
 #
 # Usage: tools/ci.sh [build-dir] [mode]
 #   build-dir  defaults to build-ci (build-asan / build-tsan in the
-#              sanitizer modes)
-#   mode       "tsan" rebuilds with ThreadSanitizer and runs the full
+#              sanitizer modes, build-tidy in tidy mode)
+#   mode       "tidy" runs the curated clang-tidy profile (.clang-tidy)
+#              over the library and tool sources against an exported
+#              compilation database; skips gracefully (exit 0 with a
+#              notice) when clang-tidy is not installed, so the mode is
+#              safe to invoke from environments without LLVM tooling.
+#              "tsan" rebuilds with ThreadSanitizer and runs the full
 #              ctest suite (the parallel-evaluation tests run the worker
 #              pool at threads 2-4, so lazy-index or merge races surface
 #              here), then re-runs the parallel-eval suite with
@@ -20,6 +25,25 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 MODE="${2:-${SANITIZE:-}}"
+if [[ "${MODE}" == "tidy" ]]; then
+  TIDY="$(command -v clang-tidy || true)"
+  if [[ -z "${TIDY}" ]]; then
+    echo "ci: clang-tidy not installed; skipping tidy mode" >&2
+    exit 0
+  fi
+  BUILD_DIR="${1:-build-tidy}"
+  cmake -B "${BUILD_DIR}" -S . \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    -DLBTRUST_BENCH=OFF \
+    -DLBTRUST_EXAMPLES=OFF \
+    -DLBTRUST_TESTS=OFF
+  # The curated profile lives in .clang-tidy; findings are errors here so
+  # the CI job fails on regressions, not just prints them.
+  mapfile -t TIDY_SOURCES < <(find src tools -name '*.cc' | sort)
+  "${TIDY}" -p "${BUILD_DIR}" --warnings-as-errors='*' "${TIDY_SOURCES[@]}"
+  echo "ci: clang-tidy clean over ${#TIDY_SOURCES[@]} sources"
+  exit 0
+fi
 if [[ "${MODE}" == "tsan" ]]; then
   BUILD_DIR="${1:-build-tsan}"
   cmake -B "${BUILD_DIR}" -S . \
@@ -64,6 +88,33 @@ cmake -B "${BUILD_DIR}" -S . \
   -DLBTRUST_EXAMPLES=ON
 cmake --build "${BUILD_DIR}" -j "$(nproc)"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure --no-tests=error -j "$(nproc)"
+
+# Program-lint gates: the static analyzer must (a) pass the golden test
+# corpus and the example policies with zero findings, and (b) flag every
+# seeded-bad fixture with its expected diagnostic code and a nonzero exit.
+LINT="${BUILD_DIR}/lbtrust_lint"
+"${LINT}" --corpus --fail-on=warning
+"${LINT}" --fail-on=warning examples/policies/*.lb
+"${LINT}" --sendlog --fail-on=warning examples/policies/*.sdl
+for fixture in tests/lint_fixtures/bad_*.lb; do
+  code="$(basename "${fixture}" | sed -E 's/^bad_(L[0-9]+)_.*/\1/')"
+  extra=""
+  case "${code}" in
+    L020|L021) extra="--exports=goal" ;;  # dead-code checks need roots
+    L060) extra="--says-check" ;;         # says checks are opt-in
+  esac
+  # shellcheck disable=SC2086
+  if out="$("${LINT}" --fail-on=warning ${extra} "${fixture}")"; then
+    echo "ci: lint fixture ${fixture} unexpectedly clean" >&2
+    exit 1
+  fi
+  if ! grep -q "${code}" <<<"${out}"; then
+    echo "ci: lint fixture ${fixture} did not produce ${code}:" >&2
+    echo "${out}" >&2
+    exit 1
+  fi
+done
+echo "ci: lint gates OK (corpus + examples clean, $(ls tests/lint_fixtures/bad_*.lb | wc -l) bad fixtures flagged)"
 
 # Multi-process distributed smoke: a real 3-node localhost socket mesh per
 # scenario, every converged dump diffed against the simulated cluster, and

@@ -15,7 +15,9 @@
 # and keep serving after convergence until /quitquitquit. The script
 # scrapes every node's /metrics over HTTP and diffs it against the file
 # dump (identical modulo uptime and the scrape's own lbtrust_http_*
-# counters), sanity-checks /statusz, then merges the per-node Chrome
+# counters), sanity-checks /statusz, /explainz and /lintz (must parse;
+# lint must be error-free — scenario programs are vetted), then merges
+# the per-node Chrome
 # traces into ${BUILD_DIR}/dist_smoke_trace_<scenario>.json and asserts at
 # least one sender-fixpoint -> receiver-import flow link crossed nodes.
 #
@@ -129,6 +131,11 @@ for n, port in ports.items():
               file=sys.stderr)
         failed = True
     json.loads(get(port, "/explainz"))  # must parse
+    lint = json.loads(get(port, "/lintz"))  # must parse, and be clean:
+    if lint["errors"] != 0:                 # scenario programs are vetted
+        print(f"dist_smoke: node {n}: /lintz reports errors: {lint}",
+              file=sys.stderr)
+        failed = True
 for n, port in ports.items():
     try:
         get(port, "/quitquitquit")
